@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation: HOOP's GC data coalescing (paper §III-E). With coalescing
+ * disabled the collector applies every scanned word update to the home
+ * region individually in age order — the "migrating these old data
+ * versions sequentially will cause large write traffic" problem the
+ * paper's Algorithm 1 exists to avoid.
+ */
+
+#include "bench_common.hh"
+
+#include "hoop/hoop_controller.hh"
+
+using namespace hoopnvm;
+using namespace hoopnvm::bench;
+
+int
+main()
+{
+    SystemConfig cfg = paperConfig();
+    banner("Ablation - GC coalescing on/off (HOOP)", cfg);
+
+    TablePrinter table("GC migration traffic, coalescing vs none");
+    table.setHeader({"workload", "home writes coalesced",
+                     "home writes raw", "reduction", "bytes/tx ratio"});
+
+    for (const char *wl :
+         {"vector", "hashmap", "queue", "rbtree", "btree", "ycsb"}) {
+        const std::size_t vb = std::string(wl) == "ycsb" ? 512 : 64;
+        WorkloadParams p = paperParams(vb);
+        p.scale = 512; // hot working set: coalescing opportunity
+
+        auto run = [&](bool coalesce) {
+            SystemConfig c = cfg;
+            c.gcCoalescing = coalesce;
+            System sys(c, Scheme::Hoop);
+            const RunOutcome out =
+                runWorkload(sys, makeWorkload(wl, p), kTxPerCore);
+            if (!out.verified)
+                HOOP_FATAL("verification failed");
+            auto &ctrl =
+                static_cast<HoopController &>(sys.controller());
+            return std::make_pair(
+                ctrl.gc().stats().value("home_lines_written"),
+                out.metrics.bytesWrittenPerTx);
+        };
+
+        const auto on = run(true);
+        const auto off = run(false);
+        table.addRow(
+            {wl, std::to_string(on.first), std::to_string(off.first),
+             TablePrinter::num(off.first > 0
+                                   ? 100.0 * (1.0 -
+                                              static_cast<double>(
+                                                  on.first) /
+                                                  static_cast<double>(
+                                                      off.first))
+                                   : 0.0,
+                               1) + "%",
+             TablePrinter::num(off.second / on.second, 2) + "x"});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench binary regenerates one of the paper's evaluation
+ * artifacts (Figs. 7-13, Table IV) by running the Table III workloads
+ * through full System instances — one per (scheme, workload, config)
+ * cell — and printing the same rows/series the paper reports. The
+ * default configuration follows Table II; the transaction counts are
+ * scaled so each binary completes in seconds on a laptop while keeping
+ * every cache and OOP-region mechanism exercised.
+ */
+
+#ifndef HOOPNVM_BENCH_BENCH_COMMON_HH
+#define HOOPNVM_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "stats/table.hh"
+#include "workloads/registry.hh"
+
+namespace hoopnvm
+{
+namespace bench
+{
+
+/** Paper Table II configuration, sized for bench runtime. */
+inline SystemConfig
+paperConfig()
+{
+    SystemConfig cfg;
+    cfg.numCores = 8; // the paper runs 8 threads per workload
+    cfg.homeBytes = miB(256);
+    cfg.oopBytes = miB(32);
+    cfg.auxBytes = miB(256) + miB(16);
+    return cfg;
+}
+
+/** Default workload sizing for benches. */
+inline WorkloadParams
+paperParams(std::size_t value_bytes)
+{
+    WorkloadParams p;
+    p.valueBytes = value_bytes;
+    p.scale = 2048;
+    return p;
+}
+
+/** Transactions per core for the standard sweeps. */
+inline constexpr std::uint64_t kTxPerCore = 150;
+
+/** One measured cell. */
+struct Cell
+{
+    RunMetrics metrics;
+    bool verified = false;
+};
+
+/** Run one (scheme, workload) cell. */
+inline Cell
+runCell(Scheme scheme, const std::string &workload,
+        const WorkloadParams &params, const SystemConfig &cfg,
+        std::uint64_t tx_per_core = kTxPerCore)
+{
+    System sys(cfg, scheme);
+    const RunOutcome out =
+        runWorkload(sys, makeWorkload(workload, params), tx_per_core);
+    if (!out.verified) {
+        HOOP_FATAL("verification failed for %s/%s",
+                   schemeName(scheme), workload.c_str());
+    }
+    return Cell{out.metrics, out.verified};
+}
+
+/** Print the standard bench banner with the Table II parameters. */
+inline void
+banner(const char *what, const SystemConfig &cfg)
+{
+    std::printf("hoopnvm bench: %s\n", what);
+    std::printf("  config: %u cores @ %.1f GHz, L1 %lluK/L2 %lluK/LLC "
+                "%lluM, NVM r/w %.0f/%.0f ns, OOP %lluM (%lluM "
+                "blocks), mapping %lluK, GC period %.0f ms\n\n",
+                cfg.numCores, cfg.cpuGhz,
+                static_cast<unsigned long long>(cfg.cache.l1Size >> 10),
+                static_cast<unsigned long long>(cfg.cache.l2Size >> 10),
+                static_cast<unsigned long long>(cfg.cache.llcSize >> 20),
+                ticksToNs(cfg.nvm.readLatency),
+                ticksToNs(cfg.nvm.writeLatency),
+                static_cast<unsigned long long>(cfg.oopBytes >> 20),
+                static_cast<unsigned long long>(cfg.oopBlockBytes >> 20),
+                static_cast<unsigned long long>(
+                    cfg.mappingTableBytes >> 10),
+                ticksToMs(cfg.gcPeriod));
+}
+
+/** The workload columns of Figs. 7-9 (suite x item size). */
+struct WorkloadCol
+{
+    std::string label;
+    std::string name;
+    std::size_t valueBytes;
+};
+
+inline std::vector<WorkloadCol>
+figureWorkloads()
+{
+    std::vector<WorkloadCol> cols;
+    for (const char *w :
+         {"vector", "hashmap", "queue", "rbtree", "btree"}) {
+        cols.push_back({std::string(w) + "-64B", w, 64});
+        cols.push_back({std::string(w) + "-1KB", w, 1024});
+    }
+    cols.push_back({"ycsb-512B", "ycsb", 512});
+    cols.push_back({"ycsb-1KB", "ycsb", 1024});
+    cols.push_back({"tpcc", "tpcc", 64});
+    return cols;
+}
+
+/** Schemes in the order the paper's figures plot them. */
+inline std::vector<Scheme>
+figureSchemes(bool include_ideal = true)
+{
+    std::vector<Scheme> s = {Scheme::OptRedo, Scheme::OptUndo,
+                             Scheme::Osp,     Scheme::Lsm,
+                             Scheme::Lad,     Scheme::Hoop};
+    if (include_ideal)
+        s.push_back(Scheme::Native);
+    return s;
+}
+
+} // namespace bench
+} // namespace hoopnvm
+
+#endif // HOOPNVM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces paper Figure 12: YCSB throughput (1 KB values, 80%
+ * updates) under HOOP as (a) NVM read latency sweeps 50..250 ns with
+ * write latency fixed at 150 ns, and (b) write latency sweeps
+ * 150..350 ns with read latency fixed at 50 ns.
+ *
+ * Expected shape (paper §IV-H): throughput decreases monotonically as
+ * either latency grows, since both the load/store path and GC slow
+ * down.
+ */
+
+#include "bench_common.hh"
+
+using namespace hoopnvm;
+using namespace hoopnvm::bench;
+
+int
+main()
+{
+    SystemConfig cfg = paperConfig();
+    banner("Figure 12 - YCSB throughput vs NVM latency (HOOP)", cfg);
+
+    const WorkloadParams params = paperParams(1024);
+
+    TablePrinter reads("Fig. 12a: read latency sweep "
+                       "(write fixed at 150 ns)");
+    reads.setHeader({"read latency", "tx/s (M)", "normalized"});
+    double base = 0.0;
+    for (double ns : {50, 100, 150, 200, 250}) {
+        SystemConfig c = cfg;
+        c.nvm.readLatency = nsToTicks(ns);
+        const Cell cell = runCell(Scheme::Hoop, "ycsb", params, c);
+        if (base == 0.0)
+            base = cell.metrics.txPerSecond;
+        reads.addRow({TablePrinter::num(ns, 0) + "ns",
+                      TablePrinter::num(
+                          cell.metrics.txPerSecond / 1e6, 3),
+                      TablePrinter::num(
+                          cell.metrics.txPerSecond / base, 2)});
+    }
+    reads.print();
+
+    TablePrinter writes("Fig. 12b: write latency sweep "
+                        "(read fixed at 50 ns)");
+    writes.setHeader({"write latency", "tx/s (M)", "normalized"});
+    base = 0.0;
+    for (double ns : {150, 200, 250, 300, 350}) {
+        SystemConfig c = cfg;
+        c.nvm.writeLatency = nsToTicks(ns);
+        // Slower cells also hold the bank longer: scale the write
+        // occupancy with the array write time.
+        c.nvm.writeBusy = nsToTicks(ns / 7.5);
+        const Cell cell = runCell(Scheme::Hoop, "ycsb", params, c);
+        if (base == 0.0)
+            base = cell.metrics.txPerSecond;
+        writes.addRow({TablePrinter::num(ns, 0) + "ns",
+                       TablePrinter::num(
+                           cell.metrics.txPerSecond / 1e6, 3),
+                       TablePrinter::num(
+                           cell.metrics.txPerSecond / base, 2)});
+    }
+    writes.print();
+    return 0;
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Reproduces paper Figure 7: (a) transaction throughput normalized to
+ * Opt-Redo and (b) critical-path latency normalized to the native
+ * system, for all Table III workloads across the six schemes plus the
+ * Ideal (native) system.
+ *
+ * Expected shape (paper §IV-B/C): HOOP beats every persistent scheme
+ * (Opt-Redo worst; ordering Opt-Redo < Opt-Undo < OSP < LSM < LAD <
+ * HOOP < Ideal on average) and its critical path sits close to the
+ * native system while undo logging and LSM sit far above it. The
+ * footer reports the geometric-mean ratios the paper quotes, plus the
+ * read-path profile of §IV-C.
+ */
+
+#include <cmath>
+#include <map>
+
+#include "bench_common.hh"
+
+using namespace hoopnvm;
+using namespace hoopnvm::bench;
+
+int
+main()
+{
+    const SystemConfig cfg = paperConfig();
+    banner("Figure 7 - transaction throughput & critical-path latency",
+           cfg);
+
+    const auto cols = figureWorkloads();
+    const auto schemes = figureSchemes();
+
+    // metric[scheme][workload]
+    std::map<Scheme, std::vector<RunMetrics>> results;
+    for (Scheme s : schemes) {
+        for (const auto &col : cols) {
+            results[s].push_back(
+                runCell(s, col.name, paperParams(col.valueBytes), cfg)
+                    .metrics);
+        }
+    }
+
+    TablePrinter tput(
+        "Fig. 7a: throughput normalized to Opt-Redo (higher is better)");
+    {
+        std::vector<std::string> header = {"scheme"};
+        for (const auto &c : cols)
+            header.push_back(c.label);
+        header.push_back("geomean");
+        tput.setHeader(header);
+    }
+    std::map<Scheme, double> tput_geo;
+    for (Scheme s : schemes) {
+        std::vector<std::string> row = {schemeName(s)};
+        double geo = 0.0;
+        for (std::size_t w = 0; w < cols.size(); ++w) {
+            const double norm = results[s][w].txPerSecond /
+                                results[Scheme::OptRedo][w].txPerSecond;
+            row.push_back(TablePrinter::num(norm, 2));
+            geo += std::log(norm);
+        }
+        geo = std::exp(geo / static_cast<double>(cols.size()));
+        tput_geo[s] = geo;
+        row.push_back(TablePrinter::num(geo, 2));
+        tput.addRow(row);
+    }
+    tput.print();
+
+    TablePrinter lat(
+        "Fig. 7b: critical-path latency normalized to Ideal (lower is "
+        "better)");
+    {
+        std::vector<std::string> header = {"scheme"};
+        for (const auto &c : cols)
+            header.push_back(c.label);
+        header.push_back("geomean");
+        lat.setHeader(header);
+    }
+    std::map<Scheme, double> lat_geo;
+    for (Scheme s : schemes) {
+        std::vector<std::string> row = {schemeName(s)};
+        double geo = 0.0;
+        for (std::size_t w = 0; w < cols.size(); ++w) {
+            const double norm =
+                results[s][w].avgCriticalPathNs /
+                results[Scheme::Native][w].avgCriticalPathNs;
+            row.push_back(TablePrinter::num(norm, 2));
+            geo += std::log(norm);
+        }
+        geo = std::exp(geo / static_cast<double>(cols.size()));
+        lat_geo[s] = geo;
+        row.push_back(TablePrinter::num(geo, 2));
+        lat.addRow(row);
+    }
+    lat.print();
+
+    std::printf("paper-vs-measured headline ratios:\n");
+    auto imp = [&](Scheme s) {
+        return (tput_geo[Scheme::Hoop] / tput_geo[s] - 1.0) * 100.0;
+    };
+    std::printf("  HOOP throughput vs Opt-Redo: paper +74.3%%, "
+                "measured %+.1f%%\n",
+                imp(Scheme::OptRedo));
+    std::printf("  HOOP throughput vs Opt-Undo: paper +45.1%%, "
+                "measured %+.1f%%\n",
+                imp(Scheme::OptUndo));
+    std::printf("  HOOP throughput vs OSP:      paper +33.8%%, "
+                "measured %+.1f%%\n",
+                imp(Scheme::Osp));
+    std::printf("  HOOP throughput vs LSM:      paper +27.9%%, "
+                "measured %+.1f%%\n",
+                imp(Scheme::Lsm));
+    std::printf("  HOOP throughput vs LAD:      paper +24.3%%, "
+                "measured %+.1f%%\n",
+                imp(Scheme::Lad));
+    std::printf("  HOOP throughput vs Ideal:    paper -20.6%%, "
+                "measured %+.1f%%\n",
+                (tput_geo[Scheme::Hoop] / tput_geo[Scheme::Native] -
+                 1.0) *
+                    100.0);
+    std::printf("  HOOP critical path vs Ideal: paper +24.1%%, "
+                "measured %+.1f%%\n\n",
+                (lat_geo[Scheme::Hoop] - 1.0) * 100.0);
+
+    // §IV-C read-path profile for HOOP on the full suite.
+    {
+        System sys(cfg, Scheme::Hoop);
+        const RunOutcome out = runWorkload(
+            sys, makeWorkload("ycsb", paperParams(1024)), kTxPerCore);
+        const auto &st = sys.controller().stats();
+        const double fills = static_cast<double>(
+            sys.caches().stats().value("llc_fills"));
+        std::printf("HOOP read-path profile (YCSB-1KB): LLC miss ratio "
+                    "%.1f%% (paper 12.1%%), parallel reads %.1f%% of "
+                    "fills (paper: 28.3%% of misses incur them, 3.4%% "
+                    "of accesses)\n",
+                    out.metrics.llcMissRatio * 100.0,
+                    fills > 0.0 ? 100.0 *
+                                      static_cast<double>(
+                                          st.value("parallel_reads")) /
+                                      fills
+                                : 0.0);
+    }
+    return 0;
+}

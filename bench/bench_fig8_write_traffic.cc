@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: NVM write traffic per transaction,
+ * normalized to the native system (lower is better).
+ *
+ * Expected shape (paper §IV-D): Opt-Redo and Opt-Undo write about
+ * 2.1x / 1.9x more than HOOP; OSP, LSM and LAD sit 21.2% / 12.5% /
+ * 11.6% above HOOP; HOOP is the lowest of the persistent schemes
+ * thanks to word-granularity packing and GC coalescing.
+ */
+
+#include <cmath>
+#include <map>
+
+#include "bench_common.hh"
+
+using namespace hoopnvm;
+using namespace hoopnvm::bench;
+
+int
+main()
+{
+    const SystemConfig cfg = paperConfig();
+    banner("Figure 8 - write traffic to NVM", cfg);
+
+    const auto cols = figureWorkloads();
+    const auto schemes = figureSchemes();
+
+    std::map<Scheme, std::vector<double>> bytes_per_tx;
+    for (Scheme s : schemes) {
+        for (const auto &col : cols) {
+            bytes_per_tx[s].push_back(
+                runCell(s, col.name, paperParams(col.valueBytes), cfg)
+                    .metrics.bytesWrittenPerTx);
+        }
+    }
+
+    TablePrinter table(
+        "Fig. 8: NVM bytes written per tx, normalized to Ideal "
+        "(lower is better)");
+    std::vector<std::string> header = {"scheme"};
+    for (const auto &c : cols)
+        header.push_back(c.label);
+    header.push_back("geomean");
+    table.setHeader(header);
+
+    std::map<Scheme, double> geo;
+    for (Scheme s : schemes) {
+        std::vector<std::string> row = {schemeName(s)};
+        double g = 0.0;
+        for (std::size_t w = 0; w < cols.size(); ++w) {
+            const double norm = bytes_per_tx[s][w] /
+                                bytes_per_tx[Scheme::Native][w];
+            row.push_back(TablePrinter::num(norm, 2));
+            g += std::log(norm);
+        }
+        geo[s] = std::exp(g / static_cast<double>(cols.size()));
+        row.push_back(TablePrinter::num(geo[s], 2));
+        table.addRow(row);
+    }
+    table.print();
+
+    std::printf("paper-vs-measured traffic ratios (scheme / HOOP):\n");
+    auto ratio = [&](Scheme s) { return geo[s] / geo[Scheme::Hoop]; };
+    std::printf("  Opt-Redo: paper 2.1x, measured %.2fx\n",
+                ratio(Scheme::OptRedo));
+    std::printf("  Opt-Undo: paper 1.9x, measured %.2fx\n",
+                ratio(Scheme::OptUndo));
+    std::printf("  OSP:      paper 1.21x, measured %.2fx\n",
+                ratio(Scheme::Osp));
+    std::printf("  LSM:      paper 1.13x, measured %.2fx\n",
+                ratio(Scheme::Lsm));
+    std::printf("  LAD:      paper 1.12x, measured %.2fx\n",
+                ratio(Scheme::Lad));
+    return 0;
+}

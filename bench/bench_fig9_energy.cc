@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces paper Figure 9: NVM access energy per transaction (Table
+ * II energy parameters), normalized to the native system.
+ *
+ * Expected shape (paper §IV-E): HOOP achieves the best energy
+ * efficiency of the persistent schemes even though its GC and parallel
+ * reads add read traffic, because writes cost ~5x more energy per bit
+ * than reads; paper reductions vs OSP/LSM/LAD are 37.6%/29.6%/10.8%.
+ */
+
+#include <cmath>
+#include <map>
+
+#include "bench_common.hh"
+
+using namespace hoopnvm;
+using namespace hoopnvm::bench;
+
+int
+main()
+{
+    const SystemConfig cfg = paperConfig();
+    banner("Figure 9 - NVM energy consumption", cfg);
+
+    const auto cols = figureWorkloads();
+    const auto schemes = figureSchemes();
+
+    std::map<Scheme, std::vector<double>> energy;
+    for (Scheme s : schemes) {
+        for (const auto &col : cols) {
+            const RunMetrics m =
+                runCell(s, col.name, paperParams(col.valueBytes), cfg)
+                    .metrics;
+            energy[s].push_back(
+                m.energyPj / static_cast<double>(m.transactions));
+        }
+    }
+
+    TablePrinter table("Fig. 9: NVM energy per tx, normalized to Ideal "
+                       "(lower is better)");
+    std::vector<std::string> header = {"scheme"};
+    for (const auto &c : cols)
+        header.push_back(c.label);
+    header.push_back("geomean");
+    table.setHeader(header);
+
+    std::map<Scheme, double> geo;
+    for (Scheme s : schemes) {
+        std::vector<std::string> row = {schemeName(s)};
+        double g = 0.0;
+        for (std::size_t w = 0; w < cols.size(); ++w) {
+            const double norm =
+                energy[s][w] / energy[Scheme::Native][w];
+            row.push_back(TablePrinter::num(norm, 2));
+            g += std::log(norm);
+        }
+        geo[s] = std::exp(g / static_cast<double>(cols.size()));
+        row.push_back(TablePrinter::num(geo[s], 2));
+        table.addRow(row);
+    }
+    table.print();
+
+    auto saving = [&](Scheme s) {
+        return (1.0 - geo[Scheme::Hoop] / geo[s]) * 100.0;
+    };
+    std::printf("paper-vs-measured energy savings of HOOP:\n");
+    std::printf("  vs OSP: paper 37.6%%, measured %.1f%%\n",
+                saving(Scheme::Osp));
+    std::printf("  vs LSM: paper 29.6%%, measured %.1f%%\n",
+                saving(Scheme::Lsm));
+    std::printf("  vs LAD: paper 10.8%%, measured %.1f%%\n",
+                saving(Scheme::Lad));
+    return 0;
+}

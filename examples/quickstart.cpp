@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Quickstart: build a HOOP system, run failure-atomic transactions
+ * against simulated NVM, crash it, recover, and inspect the metrics.
+ *
+ *   $ ./quickstart
+ *
+ * This is the 5-minute tour of the public API: SystemConfig -> System
+ * -> txBegin/store/load/txEnd -> crash/recover -> metrics.
+ */
+
+#include <cstdio>
+
+#include "sim/system.hh"
+
+using namespace hoopnvm;
+
+int
+main()
+{
+    // 1. Configure a machine (paper Table II defaults; shrink the
+    // regions so the example starts instantly).
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.homeBytes = miB(64);
+    cfg.oopBytes = miB(8);
+    cfg.auxBytes = miB(64) + miB(8);
+
+    // 2. Build it with the HOOP persistence controller. Swap the
+    // Scheme enum to compare against Opt-Redo, Opt-Undo, OSP, LSM,
+    // LAD, or the Native (no-persistence) system.
+    System sys(cfg, Scheme::Hoop);
+
+    // 3. Allocate some persistent memory and run transactions.
+    const Addr counters = sys.alloc(/*core=*/0, 8 * kWordSize);
+    sys.beginMeasurement();
+    for (std::uint64_t round = 0; round < 1000; ++round) {
+        sys.txBegin(0);
+        for (unsigned i = 0; i < 8; ++i) {
+            const std::uint64_t v =
+                sys.loadWord(0, counters + 8 * i);
+            sys.storeWord(0, counters + 8 * i, v + 1);
+        }
+        sys.txEnd(0); // durability point: all 8 increments are atomic
+    }
+    sys.finalize();
+
+    const RunMetrics m = sys.metrics();
+    std::printf("ran %llu transactions in %.2f simulated us\n",
+                static_cast<unsigned long long>(m.transactions),
+                ticksToNs(m.simTicks) / 1000.0);
+    std::printf("  throughput        : %.2f Mtx/s\n",
+                m.txPerSecond / 1e6);
+    std::printf("  avg critical path : %.0f ns\n",
+                m.avgCriticalPathNs);
+    std::printf("  NVM bytes written : %llu (%.0f per tx)\n",
+                static_cast<unsigned long long>(m.nvmBytesWritten),
+                m.bytesWrittenPerTx);
+
+    // 4. Pull the plug. Caches and controller SRAM vanish; the OOP
+    // region survives.
+    sys.txBegin(0);
+    sys.storeWord(0, counters, 999999); // never committed
+    sys.crash();
+
+    const Tick rec = sys.recover(/*threads=*/4);
+    std::printf("recovered in %.2f modelled us\n",
+                ticksToNs(rec) / 1000.0);
+
+    // 5. Committed state is intact; the torn transaction is gone.
+    for (unsigned i = 0; i < 8; ++i) {
+        const std::uint64_t v = sys.debugLoadWord(counters + 8 * i);
+        if (v != 1000) {
+            std::printf("FAILURE: counter %u = %llu (expected 1000)\n",
+                        i, static_cast<unsigned long long>(v));
+            return 1;
+        }
+    }
+    std::printf("all 8 counters read 1000 after recovery: atomic "
+                "durability holds\n");
+    return 0;
+}

@@ -1,0 +1,151 @@
+#include "baselines/log_region.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hoopnvm
+{
+
+namespace
+{
+
+/** Durable ring state, kept at the base of the log area. */
+struct Superblock
+{
+    std::uint32_t magic;
+    std::uint32_t pad;
+    std::uint64_t tailIdx;
+    std::uint64_t tailSeq;
+};
+
+constexpr std::uint32_t kSuperMagic = 0x4c4f4752; // "LOGR"
+constexpr std::uint64_t kSuperBytes = 64;
+
+} // namespace
+
+void
+LogEntry::encode(std::uint8_t *out) const
+{
+    std::memset(out, 0, kEntryBytes);
+    std::memcpy(out + 0, words.data(), 64);
+    std::memcpy(out + 64, &line, 8);
+    std::memcpy(out + 72, &txId, 8);
+    std::memcpy(out + 80, &commitId, 8);
+    std::memcpy(out + 88, &seq, 8);
+    out[96] = mask;
+    out[97] = count;
+    out[98] = static_cast<std::uint8_t>(type);
+}
+
+LogEntry
+LogEntry::decode(const std::uint8_t *in)
+{
+    LogEntry e;
+    e.type = static_cast<LogEntryType>(in[98]);
+    if (e.type == LogEntryType::Invalid)
+        return e;
+    std::memcpy(e.words.data(), in + 0, 64);
+    std::memcpy(&e.line, in + 64, 8);
+    std::memcpy(&e.txId, in + 72, 8);
+    std::memcpy(&e.commitId, in + 80, 8);
+    std::memcpy(&e.seq, in + 88, 8);
+    e.mask = in[96];
+    e.count = in[97];
+    return e;
+}
+
+LogRegion::LogRegion(NvmDevice &nvm_, Addr base_, std::uint64_t bytes,
+                     const std::string &name)
+    : nvm(nvm_), base(base_),
+      capacity_((bytes - kSuperBytes) / LogEntry::kEntryBytes),
+      stats_(name)
+{
+    HOOP_ASSERT(capacity_ >= 16, "log region too small");
+    writeSuperblock(0);
+}
+
+Addr
+LogRegion::entryAddr(std::uint64_t logical_idx) const
+{
+    return base + kSuperBytes +
+           (logical_idx % capacity_) * LogEntry::kEntryBytes;
+}
+
+void
+LogRegion::writeSuperblock(Tick now)
+{
+    Superblock sb{};
+    sb.magic = kSuperMagic;
+    sb.tailIdx = tail;
+    // head and nextSeq move in lockstep (head=0 pairs with seq 1), so
+    // the oldest live entry always carries seq == tail + 1.
+    sb.tailSeq = tail + 1;
+    nvm.write(now, base, &sb, sizeof(sb));
+    ++stats_.counter("superblock_writes");
+}
+
+Tick
+LogRegion::append(Tick now, LogEntry e)
+{
+    HOOP_ASSERT(!full(), "append to a full log (caller must truncate)");
+    e.seq = nextSeq++;
+    std::uint8_t buf[LogEntry::kEntryBytes];
+    e.encode(buf);
+    const Tick done =
+        nvm.write(now, entryAddr(head), buf, LogEntry::kEntryBytes);
+    ++head;
+    ++stats_.counter("appends");
+    return done;
+}
+
+Tick
+LogRegion::truncate(Tick now, std::uint64_t n)
+{
+    HOOP_ASSERT(n <= size(), "truncating more entries than live");
+    tail += n;
+    writeSuperblock(now);
+    stats_.counter("truncated") += n;
+    return now;
+}
+
+void
+LogRegion::clear(Tick now)
+{
+    tail = head;
+    writeSuperblock(now);
+}
+
+void
+LogRegion::scan(const std::function<void(const LogEntry &)> &fn) const
+{
+    // Durable-state-only walk: read the superblock, then follow
+    // strictly ascending sequence numbers from the persisted tail.
+    Superblock sb{};
+    nvm.peek(base, &sb, sizeof(sb));
+    if (sb.magic != kSuperMagic)
+        return;
+    for (std::uint64_t i = 0; i < capacity_; ++i) {
+        std::uint8_t buf[LogEntry::kEntryBytes];
+        nvm.peek(entryAddr(sb.tailIdx + i), buf, LogEntry::kEntryBytes);
+        const LogEntry e = LogEntry::decode(buf);
+        // Live entries carry exactly the expected ascending sequence;
+        // anything else is a stale or unwritten slot.
+        if (e.type == LogEntryType::Invalid || e.seq != sb.tailSeq + i)
+            break;
+        fn(e);
+    }
+}
+
+void
+LogRegion::forEachLive(
+    const std::function<void(const LogEntry &)> &fn) const
+{
+    for (std::uint64_t idx = tail; idx < head; ++idx) {
+        std::uint8_t buf[LogEntry::kEntryBytes];
+        nvm.peek(entryAddr(idx), buf, LogEntry::kEntryBytes);
+        fn(LogEntry::decode(buf));
+    }
+}
+
+} // namespace hoopnvm

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Durable append-only log substrate shared by the baseline schemes.
+ *
+ * Opt-Redo, Opt-Undo and OSP all need a persistent, crash-scannable
+ * log: redo data images, undo (old) images, commit records, and OSP's
+ * shadow-flip records. The log is a ring of 128-byte entries in the
+ * auxiliary NVM region. Entries carry a monotonic sequence number; a
+ * small superblock persists the ring tail on every truncation, so a
+ * post-crash scan can walk forward from the durable tail while entry
+ * sequence numbers keep ascending, recovering exactly the live suffix
+ * (the standard head/tail-pointer discipline of hardware log units).
+ */
+
+#ifndef HOOPNVM_BASELINES_LOG_REGION_HH
+#define HOOPNVM_BASELINES_LOG_REGION_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.hh"
+#include "nvm/nvm_device.hh"
+#include "stats/stat_set.hh"
+
+namespace hoopnvm
+{
+
+/** Kinds of entries the baseline schemes write. */
+enum class LogEntryType : std::uint8_t
+{
+    Invalid = 0,
+    RedoData = 1,   ///< New words of one line (Opt-Redo).
+    Commit = 2,     ///< Commit record of a transaction.
+    UndoImage = 3,  ///< Old image of one line (Opt-Undo).
+    OspRecord = 4,  ///< Shadow-flip list of a committed tx (OSP).
+    LsmData = 5,    ///< Appended word updates (LSM).
+};
+
+/** Decoded 128-byte log entry. */
+struct LogEntry
+{
+    static constexpr std::size_t kEntryBytes = 128;
+
+    LogEntryType type = LogEntryType::Invalid;
+    TxId txId = kInvalidTxId;
+    std::uint64_t commitId = 0;
+    Addr line = kInvalidAddr;
+    std::uint8_t mask = 0;  ///< Valid words (bit i = word i of line).
+    std::uint8_t count = 0; ///< Payload count for list-style entries.
+    std::uint64_t seq = 0;
+
+    /** Word payload: line words, or a list of line addresses (OSP). */
+    std::array<std::uint64_t, 8> words{};
+
+    void encode(std::uint8_t *out) const;
+    static LogEntry decode(const std::uint8_t *in);
+};
+
+/** Ring of durable log entries with a persisted tail superblock. */
+class LogRegion
+{
+  public:
+    /**
+     * @param nvm   Backing device.
+     * @param base  First byte of the log area (64-byte superblock,
+     *              then the entry ring).
+     * @param bytes Total area size.
+     */
+    LogRegion(NvmDevice &nvm, Addr base, std::uint64_t bytes,
+              const std::string &name);
+
+    /** Entries the ring can hold. */
+    std::uint64_t capacity() const { return capacity_; }
+
+    /** Live entries (head - tail). */
+    std::uint64_t size() const { return head - tail; }
+
+    bool full() const { return size() >= capacity_; }
+
+    /**
+     * Append @p e durably (stamps its sequence number).
+     * @return Completion tick of the entry write.
+     */
+    Tick append(Tick now, LogEntry e);
+
+    /**
+     * Drop the oldest @p n entries and persist the new tail.
+     * @return Completion tick of the superblock write.
+     */
+    Tick truncate(Tick now, std::uint64_t n);
+
+    /** Drop everything and persist the empty state. */
+    void clear(Tick now);
+
+    /**
+     * Post-crash scan: visit the live entries oldest-first, using only
+     * durable state (superblock + entry sequence numbers).
+     */
+    void scan(const std::function<void(const LogEntry &)> &fn) const;
+
+    /** Visit live entries oldest-first from host state (no crash). */
+    void forEachLive(const std::function<void(const LogEntry &)> &fn)
+        const;
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    Addr entryAddr(std::uint64_t logical_idx) const;
+    void writeSuperblock(Tick now);
+
+    NvmDevice &nvm;
+    Addr base;
+    std::uint64_t capacity_;
+    StatSet stats_;
+
+    /** Monotonic logical indices; slot = idx % capacity. */
+    std::uint64_t head = 0;
+    std::uint64_t tail = 0;
+    std::uint64_t nextSeq = 1;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_BASELINES_LOG_REGION_HH

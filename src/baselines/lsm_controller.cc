@@ -1,0 +1,271 @@
+#include "baselines/lsm_controller.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace hoopnvm
+{
+
+LsmController::LsmController(NvmDevice &nvm, const SystemConfig &cfg_)
+    : PersistenceController("lsm", nvm, cfg_),
+      log_(nvm, cfg_.auxBase(), cfg_.auxBytes, "lsm_log"),
+      txWrites(cfg_.numCores)
+{
+}
+
+Tick
+LsmController::indexWalkCost() const
+{
+    // O(log N) DRAM pointer chases plus software bookkeeping cycles;
+    // the upper skip-list levels stay cached, so only a fraction of
+    // the tower height costs a DRAM access.
+    const unsigned hops = index_.height() / 5 + 2;
+    return cfg.lsmIndexCycles * cfg.cycle() + hops * cfg.dramLatency;
+}
+
+TxId
+LsmController::txBegin(CoreId core, Tick now)
+{
+    const TxId tx = PersistenceController::txBegin(core, now);
+    txWrites[core].clear();
+    return tx;
+}
+
+Tick
+LsmController::storeWord(CoreId core, Addr addr,
+                         const std::uint8_t *data, Tick now)
+{
+    std::uint64_t value;
+    std::memcpy(&value, data, kWordSize);
+    const Addr line = lineAddr(addr);
+    auto &writes = txWrites[core];
+    auto it = writes.find(line);
+    const bool first_touch = it == writes.end();
+    if (first_touch)
+        it = writes.emplace(line, LineImage{}).first;
+    it->second.setWord(
+        static_cast<unsigned>((addr - line) / kWordSize), value);
+    // Software write-path bookkeeping (allocation, index preparation)
+    // is paid once per appended extent, i.e. per line.
+    return first_touch ? cfg.lsmIndexCycles * cfg.cycle() : 0;
+    (void)now;
+}
+
+Tick
+LsmController::loadOverhead(CoreId, Addr, Tick)
+{
+    // Every load translates through the DRAM-cached skip list.
+    ++stats_.counter("index_walks");
+    return indexWalkCost();
+}
+
+Tick
+LsmController::txEnd(CoreId core, Tick now)
+{
+    HOOP_ASSERT(coreTx[core].active, "txEnd without txBegin");
+    const TxId tx = coreTx[core].txId;
+    const std::uint64_t cid = allocCommitId();
+    auto &writes = txWrites[core];
+
+    Tick t = now;
+    for (const auto &kv : writes) {
+        if (log_.full())
+            t = std::max(t, gc(t));
+        // Fold into the cumulative live image so one entry per line is
+        // always sufficient to reconstruct the newest data.
+        LineImage &img = liveImage[kv.first];
+        img.merge(kv.second);
+
+        LogEntry e;
+        e.type = LogEntryType::LsmData;
+        e.txId = tx;
+        e.commitId = cid;
+        e.line = kv.first;
+        e.mask = img.mask;
+        e.words = img.words;
+        t = std::max(t, log_.append(now, e));
+        index_.insert(kv.first, logicalEntryIdx++);
+        ++stats_.counter("log_entries");
+    }
+
+    if (!writes.empty()) {
+        if (log_.full())
+            t = std::max(t, gc(t));
+        LogEntry rec;
+        rec.type = LogEntryType::Commit;
+        rec.txId = tx;
+        rec.commitId = cid;
+        rec.mask = 1;
+        t = std::max(t, log_.append(now, rec));
+        ++stats_.counter("commit_records");
+    }
+
+    writes.clear();
+    coreTx[core] = CoreTxState{};
+    ++stats_.counter("tx_committed");
+    return t;
+}
+
+FillResult
+LsmController::fillLine(CoreId, Addr line, std::uint8_t *buf, Tick now)
+{
+    FillResult fr;
+    fr.completion = nvm_.read(now, line, buf, kCacheLineSize);
+
+    std::uint8_t mask = 0;
+    auto lit = liveImage.find(line);
+    if (lit != liveImage.end()) {
+        // The newest version lives in the log: extra log read.
+        lit->second.overlay(buf);
+        mask |= lit->second.mask;
+        fr.completion = std::max(
+            fr.completion,
+            nvm_.readAccounting(now, LogEntry::kEntryBytes));
+        ++stats_.counter("log_reads");
+    }
+
+    TxId owner = kInvalidTxId;
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        auto it = txWrites[c].find(line);
+        if (it != txWrites[c].end()) {
+            it->second.overlay(buf);
+            mask |= it->second.mask;
+            owner = coreTx[c].txId;
+        }
+    }
+    if (mask) {
+        fr.dirty = true;
+        fr.persistent = true;
+        fr.txId = owner;
+        fr.wordMask = mask;
+    }
+    return fr;
+}
+
+void
+LsmController::evictLine(CoreId, Addr line, const std::uint8_t *data,
+                         bool persistent, TxId, std::uint8_t, Tick now)
+{
+    if (persistent) {
+        // The log and live-image map already hold this data.
+        ++stats_.counter("evictions_absorbed");
+        return;
+    }
+    nvm_.write(now, line, data, kCacheLineSize);
+    ++stats_.counter("home_writebacks");
+}
+
+Tick
+LsmController::gc(Tick now)
+{
+    // Cannot truncate while a transaction's entries are still
+    // uncommitted in the log tail.
+    for (const auto &t : coreTx) {
+        if (t.active)
+            return now;
+    }
+    if (liveImage.empty() && log_.size() == 0)
+        return now;
+    ++stats_.counter("gc_runs");
+
+    Tick last = now;
+    for (const auto &kv : liveImage) {
+        std::uint8_t buf[kCacheLineSize];
+        nvm_.read(now, kv.first, buf, kCacheLineSize);
+        kv.second.overlay(buf);
+        last = std::max(last,
+                        nvm_.write(now, kv.first, buf, kCacheLineSize));
+        index_.erase(kv.first);
+        ++stats_.counter("migrated_lines");
+    }
+    liveImage.clear();
+    if (log_.size() > 0)
+        last = std::max(last, log_.truncate(now, log_.size()));
+    return last;
+}
+
+void
+LsmController::maintenance(Tick now)
+{
+    if (now - lastGc >= cfg.gcPeriod ||
+        log_.size() * 4 >= log_.capacity() * 3) {
+        lastGc = now;
+        gc(now);
+    }
+}
+
+Tick
+LsmController::drain(Tick now)
+{
+    return gc(now);
+}
+
+void
+LsmController::crash()
+{
+    for (auto &w : txWrites)
+        w.clear();
+    for (auto &t : coreTx)
+        t = CoreTxState{};
+    liveImage.clear();
+    index_.clear();
+}
+
+Tick
+LsmController::recover(unsigned)
+{
+    // Apply committed cumulative images in commit order.
+    std::unordered_map<TxId, bool> has_record;
+    std::map<std::uint64_t, std::vector<LogEntry>> by_commit;
+    std::uint64_t entries = 0;
+    log_.scan([&](const LogEntry &e) {
+        ++entries;
+        if (e.type == LogEntryType::Commit)
+            has_record[e.txId] = true;
+        else if (e.type == LogEntryType::LsmData)
+            by_commit[e.commitId].push_back(e);
+    });
+
+    std::uint64_t lines = 0;
+    for (const auto &kv : by_commit) {
+        for (const LogEntry &e : kv.second) {
+            if (!has_record.count(e.txId))
+                continue;
+            std::uint8_t buf[kCacheLineSize];
+            nvm_.peek(e.line, buf, kCacheLineSize);
+            LineImage img;
+            img.mask = e.mask;
+            img.words = e.words;
+            img.overlay(buf);
+            nvm_.poke(e.line, buf, kCacheLineSize);
+            ++lines;
+        }
+    }
+    log_.clear(0);
+    liveImage.clear();
+    index_.clear();
+    stats_.counter("recoveries") += 1;
+
+    const Tick channel = nvm_.timing().transferTicks(
+        entries * LogEntry::kEntryBytes + lines * kCacheLineSize);
+    return channel + entries * nsToTicks(60);
+}
+
+void
+LsmController::debugReadLine(Addr line, std::uint8_t *buf) const
+{
+    nvm_.peek(line, buf, kCacheLineSize);
+    auto lit = liveImage.find(line);
+    if (lit != liveImage.end())
+        lit->second.overlay(buf);
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        auto it = txWrites[c].find(line);
+        if (it != txWrites[c].end())
+            it->second.overlay(buf);
+    }
+}
+
+} // namespace hoopnvm

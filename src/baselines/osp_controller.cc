@@ -1,0 +1,324 @@
+#include "baselines/osp_controller.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hoopnvm
+{
+
+namespace
+{
+
+/**
+ * Auxiliary-region layout for OSP:
+ *   [auxBase, +homeBytes)            shadow copies
+ *   [+homeBytes, +homeBytes/64)      selector table (1 byte per line)
+ *   [rest]                           flip-record log
+ */
+Addr
+ospLogBase(const SystemConfig &cfg)
+{
+    return cfg.auxBase() + cfg.homeBytes + cfg.homeBytes / kCacheLineSize;
+}
+
+std::uint64_t
+ospLogBytes(const SystemConfig &cfg)
+{
+    const std::uint64_t used =
+        cfg.homeBytes + cfg.homeBytes / kCacheLineSize;
+    HOOP_ASSERT(cfg.auxBytes > used + miB(1),
+                "auxBytes too small for OSP shadow + selector + log");
+    return cfg.auxBytes - used;
+}
+
+} // namespace
+
+OspController::OspController(NvmDevice &nvm, const SystemConfig &cfg_)
+    : PersistenceController("osp", nvm, cfg_),
+      log_(nvm, ospLogBase(cfg_), ospLogBytes(cfg_), "osp_log"),
+      txWrites(cfg_.numCores)
+{
+}
+
+Addr
+OspController::shadowOf(Addr line) const
+{
+    return cfg.auxBase() + line;
+}
+
+Addr
+OspController::selectorAddr(Addr line) const
+{
+    return cfg.auxBase() + cfg.homeBytes + line / kCacheLineSize;
+}
+
+bool
+OspController::shadowIsCurrent(Addr line) const
+{
+    return shadowCurrent.count(line) != 0;
+}
+
+Addr
+OspController::currentCopy(Addr line) const
+{
+    return shadowIsCurrent(line) ? shadowOf(line) : line;
+}
+
+TxId
+OspController::txBegin(CoreId core, Tick now)
+{
+    const TxId tx = PersistenceController::txBegin(core, now);
+    txWrites[core].clear();
+    return tx;
+}
+
+Tick
+OspController::storeWord(CoreId core, Addr addr,
+                         const std::uint8_t *data, Tick now)
+{
+    std::uint64_t value;
+    std::memcpy(&value, data, kWordSize);
+    const Addr line = lineAddr(addr);
+    txWrites[core][line].setWord(
+        static_cast<unsigned>((addr - line) / kWordSize), value);
+    return cfg.cycle();
+    (void)now;
+}
+
+Tick
+OspController::applyFlips(Tick now, const std::vector<Addr> &lines)
+{
+    // Batch selector-byte updates per selector-table cache line.
+    std::unordered_set<Addr> selector_lines;
+    Tick last = now;
+    for (Addr line : lines) {
+        const std::uint8_t v = shadowCurrent.count(line) ? 1 : 0;
+        nvm_.poke(selectorAddr(line), &v, 1);
+        selector_lines.insert(lineAddr(selectorAddr(line)));
+    }
+    for (Addr sl : selector_lines) {
+        last = std::max(last, nvm_.writeAccounting(now, kCacheLineSize));
+        ++stats_.counter("selector_writes");
+        (void)sl;
+    }
+    return last;
+}
+
+Tick
+OspController::txEnd(CoreId core, Tick now)
+{
+    HOOP_ASSERT(coreTx[core].active, "txEnd without txBegin");
+    const TxId tx = coreTx[core].txId;
+    const std::uint64_t cid = allocCommitId();
+    auto &writes = txWrites[core];
+
+    // 1. Eagerly persist each modified line into its inactive copy.
+    Tick data_done = now;
+    std::vector<Addr> flipped;
+    flipped.reserve(writes.size());
+    for (const auto &kv : writes) {
+        const Addr line = kv.first;
+        std::uint8_t buf[kCacheLineSize];
+        nvm_.peek(currentCopy(line), buf, kCacheLineSize);
+        kv.second.overlay(buf);
+        const Addr target =
+            shadowIsCurrent(line) ? line : shadowOf(line);
+        data_done = std::max(
+            data_done, nvm_.write(now, target, buf, kCacheLineSize));
+        flipped.push_back(line);
+        ++stats_.counter("shadow_writes");
+    }
+
+    if (writes.empty()) {
+        coreTx[core] = CoreTxState{};
+        ++stats_.counter("tx_committed");
+        return now;
+    }
+
+    // 2. Durable flip records make the multi-line commit atomic. Each
+    // record stores up to 8 (line | new-selector) entries.
+    Tick rec_done = data_done;
+    for (std::size_t i = 0; i < flipped.size(); i += 8) {
+        if (log_.full())
+            maintenance(rec_done);
+        LogEntry e;
+        e.type = LogEntryType::OspRecord;
+        e.txId = tx;
+        e.commitId = cid;
+        e.count = static_cast<std::uint8_t>(
+            std::min<std::size_t>(8, flipped.size() - i));
+        for (unsigned j = 0; j < e.count; ++j) {
+            const Addr line = flipped[i + j];
+            const std::uint64_t new_sel = shadowIsCurrent(line) ? 0 : 1;
+            e.words[j] = line | new_sel;
+        }
+        rec_done = std::max(rec_done, log_.append(data_done, e));
+        ++stats_.counter("flip_records");
+    }
+
+    // 3. Apply the flips (selector table) and pay the TLB shootdown.
+    for (Addr line : flipped) {
+        if (!shadowCurrent.erase(line))
+            shadowCurrent.insert(line);
+    }
+    Tick done = applyFlips(rec_done, flipped);
+    done += cfg.tlbShootdownCost;
+    ++stats_.counter("tlb_shootdowns");
+
+    // Page consolidation (§IV-B): SSP periodically re-packs split
+    // line pairs to recover spatial efficiency, copying data between
+    // the two physical copies in the background.
+    if (++commitsSinceConsolidation >= 8) {
+        commitsSinceConsolidation = 0;
+        std::uint64_t copied = 0;
+        for (Addr line : flipped) {
+            nvm_.readAccounting(done, kCacheLineSize);
+            nvm_.writeAccounting(done, kCacheLineSize);
+            if (++copied >= 8)
+                break;
+        }
+        stats_.counter("consolidation_copies") += copied;
+    }
+
+    writes.clear();
+    coreTx[core] = CoreTxState{};
+    ++stats_.counter("tx_committed");
+    return done;
+}
+
+FillResult
+OspController::fillLine(CoreId, Addr line, std::uint8_t *buf, Tick now)
+{
+    FillResult fr;
+    fr.completion =
+        nvm_.read(now, currentCopy(line), buf, kCacheLineSize);
+
+    // Overlay any open transaction's buffered words (covers the case
+    // where the line was evicted mid-transaction).
+    std::uint8_t mask = 0;
+    TxId owner = kInvalidTxId;
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        auto it = txWrites[c].find(line);
+        if (it != txWrites[c].end()) {
+            it->second.overlay(buf);
+            mask |= it->second.mask;
+            owner = coreTx[c].txId;
+        }
+    }
+    if (mask) {
+        fr.dirty = true;
+        fr.persistent = true;
+        fr.txId = owner;
+        fr.wordMask = mask;
+    }
+    return fr;
+}
+
+void
+OspController::evictLine(CoreId core, Addr line, const std::uint8_t *data,
+                         bool persistent, TxId, std::uint8_t, Tick now)
+{
+    if (persistent) {
+        bool open = false;
+        for (unsigned c = 0; c < cfg.numCores && !open; ++c)
+            open = txWrites[c].count(line) != 0;
+        if (open) {
+            // Uncommitted data parks in the inactive copy; the old copy
+            // stays intact for crash safety.
+            const Addr target =
+                shadowIsCurrent(line) ? line : shadowOf(line);
+            nvm_.write(now, target, data, kCacheLineSize);
+            ++stats_.counter("inactive_writebacks");
+        }
+        // Committed content matches the current copy already (it was
+        // eagerly flushed at commit); dropping it costs nothing.
+        return;
+    }
+    nvm_.write(now, currentCopy(line), data, kCacheLineSize);
+    ++stats_.counter("home_writebacks");
+    (void)core;
+}
+
+void
+OspController::maintenance(Tick now)
+{
+    // Flip records are applied synchronously at commit; between
+    // transactions the whole record log is dead.
+    bool any_open = false;
+    for (const auto &t : coreTx)
+        any_open |= t.active;
+    if (!any_open && log_.size() > 0)
+        log_.truncate(now, log_.size());
+}
+
+void
+OspController::crash()
+{
+    for (auto &w : txWrites)
+        w.clear();
+    for (auto &t : coreTx)
+        t = CoreTxState{};
+    // shadowCurrent mirrors the durable selector table; recovery will
+    // rebuild it from NVM.
+    shadowCurrent.clear();
+}
+
+Tick
+OspController::recover(unsigned)
+{
+    // 1. Rebuild the selector view from the durable table.
+    shadowCurrent.clear();
+    const std::uint64_t n_lines = cfg.homeBytes / kCacheLineSize;
+    const Addr table = cfg.auxBase() + cfg.homeBytes;
+    std::vector<std::uint8_t> chunk(4096);
+    for (std::uint64_t off = 0; off < n_lines;
+         off += chunk.size()) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(chunk.size(), n_lines - off));
+        nvm_.peek(table + off, chunk.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (chunk[i])
+                shadowCurrent.insert((off + i) * kCacheLineSize);
+        }
+    }
+
+    // 2. Re-apply flips of committed records (idempotent: records store
+    // absolute selector values, and data was durable before the record).
+    std::uint64_t entries = 0;
+    log_.scan([&](const LogEntry &e) {
+        ++entries;
+        if (e.type != LogEntryType::OspRecord)
+            return;
+        for (unsigned j = 0; j < e.count; ++j) {
+            const Addr line = e.words[j] & ~std::uint64_t{1};
+            const bool to_shadow = (e.words[j] & 1) != 0;
+            const std::uint8_t v = to_shadow ? 1 : 0;
+            nvm_.poke(selectorAddr(line), &v, 1);
+            if (to_shadow)
+                shadowCurrent.insert(line);
+            else
+                shadowCurrent.erase(line);
+        }
+    });
+    log_.clear(0);
+    stats_.counter("recoveries") += 1;
+
+    const Tick channel = nvm_.timing().transferTicks(
+        n_lines + entries * LogEntry::kEntryBytes);
+    return channel + entries * nsToTicks(40);
+}
+
+void
+OspController::debugReadLine(Addr line, std::uint8_t *buf) const
+{
+    nvm_.peek(currentCopy(line), buf, kCacheLineSize);
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        auto it = txWrites[c].find(line);
+        if (it != txWrites[c].end())
+            it->second.overlay(buf);
+    }
+}
+
+} // namespace hoopnvm

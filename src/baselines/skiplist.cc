@@ -1,0 +1,130 @@
+#include "baselines/skiplist.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "common/logging.hh"
+
+namespace hoopnvm
+{
+
+SkipList::Node *
+SkipList::makeNode(std::uint64_t key, std::uint64_t value,
+                   unsigned levels)
+{
+    const std::size_t bytes =
+        sizeof(Node) + (levels - 1) * sizeof(Node *);
+    void *mem = ::operator new(bytes);
+    Node *n = static_cast<Node *>(mem);
+    n->key = key;
+    n->value = value;
+    n->levels = levels;
+    std::memset(n->next, 0, levels * sizeof(Node *));
+    return n;
+}
+
+SkipList::SkipList(std::uint64_t seed)
+    : rng(seed)
+{
+    head = makeNode(0, 0, kMaxLevel);
+}
+
+SkipList::~SkipList()
+{
+    clear();
+    ::operator delete(head);
+}
+
+void
+SkipList::clear()
+{
+    Node *n = head->next[0];
+    while (n) {
+        Node *next = n->next[0];
+        ::operator delete(n);
+        n = next;
+    }
+    std::memset(head->next, 0, kMaxLevel * sizeof(Node *));
+    level = 1;
+    size_ = 0;
+}
+
+unsigned
+SkipList::randomLevel()
+{
+    unsigned lvl = 1;
+    // p = 1/2 promotion, capped at kMaxLevel.
+    while (lvl < kMaxLevel && (rng.next() & 1))
+        ++lvl;
+    return lvl;
+}
+
+void
+SkipList::insert(std::uint64_t key, std::uint64_t value)
+{
+    Node *update[kMaxLevel];
+    Node *x = head;
+    for (int i = static_cast<int>(level) - 1; i >= 0; --i) {
+        while (x->next[i] && x->next[i]->key < key)
+            x = x->next[i];
+        update[i] = x;
+    }
+    Node *next = x->next[0];
+    if (next && next->key == key) {
+        next->value = value;
+        return;
+    }
+    const unsigned lvl = randomLevel();
+    if (lvl > level) {
+        for (unsigned i = level; i < lvl; ++i)
+            update[i] = head;
+        level = lvl;
+    }
+    Node *n = makeNode(key, value, lvl);
+    for (unsigned i = 0; i < lvl; ++i) {
+        n->next[i] = update[i]->next[i];
+        update[i]->next[i] = n;
+    }
+    ++size_;
+}
+
+std::optional<std::uint64_t>
+SkipList::find(std::uint64_t key) const
+{
+    const Node *x = head;
+    for (int i = static_cast<int>(level) - 1; i >= 0; --i) {
+        while (x->next[i] && x->next[i]->key < key)
+            x = x->next[i];
+    }
+    const Node *n = x->next[0];
+    if (n && n->key == key)
+        return n->value;
+    return std::nullopt;
+}
+
+bool
+SkipList::erase(std::uint64_t key)
+{
+    Node *update[kMaxLevel];
+    Node *x = head;
+    for (int i = static_cast<int>(level) - 1; i >= 0; --i) {
+        while (x->next[i] && x->next[i]->key < key)
+            x = x->next[i];
+        update[i] = x;
+    }
+    Node *n = x->next[0];
+    if (!n || n->key != key)
+        return false;
+    for (unsigned i = 0; i < n->levels; ++i) {
+        if (update[i]->next[i] == n)
+            update[i]->next[i] = n->next[i];
+    }
+    ::operator delete(n);
+    while (level > 1 && !head->next[level - 1])
+        --level;
+    --size_;
+    return true;
+}
+
+} // namespace hoopnvm

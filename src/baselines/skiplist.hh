@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic skip list mapping 64-bit keys to 64-bit values.
+ *
+ * LSNVMM [17] keeps its home-address -> log-address mapping tree in
+ * DRAM; the paper's authors implement it with a skip list, so we do
+ * too. Level promotion uses the library's deterministic xorshift RNG
+ * so simulations are reproducible. Expected O(log n) search, insert
+ * and erase; height() is exposed because the LSM controller charges
+ * read latency proportional to the walk depth.
+ */
+
+#ifndef HOOPNVM_BASELINES_SKIPLIST_HH
+#define HOOPNVM_BASELINES_SKIPLIST_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hh"
+
+namespace hoopnvm
+{
+
+/** Skip list from uint64 keys to uint64 values. */
+class SkipList
+{
+  public:
+    static constexpr unsigned kMaxLevel = 24;
+
+    explicit SkipList(std::uint64_t seed = 0x5eed);
+    ~SkipList();
+
+    SkipList(const SkipList &) = delete;
+    SkipList &operator=(const SkipList &) = delete;
+
+    /** Insert or update @p key. */
+    void insert(std::uint64_t key, std::uint64_t value);
+
+    /** Value for @p key, if present. */
+    std::optional<std::uint64_t> find(std::uint64_t key) const;
+
+    /** Remove @p key. @return true if it was present. */
+    bool erase(std::uint64_t key);
+
+    std::size_t size() const { return size_; }
+
+    /** Current tower height (index walk depth proxy). */
+    unsigned height() const { return level; }
+
+    /** Remove every entry. */
+    void clear();
+
+    /** Visit all (key, value) pairs in ascending key order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Node *n = head->next[0]; n; n = n->next[0])
+            fn(n->key, n->value);
+    }
+
+  private:
+    struct Node
+    {
+        std::uint64_t key;
+        std::uint64_t value;
+        unsigned levels;
+        Node *next[1]; // over-allocated to `levels`
+    };
+
+    static Node *makeNode(std::uint64_t key, std::uint64_t value,
+                          unsigned levels);
+    unsigned randomLevel();
+
+    Node *head;
+    unsigned level = 1;
+    std::size_t size_ = 0;
+    Rng rng;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_BASELINES_SKIPLIST_HH

@@ -1,0 +1,207 @@
+#include "baselines/undo_controller.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace hoopnvm
+{
+
+UndoController::UndoController(NvmDevice &nvm, const SystemConfig &cfg_)
+    : PersistenceController("undo", nvm, cfg_),
+      log_(nvm, cfg_.auxBase(), cfg_.auxBytes, "undo_log"),
+      txWrites(cfg_.numCores),
+      outstanding(cfg_.numCores, 0)
+{
+}
+
+TxId
+UndoController::txBegin(CoreId core, Tick now)
+{
+    const TxId tx = PersistenceController::txBegin(core, now);
+    txWrites[core].clear();
+    outstanding[core] = now;
+    return tx;
+}
+
+Tick
+UndoController::storeWord(CoreId core, Addr addr,
+                          const std::uint8_t *data, Tick now)
+{
+    std::uint64_t value;
+    std::memcpy(&value, data, kWordSize);
+    const Addr line = lineAddr(addr);
+    auto &writes = txWrites[core];
+    auto it = writes.find(line);
+    if (it == writes.end()) {
+        // First touch: capture the old image and append the undo entry
+        // before any in-place update may reach the home region. ATOM
+        // enforces the ordering in the controller, so the store itself
+        // is not delayed; the commit waits for the log instead.
+        if (log_.full())
+            truncateCommitted(now);
+        std::uint8_t old_line[kCacheLineSize];
+        nvm_.read(now, line, old_line, kCacheLineSize);
+        LogEntry e;
+        e.type = LogEntryType::UndoImage;
+        e.txId = coreTx[core].txId;
+        e.line = line;
+        e.mask = 0xff;
+        std::memcpy(e.words.data(), old_line, kCacheLineSize);
+        outstanding[core] =
+            std::max(outstanding[core], log_.append(now, e));
+        // Metadata companion line of the undo entry.
+        nvm_.writeAccounting(now, kCacheLineSize);
+        ++openEntries;
+        ++stats_.counter("log_entries");
+        it = writes.emplace(line, LineImage{}).first;
+    }
+    it->second.setWord(
+        static_cast<unsigned>((addr - line) / kWordSize), value);
+    return cfg.cycle();
+}
+
+Tick
+UndoController::txEnd(CoreId core, Tick now)
+{
+    HOOP_ASSERT(coreTx[core].active, "txEnd without txBegin");
+    const TxId tx = coreTx[core].txId;
+    const std::uint64_t cid = allocCommitId();
+
+    // Undo logging must make every data update durable in place before
+    // the commit record retires the log — the strict persist ordering
+    // that stretches the critical path (Fig. 4a).
+    Tick t = std::max(now, outstanding[core]);
+    Tick data_done = t;
+    for (const auto &kv : txWrites[core]) {
+        std::uint8_t buf[kCacheLineSize];
+        nvm_.peek(kv.first, buf, kCacheLineSize);
+        kv.second.overlay(buf);
+        data_done = std::max(
+            data_done, nvm_.write(t, kv.first, buf, kCacheLineSize));
+        ++stats_.counter("commit_flushes");
+    }
+
+    Tick commit_done = data_done;
+    if (!txWrites[core].empty()) {
+        if (log_.full())
+            truncateCommitted(data_done);
+        LogEntry rec;
+        rec.type = LogEntryType::Commit;
+        rec.txId = tx;
+        rec.commitId = cid;
+        rec.mask = 1;
+        commit_done = log_.append(data_done, rec);
+        ++openEntries;
+        ++stats_.counter("commit_records");
+    }
+
+    committedEntries += openEntries;
+    openEntries = 0;
+    txWrites[core].clear();
+    coreTx[core] = CoreTxState{};
+    ++stats_.counter("tx_committed");
+    return commit_done;
+}
+
+FillResult
+UndoController::fillLine(CoreId, Addr line, std::uint8_t *buf, Tick now)
+{
+    // In-place updates: the home region is always current (evictions
+    // and commit flushes both land there), so reads are cheap.
+    FillResult fr;
+    fr.completion = nvm_.read(now, line, buf, kCacheLineSize);
+    return fr;
+}
+
+void
+UndoController::evictLine(CoreId, Addr line, const std::uint8_t *data,
+                          bool, TxId, std::uint8_t, Tick now)
+{
+    // In-place writeback is always legal: the undo entry for any
+    // uncommitted content was persisted before the first store.
+    nvm_.write(now, line, data, kCacheLineSize);
+    ++stats_.counter("home_writebacks");
+}
+
+void
+UndoController::truncateCommitted(Tick now)
+{
+    // Between transactions every live entry belongs to a committed
+    // transaction whose data was flushed in place at commit, so the
+    // whole log is dead. With a transaction open, truncation must wait.
+    bool any_open = false;
+    for (const auto &t : coreTx)
+        any_open |= t.active;
+    if (any_open || log_.size() == 0)
+        return;
+    log_.truncate(now, log_.size());
+    committedEntries = 0;
+}
+
+void
+UndoController::maintenance(Tick now)
+{
+    if (now - lastTruncate >= cfg.gcPeriod ||
+        log_.size() * 4 >= log_.capacity() * 3) {
+        lastTruncate = now;
+        truncateCommitted(now);
+    }
+}
+
+void
+UndoController::crash()
+{
+    for (auto &w : txWrites)
+        w.clear();
+    for (auto &t : coreTx)
+        t = CoreTxState{};
+    openEntries = 0;
+}
+
+Tick
+UndoController::recover(unsigned)
+{
+    // Roll back every transaction without a commit record by applying
+    // its old images newest-first.
+    std::unordered_map<TxId, bool> has_record;
+    std::vector<LogEntry> images;
+    std::uint64_t entries = 0;
+    log_.scan([&](const LogEntry &e) {
+        ++entries;
+        if (e.type == LogEntryType::Commit)
+            has_record[e.txId] = true;
+        else if (e.type == LogEntryType::UndoImage)
+            images.push_back(e);
+    });
+
+    std::uint64_t lines = 0;
+    for (auto it = images.rbegin(); it != images.rend(); ++it) {
+        if (has_record.count(it->txId))
+            continue; // committed: keep the in-place data
+        nvm_.poke(it->line, it->words.data(), kCacheLineSize);
+        ++lines;
+    }
+    log_.clear(0);
+    committedEntries = 0;
+    stats_.counter("recoveries") += 1;
+
+    const Tick channel = nvm_.timing().transferTicks(
+        entries * LogEntry::kEntryBytes + lines * kCacheLineSize);
+    return channel + entries * nsToTicks(40);
+}
+
+void
+UndoController::debugReadLine(Addr line, std::uint8_t *buf) const
+{
+    nvm_.peek(line, buf, kCacheLineSize);
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        auto it = txWrites[c].find(line);
+        if (it != txWrites[c].end())
+            it->second.overlay(buf);
+    }
+}
+
+} // namespace hoopnvm

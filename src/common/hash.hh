@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Integer mixing hash used by the hardware mapping table model and the
+ * GC coalescing map. A memory-controller hash table would use a simple
+ * XOR-fold of address bits; we use a stronger 64-bit finalizer so the
+ * software model's collision behaviour is not accidentally worse than
+ * the modelled hardware's.
+ */
+
+#ifndef HOOPNVM_COMMON_HASH_HH
+#define HOOPNVM_COMMON_HASH_HH
+
+#include <cstdint>
+
+namespace hoopnvm
+{
+
+/** SplitMix64 finalizer: a high-quality 64-bit mixing function. */
+constexpr std::uint64_t
+mixHash(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_COMMON_HASH_HH

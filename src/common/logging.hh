@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Error reporting helpers, following the gem5 panic()/fatal() convention.
+ *
+ * panic() is for conditions that indicate a bug in the simulator itself;
+ * fatal() is for conditions caused by invalid user configuration. Both
+ * terminate the process; panic() aborts so a core dump is produced.
+ */
+
+#ifndef HOOPNVM_COMMON_LOGGING_HH
+#define HOOPNVM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hoopnvm
+{
+
+/** Internal helper: print a tagged message with source location. */
+template <typename... Args>
+[[noreturn]] inline void
+reportAndDie(bool do_abort, const char *tag, const char *file, int line,
+             const char *fmt, Args... args)
+{
+    std::fprintf(stderr, "%s: %s:%d: ", tag, file, line);
+    if constexpr (sizeof...(Args) == 0) {
+        std::fputs(fmt, stderr);
+    } else {
+        std::fprintf(stderr, fmt, args...);
+    }
+    std::fputc('\n', stderr);
+    if (do_abort)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace hoopnvm
+
+/** Unrecoverable simulator bug: print and abort. */
+#define HOOP_PANIC(...) \
+    ::hoopnvm::reportAndDie(true, "panic", __FILE__, __LINE__, __VA_ARGS__)
+
+/** Unrecoverable user/configuration error: print and exit(1). */
+#define HOOP_FATAL(...) \
+    ::hoopnvm::reportAndDie(false, "fatal", __FILE__, __LINE__, __VA_ARGS__)
+
+/** Internal consistency check that is always compiled in. */
+#define HOOP_ASSERT(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::hoopnvm::reportAndDie(true, "assert(" #cond ")",          \
+                                    __FILE__, __LINE__, __VA_ARGS__);   \
+        }                                                               \
+    } while (0)
+
+#endif // HOOPNVM_COMMON_LOGGING_HH

@@ -1,0 +1,52 @@
+#include "common/rng.hh"
+
+#include "common/logging.hh"
+
+namespace hoopnvm
+{
+
+Rng::Rng(std::uint64_t seed)
+    : state(seed ? seed : 0x9e3779b97f4a7c15ULL)
+{
+}
+
+std::uint64_t
+Rng::next()
+{
+    // xorshift64* (Vigna, 2016).
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dULL;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    HOOP_ASSERT(bound != 0, "nextBounded(0)");
+    // Multiply-shift bounded draw; bias is negligible for our bounds.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    HOOP_ASSERT(lo <= hi, "nextRange with lo > hi");
+    return lo + nextBounded(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high-quality bits into the mantissa.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+} // namespace hoopnvm

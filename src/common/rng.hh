@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * The simulator must be reproducible run-to-run, so all randomness comes
+ * from explicitly seeded xorshift64* generators rather than std::random
+ * devices. xorshift64* is fast, has a 2^64-1 period, and passes BigCrush
+ * for the uses we have (workload key selection and value payloads).
+ */
+
+#ifndef HOOPNVM_COMMON_RNG_HH
+#define HOOPNVM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace hoopnvm
+{
+
+/** xorshift64* pseudo-random generator. */
+class Rng
+{
+  public:
+    /** Construct with a non-zero seed (0 is remapped internally). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool nextBool(double p);
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_COMMON_RNG_HH

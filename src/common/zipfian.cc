@@ -1,0 +1,49 @@
+#include "common/zipfian.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hoopnvm
+{
+
+double
+ZipfianGenerator::zeta(std::uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta_,
+                                   std::uint64_t seed)
+    : items(n),
+      theta(theta_),
+      zetaN(zeta(n, theta_)),
+      zeta2(zeta(2, theta_)),
+      alpha(1.0 / (1.0 - theta_)),
+      eta((1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta_)) /
+          (1.0 - zeta2 / zetaN)),
+      rng(seed)
+{
+    HOOP_ASSERT(n >= 2, "Zipfian needs at least two items");
+    HOOP_ASSERT(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+}
+
+std::uint64_t
+ZipfianGenerator::next()
+{
+    const double u = rng.nextDouble();
+    const double uz = u * zetaN;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta))
+        return 1;
+    const auto v = static_cast<std::uint64_t>(
+        static_cast<double>(items) *
+        std::pow(eta * u - eta + 1.0, alpha));
+    return v >= items ? items - 1 : v;
+}
+
+} // namespace hoopnvm

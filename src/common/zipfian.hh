@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Zipfian key-popularity generator, as used by YCSB.
+ *
+ * This follows the rejection-free algorithm from Gray et al.,
+ * "Quickly Generating Billion-Record Synthetic Databases" (SIGMOD'94),
+ * which is also the algorithm the YCSB reference implementation uses.
+ * The paper's YCSB workload draws keys from a Zipfian distribution
+ * (theta = 0.99 by default) over the key space.
+ */
+
+#ifndef HOOPNVM_COMMON_ZIPFIAN_HH
+#define HOOPNVM_COMMON_ZIPFIAN_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+
+namespace hoopnvm
+{
+
+/** Zipfian-distributed integer generator over [0, n). */
+class ZipfianGenerator
+{
+  public:
+    /**
+     * @param n      Size of the key space.
+     * @param theta  Skew parameter in (0, 1); YCSB default is 0.99.
+     * @param seed   RNG seed.
+     */
+    ZipfianGenerator(std::uint64_t n, double theta, std::uint64_t seed);
+
+    /** Draw the next key in [0, n). Hot keys are the small values. */
+    std::uint64_t next();
+
+    /** Key-space size. */
+    std::uint64_t itemCount() const { return items; }
+
+  private:
+    static double zeta(std::uint64_t n, double theta);
+
+    std::uint64_t items;
+    double theta;
+    double zetaN;
+    double zeta2;
+    double alpha;
+    double eta;
+    Rng rng;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_COMMON_ZIPFIAN_HH

@@ -1,0 +1,59 @@
+#include "controller/native_controller.hh"
+
+namespace hoopnvm
+{
+
+NativeController::NativeController(NvmDevice &nvm,
+                                   const SystemConfig &cfg)
+    : PersistenceController("native", nvm, cfg)
+{
+}
+
+Tick
+NativeController::txEnd(CoreId core, Tick now)
+{
+    coreTx[core].active = false;
+    coreTx[core].txId = kInvalidTxId;
+    ++stats_.counter("tx_committed");
+    return now;
+}
+
+Tick
+NativeController::storeWord(CoreId, Addr, const std::uint8_t *, Tick)
+{
+    // No persistence work: stores complete in the cache.
+    return 0;
+}
+
+FillResult
+NativeController::fillLine(CoreId, Addr line, std::uint8_t *buf,
+                           Tick now)
+{
+    FillResult fr;
+    fr.completion = nvm_.read(now, line, buf, kCacheLineSize);
+    return fr;
+}
+
+void
+NativeController::evictLine(CoreId, Addr line, const std::uint8_t *data,
+                            bool, TxId, std::uint8_t, Tick now)
+{
+    // In-place writeback; the core does not wait for it.
+    nvm_.write(now, line, data, kCacheLineSize);
+    ++stats_.counter("home_writebacks");
+}
+
+void
+NativeController::crash()
+{
+    // Nothing durable beyond what already reached NVM.
+}
+
+Tick
+NativeController::recover(unsigned)
+{
+    // No recovery possible or needed: whatever reached NVM is the state.
+    return 0;
+}
+
+} // namespace hoopnvm

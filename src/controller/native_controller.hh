@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Native system without persistence support — the paper's "Ideal"
+ * configuration. Stores and evictions behave like an ordinary DRAM-style
+ * memory controller: dirty lines are written back in place, transactions
+ * carry no durability guarantee, and a crash simply loses whatever was
+ * still cached.
+ */
+
+#ifndef HOOPNVM_CONTROLLER_NATIVE_CONTROLLER_HH
+#define HOOPNVM_CONTROLLER_NATIVE_CONTROLLER_HH
+
+#include "controller/persistence_controller.hh"
+
+namespace hoopnvm
+{
+
+/** Ideal baseline: no crash consistency, minimal overhead. */
+class NativeController : public PersistenceController
+{
+  public:
+    NativeController(NvmDevice &nvm, const SystemConfig &cfg);
+
+    Scheme scheme() const override { return Scheme::Native; }
+
+    Tick txEnd(CoreId core, Tick now) override;
+    Tick storeWord(CoreId core, Addr addr, const std::uint8_t *data,
+                   Tick now) override;
+    FillResult fillLine(CoreId core, Addr line, std::uint8_t *buf,
+                        Tick now) override;
+    void evictLine(CoreId core, Addr line, const std::uint8_t *data,
+                   bool persistent, TxId tx, std::uint8_t word_mask,
+                   Tick now) override;
+    void crash() override;
+    Tick recover(unsigned threads) override;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_CONTROLLER_NATIVE_CONTROLLER_HH

@@ -1,0 +1,41 @@
+#include "controller/persistence_controller.hh"
+
+#include "common/logging.hh"
+
+namespace hoopnvm
+{
+
+PersistenceController::PersistenceController(const std::string &name,
+                                             NvmDevice &nvm,
+                                             const SystemConfig &cfg_)
+    : nvm_(nvm), cfg(cfg_), stats_(name), coreTx(cfg_.numCores)
+{
+}
+
+TxId
+PersistenceController::txBegin(CoreId core, Tick now)
+{
+    return txBeginAs(core, now, allocTxId());
+}
+
+TxId
+PersistenceController::txBeginAs(CoreId core, Tick now, TxId forced)
+{
+    (void)now;
+    HOOP_ASSERT(core < coreTx.size(), "txBegin on unknown core %u", core);
+    HOOP_ASSERT(!coreTx[core].active,
+                "nested transactions are not supported (core %u)", core);
+    coreTx[core].active = true;
+    coreTx[core].txId = forced;
+    ++stats_.counter("tx_begun");
+    return coreTx[core].txId;
+}
+
+void
+PersistenceController::debugReadLine(Addr line, std::uint8_t *buf) const
+{
+    // Default: the home region is the truth.
+    nvm_.peek(line, buf, kCacheLineSize);
+}
+
+} // namespace hoopnvm

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Abstract memory-controller persistence mechanism.
+ *
+ * Every crash-consistency scheme in the paper — HOOP itself and the five
+ * reconstructed baselines — is a PersistenceController. The cache
+ * hierarchy calls into the controller at the architectural points where
+ * the real hardware would:
+ *
+ *  - storeWord()   on every transactional store (word granularity; the
+ *                  cache controller forwards modified words, Fig. 6);
+ *  - loadOverhead() before every load (software schemes such as LSM add
+ *                  index-lookup latency here);
+ *  - fillLine()    on an LLC miss (schemes may redirect to out-of-place
+ *                  locations or logs);
+ *  - evictLine()   on an LLC dirty writeback (schemes decide whether the
+ *                  line goes to the home region or elsewhere);
+ *  - txBegin()/txEnd() at failure-atomic region boundaries;
+ *  - maintenance() periodically (GC, checkpointing, log truncation).
+ *
+ * Controllers are *functional*: the bytes they write to the NvmDevice
+ * are real, so crash() + recover() can be verified to reproduce exactly
+ * the committed-transaction state.
+ */
+
+#ifndef HOOPNVM_CONTROLLER_PERSISTENCE_CONTROLLER_HH
+#define HOOPNVM_CONTROLLER_PERSISTENCE_CONTROLLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "nvm/nvm_device.hh"
+#include "sim/system_config.hh"
+#include "stats/stat_set.hh"
+
+namespace hoopnvm
+{
+
+/** Result of servicing an LLC miss. */
+struct FillResult
+{
+    /** Tick at which the fill data is available. */
+    Tick completion = 0;
+
+    /**
+     * True if the filled line must be inserted dirty (it holds state
+     * newer than the home region — e.g. HOOP reconstructed it from the
+     * OOP region and dropped the mapping entry, §III-C).
+     */
+    bool dirty = false;
+
+    /** True if the filled line must keep its persistent bit. */
+    bool persistent = false;
+
+    /** Transaction to re-associate with the line (if dirty). */
+    TxId txId = kInvalidTxId;
+
+    /** Words of the filled line that are newer than the home region. */
+    std::uint8_t wordMask = 0;
+};
+
+/** Base class for all crash-consistency mechanisms. */
+class PersistenceController
+{
+  public:
+    PersistenceController(const std::string &name, NvmDevice &nvm,
+                          const SystemConfig &cfg);
+    virtual ~PersistenceController() = default;
+
+    PersistenceController(const PersistenceController &) = delete;
+    PersistenceController &operator=(const PersistenceController &) =
+        delete;
+
+    /** Which of the paper's schemes this controller implements. */
+    virtual Scheme scheme() const = 0;
+
+    // ---- Transaction lifecycle ----
+
+    /** Open a failure-atomic region on @p core; returns its TxId. */
+    virtual TxId txBegin(CoreId core, Tick now);
+
+    /**
+     * Open a failure-atomic region under an externally-assigned id
+     * (multi-controller 2PC gives every participant the same global
+     * TxId so recovery can correlate them, §III-I).
+     */
+    virtual TxId txBeginAs(CoreId core, Tick now, TxId forced);
+
+    /**
+     * Close the failure-atomic region on @p core, making it durable.
+     * @return The tick at which durability is guaranteed (>= now).
+     */
+    virtual Tick txEnd(CoreId core, Tick now) = 0;
+
+    bool inTx(CoreId core) const { return coreTx[core].active; }
+    TxId currentTx(CoreId core) const { return coreTx[core].txId; }
+
+    // ---- Cache hierarchy hooks ----
+
+    /**
+     * A transactional store of one word. Called on the critical path.
+     * @return Extra critical-path ticks beyond the cache write itself.
+     */
+    virtual Tick storeWord(CoreId core, Addr addr,
+                           const std::uint8_t *data, Tick now) = 0;
+
+    /** Extra critical-path ticks charged before any load. */
+    virtual Tick
+    loadOverhead(CoreId core, Addr addr, Tick now)
+    {
+        (void)core;
+        (void)addr;
+        (void)now;
+        return 0;
+    }
+
+    /** Service an LLC miss for @p line; fills @p buf (64 bytes). */
+    virtual FillResult fillLine(CoreId core, Addr line,
+                                std::uint8_t *buf, Tick now) = 0;
+
+    /**
+     * Handle an LLC dirty writeback. Off the critical path.
+     * @p word_mask marks the words modified since the line last agreed
+     * with the home region (0 means unknown / whole line).
+     */
+    virtual void evictLine(CoreId core, Addr line,
+                           const std::uint8_t *data, bool persistent,
+                           TxId tx, std::uint8_t word_mask,
+                           Tick now) = 0;
+
+    /** Periodic maintenance hook (GC, checkpointing, truncation). */
+    virtual void
+    maintenance(Tick now)
+    {
+        (void)now;
+    }
+
+    /**
+     * Finalize all pending background work (outstanding checkpoints,
+     * partially filled OOP blocks, log truncation) so end-of-run
+     * traffic measurements compare schemes fairly.
+     * @return Completion tick.
+     */
+    virtual Tick
+    drain(Tick now)
+    {
+        return now;
+    }
+
+    // ---- Crash and recovery ----
+
+    /**
+     * Power failure: volatile controller state disappears. The caches
+     * are dropped separately by the System.
+     */
+    virtual void crash() = 0;
+
+    /**
+     * Rebuild a consistent home-region state from durable NVM contents
+     * using @p threads recovery workers.
+     * @return Modelled recovery time in ticks.
+     */
+    virtual Tick recover(unsigned threads) = 0;
+
+    /**
+     * Functional view of the line the memory system would return for
+     * @p line right now if asked (ignoring caches). Used by debug reads
+     * and verification, never timed.
+     */
+    virtual void debugReadLine(Addr line, std::uint8_t *buf) const;
+
+    StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+
+    NvmDevice &nvm() { return nvm_; }
+
+  protected:
+    /** Per-core transaction state. */
+    struct CoreTxState
+    {
+        bool active = false;
+        TxId txId = kInvalidTxId;
+    };
+
+    /** Allocate the next transaction id. */
+    TxId allocTxId() { return nextTxId++; }
+
+    /** Allocate the next commit (durability order) id. */
+    std::uint64_t allocCommitId() { return nextCommitId++; }
+
+    /** Restart id allocation after recovery (ids must not repeat). */
+    void
+    restartIds(TxId next_tx, std::uint64_t next_commit)
+    {
+        nextTxId = next_tx;
+        nextCommitId = next_commit;
+    }
+
+    NvmDevice &nvm_;
+    const SystemConfig &cfg;
+    StatSet stats_;
+    std::vector<CoreTxState> coreTx;
+
+  private:
+    TxId nextTxId = 1;
+    std::uint64_t nextCommitId = 1;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_CONTROLLER_PERSISTENCE_CONTROLLER_HH

@@ -1,0 +1,205 @@
+#include "hoop/garbage_collector.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "hoop/hoop_controller.hh"
+
+namespace hoopnvm
+{
+
+GarbageCollector::GarbageCollector(HoopController &ctrl_)
+    : ctrl(ctrl_), stats_("gc")
+{
+}
+
+double
+GarbageCollector::dataReductionRatio() const
+{
+    const std::uint64_t modified = ctrl.txModifiedBytes();
+    if (modified == 0)
+        return 0.0;
+    const double written = static_cast<double>(migratedWordBytes_);
+    return 1.0 - written / static_cast<double>(modified);
+}
+
+Tick
+GarbageCollector::run(Tick now)
+{
+    OopRegion &region = ctrl.region_;
+    const std::uint32_t n_blocks = region.numBlocks();
+
+    // ---- Step 1: candidate selection ----
+    // Slices are written in global sequence order, and a block opened
+    // later holds strictly newer slices than one opened earlier. GC
+    // therefore collects a *prefix* of the live blocks in allocation
+    // order: after migration, every surviving slice is newer than the
+    // home-region baseline, which keeps both reads and recovery
+    // correct without per-address bookkeeping. The prefix stops at the
+    // first block that is still in use or holds an open transaction.
+    std::vector<std::uint32_t> live;
+    for (std::uint32_t b = 0; b < n_blocks; ++b) {
+        if (region.block(b).state != BlockState::Unused)
+            live.push_back(b);
+    }
+    std::sort(live.begin(), live.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return region.block(a).openSeq <
+                         region.block(b).openSeq;
+              });
+
+    std::vector<std::uint32_t> cand;
+    std::vector<bool> in_cand(n_blocks, false);
+    for (std::uint32_t b : live) {
+        if (region.block(b).state != BlockState::Full)
+            break;
+        bool all_committed = true;
+        for (TxId tx : region.block(b).txs) {
+            if (!ctrl.isCommitted(tx)) {
+                all_committed = false;
+                break;
+            }
+        }
+        if (!all_committed)
+            break;
+        cand.push_back(b);
+        in_cand[b] = true;
+    }
+
+    if (cand.empty()) {
+        ++stats_.counter("noop_runs");
+        return now;
+    }
+    ++stats_.counter("runs");
+
+    // ---- Step 2: scan committed slices and coalesce (Algorithm 1) ----
+    struct WordVal
+    {
+        std::uint64_t seq = 0;
+        std::uint64_t value = 0;
+    };
+    std::unordered_map<Addr, WordVal> coalesced;
+    struct RawWord
+    {
+        std::uint64_t seq;
+        Addr addr;
+        std::uint64_t value;
+    };
+    std::vector<RawWord> raw; // used only when coalescing is disabled
+
+    Tick last = now;
+    for (std::uint32_t b : cand) {
+        region.setBlockState(b, BlockState::Gc, now);
+        const std::uint32_t used = region.block(b).writePtr;
+        for (std::uint32_t slot = 1; slot < used; ++slot) {
+            const std::uint32_t idx =
+                b * (region.slicesPerBlock() + 1) + slot;
+            Tick done;
+            const MemorySlice s = region.readSlice(now, idx, &done);
+            last = std::max(last, done);
+            ++stats_.counter("slices_scanned");
+            if (!s.carriesWords())
+                continue;
+            HOOP_ASSERT(ctrl.isCommitted(s.txId),
+                        "uncommitted slice in a collectable block");
+            scannedWordBytes_ +=
+                static_cast<std::uint64_t>(s.count) * kWordSize;
+            for (unsigned i = 0; i < s.count; ++i) {
+                if (ctrl.cfg.gcCoalescing) {
+                    WordVal &v = coalesced[s.homeAddrs[i]];
+                    if (s.seq >= v.seq) {
+                        v.seq = s.seq;
+                        v.value = s.words[i];
+                    }
+                } else {
+                    raw.push_back({s.seq, s.homeAddrs[i], s.words[i]});
+                }
+            }
+        }
+    }
+
+    // ---- Step 3: migrate to the home region ----
+    if (ctrl.cfg.gcCoalescing) {
+        // Group words into lines so each home line is written once.
+        struct LineGroup
+        {
+            std::uint64_t maxSeq = 0;
+            std::vector<std::pair<std::size_t, std::uint64_t>> words;
+        };
+        std::map<Addr, LineGroup> by_line;
+        for (const auto &kv : coalesced) {
+            LineGroup &g = by_line[lineAddr(kv.first)];
+            g.maxSeq = std::max(g.maxSeq, kv.second.seq);
+            g.words.emplace_back(kv.first - lineAddr(kv.first),
+                                 kv.second.value);
+        }
+        for (const auto &kv : by_line) {
+            // Skip lines whose home copy is already newer (a committed
+            // eviction wrote the full line in place after these slices
+            // were produced) — GC must never regress the home region.
+            if (!ctrl.homeFresherThan(kv.first, kv.second.maxSeq)) {
+                std::uint8_t buf[kCacheLineSize];
+                last = std::max(last, ctrl.nvm_.read(now, kv.first, buf,
+                                                     kCacheLineSize));
+                for (const auto &w : kv.second.words)
+                    std::memcpy(buf + w.first, &w.second, kWordSize);
+                last = std::max(last,
+                                ctrl.writeHomeLine(now, kv.first, buf));
+                ctrl.noteHomeSeq(kv.first, kv.second.maxSeq);
+                // Recently migrated lines stay visible in the eviction
+                // buffer so racing misses never read a stale home copy.
+                ctrl.evictBuf.put(kv.first, buf);
+                ++stats_.counter("home_lines_written");
+            } else {
+                ++stats_.counter("home_lines_skipped_fresher");
+            }
+            migratedWordBytes_ +=
+                kv.second.words.size() *
+                static_cast<std::uint64_t>(kWordSize);
+        }
+    } else {
+        // Ablation: apply every update individually in age order —
+        // a read-modify-write of the home line per scanned word.
+        std::sort(raw.begin(), raw.end(),
+                  [](const RawWord &a, const RawWord &b) {
+                      return a.seq < b.seq;
+                  });
+        for (const RawWord &w : raw) {
+            const Addr line = lineAddr(w.addr);
+            if (ctrl.homeFresherThan(line, w.seq))
+                continue;
+            std::uint8_t buf[kCacheLineSize];
+            last = std::max(
+                last, ctrl.nvm_.read(now, line, buf, kCacheLineSize));
+            std::memcpy(buf + (w.addr - line), &w.value, kWordSize);
+            last = std::max(last, ctrl.writeHomeLine(now, line, buf));
+            ctrl.evictBuf.put(line, buf);
+            migratedWordBytes_ += kWordSize;
+            ++stats_.counter("home_lines_written");
+        }
+    }
+
+    // ---- Step 4: drop mapping entries that point into collected
+    // blocks (their lines' latest committed data is now home) ----
+    std::vector<Addr> drop;
+    ctrl.mapping.forEach([&](Addr line, std::uint32_t slice_idx) {
+        if (in_cand[region.blockOfSlice(slice_idx)])
+            drop.push_back(line);
+    });
+    for (Addr line : drop)
+        ctrl.mapping.remove(line);
+    stats_.counter("mapping_entries_dropped") += drop.size();
+
+    // ---- Step 5: recycle the blocks ----
+    for (std::uint32_t b : cand)
+        region.setBlockState(b, BlockState::Unused, now);
+    stats_.counter("blocks_recycled") += cand.size();
+
+    return last;
+}
+
+} // namespace hoopnvm

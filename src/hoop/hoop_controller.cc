@@ -1,0 +1,442 @@
+#include "hoop/hoop_controller.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hoopnvm
+{
+
+HoopController::HoopController(NvmDevice &nvm, const SystemConfig &cfg_)
+    : PersistenceController("hoop", nvm, cfg_),
+      region_(nvm, cfg_),
+      buffer(cfg_.numCores, cfg_.oopDataBufferBytesPerCore,
+             cfg_.dataPacking),
+      mapping(cfg_.mappingTableBytes),
+      evictBuf(cfg_.evictionBufferBytes),
+      chains(cfg_.numCores),
+      bufferInsertCost(cfg_.cycle()),
+      unpackCost(2 * cfg_.cycle()),
+      evictBufReadCost(nsToTicks(20))
+{
+    gc_ = std::make_unique<GarbageCollector>(*this);
+    recovery = std::make_unique<RecoveryManager>(*this);
+}
+
+HoopController::~HoopController() = default;
+
+TxId
+HoopController::txBeginAs(CoreId core, Tick now, TxId forced)
+{
+    const TxId tx = PersistenceController::txBeginAs(core, now, forced);
+    chains[core] = CoreChain{};
+    return tx;
+}
+
+std::uint32_t
+HoopController::allocSliceOrGc(Tick &now)
+{
+    std::uint32_t idx;
+    if (region_.allocSlice(idx, now))
+        return idx;
+    // Region exhausted: on-demand GC on the critical path (§IV-F).
+    ++stats_.counter("gc_on_demand");
+    now = std::max(now, gc_->run(now));
+    if (region_.allocSlice(idx, now))
+        return idx;
+    HOOP_FATAL("OOP region exhausted: all blocks pinned by open "
+               "transactions; increase oopBytes or shorten transactions");
+}
+
+Tick
+HoopController::emitSlice(CoreId core, const PendingSlice &p,
+                          SliceType type, TxId tx, Tick now)
+{
+    HOOP_ASSERT(p.count > 0, "emitting an empty slice");
+    Tick t = now;
+    const std::uint32_t idx = allocSliceOrGc(t);
+
+    MemorySlice s;
+    s.type = type;
+    s.count = p.count;
+    s.txId = tx;
+    s.seq = region_.allocSeq();
+    for (unsigned i = 0; i < p.count; ++i) {
+        s.words[i] = p.words[i];
+        s.homeAddrs[i] = p.addrs[i];
+    }
+    if (type == SliceType::Data) {
+        s.prevIdx = chains[core].tailIdx;
+        s.start = chains[core].sliceCount == 0;
+        chains[core].tailIdx = idx;
+        ++chains[core].sliceCount;
+        ++stats_.counter("data_slices");
+    } else {
+        s.prevIdx = MemorySlice::kNullIdx;
+        s.start = false;
+        ++stats_.counter("evict_slices");
+    }
+
+    const Tick done = region_.writeSlice(t, idx, s);
+    region_.noteSliceTx(idx, tx);
+
+    if (type == SliceType::Evict) {
+        if (!mapping.insert(lineAddr(p.addrs[0]), idx)) {
+            // Mapping table full: GC drains it (Fig. 13's mechanism).
+            ++stats_.counter("gc_mapping_full");
+            gc_->run(t);
+            // Remaining entries typically point into the still-open
+            // block that GC cannot collect; migrate single committed
+            // entries home until the insert fits.
+            while (!mapping.insert(lineAddr(p.addrs[0]), idx)) {
+                const bool drained = emergencyEvictMappingEntry(t);
+                HOOP_ASSERT(drained, "mapping table wedged by open "
+                                     "transactions");
+            }
+        }
+    }
+    return done;
+}
+
+bool
+HoopController::emergencyEvictMappingEntry(Tick now)
+{
+    Addr victim = kInvalidAddr;
+    std::uint32_t victim_idx = 0;
+    mapping.forEach([&](Addr line, std::uint32_t slice_idx) {
+        if (victim != kInvalidAddr)
+            return;
+        const MemorySlice s = region_.peekSlice(slice_idx);
+        if (s.carriesWords() && isCommitted(s.txId)) {
+            victim = line;
+            victim_idx = slice_idx;
+        }
+    });
+    if (victim == kInvalidAddr)
+        return false;
+
+    // Merge the entry's (newest) words into the home line in place.
+    Tick done;
+    const MemorySlice s = region_.readSlice(now, victim_idx, &done);
+    std::uint8_t buf[kCacheLineSize];
+    nvm_.read(now, victim, buf, kCacheLineSize);
+    for (unsigned i = 0; i < s.count; ++i) {
+        if (lineAddr(s.homeAddrs[i]) == victim) {
+            std::memcpy(buf + (s.homeAddrs[i] - victim), &s.words[i],
+                        kWordSize);
+        }
+    }
+    writeHomeLine(now, victim, buf);
+    noteHomeSeq(victim, s.seq);
+    mapping.remove(victim);
+    ++stats_.counter("emergency_migrations");
+    return true;
+}
+
+Tick
+HoopController::storeWord(CoreId core, Addr addr,
+                          const std::uint8_t *data, Tick now)
+{
+    std::uint64_t value;
+    std::memcpy(&value, data, kWordSize);
+    txModifiedBytes_ += kWordSize;
+    ++stats_.counter("tx_words");
+
+    if (buffer.addWord(core, addr, value)) {
+        // Slice full: flush it to the OOP region off the critical path.
+        const PendingSlice p = buffer.take(core);
+        const Tick done =
+            emitSlice(core, p, SliceType::Data, currentTx(core), now);
+        chains[core].outstanding =
+            std::max(chains[core].outstanding, done);
+    }
+    return bufferInsertCost;
+}
+
+Tick
+HoopController::prepare(CoreId core, Tick now)
+{
+    HOOP_ASSERT(coreTx[core].active, "prepare without txBegin (core %u)",
+                core);
+    if (buffer.hasPending(core)) {
+        const PendingSlice p = buffer.take(core);
+        const Tick done = emitSlice(core, p, SliceType::Data,
+                                    coreTx[core].txId, now);
+        chains[core].outstanding =
+            std::max(chains[core].outstanding, done);
+    }
+    return std::max(now, chains[core].outstanding);
+}
+
+Tick
+HoopController::txEnd(CoreId core, Tick now)
+{
+    // Single-controller commit: the channel services writes in issue
+    // order, so the commit record — issued after the chain slices —
+    // persists after them without waiting for their completion. (The
+    // multi-controller 2PC driver passes the prepare-acknowledgement
+    // time instead, since cross-channel ordering needs explicit acks.)
+    prepare(core, now);
+    return commitPrepared(core, now);
+}
+
+Tick
+HoopController::commitPrepared(CoreId core, Tick now)
+{
+    HOOP_ASSERT(coreTx[core].active, "commit without txBegin (core %u)",
+                core);
+    const TxId tx = coreTx[core].txId;
+    Tick t = now;
+
+    const std::uint64_t cid = allocCommitId();
+    Tick commit_done = t;
+    if (chains[core].sliceCount > 0) {
+        // Persist the commit record (address slice, Fig. 5a).
+        const std::uint32_t idx = allocSliceOrGc(t);
+        MemorySlice s;
+        s.type = SliceType::AddrRec;
+        s.count = 1;
+        s.txId = tx;
+        s.seq = region_.allocSeq();
+        s.record.txId = tx;
+        s.record.commitId = cid;
+        s.record.tailSliceIdx = chains[core].tailIdx;
+        s.record.sliceCount = chains[core].sliceCount;
+        // Address slices pack many commit records (Fig. 5a); the
+        // byte-addressable device persists just the appended record.
+        // The simulator stores records one per slot for simplicity but
+        // charges the amortized record write (32 B).
+        std::uint8_t enc[MemorySlice::kSliceBytes];
+        s.encode(enc);
+        nvm_.poke(region_.sliceAddr(idx), enc,
+                  MemorySlice::kSliceBytes);
+        commit_done = nvm_.writeAccounting(t, 32);
+        region_.noteSliceTx(idx, tx);
+        ++stats_.counter("addr_slices");
+    }
+
+    // Durability point: the commit record and every chain slice of this
+    // transaction are on NVM.
+    commit_done = std::max(commit_done, chains[core].outstanding);
+    committed[tx] = cid;
+    coreTx[core] = CoreTxState{};
+    chains[core] = CoreChain{};
+    ++stats_.counter("tx_committed");
+    return std::max(now, commit_done);
+}
+
+FillResult
+HoopController::fillLine(CoreId core, Addr line, std::uint8_t *buf,
+                         Tick now)
+{
+    (void)core;
+    FillResult fr;
+
+    if (auto m = mapping.lookup(line)) {
+        // Most recent version lives out of place: read the OOP slice
+        // and the home line in parallel and reconstruct (§III-G).
+        mapping.remove(line);
+        ++stats_.counter("mapping_hits");
+        ++stats_.counter("parallel_reads");
+
+        const Tick home_done = nvm_.read(now, line, buf, kCacheLineSize);
+        Tick slice_done;
+        const MemorySlice s = region_.readSlice(now, *m, &slice_done);
+        HOOP_ASSERT(s.carriesWords(),
+                    "mapping table points at a non-data slice");
+
+        std::uint8_t mask = 0;
+        for (unsigned i = 0; i < s.count; ++i) {
+            if (lineAddr(s.homeAddrs[i]) != line)
+                continue;
+            const std::size_t off = s.homeAddrs[i] - line;
+            std::memcpy(buf + off, &s.words[i], kWordSize);
+            mask |= static_cast<std::uint8_t>(1u << (off / kWordSize));
+        }
+
+        fr.completion = std::max(home_done, slice_done) + unpackCost;
+        // The reconstructed line is newer than the home region, and the
+        // mapping entry is gone: keep it dirty so a later eviction
+        // re-creates the out-of-place copy.
+        fr.dirty = true;
+        fr.persistent = true;
+        fr.txId = s.txId;
+        fr.wordMask = mask;
+        return fr;
+    }
+
+    std::uint8_t tmp[kCacheLineSize];
+    if (evictBuf.get(line, tmp)) {
+        // Served from the controller's eviction buffer (§III-C).
+        ++stats_.counter("eviction_buffer_hits");
+        std::memcpy(buf, tmp, kCacheLineSize);
+        fr.completion = now + evictBufReadCost;
+        return fr;
+    }
+
+    fr.completion = nvm_.read(now, line, buf, kCacheLineSize);
+    return fr;
+}
+
+void
+HoopController::evictLine(CoreId core, Addr line,
+                          const std::uint8_t *data, bool persistent,
+                          TxId tx, std::uint8_t word_mask, Tick now)
+{
+    if (persistent && tx != kInvalidTxId) {
+        // Transactionally-modified lines always leave the hierarchy
+        // out of place (the home region is written only by GC,
+        // §III-B): the dirty words become an eviction slice and the
+        // mapping table redirects future misses.
+        std::uint8_t mask = word_mask ? word_mask : 0xff;
+        PendingSlice p;
+        for (unsigned i = 0; i < kWordsPerLine; ++i) {
+            if (!(mask & (1u << i)))
+                continue;
+            p.addrs[p.count] = line + i * kWordSize;
+            std::memcpy(&p.words[p.count], data + i * kWordSize,
+                        kWordSize);
+            ++p.count;
+        }
+        emitSlice(core, p, SliceType::Evict, tx, now);
+        ++stats_.counter("oop_evictions");
+        return;
+    }
+
+    // Non-transactional dirty data: ordinary in-place writeback.
+    // Stamp the freshness watermark so a later GC pass over older
+    // slices does not regress this line.
+    writeHomeLine(now, line, data);
+    noteHomeSeq(line, region_.allocSeq());
+    mapping.remove(line);
+    ++stats_.counter("home_evictions");
+}
+
+Tick
+HoopController::writeHomeLine(Tick now, Addr line,
+                              const std::uint8_t *data)
+{
+    const Tick done = nvm_.write(now, line, data, kCacheLineSize);
+    // Any buffered copy is now stale; the home region is fresh.
+    evictBuf.invalidate(line);
+    return done;
+}
+
+void
+HoopController::maintenance(Tick now)
+{
+    const bool period_due = now - lastGc >= cfg.gcPeriod;
+    const bool pressure = region_.freeBlocks() <= 1 ||
+                          mapping.size() * 10 >= mapping.capacity() * 9;
+    if (period_due || pressure) {
+        if (pressure && !period_due)
+            ++stats_.counter("gc_pressure");
+        lastGc = now;
+        gc_->run(now);
+    }
+}
+
+Tick
+HoopController::runGcNow(Tick now)
+{
+    lastGc = now;
+    return gc_->run(now);
+}
+
+Tick
+HoopController::drain(Tick now)
+{
+    // Make every block collectable and migrate all committed data so
+    // that end-of-run traffic accounting includes HOOP's deferred work.
+    region_.closeCurrentBlock(now);
+    return gc_->run(now);
+}
+
+bool
+HoopController::homeFresherThan(Addr line, std::uint64_t seq) const
+{
+    auto it = homeSeq.find(line);
+    return it != homeSeq.end() && it->second > seq;
+}
+
+void
+HoopController::noteHomeSeq(Addr line, std::uint64_t seq)
+{
+    std::uint64_t &s = homeSeq[line];
+    if (seq > s)
+        s = seq;
+}
+
+void
+HoopController::crash()
+{
+    // Everything in the controller's SRAM is volatile.
+    buffer.clearAll();
+    mapping.clear();
+    evictBuf.clear();
+    homeSeq.clear();
+    for (auto &c : chains)
+        c = CoreChain{};
+    for (auto &t : coreTx)
+        t = CoreTxState{};
+    committed.clear();
+}
+
+Tick
+HoopController::recover(unsigned threads)
+{
+    return recoverWithFilter(threads, nullptr);
+}
+
+Tick
+HoopController::recoverWithFilter(unsigned threads,
+                                  const std::unordered_set<TxId> *allow)
+{
+    const RecoveryResult r = recovery->run(threads, allow);
+
+    // Post-recovery: the home region is the single source of truth.
+    region_.reset();
+    region_.setNextSeq(r.maxSeq + 1);
+    mapping.clear();
+    evictBuf.clear();
+    buffer.clearAll();
+    committed.clear();
+    homeSeq.clear();
+    restartIds(r.maxTxId + 1, r.committedTxReplayed + 1);
+    stats_.counter("recoveries") += 1;
+    return r.time;
+}
+
+bool
+HoopController::isCommitted(TxId tx) const
+{
+    return committed.find(tx) != committed.end();
+}
+
+std::uint64_t
+HoopController::commitIdOf(TxId tx) const
+{
+    auto it = committed.find(tx);
+    return it == committed.end() ? 0 : it->second;
+}
+
+void
+HoopController::debugReadLine(Addr line, std::uint8_t *buf) const
+{
+    nvm_.peek(line, buf, kCacheLineSize);
+    if (auto m = mapping.lookup(line)) {
+        const MemorySlice s = region_.peekSlice(*m);
+        for (unsigned i = 0; i < s.count; ++i) {
+            if (lineAddr(s.homeAddrs[i]) != line)
+                continue;
+            std::memcpy(buf + (s.homeAddrs[i] - line), &s.words[i],
+                        kWordSize);
+        }
+        return;
+    }
+    std::uint8_t tmp[kCacheLineSize];
+    if (evictBuf.get(line, tmp))
+        std::memcpy(buf, tmp, kCacheLineSize);
+}
+
+} // namespace hoopnvm

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The HOOP memory controller: the paper's primary contribution.
+ *
+ * HOOP writes transactional updates *out of place* into the
+ * log-structured OOP region instead of logging or shadow-copying them:
+ *
+ *  - Transactional stores deposit words into the per-core OOP data
+ *    buffer; full slices are flushed to the OOP region asynchronously
+ *    (data packing, §III-C/D). The core never waits on a store.
+ *  - Tx_end flushes the remaining slice plus an address slice (the
+ *    commit record) and waits for those writes only — there are no
+ *    cache flushes or fences on the application side (Fig. 4d).
+ *  - LLC evictions of transactionally-modified lines write their dirty
+ *    words to the OOP region and install a mapping-table entry; LLC
+ *    misses consult the table and read the OOP slice and home line in
+ *    parallel, then drop the entry (the freshest copy moves into the
+ *    cache hierarchy).
+ *  - Background GC coalesces committed updates and migrates them to the
+ *    home region (see GarbageCollector); recovery replays committed
+ *    slice chains after a crash (see RecoveryManager).
+ */
+
+#ifndef HOOPNVM_HOOP_HOOP_CONTROLLER_HH
+#define HOOPNVM_HOOP_HOOP_CONTROLLER_HH
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "controller/persistence_controller.hh"
+#include "hoop/eviction_buffer.hh"
+#include "hoop/garbage_collector.hh"
+#include "hoop/mapping_table.hh"
+#include "hoop/oop_data_buffer.hh"
+#include "hoop/oop_region.hh"
+#include "hoop/recovery.hh"
+
+namespace hoopnvm
+{
+
+/** Hardware-assisted out-of-place update controller. */
+class HoopController : public PersistenceController
+{
+  public:
+    HoopController(NvmDevice &nvm, const SystemConfig &cfg);
+    ~HoopController() override;
+
+    Scheme scheme() const override { return Scheme::Hoop; }
+
+    TxId txBeginAs(CoreId core, Tick now, TxId forced) override;
+    Tick txEnd(CoreId core, Tick now) override;
+
+    /**
+     * 2PC phase 1 (§III-I): flush the core's outstanding slices to the
+     * OOP region and return when they are durable. txEnd == prepare
+     * followed by commitPrepared.
+     */
+    Tick prepare(CoreId core, Tick now);
+
+    /** 2PC phase 2: persist the commit record and retire the tx. */
+    Tick commitPrepared(CoreId core, Tick now);
+
+    /** Recovery restricted to @p allow (multi-controller consensus). */
+    Tick recoverWithFilter(unsigned threads,
+                           const std::unordered_set<TxId> *allow);
+    Tick storeWord(CoreId core, Addr addr, const std::uint8_t *data,
+                   Tick now) override;
+    FillResult fillLine(CoreId core, Addr line, std::uint8_t *buf,
+                        Tick now) override;
+    void evictLine(CoreId core, Addr line, const std::uint8_t *data,
+                   bool persistent, TxId tx, std::uint8_t word_mask,
+                   Tick now) override;
+    void maintenance(Tick now) override;
+    Tick drain(Tick now) override;
+    void crash() override;
+    Tick recover(unsigned threads) override;
+    void debugReadLine(Addr line, std::uint8_t *buf) const override;
+
+    // ---- Component access (tests, benches, GC) ----
+
+    OopRegion &region() { return region_; }
+    MappingTable &mappingTable() { return mapping; }
+    EvictionBuffer &evictionBuffer() { return evictBuf; }
+    OopDataBuffer &dataBuffer() { return buffer; }
+    GarbageCollector &gc() { return *gc_; }
+
+    /** True once @p tx has durably committed. */
+    bool isCommitted(TxId tx) const;
+
+    /** Commit (durability order) id of @p tx; 0 if not committed. */
+    std::uint64_t commitIdOf(TxId tx) const;
+
+    /** Total bytes modified by transactions so far (Table IV input). */
+    std::uint64_t txModifiedBytes() const { return txModifiedBytes_; }
+
+    /**
+     * Write @p data to home line @p line (timed) and keep the eviction
+     * buffer coherent. Used by the eviction path and by GC migration.
+     */
+    Tick writeHomeLine(Tick now, Addr line, const std::uint8_t *data);
+
+    /** Run GC immediately (on-demand); returns its completion tick. */
+    Tick runGcNow(Tick now);
+
+    /**
+     * True when @p line's home copy was written by a committed
+     * eviction *after* slice sequence @p seq was produced. GC uses
+     * this to avoid regressing the home region.
+     */
+    bool homeFresherThan(Addr line, std::uint64_t seq) const;
+
+    /** Record that home holds content at least as new as @p seq. */
+    void noteHomeSeq(Addr line, std::uint64_t seq);
+
+  private:
+    friend class GarbageCollector;
+    friend class RecoveryManager;
+
+    /** Per-core slice-chain state of the running transaction. */
+    struct CoreChain
+    {
+        std::uint32_t tailIdx = MemorySlice::kNullIdx;
+        std::uint32_t sliceCount = 0;
+
+        /** Completion tick of the newest posted slice write. */
+        Tick outstanding = 0;
+    };
+
+    /**
+     * Emit @p p as one memory slice of @p type for transaction @p tx,
+     * chaining data slices into the core's transaction chain.
+     * @return Completion tick of the slice write.
+     */
+    Tick emitSlice(CoreId core, const PendingSlice &p, SliceType type,
+                   TxId tx, Tick now);
+
+    /** Allocate a slice slot, GCing on demand when the region is full. */
+    std::uint32_t allocSliceOrGc(Tick &now);
+
+    /**
+     * Last-resort mapping-table drain: migrate one committed entry's
+     * line home immediately and drop the entry. Used when even
+     * on-demand GC cannot free space (the entries point into the
+     * still-open block).
+     */
+    bool emergencyEvictMappingEntry(Tick now);
+
+    OopRegion region_;
+    OopDataBuffer buffer;
+    MappingTable mapping;
+    EvictionBuffer evictBuf;
+    std::unique_ptr<GarbageCollector> gc_;
+    std::unique_ptr<RecoveryManager> recovery;
+
+    std::vector<CoreChain> chains;
+
+    /**
+     * Commit ids of all committed transactions. Entries persist for the
+     * simulation's lifetime: LLC evictions may carry the TxId of a
+     * long-committed transaction, and GC must still classify those
+     * slices as committed.
+     */
+    std::unordered_map<TxId, std::uint64_t> committed;
+
+    Tick lastGc = 0;
+    std::uint64_t txModifiedBytes_ = 0;
+
+    /**
+     * Per-line freshness watermark of the home region: the slice
+     * sequence number up to which the home copy is known current.
+     * Volatile (host-side); recovery does not depend on it.
+     */
+    std::unordered_map<Addr, std::uint64_t> homeSeq;
+
+    /** Controller-internal latencies. */
+    Tick bufferInsertCost;
+    Tick unpackCost;
+    Tick evictBufReadCost;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_HOOP_HOOP_CONTROLLER_HH

@@ -1,0 +1,52 @@
+#include "hoop/mapping_table.hh"
+
+#include "common/logging.hh"
+
+namespace hoopnvm
+{
+
+MappingTable::MappingTable(std::uint64_t bytes)
+    : capacity_(static_cast<std::size_t>(bytes / kEntryBytes))
+{
+    HOOP_ASSERT(capacity_ > 0, "mapping table too small for one entry");
+    map.reserve(capacity_);
+}
+
+bool
+MappingTable::insert(Addr line, std::uint32_t slice_idx)
+{
+    HOOP_ASSERT(isAligned(line, kCacheLineSize),
+                "mapping table keys are line addresses");
+    auto it = map.find(line);
+    if (it != map.end()) {
+        it->second = slice_idx;
+        return true;
+    }
+    if (map.size() >= capacity_)
+        return false;
+    map.emplace(line, slice_idx);
+    return true;
+}
+
+std::optional<std::uint32_t>
+MappingTable::lookup(Addr line) const
+{
+    auto it = map.find(line);
+    if (it == map.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+MappingTable::remove(Addr line)
+{
+    map.erase(line);
+}
+
+void
+MappingTable::clear()
+{
+    map.clear();
+}
+
+} // namespace hoopnvm

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Hash-based physical-to-physical address mapping table (paper §III-C).
+ *
+ * Maps home-region cache-line addresses to OOP-region slice indices so
+ * that LLC misses observe the most recent out-of-place version. The
+ * table is a fixed-capacity structure in the memory controller (2 MB
+ * default, 16 bytes per entry); when it fills up the controller must
+ * run GC to drain entries (Fig. 13 sweeps this size).
+ */
+
+#ifndef HOOPNVM_HOOP_MAPPING_TABLE_HH
+#define HOOPNVM_HOOP_MAPPING_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace hoopnvm
+{
+
+/** Fixed-capacity home-line -> OOP-slice mapping. */
+class MappingTable
+{
+  public:
+    /** Modelled SRAM cost of one entry (home addr + OOP addr). */
+    static constexpr std::uint64_t kEntryBytes = 16;
+
+    /** @param bytes Modelled table capacity in bytes. */
+    explicit MappingTable(std::uint64_t bytes);
+
+    /**
+     * Insert or update the mapping for @p line.
+     * @return false when the table is full and @p line is not already
+     *         present (the caller must GC and retry).
+     */
+    bool insert(Addr line, std::uint32_t slice_idx);
+
+    /** Slice index mapped for @p line, if any. */
+    std::optional<std::uint32_t> lookup(Addr line) const;
+
+    /** Drop the mapping for @p line; no-op if absent. */
+    void remove(Addr line);
+
+    /** Visit every (line, slice) entry. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &kv : map)
+            fn(kv.first, kv.second);
+    }
+
+    std::size_t size() const { return map.size(); }
+    std::size_t capacity() const { return capacity_; }
+    bool full() const { return map.size() >= capacity_; }
+
+    /** Drop every entry (crash / post-recovery). */
+    void clear();
+
+  private:
+    std::size_t capacity_;
+    std::unordered_map<Addr, std::uint32_t> map;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_HOOP_MAPPING_TABLE_HH

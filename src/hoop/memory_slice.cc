@@ -1,0 +1,121 @@
+#include "hoop/memory_slice.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hoopnvm
+{
+
+namespace
+{
+
+void
+put32(std::uint8_t *p, std::uint32_t v)
+{
+    std::memcpy(p, &v, sizeof(v));
+}
+
+void
+put64(std::uint8_t *p, std::uint64_t v)
+{
+    std::memcpy(p, &v, sizeof(v));
+}
+
+std::uint32_t
+get32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+std::uint64_t
+get64(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+/** Store a 40-bit home word number as 5 little-endian bytes. */
+void
+put40(std::uint8_t *p, std::uint64_t v)
+{
+    HOOP_ASSERT(v < (1ULL << 40), "home word number exceeds 40 bits");
+    for (int i = 0; i < 5; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+get40(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 5; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+void
+MemorySlice::encode(std::uint8_t *out) const
+{
+    std::memset(out, 0, kSliceBytes);
+    HOOP_ASSERT(count >= 1 && count <= kMaxWords,
+                "slice count %u out of range", count);
+
+    if (type == SliceType::AddrRec) {
+        // Commit record payload occupies the word area.
+        put64(out + 0, record.txId);
+        put64(out + 8, record.commitId);
+        put32(out + 16, record.tailSliceIdx);
+        put32(out + 20, record.sliceCount);
+    } else {
+        for (unsigned i = 0; i < count; ++i) {
+            put64(out + 8 * i, words[i]);
+            HOOP_ASSERT(isAligned(homeAddrs[i], kWordSize),
+                        "unaligned home address in slice");
+            put40(out + 64 + 5 * i, homeAddrs[i] >> 3);
+        }
+    }
+
+    put32(out + 104, prevIdx);
+    HOOP_ASSERT(txId <= 0xffffffffu || txId == kInvalidTxId,
+                "TxId exceeds the 32-bit slice field");
+    put32(out + 108, static_cast<std::uint32_t>(txId));
+    put64(out + 112, seq);
+    out[120] = static_cast<std::uint8_t>(
+        (count - 1) | (start ? 0x08 : 0x00) |
+        (static_cast<std::uint8_t>(type) << 4));
+}
+
+MemorySlice
+MemorySlice::decode(const std::uint8_t *in)
+{
+    MemorySlice s;
+    const std::uint8_t meta = in[120];
+    s.type = static_cast<SliceType>(meta >> 4);
+    if (s.type == SliceType::Invalid)
+        return s;
+    s.count = static_cast<std::uint8_t>((meta & 0x07) + 1);
+    s.start = (meta & 0x08) != 0;
+    s.prevIdx = get32(in + 104);
+    s.txId = get32(in + 108);
+    s.seq = get64(in + 112);
+
+    if (s.type == SliceType::AddrRec) {
+        s.record.txId = get64(in + 0);
+        s.record.commitId = get64(in + 8);
+        s.record.tailSliceIdx = get32(in + 16);
+        s.record.sliceCount = get32(in + 20);
+    } else {
+        for (unsigned i = 0; i < s.count; ++i) {
+            s.words[i] = get64(in + 8 * i);
+            s.homeAddrs[i] = get40(in + 64 + 5 * i) << 3;
+        }
+    }
+    return s;
+}
+
+} // namespace hoopnvm

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The 128-byte HOOP memory slice (paper Fig. 5b).
+ *
+ * A *data* slice packs up to eight 8-byte words updated by one
+ * transaction together with their 40-bit home-region addresses, the
+ * transaction id, a link to the slice chain, and per-slice state. An
+ * *eviction* slice has the same shape but is produced when the LLC
+ * evicts a transactionally-modified line: it carries the line's dirty
+ * words. An *address* slice is the commit record: it names the chain
+ * tail of a committed transaction and its commit (durability) order.
+ *
+ * Layout (byte offsets within the 128-byte slice):
+ *
+ *   [  0,  64)  8 data words
+ *   [ 64, 104)  8 x 5-byte home word numbers (home_addr >> 3, 40 bits)
+ *   [104, 108)  previous-slice index (u32, kNullIdx terminates)
+ *   [108, 112)  transaction id (u32, per the paper's 32-bit TxID)
+ *   [112, 120)  global sequence number (u64)
+ *   [120]       meta byte: bits 0-2 = count-1, bit 3 = chain start,
+ *               bits 4-7 = slice type
+ *   [121, 128)  reserved
+ *
+ * Deviation from the paper: the paper chains slices *forward* with a
+ * 24-bit next pointer; we chain *backward* with a 32-bit previous index
+ * so every slice is written exactly once (forward links would require
+ * re-writing a slice once its successor's address is known). The commit
+ * record therefore stores the chain *tail*. The global sequence number
+ * (carried in otherwise-padded bytes) orders slices for GC coalescing
+ * and lets recovery distinguish live slices from stale ones left behind
+ * in recycled OOP blocks.
+ */
+
+#ifndef HOOPNVM_HOOP_MEMORY_SLICE_HH
+#define HOOPNVM_HOOP_MEMORY_SLICE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace hoopnvm
+{
+
+/** Discriminates the three kinds of memory slice. */
+enum class SliceType : std::uint8_t
+{
+    Invalid = 0, ///< Unwritten slot.
+    Data = 1,    ///< Word updates captured from transactional stores.
+    AddrRec = 2, ///< Address slice: commit record of a transaction.
+    Evict = 3,   ///< Dirty words of an LLC-evicted transactional line.
+};
+
+/** One commit record held in an address slice. */
+struct CommitRecord
+{
+    TxId txId = kInvalidTxId;
+    std::uint64_t commitId = 0;
+    std::uint32_t tailSliceIdx = 0;
+    std::uint32_t sliceCount = 0;
+};
+
+/** Decoded form of a 128-byte memory slice. */
+struct MemorySlice
+{
+    static constexpr std::size_t kSliceBytes = 128;
+    static constexpr std::uint32_t kNullIdx = 0xffffffffu;
+    static constexpr unsigned kMaxWords = 8;
+
+    SliceType type = SliceType::Invalid;
+    std::uint8_t count = 0; ///< Valid words (Data/Evict) or records.
+    bool start = false;     ///< First slice of its transaction chain.
+    std::uint32_t prevIdx = kNullIdx;
+    TxId txId = kInvalidTxId;
+    std::uint64_t seq = 0;
+
+    std::array<std::uint64_t, kMaxWords> words{};
+    std::array<Addr, kMaxWords> homeAddrs{}; ///< Word-aligned.
+
+    /** Commit record (address slices carry exactly one here). */
+    CommitRecord record;
+
+    /** Serialize into @p out (kSliceBytes bytes). */
+    void encode(std::uint8_t *out) const;
+
+    /** Parse from @p in (kSliceBytes bytes). */
+    static MemorySlice decode(const std::uint8_t *in);
+
+    /** True for slices that carry word payloads. */
+    bool
+    carriesWords() const
+    {
+        return type == SliceType::Data || type == SliceType::Evict;
+    }
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_HOOP_MEMORY_SLICE_HH

@@ -1,0 +1,246 @@
+#include "hoop/oop_region.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hoopnvm
+{
+
+namespace
+{
+
+/** Magic marking a valid OOP block header. */
+constexpr std::uint32_t kHeaderMagic = 0x484f4f50; // "HOOP"
+
+/** On-NVM block header layout (fits in the 128-byte header slot). */
+struct BlockHeader
+{
+    std::uint32_t magic;
+    std::uint32_t index;
+    std::uint8_t state;
+    std::uint8_t pad[7];
+    std::uint64_t openSeq;
+};
+
+} // namespace
+
+OopRegion::OopRegion(NvmDevice &nvm_, const SystemConfig &cfg_)
+    : nvm(nvm_), cfg(cfg_), stats_("oop_region")
+{
+    HOOP_ASSERT(cfg.oopBlockBytes % MemorySlice::kSliceBytes == 0,
+                "OOP block size must be a multiple of the slice size");
+    HOOP_ASSERT(cfg.oopBytes % cfg.oopBlockBytes == 0,
+                "OOP region size must be a multiple of the block size");
+    numBlocks_ =
+        static_cast<std::uint32_t>(cfg.oopBytes / cfg.oopBlockBytes);
+    slicesPerBlock_ = static_cast<std::uint32_t>(
+        cfg.oopBlockBytes / MemorySlice::kSliceBytes - 1);
+    HOOP_ASSERT(numBlocks_ >= 2, "need at least two OOP blocks");
+    blocks.resize(numBlocks_);
+}
+
+std::uint32_t
+OopRegion::freeBlocks() const
+{
+    std::uint32_t n = 0;
+    for (const auto &b : blocks) {
+        if (b.state == BlockState::Unused)
+            ++n;
+    }
+    return n;
+}
+
+Addr
+OopRegion::blockBase(std::uint32_t b) const
+{
+    return cfg.oopBase() + static_cast<Addr>(b) * cfg.oopBlockBytes;
+}
+
+Addr
+OopRegion::sliceAddr(std::uint32_t idx) const
+{
+    const std::uint32_t b = blockOfSlice(idx);
+    const std::uint32_t slot = idx % (slicesPerBlock_ + 1);
+    HOOP_ASSERT(slot >= 1, "slice index names a header slot");
+    return blockBase(b) +
+           static_cast<Addr>(slot) * MemorySlice::kSliceBytes;
+}
+
+std::uint32_t
+OopRegion::blockOfSlice(std::uint32_t idx) const
+{
+    return idx / (slicesPerBlock_ + 1);
+}
+
+void
+OopRegion::writeHeader(std::uint32_t b, Tick now)
+{
+    std::uint8_t buf[kCacheLineSize] = {};
+    BlockHeader h{};
+    h.magic = kHeaderMagic;
+    h.index = b;
+    h.state = static_cast<std::uint8_t>(blocks[b].state);
+    h.openSeq = blocks[b].openSeq;
+    std::memcpy(buf, &h, sizeof(h));
+    // Headers persist as one full line write (the header slot).
+    nvm.write(now, blockBase(b), buf, kCacheLineSize);
+    ++stats_.counter("header_writes");
+}
+
+bool
+OopRegion::openNextBlock(Tick now)
+{
+    for (std::uint32_t i = 0; i < numBlocks_; ++i) {
+        const std::uint32_t b = (allocCursor + i) % numBlocks_;
+        if (blocks[b].state == BlockState::Unused) {
+            // Round-robin advance gives uniform block aging (§III-D).
+            allocCursor = (b + 1) % numBlocks_;
+            blocks[b].state = BlockState::InUse;
+            blocks[b].writePtr = 1;
+            blocks[b].openSeq = nextSeq_;
+            blocks[b].txs.clear();
+            writeHeader(b, now);
+            currentBlock = b;
+            ++stats_.counter("blocks_opened");
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+OopRegion::allocSlice(std::uint32_t &idx, Tick now)
+{
+    if (currentBlock == kNoBlock ||
+        blocks[currentBlock].writePtr > slicesPerBlock_) {
+        if (currentBlock != kNoBlock &&
+            blocks[currentBlock].writePtr > slicesPerBlock_) {
+            setBlockState(currentBlock, BlockState::Full, now);
+            currentBlock = kNoBlock;
+        }
+        if (!openNextBlock(now))
+            return false;
+    }
+    OopBlockInfo &blk = blocks[currentBlock];
+    idx = currentBlock * (slicesPerBlock_ + 1) + blk.writePtr;
+    ++blk.writePtr;
+    return true;
+}
+
+Tick
+OopRegion::writeSlice(Tick now, std::uint32_t idx, const MemorySlice &s)
+{
+    std::uint8_t buf[MemorySlice::kSliceBytes];
+    s.encode(buf);
+    ++stats_.counter("slice_writes");
+    return nvm.write(now, sliceAddr(idx), buf,
+                     MemorySlice::kSliceBytes);
+}
+
+MemorySlice
+OopRegion::readSlice(Tick now, std::uint32_t idx, Tick *completion)
+{
+    std::uint8_t buf[MemorySlice::kSliceBytes];
+    const Tick done =
+        nvm.read(now, sliceAddr(idx), buf, MemorySlice::kSliceBytes);
+    if (completion)
+        *completion = done;
+    ++stats_.counter("slice_reads");
+    return MemorySlice::decode(buf);
+}
+
+MemorySlice
+OopRegion::peekSlice(std::uint32_t idx) const
+{
+    std::uint8_t buf[MemorySlice::kSliceBytes];
+    nvm.peek(sliceAddr(idx), buf, MemorySlice::kSliceBytes);
+    return MemorySlice::decode(buf);
+}
+
+BlockHeaderView
+OopRegion::peekHeader(std::uint32_t b) const
+{
+    BlockHeader h{};
+    nvm.peek(blockBase(b), &h, sizeof(h));
+    BlockHeaderView v;
+    if (h.magic != kHeaderMagic)
+        return v;
+    v.valid = true;
+    v.state = static_cast<BlockState>(h.state);
+    v.openSeq = h.openSeq;
+    return v;
+}
+
+void
+OopRegion::closeCurrentBlock(Tick now)
+{
+    if (currentBlock == kNoBlock)
+        return;
+    setBlockState(currentBlock, BlockState::Full, now);
+    currentBlock = kNoBlock;
+}
+
+void
+OopRegion::noteSliceTx(std::uint32_t idx, TxId tx)
+{
+    const std::uint32_t b = blockOfSlice(idx);
+    blocks[b].txs.insert(tx);
+    txBlocks_[tx].insert(b);
+}
+
+const std::unordered_set<std::uint32_t> *
+OopRegion::txBlocks(TxId tx) const
+{
+    auto it = txBlocks_.find(tx);
+    return it == txBlocks_.end() ? nullptr : &it->second;
+}
+
+void
+OopRegion::retireTx(TxId tx)
+{
+    auto it = txBlocks_.find(tx);
+    if (it == txBlocks_.end())
+        return;
+    for (std::uint32_t b : it->second)
+        blocks[b].txs.erase(tx);
+    txBlocks_.erase(it);
+}
+
+void
+OopRegion::setBlockState(std::uint32_t b, BlockState state, Tick now)
+{
+    blocks[b].state = state;
+    if (state == BlockState::Unused) {
+        blocks[b].writePtr = 1;
+        for (TxId tx : blocks[b].txs) {
+            auto it = txBlocks_.find(tx);
+            if (it != txBlocks_.end()) {
+                it->second.erase(b);
+                if (it->second.empty())
+                    txBlocks_.erase(it);
+            }
+        }
+        blocks[b].txs.clear();
+    }
+    writeHeader(b, now);
+}
+
+void
+OopRegion::reset()
+{
+    for (std::uint32_t b = 0; b < numBlocks_; ++b) {
+        blocks[b] = OopBlockInfo{};
+        // Recovery has drained the region; persist the cleared headers
+        // untimed (recovery time is modelled separately).
+        BlockHeader h{};
+        h.magic = kHeaderMagic;
+        h.index = b;
+        h.state = static_cast<std::uint8_t>(BlockState::Unused);
+        nvm.poke(blockBase(b), &h, sizeof(h));
+    }
+    txBlocks_.clear();
+    currentBlock = kNoBlock;
+}
+
+} // namespace hoopnvm

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The log-structured OOP region (paper §III-D, Fig. 5a).
+ *
+ * The region is divided into fixed-size OOP blocks (2 MB by default).
+ * Slot 0 of every block holds the block header (index, state, open
+ * sequence number, next-block link); the remaining slots hold 128-byte
+ * memory slices. Blocks are allocated round-robin so all of them age
+ * uniformly (wear leveling), and a block index table records which
+ * blocks are live — recovery only scans blocks named by that table.
+ *
+ * The region keeps a host-side mirror of per-block bookkeeping (state,
+ * write pointer, which transactions own slices in the block) purely as
+ * an acceleration: everything needed for crash recovery is re-derivable
+ * from NVM bytes, which the recovery tests exercise.
+ */
+
+#ifndef HOOPNVM_HOOP_OOP_REGION_HH
+#define HOOPNVM_HOOP_OOP_REGION_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+#include "hoop/memory_slice.hh"
+#include "nvm/nvm_device.hh"
+#include "sim/system_config.hh"
+#include "stats/stat_set.hh"
+
+namespace hoopnvm
+{
+
+/** State of an OOP block (paper's BLK_* states). */
+enum class BlockState : std::uint8_t
+{
+    Unused = 0,
+    InUse = 1,
+    Full = 2,
+    Gc = 3,
+};
+
+/** Host-side mirror of one OOP block's bookkeeping. */
+struct OopBlockInfo
+{
+    BlockState state = BlockState::Unused;
+
+    /** Next free slice slot (1-based; slot 0 is the header). */
+    std::uint32_t writePtr = 1;
+
+    /** Sequence number when the block was last opened. */
+    std::uint64_t openSeq = 0;
+
+    /** Transactions owning slices (incl. commit records) in the block. */
+    std::unordered_set<TxId> txs;
+};
+
+/** Decoded view of an on-NVM block header (used by recovery). */
+struct BlockHeaderView
+{
+    bool valid = false;
+    BlockState state = BlockState::Unused;
+    std::uint64_t openSeq = 0;
+};
+
+/** Allocator and accessor for the log-structured OOP region. */
+class OopRegion
+{
+  public:
+    OopRegion(NvmDevice &nvm, const SystemConfig &cfg);
+
+    /** Number of blocks in the region. */
+    std::uint32_t numBlocks() const { return numBlocks_; }
+
+    /** Slice slots per block (excluding the header slot). */
+    std::uint32_t slicesPerBlock() const { return slicesPerBlock_; }
+
+    /** Blocks currently in state Unused. */
+    std::uint32_t freeBlocks() const;
+
+    /**
+     * Allocate the next slice slot, opening a fresh block round-robin
+     * when the current one fills (the filled block becomes BLK_FULL).
+     * @param[out] idx      Global slice index of the allocated slot.
+     * @param[in,out] now   Advanced past any header-write traffic.
+     * @return false if no block is available (caller must GC).
+     */
+    bool allocSlice(std::uint32_t &idx, Tick now);
+
+    /** NVM byte address of slice @p idx. */
+    Addr sliceAddr(std::uint32_t idx) const;
+
+    /** Block containing slice @p idx. */
+    std::uint32_t blockOfSlice(std::uint32_t idx) const;
+
+    /** Encode and write @p slice to slot @p idx; returns completion. */
+    Tick writeSlice(Tick now, std::uint32_t idx, const MemorySlice &s);
+
+    /** Timed read+decode of slot @p idx. */
+    MemorySlice readSlice(Tick now, std::uint32_t idx,
+                          Tick *completion = nullptr);
+
+    /** Untimed read+decode (verification and recovery replay). */
+    MemorySlice peekSlice(std::uint32_t idx) const;
+
+    /** Untimed decode of block @p b's on-NVM header (recovery). */
+    BlockHeaderView peekHeader(std::uint32_t b) const;
+
+    /** Close the currently open block, marking it Full (drain/GC). */
+    void closeCurrentBlock(Tick now);
+
+    /** Record that @p tx owns a slice in @p idx's block. */
+    void noteSliceTx(std::uint32_t idx, TxId tx);
+
+    OopBlockInfo &block(std::uint32_t b) { return blocks[b]; }
+    const OopBlockInfo &block(std::uint32_t b) const { return blocks[b]; }
+
+    /** Blocks that still hold slices of transaction @p tx. */
+    const std::unordered_set<std::uint32_t> *txBlocks(TxId tx) const;
+
+    /** Forget transaction @p tx in all block bookkeeping (GC retire). */
+    void retireTx(TxId tx);
+
+    /** Transition @p b to @p state, persisting the header (timed). */
+    void setBlockState(std::uint32_t b, BlockState state, Tick now);
+
+    /** Reset the whole region to Unused (end of recovery). */
+    void reset();
+
+    /** Restore the global sequence counter after recovery. */
+    void setNextSeq(std::uint64_t seq) { nextSeq_ = seq; }
+
+    /** Allocate the next global slice sequence number. */
+    std::uint64_t allocSeq() { return nextSeq_++; }
+
+    /** Base NVM address of block @p b. */
+    Addr blockBase(std::uint32_t b) const;
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    /** Persist block @p b's header (timed, background). */
+    void writeHeader(std::uint32_t b, Tick now);
+
+    /** Find and open an Unused block; returns false if none. */
+    bool openNextBlock(Tick now);
+
+    NvmDevice &nvm;
+    const SystemConfig &cfg;
+    StatSet stats_;
+
+    std::uint32_t numBlocks_;
+    std::uint32_t slicesPerBlock_;
+    std::vector<OopBlockInfo> blocks;
+    std::unordered_map<TxId, std::unordered_set<std::uint32_t>>
+        txBlocks_;
+
+    /** Block currently accepting slices; kNoBlock when none open. */
+    static constexpr std::uint32_t kNoBlock = 0xffffffffu;
+    std::uint32_t currentBlock = kNoBlock;
+
+    /** Round-robin allocation cursor (wear leveling, §III-D). */
+    std::uint32_t allocCursor = 0;
+
+    std::uint64_t nextSeq_ = 1;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_HOOP_OOP_REGION_HH

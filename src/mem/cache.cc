@@ -1,0 +1,169 @@
+#include "mem/cache.hh"
+
+#include <cstring>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace hoopnvm
+{
+
+Cache::Cache(const std::string &name, std::uint64_t size_bytes,
+             unsigned assoc_, Tick latency)
+    : assoc(assoc_), latency_(latency), stats_(name)
+{
+    HOOP_ASSERT(assoc > 0, "associativity must be positive");
+    HOOP_ASSERT(size_bytes % (assoc * kCacheLineSize) == 0,
+                "cache size not a multiple of assoc * line size");
+    numSets_ = static_cast<unsigned>(
+        size_bytes / (assoc * kCacheLineSize));
+    HOOP_ASSERT(numSets_ > 0, "cache must have at least one set");
+    lines.resize(static_cast<std::size_t>(numSets_) * assoc);
+}
+
+unsigned
+Cache::setIndex(Addr line_addr) const
+{
+    // Mix the address so power-of-two strides do not alias pathologically.
+    return static_cast<unsigned>(
+        mixHash(line_addr / kCacheLineSize) % numSets_);
+}
+
+CacheLine *
+Cache::probe(Addr line_addr, bool touch)
+{
+    HOOP_ASSERT(isAligned(line_addr, kCacheLineSize),
+                "probe of unaligned line address");
+    const unsigned set = setIndex(line_addr);
+    for (unsigned w = 0; w < assoc; ++w) {
+        CacheLine &line = lines[static_cast<std::size_t>(set) * assoc + w];
+        if (line.valid && line.addr == line_addr) {
+            if (touch)
+                line.lastUse = ++useClock;
+            ++stats_.counter("hits");
+            return &line;
+        }
+    }
+    ++stats_.counter("misses");
+    return nullptr;
+}
+
+CacheLine *
+Cache::findLine(Addr line_addr)
+{
+    const unsigned set = setIndex(line_addr);
+    for (unsigned w = 0; w < assoc; ++w) {
+        CacheLine &line =
+            lines[static_cast<std::size_t>(set) * assoc + w];
+        if (line.valid && line.addr == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+Cache::peekLine(Addr line_addr) const
+{
+    const unsigned set = setIndex(line_addr);
+    for (unsigned w = 0; w < assoc; ++w) {
+        const CacheLine &line =
+            lines[static_cast<std::size_t>(set) * assoc + w];
+        if (line.valid && line.addr == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+CacheVictim
+Cache::insert(Addr line_addr, const std::uint8_t *data, bool dirty,
+              bool persistent, CoreId writer, TxId tx_id,
+              std::uint8_t word_mask)
+{
+    HOOP_ASSERT(isAligned(line_addr, kCacheLineSize),
+                "insert of unaligned line address");
+    const unsigned set = setIndex(line_addr);
+    CacheLine *slot = nullptr;
+
+    // Reuse an existing copy or an invalid way before evicting.
+    for (unsigned w = 0; w < assoc; ++w) {
+        CacheLine &line = lines[static_cast<std::size_t>(set) * assoc + w];
+        if (line.valid && line.addr == line_addr) {
+            slot = &line;
+            break;
+        }
+        if (!line.valid && !slot)
+            slot = &line;
+    }
+
+    CacheVictim victim;
+    if (!slot) {
+        // Evict the LRU way.
+        CacheLine *lru = nullptr;
+        for (unsigned w = 0; w < assoc; ++w) {
+            CacheLine &line =
+                lines[static_cast<std::size_t>(set) * assoc + w];
+            if (!lru || line.lastUse < lru->lastUse)
+                lru = &line;
+        }
+        victim.valid = true;
+        victim.addr = lru->addr;
+        victim.dirty = lru->dirty;
+        victim.persistent = lru->persistent;
+        victim.lastWriter = lru->lastWriter;
+        victim.txId = lru->txId;
+        victim.wordMask = lru->wordMask;
+        victim.data = lru->data;
+        if (lru->dirty)
+            ++stats_.counter("dirty_evictions");
+        else
+            ++stats_.counter("clean_evictions");
+        slot = lru;
+    }
+
+    const bool reinsert = slot->valid && slot->addr == line_addr;
+    slot->addr = line_addr;
+    slot->valid = true;
+    slot->dirty = reinsert ? (slot->dirty || dirty) : dirty;
+    slot->persistent =
+        reinsert ? (slot->persistent || persistent) : persistent;
+    slot->wordMask = reinsert ? (slot->wordMask | word_mask) : word_mask;
+    if (!reinsert || dirty) {
+        slot->lastWriter = writer;
+        slot->txId = tx_id;
+    }
+    std::memcpy(slot->data.data(), data, kCacheLineSize);
+    slot->lastUse = ++useClock;
+    ++stats_.counter("insertions");
+    return victim;
+}
+
+void
+Cache::invalidate(Addr line_addr)
+{
+    const unsigned set = setIndex(line_addr);
+    for (unsigned w = 0; w < assoc; ++w) {
+        CacheLine &line = lines[static_cast<std::size_t>(set) * assoc + w];
+        if (line.valid && line.addr == line_addr) {
+            line.valid = false;
+            line.dirty = false;
+            line.persistent = false;
+            line.txId = kInvalidTxId;
+            line.wordMask = 0;
+            return;
+        }
+    }
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &line : lines) {
+        line.valid = false;
+        line.dirty = false;
+        line.persistent = false;
+        line.txId = kInvalidTxId;
+        line.wordMask = 0;
+    }
+}
+
+} // namespace hoopnvm

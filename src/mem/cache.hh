@@ -1,0 +1,148 @@
+/**
+ * @file
+ * A single set-associative, write-back cache with LRU replacement.
+ *
+ * Lines carry the usual valid/dirty state plus the HOOP *persistent bit*
+ * (§III-G of the paper): one bit per cache line marking lines modified
+ * inside a failure-atomic region, so the eviction path can route them to
+ * the OOP region instead of the home region. Lines also remember the
+ * last writing core and the transaction that last modified them, which
+ * the memory-controller models need to stamp out-of-place slices.
+ */
+
+#ifndef HOOPNVM_MEM_CACHE_HH
+#define HOOPNVM_MEM_CACHE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/stat_set.hh"
+
+namespace hoopnvm
+{
+
+/** One cache line: tag state plus the full data payload. */
+struct CacheLine
+{
+    /** Line-aligned address; only meaningful when valid. */
+    Addr addr = kInvalidAddr;
+
+    bool valid = false;
+    bool dirty = false;
+
+    /** Set when the line was modified inside a transaction (§III-G). */
+    bool persistent = false;
+
+    /** Core that performed the last store to this line. */
+    CoreId lastWriter = 0;
+
+    /** Transaction that last modified this line (kInvalidTxId if none). */
+    TxId txId = kInvalidTxId;
+
+    /**
+     * Which of the line's eight words hold data newer than the home
+     * region (HOOP tracks updates at word granularity, §III-C). Bit i
+     * covers bytes [8i, 8i+8).
+     */
+    std::uint8_t wordMask = 0;
+
+    /** LRU timestamp (bigger = more recently used). */
+    std::uint64_t lastUse = 0;
+
+    std::array<std::uint8_t, kCacheLineSize> data{};
+};
+
+/** A victim line produced by an insertion. */
+struct CacheVictim
+{
+    bool valid = false;
+    Addr addr = kInvalidAddr;
+    bool dirty = false;
+    bool persistent = false;
+    CoreId lastWriter = 0;
+    TxId txId = kInvalidTxId;
+    std::uint8_t wordMask = 0;
+    std::array<std::uint8_t, kCacheLineSize> data{};
+};
+
+/** Set-associative write-back cache with LRU replacement. */
+class Cache
+{
+  public:
+    /**
+     * @param name        Stat prefix, e.g. "l1.0" or "llc".
+     * @param size_bytes  Total capacity; must be a multiple of
+     *                    assoc * kCacheLineSize.
+     * @param assoc       Associativity (ways per set).
+     * @param latency     Access latency charged on hits in this level.
+     */
+    Cache(const std::string &name, std::uint64_t size_bytes,
+          unsigned assoc, Tick latency);
+
+    /**
+     * Look up @p line_addr. On a hit the LRU state is refreshed (unless
+     * @p touch is false) and the line is returned; nullptr on miss.
+     */
+    CacheLine *probe(Addr line_addr, bool touch = true);
+
+    /** Const lookup without LRU update. */
+    const CacheLine *peekLine(Addr line_addr) const;
+
+    /**
+     * Mutable lookup that updates neither LRU state nor hit/miss
+     * statistics. For internal coherence bookkeeping, so protocol
+     * probes do not distort the measured hit ratios.
+     */
+    CacheLine *findLine(Addr line_addr);
+
+    /**
+     * Insert a line, evicting the LRU way of the set if necessary.
+     * The victim (possibly invalid) is returned so the caller can
+     * write it back or merge it into the next level.
+     */
+    CacheVictim insert(Addr line_addr, const std::uint8_t *data,
+                       bool dirty, bool persistent, CoreId writer,
+                       TxId tx_id, std::uint8_t word_mask = 0);
+
+    /** Drop @p line_addr without writeback; no-op if absent. */
+    void invalidate(Addr line_addr);
+
+    /** Drop every line without writeback (crash model). */
+    void invalidateAll();
+
+    /** Call @p fn on every valid line. fn may mutate the line. */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn)
+    {
+        for (auto &line : lines) {
+            if (line.valid)
+                fn(line);
+        }
+    }
+
+    Tick latency() const { return latency_; }
+    unsigned numSets() const { return numSets_; }
+    unsigned associativity() const { return assoc; }
+
+    StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    /** Index of the set holding @p line_addr. */
+    unsigned setIndex(Addr line_addr) const;
+
+    unsigned assoc;
+    unsigned numSets_;
+    Tick latency_;
+    std::uint64_t useClock = 0;
+    std::vector<CacheLine> lines;
+    StatSet stats_;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_MEM_CACHE_HH

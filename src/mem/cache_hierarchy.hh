@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Three-level cache hierarchy: private L1/L2 per core and a shared,
+ * inclusive LLC, backed by a PersistenceController.
+ *
+ * The hierarchy is functional (lines carry data) and timed (each level
+ * adds its hit latency; misses add the controller's fill latency). Dirty
+ * evictions cascade L1 -> L2 -> LLC; LLC victims are back-invalidated
+ * from all upper levels, merged, and handed to the controller, which is
+ * where crash-consistency schemes differ (home region vs out-of-place).
+ *
+ * Coherence: the simulator executes cores one at a time, so a simple
+ * invalidate-on-write protocol with an LLC-side sharer mask suffices.
+ * Workloads use application-level locking for inter-transaction
+ * concurrency control (as the paper assumes, §III-G), so cross-core
+ * write sharing is rare; the protocol is nonetheless complete.
+ */
+
+#ifndef HOOPNVM_MEM_CACHE_HIERARCHY_HH
+#define HOOPNVM_MEM_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "controller/persistence_controller.hh"
+#include "mem/cache.hh"
+#include "sim/system_config.hh"
+
+namespace hoopnvm
+{
+
+/** Per-core L1/L2 plus shared inclusive LLC. */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const SystemConfig &cfg);
+
+    /** Attach the memory-controller persistence scheme. */
+    void setController(PersistenceController *c) { ctrl = c; }
+
+    /**
+     * Timed load of the aligned 8-byte word at @p addr.
+     * @return Completion tick; the value is stored in @p out.
+     */
+    Tick loadWord(CoreId core, Addr addr, std::uint64_t &out, Tick now);
+
+    /**
+     * Timed store of the aligned 8-byte word at @p addr. If the core is
+     * inside a transaction the line's persistent bit is set and the
+     * controller's storeWord hook is invoked (Fig. 6 store path).
+     * @return Completion tick.
+     */
+    Tick storeWord(CoreId core, Addr addr, std::uint64_t value, Tick now);
+
+    /** Untimed coherent read for verification (caches beat NVM). */
+    void debugRead(Addr addr, void *buf, std::size_t len) const;
+
+    /** Power failure: all cached state vanishes, nothing written back. */
+    void dropAll();
+
+    /** Flush every dirty line down to the controller (end of run). */
+    void writebackAll(Tick now);
+
+    Cache &llc() { return *llc_; }
+    Cache &l1(CoreId core) { return *l1s[core]; }
+    Cache &l2(CoreId core) { return *l2s[core]; }
+
+    StatSet &stats() { return stats_; }
+
+    /** LLC miss ratio over all accesses so far. */
+    double llcMissRatio() const;
+
+  private:
+    /** Returns the L1 line for @p line, fetching through the levels. */
+    CacheLine *ensureInL1(CoreId core, Addr line, bool for_store,
+                          Tick &t);
+
+    /** Insert into L1; dirty victims merge into L2. */
+    void insertL1(CoreId core, Addr line, const std::uint8_t *data,
+                  bool dirty, bool persistent, CoreId writer, TxId tx,
+                  std::uint8_t mask, Tick now);
+
+    /** Insert into L2; dirty victims merge into the LLC. */
+    void insertL2(CoreId core, Addr line, const std::uint8_t *data,
+                  bool dirty, bool persistent, CoreId writer, TxId tx,
+                  std::uint8_t mask, Tick now);
+
+    /** Insert into the LLC; victims are back-invalidated and evicted. */
+    void insertLlc(CoreId core, Addr line, const std::uint8_t *data,
+                   bool dirty, bool persistent, CoreId writer, TxId tx,
+                   std::uint8_t mask, Tick now);
+
+    /** Handle an LLC victim: merge upper copies, hand to controller. */
+    void retireLlcVictim(CacheVictim &&victim, Tick now);
+
+    /**
+     * Pull the freshest copy of @p line from other cores' private
+     * caches into @p llc_line, invalidating them if @p exclusive.
+     */
+    void reconcileSharers(CoreId core, Addr line, CacheLine &llc_line,
+                          bool exclusive);
+
+    /** Drop @p core from the sharer mask if its L1/L2 no longer hold
+     *  @p line. */
+    void updateSharerOnDrop(CoreId core, Addr line);
+
+    const SystemConfig &cfg;
+    PersistenceController *ctrl = nullptr;
+    std::vector<std::unique_ptr<Cache>> l1s;
+    std::vector<std::unique_ptr<Cache>> l2s;
+    std::unique_ptr<Cache> llc_;
+
+    /** Which cores may hold each LLC-resident line in L1/L2. */
+    std::unordered_map<Addr, std::uint32_t> sharers;
+
+    StatSet stats_;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_MEM_CACHE_HIERARCHY_HH

@@ -1,0 +1,31 @@
+#include "nvm/energy_model.hh"
+
+namespace hoopnvm
+{
+
+EnergyModel::EnergyModel(EnergyParams params_)
+    : params(params_)
+{
+}
+
+void
+EnergyModel::charge(std::size_t bytes, bool is_write)
+{
+    const double bits = static_cast<double>(bytes) * 8.0;
+    if (is_write) {
+        writePj += bits *
+            (params.rowBufferWritePjPerBit + params.arrayWritePjPerBit);
+    } else {
+        readPj += bits *
+            (params.rowBufferReadPjPerBit + params.arrayReadPjPerBit);
+    }
+}
+
+void
+EnergyModel::reset()
+{
+    readPj = 0.0;
+    writePj = 0.0;
+}
+
+} // namespace hoopnvm

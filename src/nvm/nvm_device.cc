@@ -1,0 +1,154 @@
+#include "nvm/nvm_device.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hoopnvm
+{
+
+NvmDevice::NvmDevice(std::uint64_t capacity, NvmTiming timing,
+                     EnergyParams energy)
+    : capacity_(capacity), timing_(timing), energy_(energy)
+{
+    HOOP_ASSERT(capacity_ > 0, "NVM capacity must be non-zero");
+}
+
+NvmDevice::Page &
+NvmDevice::pageFor(Addr addr)
+{
+    HOOP_ASSERT(addr < capacity_, "NVM address 0x%llx out of range",
+                static_cast<unsigned long long>(addr));
+    auto &slot = pages[addr / kPageBytes];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+const NvmDevice::Page *
+NvmDevice::pageIfPresent(Addr addr) const
+{
+    HOOP_ASSERT(addr < capacity_, "NVM address 0x%llx out of range",
+                static_cast<unsigned long long>(addr));
+    auto it = pages.find(addr / kPageBytes);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+Tick
+NvmDevice::reserve(Tick now, std::size_t len, bool is_write)
+{
+    const Tick start = std::max(now, channelFree_);
+    const Tick transfer = timing_.transferTicks(len);
+    // The access holds the channel/bank for the transfer plus the
+    // device-side busy time; its own completion additionally pays the
+    // (pipelined) access latency.
+    channelFree_ = start + transfer +
+                   (is_write ? timing_.writeBusy : timing_.readBusy);
+    const Tick latency =
+        is_write ? timing_.writeLatency : timing_.readLatency;
+
+    energy_.charge(len, is_write);
+    if (is_write) {
+        bytesWritten_ += len;
+        ++writeAccesses_;
+    } else {
+        bytesRead_ += len;
+        ++readAccesses_;
+    }
+    return start + latency + transfer;
+}
+
+Tick
+NvmDevice::read(Tick now, Addr addr, void *buf, std::size_t len)
+{
+    peek(addr, buf, len);
+    return reserve(now, len, false);
+}
+
+Tick
+NvmDevice::write(Tick now, Addr addr, const void *buf, std::size_t len)
+{
+    poke(addr, buf, len);
+    return reserve(now, len, true);
+}
+
+Tick
+NvmDevice::writeAccounting(Tick now, std::size_t len)
+{
+    return reserve(now, len, true);
+}
+
+Tick
+NvmDevice::readAccounting(Tick now, std::size_t len)
+{
+    return reserve(now, len, false);
+}
+
+void
+NvmDevice::peek(Addr addr, void *buf, std::size_t len) const
+{
+    auto *out = static_cast<std::uint8_t *>(buf);
+    while (len > 0) {
+        const std::uint64_t off = addr % kPageBytes;
+        const std::size_t chunk =
+            std::min<std::size_t>(len, kPageBytes - off);
+        if (const Page *p = pageIfPresent(addr))
+            std::memcpy(out, p->data() + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        addr += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+NvmDevice::poke(Addr addr, const void *buf, std::size_t len)
+{
+    const auto *in = static_cast<const std::uint8_t *>(buf);
+    while (len > 0) {
+        const std::uint64_t off = addr % kPageBytes;
+        const std::size_t chunk =
+            std::min<std::size_t>(len, kPageBytes - off);
+        std::memcpy(pageFor(addr).data() + off, in, chunk);
+        addr += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+std::uint64_t
+NvmDevice::peekWord(Addr addr) const
+{
+    std::uint64_t v = 0;
+    peek(addr, &v, sizeof(v));
+    return v;
+}
+
+void
+NvmDevice::pokeWord(Addr addr, std::uint64_t value)
+{
+    poke(addr, &value, sizeof(value));
+}
+
+void
+NvmDevice::resetCounters()
+{
+    bytesRead_ = 0;
+    bytesWritten_ = 0;
+    readAccesses_ = 0;
+    writeAccesses_ = 0;
+    energy_.reset();
+}
+
+void
+NvmDevice::clear()
+{
+    pages.clear();
+    channelFree_ = 0;
+    resetCounters();
+}
+
+} // namespace hoopnvm

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Byte-addressable NVM device model.
+ *
+ * The device is both *functional* (it stores real bytes, sparsely backed
+ * so a 512 GB simulated capacity costs only what is touched) and *timed*
+ * (each accounted access reserves the channel, so background traffic such
+ * as garbage collection or asynchronous log checkpointing contends with
+ * foreground fills exactly as it would on real hardware).
+ *
+ * Timing model: an access starting at time `now` begins transferring at
+ * `start = max(now, channel_free)`; the channel is occupied for the
+ * transfer time (bytes / bandwidth) and the access completes at
+ * `start + device_latency + transfer`. Device latency is pipelined, so
+ * multiple outstanding accesses overlap their latencies but serialize on
+ * channel bandwidth — the behaviour the recovery experiment (Fig. 11)
+ * depends on.
+ *
+ * Accounting discipline: read()/write() move bytes *and* charge
+ * time/energy/traffic. peek()/poke() move bytes silently and exist for
+ * test verification and pre-simulation state setup only.
+ */
+
+#ifndef HOOPNVM_NVM_NVM_DEVICE_HH
+#define HOOPNVM_NVM_NVM_DEVICE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "nvm/energy_model.hh"
+#include "nvm/nvm_timing.hh"
+#include "stats/stat_set.hh"
+
+namespace hoopnvm
+{
+
+/** Sparse, timed, byte-addressable non-volatile memory device. */
+class NvmDevice
+{
+  public:
+    /**
+     * @param capacity Total device capacity in bytes.
+     * @param timing   Latency and bandwidth parameters.
+     * @param energy   Per-bit energy parameters.
+     */
+    NvmDevice(std::uint64_t capacity, NvmTiming timing,
+              EnergyParams energy = EnergyParams{});
+
+    /** Timed read: copies bytes out and returns the completion tick. */
+    Tick read(Tick now, Addr addr, void *buf, std::size_t len);
+
+    /** Timed write: copies bytes in and returns the completion tick. */
+    Tick write(Tick now, Addr addr, const void *buf, std::size_t len);
+
+    /**
+     * Timed write without data movement, for modelled traffic whose
+     * payload the functional state does not need (e.g. log metadata
+     * padding). Charges time, energy and traffic only.
+     */
+    Tick writeAccounting(Tick now, std::size_t len);
+
+    /** Timed read without data movement (see writeAccounting). */
+    Tick readAccounting(Tick now, std::size_t len);
+
+    /** Untimed read for verification / recovery replay inspection. */
+    void peek(Addr addr, void *buf, std::size_t len) const;
+
+    /** Untimed write for pre-simulation state setup. */
+    void poke(Addr addr, const void *buf, std::size_t len);
+
+    /** Untimed 8-byte convenience peek. */
+    std::uint64_t peekWord(Addr addr) const;
+
+    /** Untimed 8-byte convenience poke. */
+    void pokeWord(Addr addr, std::uint64_t value);
+
+    std::uint64_t capacity() const { return capacity_; }
+    const NvmTiming &timing() const { return timing_; }
+    void setTiming(const NvmTiming &t) { timing_ = t; }
+
+    std::uint64_t bytesRead() const { return bytesRead_; }
+    std::uint64_t bytesWritten() const { return bytesWritten_; }
+    std::uint64_t readAccesses() const { return readAccesses_; }
+    std::uint64_t writeAccesses() const { return writeAccesses_; }
+    const EnergyModel &energy() const { return energy_; }
+
+    /** First tick at which the channel is free. */
+    Tick channelFree() const { return channelFree_; }
+
+    /** Reset traffic/energy counters (not the stored bytes). */
+    void resetCounters();
+
+    /** Drop all stored bytes and counters (fresh device). */
+    void clear();
+
+  private:
+    static constexpr std::uint64_t kPageBytes = 4096;
+    using Page = std::array<std::uint8_t, kPageBytes>;
+
+    /** Backing page for @p addr, created zero-filled on demand. */
+    Page &pageFor(Addr addr);
+
+    /** Backing page for @p addr if it exists, else nullptr. */
+    const Page *pageIfPresent(Addr addr) const;
+
+    /** Common channel-reservation timing for one access. */
+    Tick reserve(Tick now, std::size_t len, bool is_write);
+
+    std::uint64_t capacity_;
+    NvmTiming timing_;
+    EnergyModel energy_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages;
+
+    Tick channelFree_ = 0;
+    std::uint64_t bytesRead_ = 0;
+    std::uint64_t bytesWritten_ = 0;
+    std::uint64_t readAccesses_ = 0;
+    std::uint64_t writeAccesses_ = 0;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_NVM_NVM_DEVICE_HH

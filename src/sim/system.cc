@@ -1,0 +1,242 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "baselines/lad_controller.hh"
+#include "baselines/lsm_controller.hh"
+#include "baselines/osp_controller.hh"
+#include "baselines/redo_controller.hh"
+#include "baselines/undo_controller.hh"
+#include "common/logging.hh"
+#include "controller/native_controller.hh"
+#include "hoop/hoop_controller.hh"
+
+namespace hoopnvm
+{
+
+std::unique_ptr<PersistenceController>
+makeController(Scheme scheme, NvmDevice &nvm, const SystemConfig &cfg)
+{
+    switch (scheme) {
+      case Scheme::Native:
+        return std::make_unique<NativeController>(nvm, cfg);
+      case Scheme::Hoop:
+        return std::make_unique<HoopController>(nvm, cfg);
+      case Scheme::OptRedo:
+        return std::make_unique<RedoController>(nvm, cfg);
+      case Scheme::OptUndo:
+        return std::make_unique<UndoController>(nvm, cfg);
+      case Scheme::Osp:
+        return std::make_unique<OspController>(nvm, cfg);
+      case Scheme::Lsm:
+        return std::make_unique<LsmController>(nvm, cfg);
+      case Scheme::Lad:
+        return std::make_unique<LadController>(nvm, cfg);
+    }
+    HOOP_PANIC("unknown scheme");
+}
+
+System::System(const SystemConfig &cfg, Scheme scheme)
+    : cfg_(cfg), scheme_(scheme)
+{
+    nvm_ = std::make_unique<NvmDevice>(cfg_.nvmCapacity(), cfg_.nvm,
+                                       cfg_.energy);
+    ctrl_ = makeController(scheme, *nvm_, cfg_);
+    caches_ = std::make_unique<CacheHierarchy>(cfg_);
+    caches_->setController(ctrl_.get());
+    alloc_ = std::make_unique<SimAllocator>(cfg_.homeBase(),
+                                            cfg_.homeBytes,
+                                            cfg_.numCores);
+    cores_.reserve(cfg_.numCores);
+    for (unsigned c = 0; c < cfg_.numCores; ++c)
+        cores_.emplace_back(c);
+    txStart.resize(cfg_.numCores, 0);
+}
+
+System::~System() = default;
+
+void
+System::txBegin(CoreId core)
+{
+    Core &c = cores_[core];
+    HOOP_ASSERT(!c.inTx(), "nested txBegin on core %u", core);
+    c.advanceBy(cfg_.opCost()); // Tx_begin sets the tx-state bit
+    ctrl_->txBegin(core, c.clock());
+    c.setInTx(true);
+    txStart[core] = c.clock();
+}
+
+void
+System::txEnd(CoreId core)
+{
+    Core &c = cores_[core];
+    HOOP_ASSERT(c.inTx(), "txEnd without txBegin on core %u", core);
+    const Tick done = ctrl_->txEnd(core, c.clock() + cfg_.opCost());
+    c.advanceTo(done);
+    c.setInTx(false);
+    ++committedTx_;
+    criticalPathSum_ += c.clock() - txStart[core];
+}
+
+std::uint64_t
+System::loadWord(CoreId core, Addr addr)
+{
+    Core &c = cores_[core];
+    std::uint64_t v = 0;
+    c.advanceTo(caches_->loadWord(core, addr, v, c.clock()));
+    return v;
+}
+
+void
+System::storeWord(CoreId core, Addr addr, std::uint64_t value)
+{
+    if (crashCountdown > 0 && --crashCountdown == 0)
+        throw SimCrash{};
+    Core &c = cores_[core];
+    c.advanceTo(caches_->storeWord(core, addr, value, c.clock()));
+}
+
+void
+System::readBytes(CoreId core, Addr addr, void *buf, std::size_t len)
+{
+    HOOP_ASSERT(isAligned(addr, kWordSize) && len % kWordSize == 0,
+                "readBytes requires word alignment");
+    auto *out = static_cast<std::uint8_t *>(buf);
+    for (std::size_t off = 0; off < len; off += kWordSize) {
+        const std::uint64_t v = loadWord(core, addr + off);
+        std::memcpy(out + off, &v, kWordSize);
+    }
+}
+
+void
+System::writeBytes(CoreId core, Addr addr, const void *buf,
+                   std::size_t len)
+{
+    HOOP_ASSERT(isAligned(addr, kWordSize) && len % kWordSize == 0,
+                "writeBytes requires word alignment");
+    const auto *in = static_cast<const std::uint8_t *>(buf);
+    for (std::size_t off = 0; off < len; off += kWordSize) {
+        std::uint64_t v;
+        std::memcpy(&v, in + off, kWordSize);
+        storeWord(core, addr + off, v);
+    }
+}
+
+Addr
+System::alloc(CoreId core, std::uint64_t size, std::uint64_t align)
+{
+    return alloc_->alloc(core, size, align);
+}
+
+void
+System::pokeInit(Addr addr, const void *buf, std::size_t len)
+{
+    HOOP_ASSERT(addr + len <= cfg_.homeBytes,
+                "pokeInit outside the home region");
+    nvm_->poke(addr, buf, len);
+}
+
+void
+System::debugRead(Addr addr, void *buf, std::size_t len) const
+{
+    caches_->debugRead(addr, buf, len);
+}
+
+std::uint64_t
+System::debugLoadWord(Addr addr) const
+{
+    std::uint64_t v = 0;
+    debugRead(addr, &v, kWordSize);
+    return v;
+}
+
+void
+System::scheduleCrashAfterStores(std::uint64_t n)
+{
+    crashCountdown = n;
+}
+
+void
+System::crash()
+{
+    caches_->dropAll();
+    ctrl_->crash();
+    for (auto &c : cores_)
+        c.reset();
+    crashCountdown = 0;
+}
+
+Tick
+System::recover(unsigned threads)
+{
+    return ctrl_->recover(threads);
+}
+
+void
+System::maintenance()
+{
+    ctrl_->maintenance(minClock());
+}
+
+void
+System::finalize()
+{
+    const Tick t = maxClock();
+    caches_->writebackAll(t);
+    ctrl_->drain(t);
+}
+
+void
+System::beginMeasurement()
+{
+    nvm_->resetCounters();
+    committedTx_ = 0;
+    criticalPathSum_ = 0;
+    measureStart = maxClock();
+}
+
+RunMetrics
+System::metrics() const
+{
+    RunMetrics m;
+    m.transactions = committedTx_;
+    m.simTicks = maxClock() - measureStart;
+    if (m.simTicks > 0) {
+        m.txPerSecond = static_cast<double>(m.transactions) /
+                        (static_cast<double>(m.simTicks) * 1e-12);
+    }
+    if (m.transactions > 0) {
+        m.avgCriticalPathNs =
+            ticksToNs(criticalPathSum_) /
+            static_cast<double>(m.transactions);
+        m.bytesWrittenPerTx =
+            static_cast<double>(nvm_->bytesWritten()) /
+            static_cast<double>(m.transactions);
+    }
+    m.nvmBytesWritten = nvm_->bytesWritten();
+    m.nvmBytesRead = nvm_->bytesRead();
+    m.energyPj = nvm_->energy().totalEnergyPj();
+    m.llcMissRatio = caches_->llcMissRatio();
+    return m;
+}
+
+Tick
+System::minClock() const
+{
+    Tick t = cores_[0].clock();
+    for (const Core &c : cores_)
+        t = std::min(t, c.clock());
+    return t;
+}
+
+Tick
+System::maxClock() const
+{
+    Tick t = 0;
+    for (const Core &c : cores_)
+        t = std::max(t, c.clock());
+    return t;
+}
+
+} // namespace hoopnvm

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The complete simulated system: cores, cache hierarchy, persistence
+ * controller (selected by Scheme) and the NVM device, wired per the
+ * paper's Table II configuration.
+ *
+ * System is the public API workloads and benches program against:
+ * transactional word loads/stores with failure-atomic regions, crash
+ * injection, recovery, and measurement collection.
+ */
+
+#ifndef HOOPNVM_SIM_SYSTEM_HH
+#define HOOPNVM_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "controller/persistence_controller.hh"
+#include "mem/cache_hierarchy.hh"
+#include "nvm/nvm_device.hh"
+#include "sim/core.hh"
+#include "sim/system_config.hh"
+#include "txn/sim_allocator.hh"
+
+namespace hoopnvm
+{
+
+/** Thrown when a scheduled crash point fires mid-execution. */
+struct SimCrash
+{
+};
+
+/** Measurement snapshot of one run. */
+struct RunMetrics
+{
+    std::uint64_t transactions = 0;
+    Tick simTicks = 0;
+
+    /** Committed transactions per simulated second. */
+    double txPerSecond = 0.0;
+
+    /** Mean Tx_begin..Tx_end latency in nanoseconds (Fig. 7b). */
+    double avgCriticalPathNs = 0.0;
+
+    std::uint64_t nvmBytesWritten = 0;
+    std::uint64_t nvmBytesRead = 0;
+
+    /** Bytes written to NVM per committed transaction (Fig. 8). */
+    double bytesWrittenPerTx = 0.0;
+
+    /** NVM access energy in picojoules (Fig. 9). */
+    double energyPj = 0.0;
+
+    double llcMissRatio = 0.0;
+};
+
+/** A full simulated machine running one persistence scheme. */
+class System
+{
+  public:
+    /** Build a system; @p cfg is copied and owned. */
+    System(const SystemConfig &cfg, Scheme scheme);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    // ---- Transactional execution API ----
+
+    /** Open a failure-atomic region on @p core. */
+    void txBegin(CoreId core);
+
+    /** Close and durably commit the region on @p core. */
+    void txEnd(CoreId core);
+
+    /** Timed word load. */
+    std::uint64_t loadWord(CoreId core, Addr addr);
+
+    /** Timed word store (transactional if inside a region). */
+    void storeWord(CoreId core, Addr addr, std::uint64_t value);
+
+    /** Timed multi-word read; addr and len must be word-aligned. */
+    void readBytes(CoreId core, Addr addr, void *buf, std::size_t len);
+
+    /** Timed multi-word write; addr and len must be word-aligned. */
+    void writeBytes(CoreId core, Addr addr, const void *buf,
+                    std::size_t len);
+
+    /** Allocate simulated home-region memory from @p core's arena. */
+    Addr alloc(CoreId core, std::uint64_t size,
+               std::uint64_t align = kWordSize);
+
+    /** Untimed setup write straight into the home region. */
+    void pokeInit(Addr addr, const void *buf, std::size_t len);
+
+    /** Untimed coherent read (caches, then controller view). */
+    void debugRead(Addr addr, void *buf, std::size_t len) const;
+
+    /** Untimed coherent word read. */
+    std::uint64_t debugLoadWord(Addr addr) const;
+
+    // ---- Crash & recovery ----
+
+    /**
+     * Arrange for SimCrash to be thrown after @p n more stores
+     * (0 disables). Used by the crash-consistency property tests.
+     */
+    void scheduleCrashAfterStores(std::uint64_t n);
+
+    /** Power failure: caches and volatile controller state vanish. */
+    void crash();
+
+    /** Run the scheme's recovery. @return modelled recovery ticks. */
+    Tick recover(unsigned threads);
+
+    // ---- Engine hooks ----
+
+    /** Invoke controller maintenance at the trailing core clock. */
+    void maintenance();
+
+    /** Flush caches and drain background work (end of measurement). */
+    void finalize();
+
+    /** Collect a metrics snapshot (call after finalize()). */
+    RunMetrics metrics() const;
+
+    /** Begin a measurement interval (resets traffic counters). */
+    void beginMeasurement();
+
+    // ---- Accessors ----
+
+    Core &core(CoreId c) { return cores_[c]; }
+    Tick minClock() const;
+    Tick maxClock() const;
+    const SystemConfig &config() const { return cfg_; }
+    Scheme scheme() const { return scheme_; }
+    NvmDevice &nvm() { return *nvm_; }
+    CacheHierarchy &caches() { return *caches_; }
+    PersistenceController &controller() { return *ctrl_; }
+    SimAllocator &allocator() { return *alloc_; }
+
+    /** Committed transactions since the last beginMeasurement(). */
+    std::uint64_t committedTx() const { return committedTx_; }
+
+    /** Sum of commit latencies since the last beginMeasurement(). */
+    Tick criticalPathSum() const { return criticalPathSum_; }
+
+  private:
+    SystemConfig cfg_;
+    Scheme scheme_;
+    std::unique_ptr<NvmDevice> nvm_;
+    std::unique_ptr<PersistenceController> ctrl_;
+    std::unique_ptr<CacheHierarchy> caches_;
+    std::unique_ptr<SimAllocator> alloc_;
+    std::vector<Core> cores_;
+
+    std::vector<Tick> txStart;
+    std::uint64_t committedTx_ = 0;
+    Tick criticalPathSum_ = 0;
+    std::uint64_t crashCountdown = 0;
+    Tick measureStart = 0;
+};
+
+/** Instantiate the persistence controller for @p scheme. */
+std::unique_ptr<PersistenceController>
+makeController(Scheme scheme, NvmDevice &nvm, const SystemConfig &cfg);
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_SIM_SYSTEM_HH

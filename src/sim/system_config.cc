@@ -1,0 +1,30 @@
+#include "sim/system_config.hh"
+
+#include "common/logging.hh"
+
+namespace hoopnvm
+{
+
+const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::Native:
+        return "Ideal";
+      case Scheme::Hoop:
+        return "HOOP";
+      case Scheme::OptRedo:
+        return "Opt-Redo";
+      case Scheme::OptUndo:
+        return "Opt-Undo";
+      case Scheme::Osp:
+        return "OSP";
+      case Scheme::Lsm:
+        return "LSM";
+      case Scheme::Lad:
+        return "LAD";
+    }
+    HOOP_PANIC("unknown scheme");
+}
+
+} // namespace hoopnvm

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Whole-system configuration, defaulted to the paper's Table II setup:
+ * 2.5 GHz cores, 32 KB 4-way L1, 256 KB 8-way inclusive L2, 2 MB 16-way
+ * inclusive LLC, NVM with 50/150 ns read/write latency, plus the HOOP
+ * structure sizes from §III-H (2 MB mapping table, 1 KB per-core OOP
+ * data buffer, 128 KB eviction buffer, 2 MB OOP blocks, 10 ms GC period).
+ *
+ * The simulated physical address space is laid out as:
+ *
+ *   [0, homeBytes)                      home region (application data)
+ *   [oopBase, oopBase + oopBytes)       HOOP out-of-place region
+ *   [auxBase, auxBase + auxBytes)       baseline log / shadow regions
+ */
+
+#ifndef HOOPNVM_SIM_SYSTEM_CONFIG_HH
+#define HOOPNVM_SIM_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "nvm/energy_model.hh"
+#include "nvm/nvm_timing.hh"
+
+namespace hoopnvm
+{
+
+/** Crash-consistency scheme selector (the paper's six systems). */
+enum class Scheme
+{
+    Native,  ///< No persistence guarantee ("Ideal" in Fig. 7).
+    Hoop,    ///< Hardware-assisted out-of-place update (this paper).
+    OptRedo, ///< Hardware redo logging after WrAP [13].
+    OptUndo, ///< Hardware undo logging after ATOM [24].
+    Osp,     ///< Optimized shadow paging after SSP [38], [39].
+    Lsm,     ///< Log-structured NVM after LSNVMM [17].
+    Lad,     ///< Logless atomic durability after LAD [16].
+};
+
+/** Printable name of @p s ("HOOP", "Opt-Redo", ...). */
+const char *schemeName(Scheme s);
+
+/** All schemes in the order the paper's figures list them. */
+inline constexpr Scheme kAllSchemes[] = {
+    Scheme::OptRedo, Scheme::OptUndo, Scheme::Osp,
+    Scheme::Lsm,     Scheme::Lad,     Scheme::Hoop,
+    Scheme::Native,
+};
+
+/** Cache hierarchy geometry and latencies. */
+struct CacheParams
+{
+    std::uint64_t l1Size = kiB(32);
+    unsigned l1Assoc = 4;
+    Tick l1Latency = nsToTicks(1.6); // 4 cycles @ 2.5 GHz
+
+    std::uint64_t l2Size = kiB(256);
+    unsigned l2Assoc = 8;
+    Tick l2Latency = nsToTicks(4.8); // 12 cycles
+
+    std::uint64_t llcSize = miB(2);
+    unsigned llcAssoc = 16;
+    Tick llcLatency = nsToTicks(16); // 40 cycles
+};
+
+/** Complete configuration of one simulated system. */
+struct SystemConfig
+{
+    /** Number of cores / workload threads (paper runs 8 threads). */
+    unsigned numCores = 8;
+
+    /** Core clock in GHz; non-memory work is charged in core cycles. */
+    double cpuGhz = 2.5;
+
+    /** Core cycles charged per executed load/store beyond memory time. */
+    unsigned opCycles = 1;
+
+    CacheParams cache;
+    NvmTiming nvm;
+    EnergyParams energy;
+
+    /** Home region size (application-visible NVM). */
+    std::uint64_t homeBytes = miB(512);
+
+    /** OOP region size; the paper reserves ~10% of capacity. */
+    std::uint64_t oopBytes = miB(48);
+
+    /** Auxiliary region for baseline logs / shadow copies. */
+    std::uint64_t auxBytes = miB(512) + miB(64);
+
+    // ---- HOOP parameters (§III-H) ----
+
+    /** Total mapping table capacity in bytes (2 MB default). */
+    std::uint64_t mappingTableBytes = miB(2);
+
+    /** Per-core OOP data buffer (1 KB default). */
+    std::uint64_t oopDataBufferBytesPerCore = kiB(1);
+
+    /** Eviction buffer capacity (128 KB default). */
+    std::uint64_t evictionBufferBytes = kiB(128);
+
+    /** OOP block size (2 MB default). */
+    std::uint64_t oopBlockBytes = miB(2);
+
+    /** Periodic GC trigger threshold (10 ms default, Fig. 10 sweeps). */
+    Tick gcPeriod = nsToTicks(10e6);
+
+    /** Enable word-granularity data packing (ablation switch). */
+    bool dataPacking = true;
+
+    /** Enable GC data coalescing (ablation switch). */
+    bool gcCoalescing = true;
+
+    // ---- Baseline parameters ----
+
+    /** Cost of one TLB shootdown charged to OSP commits. */
+    Tick tlbShootdownCost = nsToTicks(1800);
+
+    /** Commit handshake between cache and memory controller (LAD). */
+    Tick ladCommitOverhead = nsToTicks(120);
+
+    /** DRAM access latency used by LSM's software index walks. */
+    Tick dramLatency = nsToTicks(30);
+
+    /** CPU cycles of software bookkeeping per LSM index operation. */
+    unsigned lsmIndexCycles = 24;
+
+    /** RNG seed for workloads. */
+    std::uint64_t seed = 42;
+
+    /** Duration of one core cycle. */
+    Tick
+    cycle() const
+    {
+        return nsToTicks(1.0 / cpuGhz);
+    }
+
+    /** Base cost of one executed memory operation. */
+    Tick
+    opCost() const
+    {
+        return opCycles * cycle();
+    }
+
+    Addr homeBase() const { return 0; }
+    Addr oopBase() const { return homeBytes; }
+    Addr auxBase() const { return homeBytes + oopBytes; }
+
+    /** Total simulated NVM capacity. */
+    std::uint64_t
+    nvmCapacity() const
+    {
+        return homeBytes + oopBytes + auxBytes;
+    }
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_SIM_SYSTEM_CONFIG_HH

@@ -1,0 +1,43 @@
+#include "stats/stat_set.hh"
+
+#include <sstream>
+
+namespace hoopnvm
+{
+
+StatSet::StatSet(std::string prefix)
+    : prefix_(std::move(prefix))
+{
+}
+
+Counter &
+StatSet::counter(const std::string &name)
+{
+    return map[name];
+}
+
+std::uint64_t
+StatSet::value(const std::string &name) const
+{
+    auto it = map.find(name);
+    return it == map.end() ? 0 : it->second.value();
+}
+
+void
+StatSet::resetAll()
+{
+    for (auto &kv : map)
+        kv.second.reset();
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : map)
+        os << prefix_ << '.' << kv.first << ' ' << kv.second.value()
+           << '\n';
+    return os.str();
+}
+
+} // namespace hoopnvm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Every simulated component owns a StatSet and registers named counters
+ * in it. The System aggregates the StatSets of all components so benches
+ * can print any counter by name without each bench knowing the component
+ * internals.
+ */
+
+#ifndef HOOPNVM_STATS_STAT_SET_HH
+#define HOOPNVM_STATS_STAT_SET_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hoopnvm
+{
+
+/** A monotonically increasing named counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    Counter &operator++() { ++value_; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A set of named counters belonging to one component. */
+class StatSet
+{
+  public:
+    /** @param prefix Component name prepended to every counter name. */
+    explicit StatSet(std::string prefix);
+
+    /**
+     * Get-or-create the counter named @p name. References stay valid
+     * for the lifetime of the StatSet.
+     */
+    Counter &counter(const std::string &name);
+
+    /** Value of counter @p name, or 0 if it was never created. */
+    std::uint64_t value(const std::string &name) const;
+
+    /** Reset every counter to zero (used between measurement phases). */
+    void resetAll();
+
+    /** Render all counters as "prefix.name value" lines. */
+    std::string dump() const;
+
+    const std::string &prefix() const { return prefix_; }
+    const std::map<std::string, Counter> &counters() const { return map; }
+
+  private:
+    std::string prefix_;
+    std::map<std::string, Counter> map;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_STATS_STAT_SET_HH

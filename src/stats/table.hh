@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harness.
+ *
+ * Each bench binary regenerates one of the paper's figures or tables as
+ * rows of numbers; TablePrinter renders them with aligned columns so the
+ * output can be eyeballed against the paper and diffed run-to-run.
+ */
+
+#ifndef HOOPNVM_STATS_TABLE_HH
+#define HOOPNVM_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace hoopnvm
+{
+
+/** Collects rows of string cells and prints them column-aligned. */
+class TablePrinter
+{
+  public:
+    /** @param title Caption printed above the table. */
+    explicit TablePrinter(std::string title);
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row (cells may be fewer than header columns). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the whole table. */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Format a double with @p precision fractional digits. */
+    static std::string num(double v, int precision = 3);
+
+  private:
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_STATS_TABLE_HH

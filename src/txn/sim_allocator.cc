@@ -1,0 +1,42 @@
+#include "txn/sim_allocator.hh"
+
+#include "common/logging.hh"
+
+namespace hoopnvm
+{
+
+SimAllocator::SimAllocator(Addr base_, std::uint64_t bytes,
+                           unsigned n_arenas)
+    : base(base_), arenaBytes_(bytes / n_arenas)
+{
+    HOOP_ASSERT(n_arenas > 0, "allocator needs at least one arena");
+    cursor.resize(n_arenas);
+    // Skip the first line of each arena so address 0 is never handed
+    // out: workload structures use 0 as their null pointer.
+    for (unsigned a = 0; a < n_arenas; ++a)
+        cursor[a] = base + a * arenaBytes_ + kCacheLineSize;
+}
+
+Addr
+SimAllocator::alloc(unsigned arena, std::uint64_t size,
+                    std::uint64_t align)
+{
+    HOOP_ASSERT(arena < cursor.size(), "unknown arena %u", arena);
+    const Addr a = alignUp(cursor[arena], align);
+    const Addr arena_end = base + (arena + 1) * arenaBytes_;
+    if (a + size > arena_end) {
+        HOOP_FATAL("arena %u exhausted (%llu bytes requested); "
+                   "increase homeBytes",
+                   arena, static_cast<unsigned long long>(size));
+    }
+    cursor[arena] = a + size;
+    return a;
+}
+
+std::uint64_t
+SimAllocator::bytesUsed(unsigned arena) const
+{
+    return cursor[arena] - (base + arena * arenaBytes_);
+}
+
+} // namespace hoopnvm

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Bump allocator for simulated home-region memory.
+ *
+ * The home region is split into one arena per core so concurrently
+ * running workload threads allocate disjoint memory — matching the
+ * paper's setup where each thread operates on its own data structure
+ * or database tables (§IV-A), with inter-transaction concurrency
+ * handled by application-level locking.
+ */
+
+#ifndef HOOPNVM_TXN_SIM_ALLOCATOR_HH
+#define HOOPNVM_TXN_SIM_ALLOCATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hoopnvm
+{
+
+/** Per-arena bump allocator over the home region. */
+class SimAllocator
+{
+  public:
+    /**
+     * @param base     First byte of the managed range.
+     * @param bytes    Size of the managed range.
+     * @param n_arenas Number of equal arenas (one per core).
+     */
+    SimAllocator(Addr base, std::uint64_t bytes, unsigned n_arenas);
+
+    /**
+     * Allocate @p size bytes in @p arena, aligned to @p align.
+     * Exhaustion is a configuration error (fatal).
+     */
+    Addr alloc(unsigned arena, std::uint64_t size,
+               std::uint64_t align = kWordSize);
+
+    /** Bytes allocated so far in @p arena. */
+    std::uint64_t bytesUsed(unsigned arena) const;
+
+    /** Bytes each arena can hold. */
+    std::uint64_t arenaBytes() const { return arenaBytes_; }
+
+  private:
+    Addr base;
+    std::uint64_t arenaBytes_;
+    std::vector<Addr> cursor;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_TXN_SIM_ALLOCATOR_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Per-core transactional accessor handed to workloads.
+ *
+ * TxContext is the programming interface the paper exposes (§III-B):
+ * Tx_begin / Tx_end failure-atomic regions plus ordinary loads and
+ * stores in between — no clwb/mfence, no read/write wrapping. Typed
+ * helpers keep workload code readable; everything bottoms out in
+ * word-granularity System accesses.
+ */
+
+#ifndef HOOPNVM_TXN_TX_CONTEXT_HH
+#define HOOPNVM_TXN_TX_CONTEXT_HH
+
+#include <cstring>
+#include <type_traits>
+
+#include "common/rng.hh"
+#include "sim/system.hh"
+
+namespace hoopnvm
+{
+
+/** RAII-less transactional accessor bound to one core. */
+class TxContext
+{
+  public:
+    TxContext(System &sys, CoreId core, std::uint64_t seed)
+        : sys_(&sys), core_(core), rng_(seed)
+    {
+    }
+
+    void txBegin() { sys_->txBegin(core_); }
+    void txEnd() { sys_->txEnd(core_); }
+
+    std::uint64_t load(Addr a) { return sys_->loadWord(core_, a); }
+    void store(Addr a, std::uint64_t v) { sys_->storeWord(core_, a, v); }
+
+    void
+    read(Addr a, void *buf, std::size_t len)
+    {
+        sys_->readBytes(core_, a, buf, len);
+    }
+
+    void
+    write(Addr a, const void *buf, std::size_t len)
+    {
+        sys_->writeBytes(core_, a, buf, len);
+    }
+
+    /** Typed timed load of a trivially-copyable, word-multiple T. */
+    template <typename T>
+    T
+    loadT(Addr a)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        static_assert(sizeof(T) % kWordSize == 0);
+        T v;
+        read(a, &v, sizeof(T));
+        return v;
+    }
+
+    /** Typed timed store. */
+    template <typename T>
+    void
+    storeT(Addr a, const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        static_assert(sizeof(T) % kWordSize == 0);
+        write(a, &v, sizeof(T));
+    }
+
+    Addr
+    alloc(std::uint64_t size, std::uint64_t align = kWordSize)
+    {
+        return sys_->alloc(core_, size, align);
+    }
+
+    /** Untimed setup write (pre-existing data in NVM). */
+    void
+    init(Addr a, const void *buf, std::size_t len)
+    {
+        sys_->pokeInit(a, buf, len);
+    }
+
+    /** Untimed verification read. */
+    void
+    debugRead(Addr a, void *buf, std::size_t len) const
+    {
+        sys_->debugRead(a, buf, len);
+    }
+
+    std::uint64_t
+    debugLoad(Addr a) const
+    {
+        return sys_->debugLoadWord(a);
+    }
+
+    CoreId core() const { return core_; }
+    Rng &rng() { return rng_; }
+    System &system() { return *sys_; }
+
+  private:
+    System *sys_;
+    CoreId core_;
+    Rng rng_;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_TXN_TX_CONTEXT_HH

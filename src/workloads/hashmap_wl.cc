@@ -1,0 +1,126 @@
+#include "workloads/hashmap_wl.hh"
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "workloads/value_pattern.hh"
+
+namespace hoopnvm
+{
+
+HashmapWorkload::HashmapWorkload(TxContext ctx_, std::size_t value_bytes,
+                                 std::uint64_t key_space)
+    : Workload(std::move(ctx_)), valueBytes(value_bytes),
+      keySpace(key_space)
+{
+    HOOP_ASSERT(valueBytes % kWordSize == 0,
+                "value size must be a word multiple");
+}
+
+Addr
+HashmapWorkload::bucketAddr(std::uint64_t slot) const
+{
+    return table + slot * bucketBytes();
+}
+
+void
+HashmapWorkload::setup()
+{
+    // Keep the load factor at 1/2 so probing stays short.
+    slots = 1;
+    while (slots < keySpace * 2)
+        slots <<= 1;
+    table = ctx.alloc(slots * bucketBytes(), kCacheLineSize);
+    // Buckets start zeroed (key 0 = empty); NVM reads as zero.
+    shadow.clear();
+}
+
+std::uint64_t
+HashmapWorkload::probe(std::uint64_t key, bool &found)
+{
+    std::uint64_t slot = mixHash(key) & (slots - 1);
+    for (std::uint64_t i = 0; i < slots; ++i) {
+        const std::uint64_t k = ctx.load(bucketAddr(slot));
+        if (k == key) {
+            found = true;
+            return slot;
+        }
+        if (k == 0) {
+            found = false;
+            return slot;
+        }
+        slot = (slot + 1) & (slots - 1);
+    }
+    HOOP_FATAL("hash table full (key space too large for table)");
+}
+
+void
+HashmapWorkload::runTransaction(std::uint64_t)
+{
+    // One insert or update per transaction. Inserts write the key and
+    // full value; updates rewrite one interleaved region (eight
+    // scattered words) plus the version word, matching Table III's
+    // 8 stores/tx at fine granularity.
+    const std::size_t item_words = valueBytes / kWordSize;
+    const std::size_t stride = regionStride(item_words);
+
+    // Keys are 1-based so 0 can mark an empty bucket.
+    const std::uint64_t key = 1 + ctx.rng().nextBounded(keySpace);
+    auto it = shadow.find(key);
+    const std::uint64_t ver = it == shadow.end() ? 0 : it->second + 1;
+
+    ctx.txBegin();
+    bool found = false;
+    const std::uint64_t slot = probe(key, found);
+    if (ver == 0) {
+        HOOP_ASSERT(!found, "fresh key already present");
+        std::vector<std::uint8_t> buf(valueBytes);
+        fillPattern(buf.data(), valueBytes, key, 0);
+        ctx.store(bucketAddr(slot), key);
+        ctx.store(bucketAddr(slot) + 8, 0);
+        ctx.write(bucketAddr(slot) + 16, buf.data(), valueBytes);
+    } else {
+        HOOP_ASSERT(found, "committed key missing");
+        ctx.store(bucketAddr(slot) + 8, ver);
+        const std::size_t region = ver % stride;
+        for (std::size_t j = region; j < item_words; j += stride) {
+            ctx.store(bucketAddr(slot) + 16 + j * kWordSize,
+                      patternWord(key, ver, j * kWordSize));
+        }
+    }
+    ctx.txEnd();
+    shadow[key] = ver;
+}
+
+bool
+HashmapWorkload::verify() const
+{
+    for (const auto &kv : shadow) {
+        // Probe with untimed reads.
+        std::uint64_t slot = mixHash(kv.first) & (slots - 1);
+        bool located = false;
+        for (std::uint64_t i = 0; i < slots; ++i) {
+            const std::uint64_t k = ctx.debugLoad(bucketAddr(slot));
+            if (k == kv.first) {
+                located = true;
+                break;
+            }
+            if (k == 0)
+                return false;
+            slot = (slot + 1) & (slots - 1);
+        }
+        if (!located)
+            return false;
+        if (ctx.debugLoad(bucketAddr(slot) + 8) != kv.second)
+            return false;
+        const std::size_t item_words = valueBytes / kWordSize;
+        for (std::size_t w = 0; w < item_words; ++w) {
+            if (ctx.debugLoad(bucketAddr(slot) + 16 + w * kWordSize) !=
+                expectedWord(kv.first, kv.second, w, item_words)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace hoopnvm

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Persistent hashmap workload (Table III: 8 stores/tx, 100% writes).
+ *
+ * An open-addressing (linear probing) hash table in simulated NVM.
+ * Buckets hold an 8-byte key (0 = empty), an 8-byte version and the
+ * value payload. Each transaction inserts or updates eight entries.
+ */
+
+#ifndef HOOPNVM_WORKLOADS_HASHMAP_WL_HH
+#define HOOPNVM_WORKLOADS_HASHMAP_WL_HH
+
+#include <unordered_map>
+
+#include "workloads/workload.hh"
+
+namespace hoopnvm
+{
+
+/** Transactional open-addressing hash table. */
+class HashmapWorkload : public Workload
+{
+  public:
+    /**
+     * @param value_bytes Payload per entry.
+     * @param key_space   Distinct keys drawn (table holds 2x slots).
+     */
+    HashmapWorkload(TxContext ctx, std::size_t value_bytes,
+                    std::uint64_t key_space);
+
+    const char *name() const override { return "hashmap"; }
+    void setup() override;
+    void runTransaction(std::uint64_t i) override;
+    bool verify() const override;
+
+  private:
+    std::size_t bucketBytes() const { return 16 + valueBytes; }
+    Addr bucketAddr(std::uint64_t slot) const;
+
+    /**
+     * Probe for @p key with timed loads.
+     * @return Slot holding the key, or the empty slot to insert into.
+     */
+    std::uint64_t probe(std::uint64_t key, bool &found);
+
+    std::size_t valueBytes;
+    std::uint64_t keySpace;
+    std::uint64_t slots = 0;
+    Addr table = kInvalidAddr;
+
+    /** Committed key -> version. */
+    std::unordered_map<std::uint64_t, std::uint64_t> shadow;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_WORKLOADS_HASHMAP_WL_HH

@@ -1,0 +1,87 @@
+#include "workloads/queue_wl.hh"
+
+#include "common/logging.hh"
+#include "workloads/value_pattern.hh"
+
+namespace hoopnvm
+{
+
+QueueWorkload::QueueWorkload(TxContext ctx_, std::size_t value_bytes,
+                             std::uint64_t capacity_)
+    : Workload(std::move(ctx_)), valueBytes(value_bytes),
+      capacity(capacity_)
+{
+    HOOP_ASSERT(valueBytes % kWordSize == 0,
+                "item size must be a word multiple");
+}
+
+Addr
+QueueWorkload::slotAddr(std::uint64_t seq) const
+{
+    return slotsBase + (seq % capacity) * valueBytes;
+}
+
+void
+QueueWorkload::setup()
+{
+    headAddr = ctx.alloc(kWordSize, kCacheLineSize);
+    tailAddr = ctx.alloc(kWordSize);
+    slotsBase = ctx.alloc(capacity * valueBytes, kCacheLineSize);
+    committedHead = 0;
+    committedTail = 0;
+    shadow.clear();
+}
+
+void
+QueueWorkload::runTransaction(std::uint64_t)
+{
+    std::uint64_t head = committedHead;
+    std::uint64_t tail = committedTail;
+
+    ctx.txBegin();
+    std::vector<std::uint8_t> buf(valueBytes);
+    for (unsigned op = 0; op < 4; ++op) {
+        const bool enqueue =
+            (op % 2 == 0) || tail == head; // alternate, never underflow
+        if (enqueue && tail - head < capacity) {
+            fillPattern(buf.data(), valueBytes, tail, 0);
+            ctx.write(slotAddr(tail), buf.data(), valueBytes);
+            ++tail;
+            ctx.store(tailAddr, tail);
+        } else if (tail > head) {
+            // Dequeue: read the item, then advance head.
+            ctx.read(slotAddr(head), buf.data(), valueBytes);
+            ++head;
+            ctx.store(headAddr, head);
+        }
+    }
+    ctx.txEnd();
+
+    // Commit shadow state.
+    while (committedTail < tail) {
+        shadow.push_back(committedTail);
+        ++committedTail;
+    }
+    while (committedHead < head) {
+        shadow.pop_front();
+        ++committedHead;
+    }
+}
+
+bool
+QueueWorkload::verify() const
+{
+    if (ctx.debugLoad(headAddr) != committedHead)
+        return false;
+    if (ctx.debugLoad(tailAddr) != committedTail)
+        return false;
+    std::vector<std::uint8_t> buf(valueBytes);
+    for (std::uint64_t seq : shadow) {
+        ctx.debugRead(slotAddr(seq), buf.data(), valueBytes);
+        if (!checkPattern(buf.data(), valueBytes, seq, 0))
+            return false;
+    }
+    return true;
+}
+
+} // namespace hoopnvm

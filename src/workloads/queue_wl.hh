@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Persistent FIFO queue workload (Table III: 4 stores/tx, 100% writes).
+ *
+ * A ring buffer in simulated NVM: head and tail counters plus a slot
+ * array. Each transaction performs two enqueues and up to two dequeues,
+ * exercising both item writes and the pointer-update pattern whose
+ * persist ordering makes queues a classic crash-consistency test.
+ */
+
+#ifndef HOOPNVM_WORKLOADS_QUEUE_WL_HH
+#define HOOPNVM_WORKLOADS_QUEUE_WL_HH
+
+#include <deque>
+
+#include "workloads/workload.hh"
+
+namespace hoopnvm
+{
+
+/** Transactional ring-buffer queue. */
+class QueueWorkload : public Workload
+{
+  public:
+    QueueWorkload(TxContext ctx, std::size_t value_bytes,
+                  std::uint64_t capacity);
+
+    const char *name() const override { return "queue"; }
+    void setup() override;
+    void runTransaction(std::uint64_t i) override;
+    bool verify() const override;
+
+  private:
+    Addr slotAddr(std::uint64_t seq) const;
+
+    std::size_t valueBytes;
+    std::uint64_t capacity;
+    Addr headAddr = kInvalidAddr;
+    Addr tailAddr = kInvalidAddr;
+    Addr slotsBase = kInvalidAddr;
+
+    /** Committed queue contents: sequence numbers of live items. */
+    std::deque<std::uint64_t> shadow;
+    std::uint64_t committedHead = 0;
+    std::uint64_t committedTail = 0;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_WORKLOADS_QUEUE_WL_HH

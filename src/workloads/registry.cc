@@ -1,0 +1,139 @@
+#include "workloads/registry.hh"
+
+#include "common/logging.hh"
+#include "workloads/btree_wl.hh"
+#include "workloads/hashmap_wl.hh"
+#include "workloads/queue_wl.hh"
+#include "workloads/rbtree_wl.hh"
+#include "workloads/tpcc.hh"
+#include "workloads/vector_wl.hh"
+#include "workloads/ycsb.hh"
+
+namespace hoopnvm
+{
+
+namespace
+{
+
+TxContext
+contextFor(System &sys, CoreId core)
+{
+    return TxContext(sys, core,
+                     sys.config().seed * 7919 + core * 104729 + 1);
+}
+
+} // namespace
+
+WorkloadFactory
+makeWorkload(const std::string &name, const WorkloadParams &p)
+{
+    if (name == "vector") {
+        return [p](System &sys, CoreId core) {
+            return std::make_unique<VectorWorkload>(
+                contextFor(sys, core), p.valueBytes, p.scale);
+        };
+    }
+    if (name == "hashmap") {
+        return [p](System &sys, CoreId core) {
+            return std::make_unique<HashmapWorkload>(
+                contextFor(sys, core), p.valueBytes, p.scale);
+        };
+    }
+    if (name == "queue") {
+        return [p](System &sys, CoreId core) {
+            return std::make_unique<QueueWorkload>(
+                contextFor(sys, core), p.valueBytes, p.scale);
+        };
+    }
+    if (name == "rbtree") {
+        return [p](System &sys, CoreId core) {
+            return std::make_unique<RbTreeWorkload>(
+                contextFor(sys, core), p.valueBytes, p.scale * 4);
+        };
+    }
+    if (name == "btree") {
+        return [p](System &sys, CoreId core) {
+            return std::make_unique<BTreeWorkload>(
+                contextFor(sys, core), p.valueBytes, p.scale * 4);
+        };
+    }
+    if (name == "ycsb") {
+        return [p](System &sys, CoreId core) {
+            return std::make_unique<YcsbWorkload>(
+                contextFor(sys, core), p.valueBytes, p.scale,
+                p.ycsbUpdateRatio, p.ycsbTheta);
+        };
+    }
+    if (name == "tpcc") {
+        return [p](System &sys, CoreId core) {
+            return std::make_unique<TpccWorkload>(
+                contextFor(sys, core), p.scale, p.scale);
+        };
+    }
+    HOOP_FATAL("unknown workload '%s'", name.c_str());
+}
+
+std::vector<WorkloadSpec>
+syntheticSuite(const WorkloadParams &p)
+{
+    std::vector<WorkloadSpec> suite;
+    for (const char *name :
+         {"vector", "hashmap", "queue", "rbtree", "btree"}) {
+        suite.push_back({name, makeWorkload(name, p)});
+    }
+    return suite;
+}
+
+std::vector<WorkloadSpec>
+fullSuite(const WorkloadParams &p)
+{
+    std::vector<WorkloadSpec> suite = syntheticSuite(p);
+    suite.push_back({"ycsb", makeWorkload("ycsb", p)});
+    suite.push_back({"tpcc", makeWorkload("tpcc", p)});
+    return suite;
+}
+
+RunOutcome
+runWorkload(System &sys, const WorkloadFactory &factory,
+            std::uint64_t tx_per_core)
+{
+    const unsigned n_cores = sys.config().numCores;
+    std::vector<std::unique_ptr<Workload>> workloads;
+    workloads.reserve(n_cores);
+    for (unsigned c = 0; c < n_cores; ++c) {
+        workloads.push_back(factory(sys, c));
+        workloads.back()->setup();
+    }
+
+    sys.beginMeasurement();
+    std::vector<std::uint64_t> done(n_cores, 0);
+    std::uint64_t remaining = tx_per_core * n_cores;
+    while (remaining > 0) {
+        // Advance the core that is furthest behind in simulated time.
+        unsigned next = n_cores;
+        Tick best = ~Tick{0};
+        for (unsigned c = 0; c < n_cores; ++c) {
+            if (done[c] >= tx_per_core)
+                continue;
+            if (sys.core(c).clock() < best) {
+                best = sys.core(c).clock();
+                next = c;
+            }
+        }
+        HOOP_ASSERT(next < n_cores, "no runnable core");
+        workloads[next]->runTransaction(done[next]);
+        ++done[next];
+        --remaining;
+        sys.maintenance();
+    }
+    sys.finalize();
+
+    RunOutcome out;
+    out.metrics = sys.metrics();
+    out.verified = true;
+    for (const auto &wl : workloads)
+        out.verified = out.verified && wl->verify();
+    return out;
+}
+
+} // namespace hoopnvm

@@ -1,0 +1,151 @@
+#include "workloads/tpcc.hh"
+
+#include "common/logging.hh"
+#include "workloads/value_pattern.hh"
+
+namespace hoopnvm
+{
+
+namespace
+{
+constexpr std::uint64_t kInitialStock = 1000000;
+} // namespace
+
+TpccWorkload::TpccWorkload(TxContext ctx_, std::uint64_t items_,
+                           std::uint64_t max_orders)
+    : Workload(std::move(ctx_)), items(items_), maxOrders(max_orders)
+{
+}
+
+Addr
+TpccWorkload::stockAddr(std::uint64_t item) const
+{
+    return stockTable + item * kStockBytes;
+}
+
+Addr
+TpccWorkload::orderAddr(std::uint64_t o_id) const
+{
+    return orderTable + (o_id % maxOrders) * kOrderBytes;
+}
+
+Addr
+TpccWorkload::orderLineAddr(std::uint64_t ol_seq) const
+{
+    return orderLineTable + (ol_seq % (maxOrders * 15)) *
+                                kOrderLineBytes;
+}
+
+void
+TpccWorkload::setup()
+{
+    district = ctx.alloc(kDistrictBytes, kCacheLineSize);
+    itemTable = ctx.alloc(items * kItemBytes, kCacheLineSize);
+    stockTable = ctx.alloc(items * kStockBytes, kCacheLineSize);
+    orderTable = ctx.alloc(maxOrders * kOrderBytes, kCacheLineSize);
+    orderLineTable =
+        ctx.alloc(maxOrders * 15 * kOrderLineBytes, kCacheLineSize);
+
+    // District row: word 0 holds next_o_id.
+    const std::uint64_t one = 1;
+    ctx.init(district, &one, kWordSize);
+
+    std::vector<std::uint8_t> buf(kItemBytes);
+    for (std::uint64_t i = 0; i < items; ++i) {
+        fillPattern(buf.data(), kItemBytes, i, 7); // price etc.
+        ctx.init(itemTable + i * kItemBytes, buf.data(), kItemBytes);
+        // Stock row: word 0 = quantity, word 1 = ytd.
+        const std::uint64_t qty = kInitialStock;
+        ctx.init(stockAddr(i), &qty, kWordSize);
+    }
+
+    nextOid = 1;
+    nextOlSeq = 0;
+    stockQty.clear();
+    orderOlCounts.clear();
+}
+
+void
+TpccWorkload::runTransaction(std::uint64_t)
+{
+    const unsigned ol_cnt =
+        static_cast<unsigned>(ctx.rng().nextRange(5, 15));
+    std::vector<std::uint64_t> line_items(ol_cnt);
+    for (unsigned l = 0; l < ol_cnt; ++l)
+        line_items[l] = ctx.rng().nextBounded(items);
+
+    ctx.txBegin();
+
+    // Read district and claim the next order id.
+    const std::uint64_t o_id = ctx.load(district);
+    ctx.store(district, o_id + 1);
+
+    // Read customer/warehouse context (modelled as district row reads).
+    (void)ctx.load(district + 8);
+    (void)ctx.load(district + 16);
+
+    // Insert the order row: o_id and line count.
+    ctx.store(orderAddr(o_id), o_id);
+    ctx.store(orderAddr(o_id) + 8, ol_cnt);
+
+    std::uint64_t ol_seq = nextOlSeq;
+    for (unsigned l = 0; l < ol_cnt; ++l) {
+        const std::uint64_t item = line_items[l];
+        // Read the item row (price lookup).
+        (void)ctx.load(itemTable + item * kItemBytes);
+        (void)ctx.load(itemTable + item * kItemBytes + 8);
+        // Update the stock row.
+        const std::uint64_t qty = ctx.load(stockAddr(item));
+        ctx.store(stockAddr(item), qty - 1);
+        const std::uint64_t ytd = ctx.load(stockAddr(item) + 8);
+        ctx.store(stockAddr(item) + 8, ytd + 1);
+        // Insert the order line.
+        const Addr ol = orderLineAddr(ol_seq++);
+        ctx.store(ol, o_id);
+        ctx.store(ol + 8, item);
+        ctx.store(ol + 16, 1);                      // quantity
+        ctx.store(ol + 24, mixHash(o_id * 16 + l)); // amount
+    }
+
+    ctx.txEnd();
+
+    // Commit shadow state.
+    nextOid = o_id + 1;
+    nextOlSeq = ol_seq;
+    for (unsigned l = 0; l < ol_cnt; ++l) {
+        auto it = stockQty.find(line_items[l]);
+        if (it == stockQty.end())
+            stockQty[line_items[l]] = kInitialStock - 1;
+        else
+            --it->second;
+    }
+    orderOlCounts.push_back(ol_cnt);
+}
+
+bool
+TpccWorkload::verify() const
+{
+    if (ctx.debugLoad(district) != nextOid)
+        return false;
+    for (const auto &kv : stockQty) {
+        if (ctx.debugLoad(stockAddr(kv.first)) != kv.second)
+            return false;
+        const std::uint64_t expected_ytd = kInitialStock - kv.second;
+        if (ctx.debugLoad(stockAddr(kv.first) + 8) != expected_ytd)
+            return false;
+    }
+    // Check the most recent orders still resident in the ring.
+    const std::uint64_t n = orderOlCounts.size();
+    const std::uint64_t first =
+        n > maxOrders ? n - maxOrders : 0;
+    for (std::uint64_t i = first; i < n; ++i) {
+        const std::uint64_t o_id = 1 + i;
+        if (ctx.debugLoad(orderAddr(o_id)) != o_id)
+            return false;
+        if (ctx.debugLoad(orderAddr(o_id) + 8) != orderOlCounts[i])
+            return false;
+    }
+    return true;
+}
+
+} // namespace hoopnvm

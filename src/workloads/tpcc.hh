@@ -1,0 +1,68 @@
+/**
+ * @file
+ * TPC-C new-order workload (Table III: 10-35 stores/tx, 40% writes /
+ * 60% reads).
+ *
+ * The paper runs TPC-C's new-order transactions (the most write-
+ * intensive of the mix) through N-store with per-thread tables. This
+ * driver reproduces the new-order footprint over simulated-NVM row
+ * stores: read warehouse/district/customer, increment the district's
+ * next-order id, insert an order row, and for each of 5-15 order lines
+ * read the item row, update the stock row and insert an order-line row.
+ */
+
+#ifndef HOOPNVM_WORKLOADS_TPCC_HH
+#define HOOPNVM_WORKLOADS_TPCC_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace hoopnvm
+{
+
+/** TPC-C new-order driver over per-core row stores. */
+class TpccWorkload : public Workload
+{
+  public:
+    /** @param items Items (and stock rows) per warehouse shard. */
+    TpccWorkload(TxContext ctx, std::uint64_t items,
+                 std::uint64_t max_orders);
+
+    const char *name() const override { return "tpcc"; }
+    void setup() override;
+    void runTransaction(std::uint64_t i) override;
+    bool verify() const override;
+
+  private:
+    // Row sizes (word multiples, modelled on N-store's schemas).
+    static constexpr std::size_t kDistrictBytes = 64;
+    static constexpr std::size_t kItemBytes = 64;
+    static constexpr std::size_t kStockBytes = 64;
+    static constexpr std::size_t kOrderBytes = 32;
+    static constexpr std::size_t kOrderLineBytes = 48;
+
+    Addr stockAddr(std::uint64_t item) const;
+    Addr orderAddr(std::uint64_t o_id) const;
+    Addr orderLineAddr(std::uint64_t ol_seq) const;
+
+    std::uint64_t items;
+    std::uint64_t maxOrders;
+
+    Addr district = kInvalidAddr;
+    Addr itemTable = kInvalidAddr;
+    Addr stockTable = kInvalidAddr;
+    Addr orderTable = kInvalidAddr;
+    Addr orderLineTable = kInvalidAddr;
+
+    // Committed state.
+    std::uint64_t nextOid = 1;
+    std::uint64_t nextOlSeq = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> stockQty;
+    std::vector<std::uint64_t> orderOlCounts;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_WORKLOADS_TPCC_HH

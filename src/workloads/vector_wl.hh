@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Persistent vector workload (Table III: 8 stores/tx, 100% writes).
+ *
+ * A fixed-capacity vector of items lives in simulated NVM: a size word
+ * followed by the item array. Each transaction performs eight item
+ * operations — mostly in-place updates with occasional appends —
+ * matching the paper's insert/update mix.
+ */
+
+#ifndef HOOPNVM_WORKLOADS_VECTOR_WL_HH
+#define HOOPNVM_WORKLOADS_VECTOR_WL_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace hoopnvm
+{
+
+/** Transactional vector of fixed-size items. */
+class VectorWorkload : public Workload
+{
+  public:
+    /**
+     * @param value_bytes   Item payload size (64 or 1024 in the paper).
+     * @param initial_items Items present before the measured run.
+     */
+    VectorWorkload(TxContext ctx, std::size_t value_bytes,
+                   std::uint64_t initial_items);
+
+    const char *name() const override { return "vector"; }
+    void setup() override;
+    void runTransaction(std::uint64_t i) override;
+    bool verify() const override;
+
+  private:
+    Addr itemAddr(std::uint64_t idx) const;
+
+    std::size_t valueBytes;
+    std::uint64_t initialItems;
+    std::uint64_t capacity = 0;
+    Addr base = kInvalidAddr;  ///< size word
+    Addr items = kInvalidAddr; ///< item array
+
+    /** Committed versions, index -> version. */
+    std::vector<std::uint64_t> shadow;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_WORKLOADS_VECTOR_WL_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Workload interface (the paper's Table III benchmark suite).
+ *
+ * A Workload instance is bound to one core and owns a private data
+ * structure in that core's arena (the paper runs one structure or
+ * database shard per thread). Host-side *shadow* state mirrors only
+ * committed transactions, so verify() checks both functional
+ * correctness during normal runs and atomic durability after a crash
+ * plus recovery.
+ */
+
+#ifndef HOOPNVM_WORKLOADS_WORKLOAD_HH
+#define HOOPNVM_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "txn/tx_context.hh"
+
+namespace hoopnvm
+{
+
+/** One core's workload instance. */
+class Workload
+{
+  public:
+    explicit Workload(TxContext ctx_)
+        : ctx(std::move(ctx_))
+    {
+    }
+
+    virtual ~Workload() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Build the initial data set (untimed pokes allowed). */
+    virtual void setup() = 0;
+
+    /** Execute the i-th transaction. */
+    virtual void runTransaction(std::uint64_t i) = 0;
+
+    /**
+     * Compare the simulated structure against the committed shadow.
+     * @return true when they agree.
+     */
+    virtual bool verify() const = 0;
+
+  protected:
+    TxContext ctx;
+};
+
+/** Builds one workload instance per core. */
+using WorkloadFactory =
+    std::function<std::unique_ptr<Workload>(System &, CoreId)>;
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * YCSB driver (Table III: 8-32 stores/tx, 80% writes / 20% reads,
+ * Zipfian key popularity, 512 B or 1 KB key-value pairs).
+ *
+ * Each core runs transactions against its own KvStore shard, as in the
+ * paper's N-store setup where every thread owns its tables.
+ */
+
+#ifndef HOOPNVM_WORKLOADS_YCSB_HH
+#define HOOPNVM_WORKLOADS_YCSB_HH
+
+#include <unordered_map>
+
+#include "common/zipfian.hh"
+#include "workloads/kv_store.hh"
+#include "workloads/workload.hh"
+
+namespace hoopnvm
+{
+
+/** Yahoo Cloud Serving Benchmark update-heavy driver. */
+class YcsbWorkload : public Workload
+{
+  public:
+    /**
+     * @param value_bytes  Key-value pair size (512 or 1024).
+     * @param records      Records per shard.
+     * @param update_ratio Fraction of operations that are writes.
+     * @param theta        Zipfian skew (0.99 = YCSB default).
+     */
+    YcsbWorkload(TxContext ctx, std::size_t value_bytes,
+                 std::uint64_t records, double update_ratio,
+                 double theta);
+
+    const char *name() const override { return "ycsb"; }
+    void setup() override;
+    void runTransaction(std::uint64_t i) override;
+    bool verify() const override;
+
+  private:
+    KvStore store;
+    ZipfianGenerator zipf;
+    double updateRatio;
+
+    /** Committed key -> version. */
+    std::unordered_map<std::uint64_t, std::uint64_t> shadow;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_WORKLOADS_YCSB_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache: hit/miss behaviour, LRU
+ * replacement, dirty/persistent/word-mask state, and invalidation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mem/cache.hh"
+
+namespace hoopnvm
+{
+namespace
+{
+
+std::array<std::uint8_t, kCacheLineSize>
+lineData(std::uint8_t fill)
+{
+    std::array<std::uint8_t, kCacheLineSize> d;
+    d.fill(fill);
+    return d;
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c("t", kiB(4), 4, nsToTicks(2));
+    EXPECT_EQ(c.probe(0), nullptr);
+    auto d = lineData(1);
+    c.insert(0, d.data(), false, false, 0, kInvalidTxId);
+    CacheLine *l = c.probe(0);
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->data[0], 1);
+    EXPECT_EQ(c.stats().value("hits"), 1u);
+    EXPECT_EQ(c.stats().value("misses"), 1u);
+}
+
+TEST(Cache, GeometryChecks)
+{
+    Cache c("t", kiB(32), 4, 0);
+    EXPECT_EQ(c.numSets(), 32u * 1024 / (4 * 64));
+    EXPECT_EQ(c.associativity(), 4u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // Single-set cache: capacity = 2 lines.
+    Cache c("t", 128, 2, 0);
+    auto d = lineData(0);
+    c.insert(0, d.data(), false, false, 0, kInvalidTxId);
+    c.insert(64, d.data(), false, false, 0, kInvalidTxId);
+    c.probe(0); // touch 0 so 64 is LRU
+    CacheVictim v =
+        c.insert(128, d.data(), false, false, 0, kInvalidTxId);
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.addr, 64u);
+    EXPECT_NE(c.probe(0), nullptr);
+    EXPECT_NE(c.probe(128), nullptr);
+    EXPECT_EQ(c.probe(64), nullptr);
+}
+
+TEST(Cache, VictimCarriesState)
+{
+    Cache c("t", 128, 2, 0);
+    auto d = lineData(7);
+    c.insert(0, d.data(), true, true, 3, 99, 0x0f);
+    c.insert(64, d.data(), false, false, 0, kInvalidTxId);
+    c.probe(64);
+    CacheVictim v =
+        c.insert(128, d.data(), false, false, 0, kInvalidTxId);
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.addr, 0u);
+    EXPECT_TRUE(v.dirty);
+    EXPECT_TRUE(v.persistent);
+    EXPECT_EQ(v.lastWriter, 3u);
+    EXPECT_EQ(v.txId, 99u);
+    EXPECT_EQ(v.wordMask, 0x0f);
+    EXPECT_EQ(v.data[0], 7);
+}
+
+TEST(Cache, ReinsertMergesFlags)
+{
+    Cache c("t", kiB(4), 4, 0);
+    auto d = lineData(1);
+    c.insert(0, d.data(), true, false, 1, 5, 0x01);
+    auto d2 = lineData(2);
+    c.insert(0, d2.data(), false, true, 2, 6, 0x02);
+    CacheLine *l = c.probe(0);
+    ASSERT_NE(l, nullptr);
+    EXPECT_TRUE(l->dirty);      // sticky
+    EXPECT_TRUE(l->persistent); // sticky
+    EXPECT_EQ(l->wordMask, 0x03);
+    EXPECT_EQ(l->data[0], 2); // newest data wins
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c("t", kiB(4), 4, 0);
+    auto d = lineData(1);
+    c.insert(0, d.data(), true, true, 0, 1, 0xff);
+    c.invalidate(0);
+    EXPECT_EQ(c.probe(0), nullptr);
+    c.invalidate(64); // no-op on absent lines
+}
+
+TEST(Cache, InvalidateAll)
+{
+    Cache c("t", kiB(4), 4, 0);
+    auto d = lineData(1);
+    for (Addr a = 0; a < kiB(2); a += kCacheLineSize)
+        c.insert(a, d.data(), true, false, 0, kInvalidTxId);
+    c.invalidateAll();
+    for (Addr a = 0; a < kiB(2); a += kCacheLineSize)
+        EXPECT_EQ(c.peekLine(a), nullptr);
+}
+
+TEST(Cache, PeekDoesNotTouchLru)
+{
+    Cache c("t", 128, 2, 0);
+    auto d = lineData(0);
+    c.insert(0, d.data(), false, false, 0, kInvalidTxId);
+    c.insert(64, d.data(), false, false, 0, kInvalidTxId);
+    // peek must not refresh line 0's LRU position.
+    EXPECT_NE(c.peekLine(0), nullptr);
+    CacheVictim v =
+        c.insert(128, d.data(), false, false, 0, kInvalidTxId);
+    EXPECT_EQ(v.addr, 0u);
+}
+
+TEST(Cache, ForEachLineVisitsValidOnly)
+{
+    Cache c("t", kiB(4), 4, 0);
+    auto d = lineData(1);
+    c.insert(0, d.data(), true, false, 0, kInvalidTxId);
+    c.insert(64, d.data(), false, false, 0, kInvalidTxId);
+    unsigned count = 0, dirty = 0;
+    c.forEachLine([&](CacheLine &l) {
+        ++count;
+        dirty += l.dirty ? 1 : 0;
+    });
+    EXPECT_EQ(count, 2u);
+    EXPECT_EQ(dirty, 1u);
+}
+
+} // namespace
+} // namespace hoopnvm

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the common layer: RNG, Zipfian generator, address
+ * helpers, hashing, stats and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "common/zipfian.hh"
+#include "stats/stat_set.hh"
+#include "stats/table.hh"
+
+namespace hoopnvm
+{
+namespace
+{
+
+TEST(Types, AlignmentHelpers)
+{
+    EXPECT_EQ(alignDown(127, 64), 64u);
+    EXPECT_EQ(alignDown(128, 64), 128u);
+    EXPECT_EQ(alignUp(127, 64), 128u);
+    EXPECT_EQ(alignUp(128, 64), 128u);
+    EXPECT_EQ(lineAddr(130), 128u);
+    EXPECT_EQ(wordAddr(13), 8u);
+    EXPECT_TRUE(isAligned(256, 64));
+    EXPECT_FALSE(isAligned(257, 64));
+}
+
+TEST(Types, TickConversions)
+{
+    EXPECT_EQ(nsToTicks(50), 50000u);
+    EXPECT_DOUBLE_EQ(ticksToNs(50000), 50.0);
+    EXPECT_DOUBLE_EQ(ticksToMs(nsToTicks(10e6)), 10.0);
+    EXPECT_EQ(kiB(32), 32768u);
+    EXPECT_EQ(miB(2), 2097152u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(r.nextBounded(17), 17u);
+        const auto v = r.nextRange(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        sum += d;
+    }
+    // Mean of U[0,1) should be near 1/2.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.nextBool(0.2) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.2, 0.02);
+}
+
+TEST(Zipfian, SkewsTowardsSmallKeys)
+{
+    ZipfianGenerator z(1000, 0.99, 42);
+    std::uint64_t small = 0, total = 100000;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        const auto k = z.next();
+        ASSERT_LT(k, 1000u);
+        if (k < 10)
+            ++small;
+    }
+    // With theta=0.99 the top-1% of keys draw a large share.
+    EXPECT_GT(small, total / 5);
+}
+
+TEST(Zipfian, CoversKeySpace)
+{
+    ZipfianGenerator z(64, 0.5, 9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 50000; ++i)
+        seen.insert(z.next());
+    EXPECT_GT(seen.size(), 60u);
+}
+
+TEST(Hash, MixesDistinctInputs)
+{
+    std::set<std::uint64_t> out;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        out.insert(mixHash(i * 64));
+    EXPECT_EQ(out.size(), 1000u);
+}
+
+TEST(StatSet, CountsAndDumps)
+{
+    StatSet s("unit");
+    ++s.counter("a");
+    s.counter("a") += 4;
+    s.counter("b") += 2;
+    EXPECT_EQ(s.value("a"), 5u);
+    EXPECT_EQ(s.value("b"), 2u);
+    EXPECT_EQ(s.value("missing"), 0u);
+    const std::string d = s.dump();
+    EXPECT_NE(d.find("unit.a 5"), std::string::npos);
+    s.resetAll();
+    EXPECT_EQ(s.value("a"), 0u);
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"x", TablePrinter::num(1.5, 2)});
+    t.addRow({"longer", "2"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("1.50"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+}
+
+} // namespace
+} // namespace hoopnvm

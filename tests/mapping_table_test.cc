@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the hash-based physical-to-physical mapping table:
+ * capacity enforcement (the Fig. 13 knob), insert/update/remove and
+ * iteration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hoop/mapping_table.hh"
+
+namespace hoopnvm
+{
+namespace
+{
+
+TEST(MappingTable, CapacityFromBytes)
+{
+    MappingTable t(kiB(1));
+    EXPECT_EQ(t.capacity(), kiB(1) / MappingTable::kEntryBytes);
+}
+
+TEST(MappingTable, InsertLookupRemove)
+{
+    MappingTable t(kiB(1));
+    EXPECT_TRUE(t.insert(64, 7));
+    auto v = t.lookup(64);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 7u);
+    t.remove(64);
+    EXPECT_FALSE(t.lookup(64).has_value());
+}
+
+TEST(MappingTable, UpdateExistingEntry)
+{
+    MappingTable t(kiB(1));
+    EXPECT_TRUE(t.insert(64, 1));
+    EXPECT_TRUE(t.insert(64, 2));
+    EXPECT_EQ(*t.lookup(64), 2u);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(MappingTable, RejectsInsertWhenFull)
+{
+    MappingTable t(MappingTable::kEntryBytes * 4);
+    for (Addr a = 0; a < 4; ++a)
+        EXPECT_TRUE(t.insert(a * 64, static_cast<std::uint32_t>(a)));
+    EXPECT_TRUE(t.full());
+    EXPECT_FALSE(t.insert(1024, 9));
+    // Updating an existing key still works at capacity.
+    EXPECT_TRUE(t.insert(0, 42));
+    EXPECT_EQ(*t.lookup(0), 42u);
+}
+
+TEST(MappingTable, ForEachVisitsAll)
+{
+    MappingTable t(kiB(1));
+    for (Addr a = 0; a < 10; ++a)
+        t.insert(a * 64, static_cast<std::uint32_t>(a));
+    std::set<Addr> seen;
+    t.forEach([&](Addr line, std::uint32_t idx) {
+        seen.insert(line);
+        EXPECT_EQ(idx, line / 64);
+    });
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(MappingTable, ClearEmptiesTable)
+{
+    MappingTable t(kiB(1));
+    t.insert(0, 1);
+    t.insert(64, 2);
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_FALSE(t.lookup(0).has_value());
+}
+
+} // namespace
+} // namespace hoopnvm

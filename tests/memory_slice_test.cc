@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the 128-byte memory slice codec (paper Fig. 5b):
+ * round-trips of data, eviction and address slices, 40-bit home
+ * addresses, and field boundary conditions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hoop/memory_slice.hh"
+
+namespace hoopnvm
+{
+namespace
+{
+
+TEST(MemorySlice, DataSliceRoundTrip)
+{
+    MemorySlice s;
+    s.type = SliceType::Data;
+    s.count = 8;
+    s.start = true;
+    s.prevIdx = 12345;
+    s.txId = 42;
+    s.seq = 777;
+    for (unsigned i = 0; i < 8; ++i) {
+        s.words[i] = 0x1111111111111111ULL * (i + 1);
+        s.homeAddrs[i] = 0x1000 + 8 * i;
+    }
+
+    std::uint8_t buf[MemorySlice::kSliceBytes];
+    s.encode(buf);
+    const MemorySlice d = MemorySlice::decode(buf);
+
+    EXPECT_EQ(d.type, SliceType::Data);
+    EXPECT_EQ(d.count, 8);
+    EXPECT_TRUE(d.start);
+    EXPECT_EQ(d.prevIdx, 12345u);
+    EXPECT_EQ(d.txId, 42u);
+    EXPECT_EQ(d.seq, 777u);
+    for (unsigned i = 0; i < 8; ++i) {
+        EXPECT_EQ(d.words[i], s.words[i]);
+        EXPECT_EQ(d.homeAddrs[i], s.homeAddrs[i]);
+    }
+}
+
+TEST(MemorySlice, PartialCount)
+{
+    MemorySlice s;
+    s.type = SliceType::Evict;
+    s.count = 3;
+    s.txId = 7;
+    s.seq = 1;
+    for (unsigned i = 0; i < 3; ++i) {
+        s.words[i] = i;
+        s.homeAddrs[i] = 64 * i;
+    }
+    std::uint8_t buf[MemorySlice::kSliceBytes];
+    s.encode(buf);
+    const MemorySlice d = MemorySlice::decode(buf);
+    EXPECT_EQ(d.type, SliceType::Evict);
+    EXPECT_EQ(d.count, 3);
+    EXPECT_FALSE(d.start);
+    EXPECT_EQ(d.prevIdx, MemorySlice::kNullIdx);
+}
+
+TEST(MemorySlice, FortyBitHomeAddress)
+{
+    // The 40-bit word number covers home regions up to 8 TB.
+    MemorySlice s;
+    s.type = SliceType::Data;
+    s.count = 1;
+    s.txId = 1;
+    s.seq = 1;
+    s.homeAddrs[0] = (1ULL << 42) - 8; // largest encodable word addr
+    s.words[0] = 9;
+    std::uint8_t buf[MemorySlice::kSliceBytes];
+    s.encode(buf);
+    EXPECT_EQ(MemorySlice::decode(buf).homeAddrs[0], s.homeAddrs[0]);
+}
+
+TEST(MemorySlice, AddressSliceRoundTrip)
+{
+    MemorySlice s;
+    s.type = SliceType::AddrRec;
+    s.count = 1;
+    s.txId = 9;
+    s.seq = 55;
+    s.record.txId = 9;
+    s.record.commitId = 1234;
+    s.record.tailSliceIdx = 4321;
+    s.record.sliceCount = 17;
+    std::uint8_t buf[MemorySlice::kSliceBytes];
+    s.encode(buf);
+    const MemorySlice d = MemorySlice::decode(buf);
+    EXPECT_EQ(d.type, SliceType::AddrRec);
+    EXPECT_EQ(d.record.txId, 9u);
+    EXPECT_EQ(d.record.commitId, 1234u);
+    EXPECT_EQ(d.record.tailSliceIdx, 4321u);
+    EXPECT_EQ(d.record.sliceCount, 17u);
+    EXPECT_FALSE(d.carriesWords());
+}
+
+TEST(MemorySlice, ZeroBufferDecodesInvalid)
+{
+    std::uint8_t buf[MemorySlice::kSliceBytes] = {};
+    EXPECT_EQ(MemorySlice::decode(buf).type, SliceType::Invalid);
+}
+
+TEST(MemorySlice, CarriesWordsClassification)
+{
+    MemorySlice s;
+    s.type = SliceType::Data;
+    EXPECT_TRUE(s.carriesWords());
+    s.type = SliceType::Evict;
+    EXPECT_TRUE(s.carriesWords());
+    s.type = SliceType::AddrRec;
+    EXPECT_FALSE(s.carriesWords());
+    s.type = SliceType::Invalid;
+    EXPECT_FALSE(s.carriesWords());
+}
+
+/** Property sweep: every (count, start, type) combination survives a
+ *  round trip. */
+class SliceParamTest
+    : public ::testing::TestWithParam<std::tuple<int, bool, int>>
+{
+};
+
+TEST_P(SliceParamTest, RoundTrip)
+{
+    const auto [count, start, type_i] = GetParam();
+    MemorySlice s;
+    s.type = static_cast<SliceType>(type_i);
+    s.count = static_cast<std::uint8_t>(count);
+    s.start = start;
+    s.txId = 3;
+    s.seq = 11;
+    for (int i = 0; i < count; ++i) {
+        s.words[i] = 1000 + i;
+        s.homeAddrs[i] = 8 * (i + 1);
+    }
+    std::uint8_t buf[MemorySlice::kSliceBytes];
+    s.encode(buf);
+    const MemorySlice d = MemorySlice::decode(buf);
+    EXPECT_EQ(d.count, count);
+    EXPECT_EQ(d.start, start);
+    EXPECT_EQ(static_cast<int>(d.type), type_i);
+    for (int i = 0; i < count; ++i)
+        EXPECT_EQ(d.words[i], 1000u + i);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, SliceParamTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 7, 8),
+                       ::testing::Bool(),
+                       ::testing::Values(1, 3))); // Data, Evict
+
+} // namespace
+} // namespace hoopnvm

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the NVM device model: functional sparse storage,
+ * latency/bandwidth timing, traffic counters and the energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "nvm/nvm_device.hh"
+
+namespace hoopnvm
+{
+namespace
+{
+
+NvmTiming
+testTiming()
+{
+    NvmTiming t;
+    t.readLatency = nsToTicks(50);
+    t.writeLatency = nsToTicks(150);
+    t.bandwidthBytesPerSec = 25e9;
+    return t;
+}
+
+TEST(NvmDevice, ReadsBackWrittenBytes)
+{
+    NvmDevice dev(miB(16), testTiming());
+    const char msg[] = "hello, persistent world!";
+    dev.write(0, 4096, msg, sizeof(msg));
+    char out[sizeof(msg)] = {};
+    dev.read(0, 4096, out, sizeof(msg));
+    EXPECT_STREQ(out, msg);
+}
+
+TEST(NvmDevice, UnwrittenBytesReadZero)
+{
+    NvmDevice dev(miB(16), testTiming());
+    std::uint8_t buf[64];
+    std::memset(buf, 0xab, sizeof(buf));
+    dev.peek(miB(1), buf, sizeof(buf));
+    for (auto b : buf)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(NvmDevice, CrossPageAccess)
+{
+    NvmDevice dev(miB(16), testTiming());
+    std::vector<std::uint8_t> in(10000);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<std::uint8_t>(i * 7);
+    dev.poke(4000, in.data(), in.size()); // spans multiple 4K pages
+    std::vector<std::uint8_t> out(in.size());
+    dev.peek(4000, out.data(), out.size());
+    EXPECT_EQ(in, out);
+}
+
+TEST(NvmDevice, ReadLatencyApplied)
+{
+    NvmDevice dev(miB(16), testTiming());
+    std::uint8_t buf[64];
+    const Tick done = dev.read(0, 0, buf, 64);
+    // 50 ns latency + 64 B / 25 GB/s transfer.
+    EXPECT_GE(done, nsToTicks(50));
+    EXPECT_LT(done, nsToTicks(60));
+}
+
+TEST(NvmDevice, WriteLatencyApplied)
+{
+    NvmDevice dev(miB(16), testTiming());
+    std::uint8_t buf[64] = {};
+    const Tick done = dev.write(0, 0, buf, 64);
+    EXPECT_GE(done, nsToTicks(150));
+    EXPECT_LT(done, nsToTicks(160));
+}
+
+TEST(NvmDevice, BandwidthSerializesTransfers)
+{
+    NvmDevice dev(miB(16), testTiming());
+    std::uint8_t buf[4096] = {};
+    // Issue many back-to-back writes at t=0; the channel must
+    // serialize their transfer phases.
+    Tick last = 0;
+    for (int i = 0; i < 100; ++i)
+        last = dev.write(0, 0, buf, 4096);
+    const double expected_ns = 100 * 4096 / 25e9 * 1e9; // ~16.4 us
+    EXPECT_GT(ticksToNs(last), expected_ns * 0.9);
+}
+
+TEST(NvmDevice, CountersTrackTraffic)
+{
+    NvmDevice dev(miB(16), testTiming());
+    std::uint8_t buf[128] = {};
+    dev.write(0, 0, buf, 128);
+    dev.read(0, 0, buf, 64);
+    dev.writeAccounting(0, 64);
+    dev.readAccounting(0, 32);
+    EXPECT_EQ(dev.bytesWritten(), 192u);
+    EXPECT_EQ(dev.bytesRead(), 96u);
+    EXPECT_EQ(dev.writeAccesses(), 2u);
+    EXPECT_EQ(dev.readAccesses(), 2u);
+    dev.resetCounters();
+    EXPECT_EQ(dev.bytesWritten(), 0u);
+    EXPECT_EQ(dev.bytesRead(), 0u);
+}
+
+TEST(NvmDevice, EnergyChargesPerBit)
+{
+    EnergyParams p;
+    NvmDevice dev(miB(16), testTiming(), p);
+    std::uint8_t buf[64] = {};
+    dev.write(0, 0, buf, 64);
+    const double expected_write =
+        64 * 8 * (p.rowBufferWritePjPerBit + p.arrayWritePjPerBit);
+    EXPECT_DOUBLE_EQ(dev.energy().writeEnergyPj(), expected_write);
+    dev.read(0, 0, buf, 64);
+    const double expected_read =
+        64 * 8 * (p.rowBufferReadPjPerBit + p.arrayReadPjPerBit);
+    EXPECT_DOUBLE_EQ(dev.energy().readEnergyPj(), expected_read);
+    // Writes are far more expensive than reads (Table II).
+    EXPECT_GT(dev.energy().writeEnergyPj(),
+              dev.energy().readEnergyPj() * 4);
+}
+
+TEST(NvmDevice, PokeDoesNotCount)
+{
+    NvmDevice dev(miB(16), testTiming());
+    std::uint8_t buf[64] = {};
+    dev.poke(0, buf, 64);
+    dev.peek(0, buf, 64);
+    EXPECT_EQ(dev.bytesWritten(), 0u);
+    EXPECT_EQ(dev.bytesRead(), 0u);
+}
+
+TEST(NvmDevice, WordHelpers)
+{
+    NvmDevice dev(miB(1), testTiming());
+    dev.pokeWord(512, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(dev.peekWord(512), 0xdeadbeefcafef00dULL);
+}
+
+TEST(NvmDevice, ClearDropsState)
+{
+    NvmDevice dev(miB(1), testTiming());
+    dev.pokeWord(0, 42);
+    std::uint8_t buf[8] = {};
+    dev.write(0, 0, buf, 8);
+    dev.clear();
+    EXPECT_EQ(dev.peekWord(0), 0u);
+    EXPECT_EQ(dev.bytesWritten(), 0u);
+    EXPECT_EQ(dev.channelFree(), 0u);
+}
+
+} // namespace
+} // namespace hoopnvm

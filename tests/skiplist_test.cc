@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the skip list used as LSM's DRAM-resident index,
+ * including a randomized differential test against std::map.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/skiplist.hh"
+#include "common/rng.hh"
+
+namespace hoopnvm
+{
+namespace
+{
+
+TEST(SkipList, InsertFind)
+{
+    SkipList s;
+    s.insert(10, 100);
+    s.insert(20, 200);
+    s.insert(5, 50);
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_EQ(*s.find(10), 100u);
+    EXPECT_EQ(*s.find(5), 50u);
+    EXPECT_FALSE(s.find(7).has_value());
+}
+
+TEST(SkipList, InsertOverwrites)
+{
+    SkipList s;
+    s.insert(1, 10);
+    s.insert(1, 20);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_EQ(*s.find(1), 20u);
+}
+
+TEST(SkipList, EraseRemoves)
+{
+    SkipList s;
+    s.insert(1, 10);
+    s.insert(2, 20);
+    EXPECT_TRUE(s.erase(1));
+    EXPECT_FALSE(s.erase(1));
+    EXPECT_FALSE(s.find(1).has_value());
+    EXPECT_EQ(*s.find(2), 20u);
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SkipList, OrderedIteration)
+{
+    SkipList s;
+    for (std::uint64_t k : {9ull, 3ull, 7ull, 1ull, 5ull})
+        s.insert(k, k * 10);
+    std::uint64_t prev = 0;
+    unsigned count = 0;
+    s.forEach([&](std::uint64_t k, std::uint64_t v) {
+        EXPECT_GT(k, prev);
+        EXPECT_EQ(v, k * 10);
+        prev = k;
+        ++count;
+    });
+    EXPECT_EQ(count, 5u);
+}
+
+TEST(SkipList, ClearResets)
+{
+    SkipList s;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        s.insert(k, k);
+    s.clear();
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_FALSE(s.find(50).has_value());
+    s.insert(1, 2);
+    EXPECT_EQ(*s.find(1), 2u);
+}
+
+TEST(SkipList, HeightGrowsLogarithmically)
+{
+    SkipList s;
+    for (std::uint64_t k = 0; k < 10000; ++k)
+        s.insert(k, k);
+    // Expected height ~ log2(10000) = 13; allow generous slack.
+    EXPECT_GE(s.height(), 8u);
+    EXPECT_LE(s.height(), SkipList::kMaxLevel);
+}
+
+TEST(SkipList, DifferentialAgainstStdMap)
+{
+    SkipList s;
+    std::map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(321);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t key = rng.nextBounded(500);
+        switch (rng.nextBounded(3)) {
+          case 0:
+            s.insert(key, i);
+            ref[key] = static_cast<std::uint64_t>(i);
+            break;
+          case 1: {
+            const bool erased_s = s.erase(key);
+            const bool erased_r = ref.erase(key) > 0;
+            ASSERT_EQ(erased_s, erased_r);
+            break;
+          }
+          default: {
+            auto v = s.find(key);
+            auto it = ref.find(key);
+            ASSERT_EQ(v.has_value(), it != ref.end());
+            if (v)
+                ASSERT_EQ(*v, it->second);
+          }
+        }
+    }
+    ASSERT_EQ(s.size(), ref.size());
+    auto it = ref.begin();
+    s.forEach([&](std::uint64_t k, std::uint64_t v) {
+        ASSERT_NE(it, ref.end());
+        EXPECT_EQ(k, it->first);
+        EXPECT_EQ(v, it->second);
+        ++it;
+    });
+}
+
+} // namespace
+} // namespace hoopnvm
