@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_gc_period.dir/bench_fig10_gc_period.cc.o"
+  "CMakeFiles/bench_fig10_gc_period.dir/bench_fig10_gc_period.cc.o.d"
+  "bench_fig10_gc_period"
+  "bench_fig10_gc_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_gc_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

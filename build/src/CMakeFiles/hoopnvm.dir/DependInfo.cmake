@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/lad_controller.cc" "src/CMakeFiles/hoopnvm.dir/baselines/lad_controller.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/baselines/lad_controller.cc.o.d"
+  "/root/repo/src/baselines/log_region.cc" "src/CMakeFiles/hoopnvm.dir/baselines/log_region.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/baselines/log_region.cc.o.d"
+  "/root/repo/src/baselines/lsm_controller.cc" "src/CMakeFiles/hoopnvm.dir/baselines/lsm_controller.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/baselines/lsm_controller.cc.o.d"
+  "/root/repo/src/baselines/osp_controller.cc" "src/CMakeFiles/hoopnvm.dir/baselines/osp_controller.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/baselines/osp_controller.cc.o.d"
+  "/root/repo/src/baselines/redo_controller.cc" "src/CMakeFiles/hoopnvm.dir/baselines/redo_controller.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/baselines/redo_controller.cc.o.d"
+  "/root/repo/src/baselines/skiplist.cc" "src/CMakeFiles/hoopnvm.dir/baselines/skiplist.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/baselines/skiplist.cc.o.d"
+  "/root/repo/src/baselines/undo_controller.cc" "src/CMakeFiles/hoopnvm.dir/baselines/undo_controller.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/baselines/undo_controller.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/hoopnvm.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/zipfian.cc" "src/CMakeFiles/hoopnvm.dir/common/zipfian.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/common/zipfian.cc.o.d"
+  "/root/repo/src/controller/native_controller.cc" "src/CMakeFiles/hoopnvm.dir/controller/native_controller.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/controller/native_controller.cc.o.d"
+  "/root/repo/src/controller/persistence_controller.cc" "src/CMakeFiles/hoopnvm.dir/controller/persistence_controller.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/controller/persistence_controller.cc.o.d"
+  "/root/repo/src/hoop/eviction_buffer.cc" "src/CMakeFiles/hoopnvm.dir/hoop/eviction_buffer.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/hoop/eviction_buffer.cc.o.d"
+  "/root/repo/src/hoop/garbage_collector.cc" "src/CMakeFiles/hoopnvm.dir/hoop/garbage_collector.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/hoop/garbage_collector.cc.o.d"
+  "/root/repo/src/hoop/hoop_controller.cc" "src/CMakeFiles/hoopnvm.dir/hoop/hoop_controller.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/hoop/hoop_controller.cc.o.d"
+  "/root/repo/src/hoop/mapping_table.cc" "src/CMakeFiles/hoopnvm.dir/hoop/mapping_table.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/hoop/mapping_table.cc.o.d"
+  "/root/repo/src/hoop/memory_slice.cc" "src/CMakeFiles/hoopnvm.dir/hoop/memory_slice.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/hoop/memory_slice.cc.o.d"
+  "/root/repo/src/hoop/multi_controller.cc" "src/CMakeFiles/hoopnvm.dir/hoop/multi_controller.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/hoop/multi_controller.cc.o.d"
+  "/root/repo/src/hoop/oop_data_buffer.cc" "src/CMakeFiles/hoopnvm.dir/hoop/oop_data_buffer.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/hoop/oop_data_buffer.cc.o.d"
+  "/root/repo/src/hoop/oop_region.cc" "src/CMakeFiles/hoopnvm.dir/hoop/oop_region.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/hoop/oop_region.cc.o.d"
+  "/root/repo/src/hoop/recovery.cc" "src/CMakeFiles/hoopnvm.dir/hoop/recovery.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/hoop/recovery.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/hoopnvm.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/cache_hierarchy.cc" "src/CMakeFiles/hoopnvm.dir/mem/cache_hierarchy.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/mem/cache_hierarchy.cc.o.d"
+  "/root/repo/src/nvm/energy_model.cc" "src/CMakeFiles/hoopnvm.dir/nvm/energy_model.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/nvm/energy_model.cc.o.d"
+  "/root/repo/src/nvm/nvm_device.cc" "src/CMakeFiles/hoopnvm.dir/nvm/nvm_device.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/nvm/nvm_device.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/CMakeFiles/hoopnvm.dir/sim/core.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/sim/core.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/hoopnvm.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/sim/system.cc.o.d"
+  "/root/repo/src/sim/system_config.cc" "src/CMakeFiles/hoopnvm.dir/sim/system_config.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/sim/system_config.cc.o.d"
+  "/root/repo/src/stats/stat_set.cc" "src/CMakeFiles/hoopnvm.dir/stats/stat_set.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/stats/stat_set.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/hoopnvm.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/stats/table.cc.o.d"
+  "/root/repo/src/txn/sim_allocator.cc" "src/CMakeFiles/hoopnvm.dir/txn/sim_allocator.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/txn/sim_allocator.cc.o.d"
+  "/root/repo/src/workloads/btree_wl.cc" "src/CMakeFiles/hoopnvm.dir/workloads/btree_wl.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/workloads/btree_wl.cc.o.d"
+  "/root/repo/src/workloads/hashmap_wl.cc" "src/CMakeFiles/hoopnvm.dir/workloads/hashmap_wl.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/workloads/hashmap_wl.cc.o.d"
+  "/root/repo/src/workloads/kv_store.cc" "src/CMakeFiles/hoopnvm.dir/workloads/kv_store.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/workloads/kv_store.cc.o.d"
+  "/root/repo/src/workloads/queue_wl.cc" "src/CMakeFiles/hoopnvm.dir/workloads/queue_wl.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/workloads/queue_wl.cc.o.d"
+  "/root/repo/src/workloads/rbtree_wl.cc" "src/CMakeFiles/hoopnvm.dir/workloads/rbtree_wl.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/workloads/rbtree_wl.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/hoopnvm.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/tpcc.cc" "src/CMakeFiles/hoopnvm.dir/workloads/tpcc.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/workloads/tpcc.cc.o.d"
+  "/root/repo/src/workloads/vector_wl.cc" "src/CMakeFiles/hoopnvm.dir/workloads/vector_wl.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/workloads/vector_wl.cc.o.d"
+  "/root/repo/src/workloads/ycsb.cc" "src/CMakeFiles/hoopnvm.dir/workloads/ycsb.cc.o" "gcc" "src/CMakeFiles/hoopnvm.dir/workloads/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhoopnvm.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_hierarchy_test.dir/cache_hierarchy_test.cc.o"
+  "CMakeFiles/cache_hierarchy_test.dir/cache_hierarchy_test.cc.o.d"
+  "cache_hierarchy_test"
+  "cache_hierarchy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoop_controller_test.dir/hoop_controller_test.cc.o"
+  "CMakeFiles/hoop_controller_test.dir/hoop_controller_test.cc.o.d"
+  "hoop_controller_test"
+  "hoop_controller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoop_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_slice_test.dir/memory_slice_test.cc.o"
+  "CMakeFiles/memory_slice_test.dir/memory_slice_test.cc.o.d"
+  "memory_slice_test"
+  "memory_slice_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_slice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

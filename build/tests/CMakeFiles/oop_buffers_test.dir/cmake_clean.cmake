@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oop_buffers_test.dir/oop_buffers_test.cc.o"
+  "CMakeFiles/oop_buffers_test.dir/oop_buffers_test.cc.o.d"
+  "oop_buffers_test"
+  "oop_buffers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oop_buffers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

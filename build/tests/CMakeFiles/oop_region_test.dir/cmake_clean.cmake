@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oop_region_test.dir/oop_region_test.cc.o"
+  "CMakeFiles/oop_region_test.dir/oop_region_test.cc.o.d"
+  "oop_region_test"
+  "oop_region_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oop_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
