@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Software CRC-32C (Castagnoli polynomial, reflected 0x82f63b78).
+ *
+ * Used as the integrity check carried in the reserved bytes of HOOP
+ * memory slices and OOP block headers: real NVM controllers carve ECC
+ * or CRC metadata into their line formats for exactly this purpose
+ * (cf. in-cache-line logging systems), and CRC-32C is what such
+ * hardware typically implements (it has dedicated x86/ARM instructions;
+ * the table-driven form here models the same function).
+ *
+ * The guarantee the recovery path relies on: any torn 128-byte slice
+ * (a mix of old and new 8-byte words) or any single flipped bit fails
+ * the check, so recovery never trusts a partially-persisted record.
+ */
+
+#ifndef HOOPNVM_COMMON_CRC32_HH
+#define HOOPNVM_COMMON_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace hoopnvm
+{
+
+namespace detail
+{
+
+/** Byte-indexed lookup table for the reflected CRC-32C polynomial. */
+inline const std::array<std::uint32_t, 256> &
+crc32cTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace detail
+
+/** CRC-32C of @p len bytes at @p data, chainable via @p seed. */
+inline std::uint32_t
+crc32c(const void *data, std::size_t len, std::uint32_t seed = 0)
+{
+    const auto &table = detail::crc32cTable();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    return ~crc;
+}
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_COMMON_CRC32_HH

@@ -102,6 +102,14 @@ GarbageCollector::run(Tick now)
             const MemorySlice s = region.readSlice(now, idx, &done);
             last = std::max(last, done);
             ++stats_.counter("slices_scanned");
+            if (!s.crcOk) {
+                // A media fault corrupted this slice in place: none of
+                // its fields can be trusted, so its words cannot be
+                // migrated. Count the loss and move on — the home copy
+                // (whatever it holds) is the best surviving version.
+                ++stats_.counter("slices_crc_skipped");
+                continue;
+            }
             if (!s.carriesWords())
                 continue;
             HOOP_ASSERT(ctrl.isCommitted(s.txId),
@@ -198,6 +206,12 @@ GarbageCollector::run(Tick now)
     for (std::uint32_t b : cand)
         region.setBlockState(b, BlockState::Unused, now);
     stats_.counter("blocks_recycled") += cand.size();
+
+    // The GC engine drains the channel before free-list update: a
+    // crash must never tear a migration write whose source block was
+    // already recycled. In-order completion makes waiting for the last
+    // issued write equivalent to settling everything outstanding.
+    ctrl.nvm_.faults().settle();
 
     return last;
 }

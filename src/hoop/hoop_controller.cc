@@ -107,7 +107,7 @@ HoopController::emergencyEvictMappingEntry(Tick now)
         if (victim != kInvalidAddr)
             return;
         const MemorySlice s = region_.peekSlice(slice_idx);
-        if (s.carriesWords() && isCommitted(s.txId)) {
+        if (s.crcOk && s.carriesWords() && isCommitted(s.txId)) {
             victim = line;
             victim_idx = slice_idx;
         }
@@ -205,12 +205,13 @@ HoopController::commitPrepared(CoreId core, Tick now)
         // Address slices pack many commit records (Fig. 5a); the
         // byte-addressable device persists just the appended record.
         // The simulator stores records one per slot for simplicity but
-        // charges the amortized record write (32 B).
+        // charges the amortized record write (32 B). The record flows
+        // through the device's write path (not poke) so the fault
+        // injector can tear it like any other in-flight write.
         std::uint8_t enc[MemorySlice::kSliceBytes];
         s.encode(enc);
-        nvm_.poke(region_.sliceAddr(idx), enc,
-                  MemorySlice::kSliceBytes);
-        commit_done = nvm_.writeAccounting(t, 32);
+        commit_done = nvm_.write(t, region_.sliceAddr(idx), enc,
+                                 MemorySlice::kSliceBytes, 32);
         region_.noteSliceTx(idx, tx);
         ++stats_.counter("addr_slices");
     }
@@ -242,8 +243,14 @@ HoopController::fillLine(CoreId core, Addr line, std::uint8_t *buf,
         const Tick home_done = nvm_.read(now, line, buf, kCacheLineSize);
         Tick slice_done;
         const MemorySlice s = region_.readSlice(now, *m, &slice_done);
-        HOOP_ASSERT(s.carriesWords(),
-                    "mapping table points at a non-data slice");
+        if (!s.crcOk || !s.carriesWords()) {
+            // A media fault corrupted the out-of-place copy. The home
+            // line (already read) is the best surviving version: serve
+            // it rather than overlay garbage words.
+            ++stats_.counter("fill_slice_crc_drops");
+            fr.completion = home_done + unpackCost;
+            return fr;
+        }
 
         std::uint8_t mask = 0;
         for (unsigned i = 0; i < s.count; ++i) {
@@ -393,6 +400,7 @@ HoopController::recoverWithFilter(unsigned threads,
                                   const std::unordered_set<TxId> *allow)
 {
     const RecoveryResult r = recovery->run(threads, allow);
+    lastRecovery_ = r;
 
     // Post-recovery: the home region is the single source of truth.
     region_.reset();
@@ -426,6 +434,8 @@ HoopController::debugReadLine(Addr line, std::uint8_t *buf) const
     nvm_.peek(line, buf, kCacheLineSize);
     if (auto m = mapping.lookup(line)) {
         const MemorySlice s = region_.peekSlice(*m);
+        if (!s.crcOk)
+            return; // corrupt overlay: the home line is the best copy
         for (unsigned i = 0; i < s.count; ++i) {
             if (lineAddr(s.homeAddrs[i]) != line)
                 continue;

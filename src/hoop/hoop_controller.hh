@@ -86,6 +86,9 @@ class HoopController : public PersistenceController
     OopDataBuffer &dataBuffer() { return buffer; }
     GarbageCollector &gc() { return *gc_; }
 
+    /** Full result of the most recent recovery run (integrity stats). */
+    const RecoveryResult &lastRecovery() const { return lastRecovery_; }
+
     /** True once @p tx has durably committed. */
     bool isCommitted(TxId tx) const;
 
@@ -153,6 +156,7 @@ class HoopController : public PersistenceController
     EvictionBuffer evictBuf;
     std::unique_ptr<GarbageCollector> gc_;
     std::unique_ptr<RecoveryManager> recovery;
+    RecoveryResult lastRecovery_;
 
     std::vector<CoreChain> chains;
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/crc32.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -56,6 +57,13 @@ get40(const std::uint8_t *p)
     return v;
 }
 
+/** Byte offset of the slice CRC; it covers every byte before it. */
+constexpr std::size_t kCrcOffset = 121;
+
+/** The 32-bit image of "no transaction" in the slice's TxId field. */
+constexpr std::uint32_t kInvalidTxId32 =
+    static_cast<std::uint32_t>(kInvalidTxId);
+
 } // namespace
 
 void
@@ -88,6 +96,7 @@ MemorySlice::encode(std::uint8_t *out) const
     out[120] = static_cast<std::uint8_t>(
         (count - 1) | (start ? 0x08 : 0x00) |
         (static_cast<std::uint8_t>(type) << 4));
+    put32(out + kCrcOffset, crc32c(out, kCrcOffset));
 }
 
 MemorySlice
@@ -98,10 +107,12 @@ MemorySlice::decode(const std::uint8_t *in)
     s.type = static_cast<SliceType>(meta >> 4);
     if (s.type == SliceType::Invalid)
         return s;
+    s.crcOk = get32(in + kCrcOffset) == crc32c(in, kCrcOffset);
     s.count = static_cast<std::uint8_t>((meta & 0x07) + 1);
     s.start = (meta & 0x08) != 0;
     s.prevIdx = get32(in + 104);
-    s.txId = get32(in + 108);
+    const std::uint32_t tx32 = get32(in + 108);
+    s.txId = tx32 == kInvalidTxId32 ? kInvalidTxId : tx32;
     s.seq = get64(in + 112);
 
     if (s.type == SliceType::AddrRec) {

@@ -19,7 +19,8 @@
  *   [112, 120)  global sequence number (u64)
  *   [120]       meta byte: bits 0-2 = count-1, bit 3 = chain start,
  *               bits 4-7 = slice type
- *   [121, 128)  reserved
+ *   [121, 125)  CRC-32C over bytes [0, 121)
+ *   [125, 128)  reserved
  *
  * Deviation from the paper: the paper chains slices *forward* with a
  * 24-bit next pointer; we chain *backward* with a 32-bit previous index
@@ -29,6 +30,14 @@
  * (carried in otherwise-padded bytes) orders slices for GC coalescing
  * and lets recovery distinguish live slices from stale ones left behind
  * in recycled OOP blocks.
+ *
+ * Integrity: the CRC covers every payload and metadata byte, so a
+ * slice torn at 8-byte word granularity (NVM's write atomicity unit)
+ * or hit by a media fault fails verification. decode() reports the
+ * check in MemorySlice::crcOk; consumers that trust slice contents
+ * (recovery, GC, the mapping-table read path) must reject slices whose
+ * check fails — a torn commit record must veto, never commit, its
+ * transaction.
  */
 
 #ifndef HOOPNVM_HOOP_MEMORY_SLICE_HH
@@ -73,6 +82,13 @@ struct MemorySlice
     std::uint32_t prevIdx = kNullIdx;
     TxId txId = kInvalidTxId;
     std::uint64_t seq = 0;
+
+    /**
+     * True when the stored CRC matched on decode (always true for
+     * freshly-built and Invalid slices). A false value means the slice
+     * bytes are torn or corrupt and no other field can be trusted.
+     */
+    bool crcOk = true;
 
     std::array<std::uint64_t, kMaxWords> words{};
     std::array<Addr, kMaxWords> homeAddrs{}; ///< Word-aligned.

@@ -122,7 +122,12 @@ MultiHoopSystem::recoverAll(unsigned threads)
                  slot <= region.slicesPerBlock(); ++slot) {
                 const MemorySlice s = region.peekSlice(
                     b * (region.slicesPerBlock() + 1) + slot);
-                if (s.type == SliceType::Invalid || s.seq < h.openSeq)
+                // A corrupt slice ends the live area exactly as in
+                // RecoveryManager::run — in particular a torn commit
+                // record never lands in has_record, so the transaction
+                // stays ineligible on this controller.
+                if (s.type == SliceType::Invalid || !s.crcOk ||
+                    s.seq < h.openSeq)
                     break;
                 if (s.carriesWords())
                     has_slices.insert(s.txId);

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/crc32.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -13,15 +14,47 @@ namespace
 /** Magic marking a valid OOP block header. */
 constexpr std::uint32_t kHeaderMagic = 0x484f4f50; // "HOOP"
 
-/** On-NVM block header layout (fits in the 128-byte header slot). */
+/**
+ * openSeq written into Unused headers: no sequence number can reach
+ * it, so even if a torn re-open persists the new InUse state byte but
+ * reverts the openSeq word, every slice in the block reads as stale
+ * and recovery scans an empty block instead of resurrecting slices
+ * from the block's previous life.
+ */
+constexpr std::uint64_t kSealedSeq = ~static_cast<std::uint64_t>(0);
+
+/**
+ * On-NVM block header layout (fits in the 128-byte header slot).
+ *
+ * The CRC covers magic, index and openSeq but deliberately *not*
+ * state: state transitions (InUse->Full->Gc->Unused) rewrite only the
+ * state byte with openSeq unchanged, and any torn/stale reading of the
+ * state byte is safe to act on (see peekHeader), so excluding it keeps
+ * those single-byte updates tear-free by construction. The only header
+ * write that changes CRC-covered fields is a block (re)open, which by
+ * the channel's write ordering can be in flight at a crash only while
+ * the block holds no committed data — rejecting it loses nothing.
+ */
 struct BlockHeader
 {
     std::uint32_t magic;
     std::uint32_t index;
     std::uint8_t state;
-    std::uint8_t pad[7];
+    std::uint8_t pad[3];
+    std::uint32_t crc;
     std::uint64_t openSeq;
 };
+
+/** Header CRC over the fields that never change in place. */
+std::uint32_t
+headerCrc(const BlockHeader &h)
+{
+    std::uint8_t buf[16];
+    std::memcpy(buf, &h.magic, 4);
+    std::memcpy(buf + 4, &h.index, 4);
+    std::memcpy(buf + 8, &h.openSeq, 8);
+    return crc32c(buf, sizeof(buf));
+}
 
 } // namespace
 
@@ -81,7 +114,10 @@ OopRegion::writeHeader(std::uint32_t b, Tick now)
     h.magic = kHeaderMagic;
     h.index = b;
     h.state = static_cast<std::uint8_t>(blocks[b].state);
-    h.openSeq = blocks[b].openSeq;
+    h.openSeq = blocks[b].state == BlockState::Unused
+                    ? kSealedSeq
+                    : blocks[b].openSeq;
+    h.crc = headerCrc(h);
     std::memcpy(buf, &h, sizeof(h));
     // Headers persist as one full line write (the header slot).
     nvm.write(now, blockBase(b), buf, kCacheLineSize);
@@ -166,6 +202,18 @@ OopRegion::peekHeader(std::uint32_t b) const
     BlockHeaderView v;
     if (h.magic != kHeaderMagic)
         return v;
+    if (h.crc != headerCrc(h)) {
+        // A torn block (re)open or a media fault on the header: the
+        // openSeq cannot be trusted, so neither can any slice in the
+        // block. Report it distinctly from a never-written slot.
+        v.crcFailed = true;
+        return v;
+    }
+    // The state byte is outside the CRC (it transitions in place); any
+    // torn old/new reading of it is safe: InUse/Full/Gc are all
+    // scanned, and a block already recycled to Unused has had its
+    // committed content migrated home before the Unused header write
+    // was issued.
     v.valid = true;
     v.state = static_cast<BlockState>(h.state);
     v.openSeq = h.openSeq;
@@ -237,6 +285,8 @@ OopRegion::reset()
         h.magic = kHeaderMagic;
         h.index = b;
         h.state = static_cast<std::uint8_t>(BlockState::Unused);
+        h.openSeq = kSealedSeq;
+        h.crc = headerCrc(h);
         nvm.poke(blockBase(b), &h, sizeof(h));
     }
     txBlocks_.clear();

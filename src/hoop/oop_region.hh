@@ -62,6 +62,9 @@ struct BlockHeaderView
     bool valid = false;
     BlockState state = BlockState::Unused;
     std::uint64_t openSeq = 0;
+
+    /** Magic matched but the header CRC did not (torn/corrupt). */
+    bool crcFailed = false;
 };
 
 /** Allocator and accessor for the log-structured OOP region. */

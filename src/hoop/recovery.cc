@@ -43,8 +43,11 @@ RecoveryManager::run(unsigned threads,
 
     // ---- Phase 1: locate live blocks and commit records, using only
     // durable NVM state (block headers + address slices). Slices are
-    // appended in sequence order, so a stale or invalid slice ends a
-    // block's live area. ----
+    // appended in sequence order, so a stale, invalid or corrupt slice
+    // ends a block's live area. Nothing is trusted without its CRC:
+    // a corrupt commit record vetoes its transaction, and a committed
+    // transaction whose chain lost slices to corruption is dropped
+    // whole — recovery must never surface a partial transaction. ----
     struct LiveBlock
     {
         std::uint32_t block;
@@ -52,10 +55,16 @@ RecoveryManager::run(unsigned threads,
     };
     std::vector<LiveBlock> live;
     std::unordered_set<TxId> committed;
+    std::unordered_set<TxId> vetoed;
+    std::unordered_map<TxId, std::uint32_t> chainExpected;
+    std::unordered_map<TxId, std::uint32_t> chainFound;
     std::uint64_t max_commit = 0;
+    const FaultModel &faults = ctrl.nvm_.faults();
 
     for (std::uint32_t b = 0; b < region.numBlocks(); ++b) {
         const BlockHeaderView h = region.peekHeader(b);
+        if (h.crcFailed)
+            ++res.headersRejected;
         if (!h.valid || h.state == BlockState::Unused)
             continue;
         std::uint32_t used = 0;
@@ -64,24 +73,67 @@ RecoveryManager::run(unsigned threads,
             const std::uint32_t idx =
                 b * (region.slicesPerBlock() + 1) + slot;
             const MemorySlice s = region.peekSlice(idx);
-            if (s.type == SliceType::Invalid || s.seq < h.openSeq)
+            if (s.type == SliceType::Invalid)
                 break;
+            if (!s.crcOk) {
+                // Torn or corrupt: no field of this slice — including
+                // seq — can be trusted, so the block's live area ends
+                // here. If the type field still reads as a commit
+                // record, veto whatever transaction it names: a torn
+                // commit must never be honoured.
+                ++res.slicesRejected;
+                if (faults.mediaFaultyRange(region.sliceAddr(idx),
+                                            MemorySlice::kSliceBytes))
+                    ++res.bitFlipsDetected;
+                if (s.type == SliceType::AddrRec) {
+                    ++res.tornCommitsDetected;
+                    vetoed.insert(s.record.txId);
+                }
+                break;
+            }
+            if (s.seq < h.openSeq)
+                break; // stale slice from the block's previous life
             used = slot;
             ++res.slicesScanned;
             res.bytesScanned += MemorySlice::kSliceBytes;
             res.maxSeq = std::max(res.maxSeq, s.seq);
-            if (s.txId != kInvalidTxId && s.txId != 0xffffffffu)
+            if (s.txId != kInvalidTxId)
                 res.maxTxId = std::max(res.maxTxId, s.txId);
-            if (s.type == SliceType::AddrRec) {
+            if (s.type == SliceType::Data) {
+                ++chainFound[s.txId];
+            } else if (s.type == SliceType::AddrRec) {
                 if (allow && !allow->count(s.record.txId))
                     continue; // vetoed by cross-controller consensus
                 committed.insert(s.record.txId);
+                chainExpected[s.record.txId] = s.record.sliceCount;
                 max_commit = std::max(max_commit, s.record.commitId);
                 res.maxTxId = std::max(res.maxTxId, s.record.txId);
             }
         }
         if (used > 0)
             live.push_back({b, used});
+    }
+
+    // Corrupt commit records veto their transactions outright.
+    for (TxId tx : vetoed)
+        committed.erase(tx);
+
+    // Chain completeness: a committed transaction must present every
+    // Data slice its commit record counted. Fewer means corruption cut
+    // part of the chain out of some block's live area (or GC already
+    // migrated the chain home, in which case the home region is fresh
+    // and skipping the replay is equally correct); replaying a partial
+    // chain would surface a torn transaction, so drop it whole.
+    for (auto it = committed.begin(); it != committed.end();) {
+        const auto found = chainFound.find(*it);
+        const std::uint32_t have =
+            found == chainFound.end() ? 0 : found->second;
+        if (have < chainExpected[*it]) {
+            ++res.incompleteTxVetoed;
+            it = committed.erase(it);
+        } else {
+            ++it;
+        }
     }
     res.committedTxReplayed = committed.size();
 
@@ -100,7 +152,8 @@ RecoveryManager::run(unsigned threads,
                 const std::uint32_t idx =
                     lb.block * (region.slicesPerBlock() + 1) + slot;
                 const MemorySlice s = region.peekSlice(idx);
-                if (!s.carriesWords() || !committed.count(s.txId))
+                if (!s.crcOk || !s.carriesWords() ||
+                    !committed.count(s.txId))
                     continue;
                 for (unsigned w = 0; w < s.count; ++w) {
                     WordVersion &v = local[s.homeAddrs[w]];
@@ -158,8 +211,15 @@ RecoveryManager::run(unsigned threads,
         res.bytesScanned * 2 + res.homeLinesWritten * kCacheLineSize * 2;
     const Tick channel_time = ctrl.nvm_.timing().transferTicks(
         static_cast<std::size_t>(rw_bytes));
+    // Every scanned slice is CRC-verified before any field is trusted;
+    // that work divides across the recovery threads like the parsing
+    // work, but is reported separately so Fig. 11 runs can show the
+    // integrity overhead.
+    res.crcVerifyCost =
+        static_cast<Tick>(total_slices) * kCrcVerifyCpuCost;
     const Tick cpu_time =
-        (total_slices + threads - 1) / threads * kPerSliceCpuCost +
+        (total_slices + threads - 1) / threads *
+            (kPerSliceCpuCost + kCrcVerifyCpuCost) +
         static_cast<Tick>(global.size()) * nsToTicks(5);
     res.time = std::max(channel_time, cpu_time) +
                ctrl.nvm_.timing().readLatency +
@@ -169,6 +229,11 @@ RecoveryManager::run(unsigned threads,
     stats_.counter("runs") += 1;
     stats_.counter("tx_replayed") += res.committedTxReplayed;
     stats_.counter("lines_written") += res.homeLinesWritten;
+    stats_.counter("slices_rejected") += res.slicesRejected;
+    stats_.counter("torn_commits_detected") += res.tornCommitsDetected;
+    stats_.counter("bit_flips_detected") += res.bitFlipsDetected;
+    stats_.counter("headers_rejected") += res.headersRejected;
+    stats_.counter("incomplete_tx_vetoed") += res.incompleteTxVetoed;
     return res;
 }
 

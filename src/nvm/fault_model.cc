@@ -1,0 +1,148 @@
+#include "nvm/fault_model.hh"
+
+#include <algorithm>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace hoopnvm
+{
+
+namespace
+{
+
+/** Domain separators so the three hash uses never correlate. */
+constexpr std::uint64_t kTearSalt = 0x7465617244534c54ULL;
+constexpr std::uint64_t kFaultySalt = 0x6d65646961464c54ULL;
+constexpr std::uint64_t kBitSalt = 0x62697470636b5354ULL;
+
+/** Map a 64-bit hash to a uniform double in [0, 1). */
+double
+hashToUnit(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+void
+FaultModel::setTornWrites(bool on)
+{
+    tornWrites_ = on;
+    if (!on)
+        pending_.clear();
+}
+
+void
+FaultModel::addMediaFault(Addr begin, Addr end, MediaFaultKind kind,
+                          double word_probability)
+{
+    HOOP_ASSERT(begin < end, "empty media-fault range");
+    HOOP_ASSERT(word_probability >= 0.0 && word_probability <= 1.0,
+                "media-fault probability outside [0, 1]");
+    ranges_.push_back({begin, end, kind, word_probability});
+}
+
+void
+FaultModel::reset()
+{
+    pending_.clear();
+    ranges_.clear();
+    nextSerial_ = 0;
+    writesTorn_ = 0;
+    wordsTorn_ = 0;
+    wordsCorrupted_ = 0;
+}
+
+void
+FaultModel::noteWrite(Addr addr, const std::uint8_t *preimage,
+                      std::size_t len, Tick completion, Tick now)
+{
+    if (!tornWrites_)
+        return;
+    // Completed writes can no longer tear; keep the in-flight window
+    // small. The channel completes writes in issue order, so the
+    // completed entries form a prefix of the deque.
+    while (!pending_.empty() && pending_.front().completion <= now)
+        pending_.pop_front();
+    PendingWrite w;
+    w.addr = addr;
+    w.completion = completion;
+    w.serial = nextSerial_++;
+    w.preimage.assign(preimage, preimage + len);
+    pending_.push_back(std::move(w));
+}
+
+bool
+FaultModel::wordPersists(std::uint64_t serial, std::uint64_t w) const
+{
+    return mixHash(seed_ ^ kTearSalt ^ (serial * 8191 + w)) & 1;
+}
+
+void
+FaultModel::corruptRead(Addr addr, std::uint8_t *buf,
+                        std::size_t len) const
+{
+    if (ranges_.empty())
+        return;
+    const Addr end = addr + len;
+    for (const MediaFaultRange &r : ranges_) {
+        const Addr lo = std::max(addr, r.begin);
+        const Addr hi = std::min(end, r.end);
+        if (lo >= hi)
+            continue;
+        for (Addr word = alignDown(lo, kWordSize); word < hi;
+             word += kWordSize) {
+            const std::uint64_t h =
+                mixHash(seed_ ^ kFaultySalt ^ word);
+            if (hashToUnit(h) >= r.wordProbability)
+                continue;
+            const unsigned bit = static_cast<unsigned>(
+                mixHash(seed_ ^ kBitSalt ^ word) & 63);
+            const Addr byte = word + bit / 8;
+            if (byte < addr || byte >= end || byte < r.begin ||
+                byte >= r.end) {
+                continue; // affected byte outside this read/range
+            }
+            std::uint8_t &b = buf[byte - addr];
+            const std::uint8_t mask =
+                static_cast<std::uint8_t>(1u << (bit % 8));
+            switch (r.kind) {
+              case MediaFaultKind::BitFlip:
+                b ^= mask;
+                break;
+              case MediaFaultKind::StuckAtZero:
+                b &= static_cast<std::uint8_t>(~mask);
+                break;
+              case MediaFaultKind::StuckAtOne:
+                b |= mask;
+                break;
+            }
+            ++wordsCorrupted_;
+        }
+    }
+}
+
+bool
+FaultModel::mediaFaultyRange(Addr addr, std::size_t len) const
+{
+    const Addr end = addr + len;
+    for (const MediaFaultRange &r : ranges_) {
+        if (r.wordProbability <= 0.0)
+            continue;
+        const Addr lo = std::max(addr, r.begin);
+        const Addr hi = std::min(end, r.end);
+        if (lo >= hi)
+            continue;
+        for (Addr word = alignDown(lo, kWordSize); word < hi;
+             word += kWordSize) {
+            if (hashToUnit(mixHash(seed_ ^ kFaultySalt ^ word)) <
+                r.wordProbability) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace hoopnvm

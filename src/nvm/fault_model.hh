@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Deterministic, seeded NVM fault injection.
+ *
+ * The clean-crash model (every byte that reached the device survives,
+ * every byte that did not vanishes) is too kind to recovery code. Real
+ * NVM fails in two additional ways this model injects:
+ *
+ *  1. **Torn writes.** NVM persists multi-word stores in 8-byte units
+ *     with no atomicity across them. A power failure while a write is
+ *     in flight persists an arbitrary subset of its words. The model
+ *     tracks every timed write still in flight (completion tick after
+ *     the crash tick) together with the pre-image of its target range;
+ *     on crash, a seeded coin per 8-byte word decides whether that word
+ *     keeps the new value or reverts to the pre-image.
+ *
+ *  2. **Media faults.** Worn or disturbed cells corrupt data at rest.
+ *     Faults are *scheduled* over address ranges and applied on the
+ *     read path: a seeded hash of each word address decides whether the
+ *     word is faulty and which bit is affected, so a faulty cell reads
+ *     back the same wrong value every time — like real stuck-at or
+ *     retention failures, and reproducible run-to-run.
+ *
+ * Everything is a pure function of the seed, the write sequence and the
+ * addresses involved: two simulations with the same seed and the same
+ * access stream observe byte-identical faults (fault_model_test.cc).
+ * Injection itself charges no simulated time or energy.
+ */
+
+#ifndef HOOPNVM_NVM_FAULT_MODEL_HH
+#define HOOPNVM_NVM_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hoopnvm
+{
+
+/** How a scheduled media fault corrupts an affected word. */
+enum class MediaFaultKind : std::uint8_t
+{
+    BitFlip = 0,     ///< XOR one bit on every read of the word.
+    StuckAtZero = 1, ///< One bit always reads as 0.
+    StuckAtOne = 2,  ///< One bit always reads as 1.
+};
+
+/** One scheduled media-fault region. */
+struct MediaFaultRange
+{
+    Addr begin = 0; ///< Inclusive start (byte address).
+    Addr end = 0;   ///< Exclusive end.
+    MediaFaultKind kind = MediaFaultKind::BitFlip;
+
+    /** Per-word probability that the word is faulty (seeded hash). */
+    double wordProbability = 0.0;
+};
+
+/** Seeded torn-write and media-fault injector for one NvmDevice. */
+class FaultModel
+{
+  public:
+    explicit FaultModel(std::uint64_t seed = 0) : seed_(seed) {}
+
+    // ---- Configuration ----
+
+    void setSeed(std::uint64_t seed) { seed_ = seed; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** Enable torn-write tracking (off by default: zero overhead). */
+    void setTornWrites(bool on);
+    bool tornWritesEnabled() const { return tornWrites_; }
+
+    /** Schedule media faults over [begin, end). */
+    void addMediaFault(Addr begin, Addr end, MediaFaultKind kind,
+                       double word_probability);
+
+    /** Drop all scheduled media faults (torn-write state persists). */
+    void clearMediaFaults() { ranges_.clear(); }
+
+    /** Back to a pristine, fault-free injector (counters included). */
+    void reset();
+
+    // ---- Device hooks ----
+
+    /**
+     * Record a timed write of @p len bytes at @p addr completing at
+     * @p completion; @p preimage holds the @p len bytes the range
+     * contained before the write. No-op unless torn writes are on.
+     */
+    void noteWrite(Addr addr, const std::uint8_t *preimage,
+                   std::size_t len, Tick completion, Tick now);
+
+    /**
+     * Crash at @p tick: tear every tracked write whose completion is
+     * after @p tick, reverting a seeded subset of its 8-byte words via
+     * @p poke (the device's untimed write-back). Clears the in-flight
+     * set.
+     */
+    template <typename PokeFn>
+    void
+    applyCrash(Tick tick, PokeFn &&poke)
+    {
+        for (const PendingWrite &w : pending_) {
+            if (w.completion <= tick)
+                continue;
+            ++writesTorn_;
+            tearOne(w, poke);
+        }
+        pending_.clear();
+    }
+
+    /**
+     * Durability fence: declare every write issued so far persisted
+     * (it can no longer tear). The channel completes writes in issue
+     * order, so waiting for the newest outstanding write drains all of
+     * them — this is what GC does before recycling blocks, where a torn
+     * migration after the source slices are gone would lose data.
+     */
+    void settle() { pending_.clear(); }
+
+    /**
+     * Corrupt @p len bytes read from @p addr in place per the scheduled
+     * media faults. Deterministic in (seed, address). Const because the
+     * read path is const; only mutable counters change.
+     */
+    void corruptRead(Addr addr, std::uint8_t *buf,
+                     std::size_t len) const;
+
+    /** True when any scheduled fault range overlaps [addr, addr+len). */
+    bool mediaFaultyRange(Addr addr, std::size_t len) const;
+
+    // ---- Introspection (tests, recovery stats) ----
+
+    std::uint64_t writesTorn() const { return writesTorn_; }
+    std::uint64_t wordsTorn() const { return wordsTorn_; }
+    std::uint64_t wordsCorrupted() const { return wordsCorrupted_; }
+
+  private:
+    struct PendingWrite
+    {
+        Addr addr;
+        Tick completion;
+        std::uint64_t serial; ///< Monotonic; seeds the per-word coin.
+        std::vector<std::uint8_t> preimage;
+    };
+
+    /** Seeded coin: does word @p w of write @p serial persist? */
+    bool wordPersists(std::uint64_t serial, std::uint64_t w) const;
+
+    /**
+     * Revert the non-persisted 8-byte words of @p w via @p poke.
+     * Partial words at unaligned edges revert atomically with the
+     * word they start in.
+     */
+    template <typename PokeFn>
+    void
+    tearOne(const PendingWrite &w, PokeFn &&poke)
+    {
+        const Addr end = w.addr + w.preimage.size();
+        Addr word = alignDown(w.addr, kWordSize);
+        for (std::uint64_t i = 0; word < end; ++i, word += kWordSize) {
+            if (wordPersists(w.serial, i))
+                continue;
+            const Addr lo = word < w.addr ? w.addr : word;
+            const Addr hi = word + kWordSize < end ? word + kWordSize
+                                                   : end;
+            poke(lo, w.preimage.data() + (lo - w.addr), hi - lo);
+            ++wordsTorn_;
+        }
+    }
+
+    std::uint64_t seed_;
+    bool tornWrites_ = false;
+    std::deque<PendingWrite> pending_;
+    std::uint64_t nextSerial_ = 0;
+    std::vector<MediaFaultRange> ranges_;
+
+    std::uint64_t writesTorn_ = 0;
+    std::uint64_t wordsTorn_ = 0;
+    mutable std::uint64_t wordsCorrupted_ = 0;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_NVM_FAULT_MODEL_HH

@@ -1,6 +1,7 @@
 #include "nvm/nvm_device.hh"
 
 #include <cstring>
+#include <vector>
 
 #include "common/logging.hh"
 
@@ -70,8 +71,23 @@ NvmDevice::read(Tick now, Addr addr, void *buf, std::size_t len)
 Tick
 NvmDevice::write(Tick now, Addr addr, const void *buf, std::size_t len)
 {
+    return write(now, addr, buf, len, len);
+}
+
+Tick
+NvmDevice::write(Tick now, Addr addr, const void *buf, std::size_t len,
+                 std::size_t accounted)
+{
+    std::vector<std::uint8_t> preimage;
+    if (faults_.tornWritesEnabled()) {
+        preimage.resize(len);
+        peekRaw(addr, preimage.data(), len);
+    }
     poke(addr, buf, len);
-    return reserve(now, len, true);
+    const Tick done = reserve(now, accounted, true);
+    if (faults_.tornWritesEnabled())
+        faults_.noteWrite(addr, preimage.data(), len, done, now);
+    return done;
 }
 
 Tick
@@ -88,6 +104,13 @@ NvmDevice::readAccounting(Tick now, std::size_t len)
 
 void
 NvmDevice::peek(Addr addr, void *buf, std::size_t len) const
+{
+    peekRaw(addr, buf, len);
+    faults_.corruptRead(addr, static_cast<std::uint8_t *>(buf), len);
+}
+
+void
+NvmDevice::peekRaw(Addr addr, void *buf, std::size_t len) const
 {
     auto *out = static_cast<std::uint8_t *>(buf);
     while (len > 0) {
@@ -148,7 +171,17 @@ NvmDevice::clear()
 {
     pages.clear();
     channelFree_ = 0;
+    faults_.reset();
     resetCounters();
+}
+
+void
+NvmDevice::applyCrashFaults(Tick tick)
+{
+    faults_.applyCrash(tick, [this](Addr a, const std::uint8_t *buf,
+                                    std::size_t len) {
+        poke(a, buf, len);
+    });
 }
 
 } // namespace hoopnvm

@@ -19,6 +19,12 @@
  * Accounting discipline: read()/write() move bytes *and* charge
  * time/energy/traffic. peek()/poke() move bytes silently and exist for
  * test verification and pre-simulation state setup only.
+ *
+ * Fault injection: every device owns a FaultModel (disabled by
+ * default). Timed writes register with it so a crash can tear the
+ * in-flight suffix at 8-byte word granularity, and every byte leaving
+ * the device through peek()/read() passes through its scheduled
+ * media-fault filter (see fault_model.hh).
  */
 
 #ifndef HOOPNVM_NVM_NVM_DEVICE_HH
@@ -31,6 +37,7 @@
 
 #include "common/types.hh"
 #include "nvm/energy_model.hh"
+#include "nvm/fault_model.hh"
 #include "nvm/nvm_timing.hh"
 #include "stats/stat_set.hh"
 
@@ -54,6 +61,17 @@ class NvmDevice
 
     /** Timed write: copies bytes in and returns the completion tick. */
     Tick write(Tick now, Addr addr, const void *buf, std::size_t len);
+
+    /**
+     * Timed write that stores all @p len bytes but charges
+     * time/energy/traffic for only @p accounted of them. Models
+     * appends into shared structures (e.g. commit records packed into
+     * address slices) whose full slot the simulator materializes but
+     * whose incremental cost is smaller. The stored bytes still flow
+     * through the fault model, so the append can tear on crash.
+     */
+    Tick write(Tick now, Addr addr, const void *buf, std::size_t len,
+               std::size_t accounted);
 
     /**
      * Timed write without data movement, for modelled traffic whose
@@ -96,6 +114,18 @@ class NvmDevice
     /** Drop all stored bytes and counters (fresh device). */
     void clear();
 
+    // ---- Fault injection ----
+
+    /** The device's fault injector (disabled until configured). */
+    FaultModel &faults() { return faults_; }
+    const FaultModel &faults() const { return faults_; }
+
+    /**
+     * Power failure at @p tick: tear every write still in flight per
+     * the fault model (no-op unless torn writes were enabled).
+     */
+    void applyCrashFaults(Tick tick);
+
   private:
     static constexpr std::uint64_t kPageBytes = 4096;
     using Page = std::array<std::uint8_t, kPageBytes>;
@@ -106,12 +136,16 @@ class NvmDevice
     /** Backing page for @p addr if it exists, else nullptr. */
     const Page *pageIfPresent(Addr addr) const;
 
+    /** peek() without the media-fault filter (pre-image capture). */
+    void peekRaw(Addr addr, void *buf, std::size_t len) const;
+
     /** Common channel-reservation timing for one access. */
     Tick reserve(Tick now, std::size_t len, bool is_write);
 
     std::uint64_t capacity_;
     NvmTiming timing_;
     EnergyModel energy_;
+    FaultModel faults_;
     std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages;
 
     Tick channelFree_ = 0;

@@ -73,6 +73,13 @@ System::txEnd(CoreId core)
     Core &c = cores_[core];
     HOOP_ASSERT(c.inTx(), "txEnd without txBegin on core %u", core);
     const Tick done = ctrl_->txEnd(core, c.clock() + cfg_.opCost());
+    if (commitCrashCountdown_ > 0 && --commitCrashCountdown_ == 0) {
+        // Crash after the commit record was issued but before the
+        // commit is acknowledged: the record is still in flight (the
+        // core clock has not advanced to its completion), so torn-write
+        // injection can tear it.
+        throw SimCrash{};
+    }
     c.advanceTo(done);
     c.setInTx(false);
     ++committedTx_;
@@ -158,13 +165,24 @@ System::scheduleCrashAfterStores(std::uint64_t n)
 }
 
 void
+System::scheduleCrashAtCommit(std::uint64_t n)
+{
+    commitCrashCountdown_ = n;
+}
+
+void
 System::crash()
 {
+    // Resolve torn writes first: every write whose completion lies
+    // beyond the power-failure instant loses its non-persisted words.
+    // Only then does the volatile state vanish.
+    nvm_->applyCrashFaults(maxClock());
     caches_->dropAll();
     ctrl_->crash();
     for (auto &c : cores_)
         c.reset();
     crashCountdown = 0;
+    commitCrashCountdown_ = 0;
 }
 
 Tick

@@ -109,7 +109,21 @@ class System
      */
     void scheduleCrashAfterStores(std::uint64_t n);
 
-    /** Power failure: caches and volatile controller state vanish. */
+    /**
+     * Arrange for SimCrash to be thrown inside the @p n-th next txEnd
+     * (1 = the very next commit; 0 disables), after the controller has
+     * issued the commit record but before the commit is acknowledged
+     * to the core. At that point the record write is still in flight,
+     * so with torn writes enabled it is exactly the write a crash can
+     * tear — the window scheduleCrashAfterStores() can never hit.
+     */
+    void scheduleCrashAtCommit(std::uint64_t n);
+
+    /**
+     * Power failure: caches and volatile controller state vanish, and
+     * the NVM fault injector resolves which in-flight writes tore
+     * (see NvmDevice::faults()).
+     */
     void crash();
 
     /** Run the scheme's recovery. @return modelled recovery ticks. */
@@ -160,6 +174,7 @@ class System
     std::uint64_t committedTx_ = 0;
     Tick criticalPathSum_ = 0;
     std::uint64_t crashCountdown = 0;
+    std::uint64_t commitCrashCountdown_ = 0;
     Tick measureStart = 0;
 };
 

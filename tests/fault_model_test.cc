@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit tests for the seeded NVM fault injector (fault_model.hh):
+ * deterministic torn writes at 8-byte word granularity, and scheduled
+ * media faults that corrupt reads reproducibly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "nvm/nvm_device.hh"
+#include "sim/system_config.hh"
+
+namespace hoopnvm
+{
+namespace
+{
+
+constexpr Addr kBase = 0x10000;
+constexpr std::size_t kLen = 256; // 32 words
+
+NvmDevice
+makeDevice(std::uint64_t seed, bool torn)
+{
+    const SystemConfig cfg;
+    NvmDevice dev(cfg.nvmCapacity(), cfg.nvm);
+    dev.faults().setSeed(seed);
+    dev.faults().setTornWrites(torn);
+    return dev;
+}
+
+/** Fill @p buf with a recognizable per-byte pattern. */
+void
+fillPattern(std::uint8_t *buf, std::size_t len, std::uint8_t tag)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        buf[i] = static_cast<std::uint8_t>(tag ^ (i * 131));
+}
+
+TEST(TornWrites, EachWordIsOldOrNew)
+{
+    NvmDevice dev = makeDevice(42, true);
+
+    std::uint8_t oldv[kLen], newv[kLen], got[kLen];
+    fillPattern(oldv, kLen, 0x11);
+    fillPattern(newv, kLen, 0xee);
+    dev.poke(kBase, oldv, kLen);
+
+    const Tick done = dev.write(0, kBase, newv, kLen);
+    ASSERT_GT(done, 0u);
+    dev.applyCrashFaults(0); // crash before the write completes
+
+    dev.peek(kBase, got, kLen);
+    unsigned persisted = 0, reverted = 0;
+    for (std::size_t w = 0; w < kLen; w += kWordSize) {
+        const bool is_new = std::memcmp(got + w, newv + w, kWordSize) == 0;
+        const bool is_old = std::memcmp(got + w, oldv + w, kWordSize) == 0;
+        EXPECT_TRUE(is_new || is_old) << "word at offset " << w
+                                      << " is neither old nor new";
+        is_new ? ++persisted : ++reverted;
+    }
+    // With 32 words and a fair coin, both outcomes occur (probability
+    // of a miss is 2^-32 per seed; seed 42 shows both).
+    EXPECT_GT(persisted, 0u);
+    EXPECT_GT(reverted, 0u);
+    EXPECT_EQ(dev.faults().writesTorn(), 1u);
+    EXPECT_EQ(dev.faults().wordsTorn(), reverted);
+}
+
+TEST(TornWrites, CompletedWritesNeverTear)
+{
+    NvmDevice dev = makeDevice(42, true);
+
+    std::uint8_t newv[kLen], got[kLen];
+    fillPattern(newv, kLen, 0xee);
+    const Tick done = dev.write(0, kBase, newv, kLen);
+
+    dev.applyCrashFaults(done); // crash exactly at completion
+    dev.peek(kBase, got, kLen);
+    EXPECT_EQ(std::memcmp(got, newv, kLen), 0)
+        << "a write completed by the crash tick must persist whole";
+    EXPECT_EQ(dev.faults().writesTorn(), 0u);
+}
+
+TEST(TornWrites, DeterministicUnderFixedSeed)
+{
+    // Two devices, same seed, same access stream, same crash tick:
+    // byte-identical post-crash contents.
+    for (int run = 0; run < 2; ++run) {
+        NvmDevice a = makeDevice(7, true);
+        NvmDevice b = makeDevice(7, true);
+        Tick ta = 0, tb = 0;
+        std::uint8_t buf[kLen];
+        for (int i = 0; i < 8; ++i) {
+            fillPattern(buf, kLen, static_cast<std::uint8_t>(i));
+            ta = a.write(ta, kBase + i * kLen, buf, kLen);
+            tb = b.write(tb, kBase + i * kLen, buf, kLen);
+        }
+        // Crash with the last few writes still in flight.
+        const Tick crash = ta / 2;
+        a.applyCrashFaults(crash);
+        b.applyCrashFaults(crash);
+        std::uint8_t ga[kLen], gb[kLen];
+        for (int i = 0; i < 8; ++i) {
+            a.peek(kBase + i * kLen, ga, kLen);
+            b.peek(kBase + i * kLen, gb, kLen);
+            ASSERT_EQ(std::memcmp(ga, gb, kLen), 0)
+                << "same seed diverged at write " << i;
+        }
+    }
+}
+
+TEST(TornWrites, DifferentSeedsTearDifferently)
+{
+    NvmDevice a = makeDevice(1, true);
+    NvmDevice b = makeDevice(2, true);
+    std::uint8_t oldv[kLen], newv[kLen];
+    fillPattern(oldv, kLen, 0x11);
+    fillPattern(newv, kLen, 0xee);
+    a.poke(kBase, oldv, kLen);
+    b.poke(kBase, oldv, kLen);
+    a.write(0, kBase, newv, kLen);
+    b.write(0, kBase, newv, kLen);
+    a.applyCrashFaults(0);
+    b.applyCrashFaults(0);
+    std::uint8_t ga[kLen], gb[kLen];
+    a.peek(kBase, ga, kLen);
+    b.peek(kBase, gb, kLen);
+    EXPECT_NE(std::memcmp(ga, gb, kLen), 0)
+        << "32-word tear masks should differ across seeds";
+}
+
+TEST(TornWrites, DisabledModelIsCleanCrash)
+{
+    NvmDevice dev = makeDevice(42, false);
+    std::uint8_t newv[kLen], got[kLen];
+    fillPattern(newv, kLen, 0xee);
+    dev.write(0, kBase, newv, kLen);
+    dev.applyCrashFaults(0);
+    dev.peek(kBase, got, kLen);
+    EXPECT_EQ(std::memcmp(got, newv, kLen), 0)
+        << "with torn writes disabled every issued byte persists";
+}
+
+TEST(MediaFaults, StuckBitsReadTheSameEveryTime)
+{
+    NvmDevice dev = makeDevice(99, false);
+    std::uint8_t data[kLen], first[kLen], again[kLen];
+    fillPattern(data, kLen, 0x55);
+    dev.poke(kBase, data, kLen);
+    dev.faults().addMediaFault(kBase, kBase + kLen,
+                               MediaFaultKind::StuckAtOne, 1.0);
+
+    dev.peek(kBase, first, kLen);
+    dev.peek(kBase, again, kLen);
+    EXPECT_EQ(std::memcmp(first, again, kLen), 0)
+        << "a faulty cell must read the same wrong value every time";
+
+    // Every word differs from the stored data in at most one bit, and
+    // that bit reads as 1.
+    unsigned corrupted = 0;
+    for (std::size_t w = 0; w < kLen; w += kWordSize) {
+        std::uint64_t stored, seen;
+        std::memcpy(&stored, data + w, kWordSize);
+        std::memcpy(&seen, first + w, kWordSize);
+        const std::uint64_t diff = stored ^ seen;
+        EXPECT_EQ(diff & (diff - 1), 0u)
+            << "more than one bit changed in one word";
+        EXPECT_EQ(seen & diff, diff) << "stuck-at-one bit read as 0";
+        if (diff)
+            ++corrupted;
+    }
+    EXPECT_GT(corrupted, 0u);
+}
+
+TEST(MediaFaults, KindsBehaveAsNamed)
+{
+    // All-ones data: stuck-at-one is invisible, stuck-at-zero and
+    // bit-flip both clear exactly the selected bit.
+    NvmDevice one = makeDevice(5, false);
+    NvmDevice zero = makeDevice(5, false);
+    NvmDevice flip = makeDevice(5, false);
+    std::vector<std::uint8_t> ones(kLen, 0xff);
+    one.poke(kBase, ones.data(), kLen);
+    zero.poke(kBase, ones.data(), kLen);
+    flip.poke(kBase, ones.data(), kLen);
+    one.faults().addMediaFault(kBase, kBase + kLen,
+                               MediaFaultKind::StuckAtOne, 1.0);
+    zero.faults().addMediaFault(kBase, kBase + kLen,
+                                MediaFaultKind::StuckAtZero, 1.0);
+    flip.faults().addMediaFault(kBase, kBase + kLen,
+                                MediaFaultKind::BitFlip, 1.0);
+
+    std::uint8_t g1[kLen], g0[kLen], gf[kLen];
+    one.peek(kBase, g1, kLen);
+    zero.peek(kBase, g0, kLen);
+    flip.peek(kBase, gf, kLen);
+    EXPECT_EQ(std::memcmp(g1, ones.data(), kLen), 0);
+    // Same seed selects the same faulty bits, so clearing them (stuck
+    // at zero) and flipping them (xor on all-ones) agree.
+    EXPECT_NE(std::memcmp(g0, ones.data(), kLen), 0);
+    EXPECT_EQ(std::memcmp(g0, gf, kLen), 0);
+}
+
+TEST(MediaFaults, RangePredicateMatchesCorruption)
+{
+    NvmDevice dev = makeDevice(11, false);
+    dev.faults().addMediaFault(kBase, kBase + kLen,
+                               MediaFaultKind::BitFlip, 0.5);
+    EXPECT_TRUE(dev.faults().mediaFaultyRange(kBase, kLen));
+    EXPECT_FALSE(dev.faults().mediaFaultyRange(kBase + kLen, kLen))
+        << "addresses outside every scheduled range are never faulty";
+
+    // Words the predicate calls clean read back clean.
+    std::uint8_t data[kLen], got[kLen];
+    fillPattern(data, kLen, 0x3c);
+    dev.poke(kBase, data, kLen);
+    dev.peek(kBase, got, kLen);
+    for (std::size_t w = 0; w < kLen; w += kWordSize) {
+        if (!dev.faults().mediaFaultyRange(kBase + w, kWordSize)) {
+            EXPECT_EQ(std::memcmp(got + w, data + w, kWordSize), 0)
+                << "word the predicate calls clean was corrupted";
+        }
+    }
+}
+
+TEST(MediaFaults, ZeroProbabilityIsClean)
+{
+    NvmDevice dev = makeDevice(11, false);
+    dev.faults().addMediaFault(kBase, kBase + kLen,
+                               MediaFaultKind::BitFlip, 0.0);
+    std::uint8_t data[kLen], got[kLen];
+    fillPattern(data, kLen, 0x3c);
+    dev.poke(kBase, data, kLen);
+    dev.peek(kBase, got, kLen);
+    EXPECT_EQ(std::memcmp(got, data, kLen), 0);
+    EXPECT_FALSE(dev.faults().mediaFaultyRange(kBase, kLen));
+}
+
+} // namespace
+} // namespace hoopnvm

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "hoop/memory_slice.hh"
 
 namespace hoopnvm
@@ -105,6 +107,60 @@ TEST(MemorySlice, ZeroBufferDecodesInvalid)
 {
     std::uint8_t buf[MemorySlice::kSliceBytes] = {};
     EXPECT_EQ(MemorySlice::decode(buf).type, SliceType::Invalid);
+}
+
+TEST(MemorySlice, CrcDetectsCorruption)
+{
+    MemorySlice s;
+    s.type = SliceType::Data;
+    s.count = 4;
+    s.txId = 13;
+    s.seq = 21;
+    for (unsigned i = 0; i < 4; ++i) {
+        s.words[i] = 0xabcd + i;
+        s.homeAddrs[i] = 128 * (i + 1);
+    }
+    std::uint8_t buf[MemorySlice::kSliceBytes];
+    s.encode(buf);
+    EXPECT_TRUE(MemorySlice::decode(buf).crcOk);
+
+    // Any single-bit flip in the covered area must be caught, whether
+    // it lands in a word, a home address or the metadata byte. (A flip
+    // that zeroes the type nibble is not a CRC case: the slice decodes
+    // as Invalid, which recovery treats as the end of the log anyway.)
+    for (const std::size_t byte : {0u, 37u, 67u, 104u, 108u, 112u}) {
+        std::uint8_t dam[MemorySlice::kSliceBytes];
+        std::memcpy(dam, buf, sizeof(dam));
+        dam[byte] ^= 0x10;
+        EXPECT_FALSE(MemorySlice::decode(dam).crcOk)
+            << "flip at byte " << byte << " went undetected";
+    }
+    std::uint8_t meta[MemorySlice::kSliceBytes];
+    std::memcpy(meta, buf, sizeof(meta));
+    meta[120] ^= 0x08; // flip the start flag, type stays valid
+    EXPECT_FALSE(MemorySlice::decode(meta).crcOk);
+
+    // A flip in the stored CRC itself must also fail verification.
+    std::uint8_t dam[MemorySlice::kSliceBytes];
+    std::memcpy(dam, buf, sizeof(dam));
+    dam[121] ^= 0x01;
+    EXPECT_FALSE(MemorySlice::decode(dam).crcOk);
+}
+
+TEST(MemorySlice, InvalidTxIdCanonicalizes)
+{
+    // The 32-bit all-ones image of kInvalidTxId decodes back to the
+    // 64-bit sentinel, so consumers compare against one constant.
+    MemorySlice s;
+    s.type = SliceType::Evict;
+    s.count = 1;
+    s.txId = kInvalidTxId;
+    s.seq = 5;
+    s.words[0] = 1;
+    s.homeAddrs[0] = 8;
+    std::uint8_t buf[MemorySlice::kSliceBytes];
+    s.encode(buf);
+    EXPECT_EQ(MemorySlice::decode(buf).txId, kInvalidTxId);
 }
 
 TEST(MemorySlice, CarriesWordsClassification)
