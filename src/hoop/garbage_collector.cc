@@ -202,16 +202,20 @@ GarbageCollector::run(Tick now)
         ctrl.mapping.remove(line);
     stats_.counter("mapping_entries_dropped") += drop.size();
 
-    // ---- Step 5: recycle the blocks ----
+    // ---- Step 5: durability fence, then recycle the blocks ----
+    // A crash must never tear a migration write whose source block was
+    // already recycled, so the GC engine drains the channel before the
+    // free-list update. The drain costs real time: GC's completion
+    // advances to an upper bound on the completion of every write
+    // issued so far (the channel frees in issue order), and only
+    // writes complete by that tick settle — writes issued afterwards,
+    // including the recycle header writes below, can still tear.
+    last = std::max(last, ctrl.nvm_.channelFree() +
+                              ctrl.nvm_.timing().writeLatency);
+    ctrl.nvm_.faults().settleUpTo(last);
     for (std::uint32_t b : cand)
         region.setBlockState(b, BlockState::Unused, now);
     stats_.counter("blocks_recycled") += cand.size();
-
-    // The GC engine drains the channel before free-list update: a
-    // crash must never tear a migration write whose source block was
-    // already recycled. In-order completion makes waiting for the last
-    // issued write equivalent to settling everything outstanding.
-    ctrl.nvm_.faults().settle();
 
     return last;
 }

@@ -44,10 +44,11 @@ RecoveryManager::run(unsigned threads,
     // ---- Phase 1: locate live blocks and commit records, using only
     // durable NVM state (block headers + address slices). Slices are
     // appended in sequence order, so a stale, invalid or corrupt slice
-    // ends a block's live area. Nothing is trusted without its CRC:
-    // a corrupt commit record vetoes its transaction, and a committed
-    // transaction whose chain lost slices to corruption is dropped
-    // whole — recovery must never surface a partial transaction. ----
+    // ends a block's live area. Nothing is trusted without its CRC: a
+    // commit record that fails its CRC never enters the committed set,
+    // and a committed transaction that may have lost chain slices to
+    // corruption is dropped whole — recovery must never surface a
+    // partial transaction. ----
     struct LiveBlock
     {
         std::uint32_t block;
@@ -55,16 +56,25 @@ RecoveryManager::run(unsigned threads,
     };
     std::vector<LiveBlock> live;
     std::unordered_set<TxId> committed;
-    std::unordered_set<TxId> vetoed;
     std::unordered_map<TxId, std::uint32_t> chainExpected;
     std::unordered_map<TxId, std::uint32_t> chainFound;
+    std::unordered_map<TxId, std::uint64_t> commitSeq;
     std::uint64_t max_commit = 0;
+    // Lowest slice sequence number a corruption-cut block could have
+    // held: a CRC failure that ends block b's live area may have
+    // swallowed any slice with seq >= b's openSeq, and a block whose
+    // *header* fails its CRC hides even that bound. While no
+    // corruption is observed the floor sits above every real sequence
+    // number, so nothing is vetoed for incompleteness.
+    std::uint64_t corruptionFloor = ~0ull;
     const FaultModel &faults = ctrl.nvm_.faults();
 
     for (std::uint32_t b = 0; b < region.numBlocks(); ++b) {
         const BlockHeaderView h = region.peekHeader(b);
-        if (h.crcFailed)
+        if (h.crcFailed) {
             ++res.headersRejected;
+            corruptionFloor = 0;
+        }
         if (!h.valid || h.state == BlockState::Unused)
             continue;
         std::uint32_t used = 0;
@@ -77,18 +87,22 @@ RecoveryManager::run(unsigned threads,
                 break;
             if (!s.crcOk) {
                 // Torn or corrupt: no field of this slice — including
-                // seq — can be trusted, so the block's live area ends
-                // here. If the type field still reads as a commit
-                // record, veto whatever transaction it names: a torn
-                // commit must never be honoured.
+                // seq and txId — can be trusted, so the block's live
+                // area ends here. A commit record that tore never
+                // enters `committed`, which is veto enough; acting on
+                // its corrupt txId bytes could instead hit a
+                // *different* transaction whose intact record lives
+                // elsewhere. The cut may have swallowed chain slices
+                // of any transaction young enough for this block, so
+                // lower the corruption floor to the block's openSeq.
                 ++res.slicesRejected;
                 if (faults.mediaFaultyRange(region.sliceAddr(idx),
                                             MemorySlice::kSliceBytes))
                     ++res.bitFlipsDetected;
-                if (s.type == SliceType::AddrRec) {
+                if (s.type == SliceType::AddrRec)
                     ++res.tornCommitsDetected;
-                    vetoed.insert(s.record.txId);
-                }
+                corruptionFloor =
+                    std::min(corruptionFloor, h.openSeq);
                 break;
             }
             if (s.seq < h.openSeq)
@@ -106,6 +120,7 @@ RecoveryManager::run(unsigned threads,
                     continue; // vetoed by cross-controller consensus
                 committed.insert(s.record.txId);
                 chainExpected[s.record.txId] = s.record.sliceCount;
+                commitSeq[s.record.txId] = s.seq;
                 max_commit = std::max(max_commit, s.record.commitId);
                 res.maxTxId = std::max(res.maxTxId, s.record.txId);
             }
@@ -114,24 +129,29 @@ RecoveryManager::run(unsigned threads,
             live.push_back({b, used});
     }
 
-    // Corrupt commit records veto their transactions outright.
-    for (TxId tx : vetoed)
-        committed.erase(tx);
-
     // Chain completeness: a committed transaction must present every
-    // Data slice its commit record counted. Fewer means corruption cut
-    // part of the chain out of some block's live area (or GC already
-    // migrated the chain home, in which case the home region is fresh
-    // and skipping the replay is equally correct); replaying a partial
-    // chain would surface a torn transaction, so drop it whole.
+    // Data slice its commit record counted. A shortfall has two
+    // causes that demand opposite treatment. If corruption cut slices
+    // out of a block old enough to have held part of this chain (its
+    // openSeq is at or below the commit record's seq), replaying the
+    // remainder could surface a torn transaction — drop it whole. If
+    // no observed corruption could explain the gap, the missing
+    // slices sat in blocks GC already recycled — GC only collects
+    // all-committed blocks and migrates their words home first, so
+    // the survivors overlay that migrated baseline and replaying them
+    // completes the transaction (vetoing would leave it
+    // half-applied).
     for (auto it = committed.begin(); it != committed.end();) {
         const auto found = chainFound.find(*it);
         const std::uint32_t have =
             found == chainFound.end() ? 0 : found->second;
-        if (have < chainExpected[*it]) {
+        if (have >= chainExpected[*it]) {
+            ++it;
+        } else if (corruptionFloor <= commitSeq[*it]) {
             ++res.incompleteTxVetoed;
             it = committed.erase(it);
         } else {
+            ++res.gcTrimmedTxReplayed;
             ++it;
         }
     }
@@ -234,6 +254,7 @@ RecoveryManager::run(unsigned threads,
     stats_.counter("bit_flips_detected") += res.bitFlipsDetected;
     stats_.counter("headers_rejected") += res.headersRejected;
     stats_.counter("incomplete_tx_vetoed") += res.incompleteTxVetoed;
+    stats_.counter("gc_trimmed_tx_replayed") += res.gcTrimmedTxReplayed;
     return res;
 }
 

@@ -18,11 +18,13 @@
  *
  * Fault tolerance: nothing read from NVM is trusted without its CRC.
  * A torn or corrupt slice ends its block's live area; a corrupt
- * commit record *vetoes* its transaction (recovery never falsely
- * commits); a committed transaction whose chain lost slices to
- * corruption is dropped whole (atomicity over durability). The CRC
- * verification work is charged in the recovery timing model and every
- * rejection is counted in RecoveryResult.
+ * commit record never enters the committed set (recovery never
+ * falsely commits); a committed transaction whose chain may have lost
+ * slices to corruption is dropped whole (atomicity over durability),
+ * while a chain merely trimmed by GC — its missing slices already
+ * migrated home — replays its survivors. The CRC verification work is
+ * charged in the recovery timing model and every rejection is counted
+ * in RecoveryResult.
  */
 
 #ifndef HOOPNVM_HOOP_RECOVERY_HH
@@ -62,7 +64,8 @@ struct RecoveryResult
     std::uint64_t slicesRejected = 0;
 
     /** CRC-failing slices whose type field still read AddrRec: torn
-     *  commit records, each of which vetoed its transaction. */
+     *  commit records. Such a record never enters the committed set,
+     *  so its transaction cannot replay. */
     std::uint64_t tornCommitsDetected = 0;
 
     /** CRC failures attributable to scheduled media faults (the slice
@@ -73,9 +76,17 @@ struct RecoveryResult
     std::uint64_t headersRejected = 0;
 
     /** Committed transactions vetoed because part of their slice chain
-     *  was lost to a corrupt slice — replaying the remainder would
-     *  break atomicity, so the whole transaction is dropped. */
+     *  may have been lost to observed corruption — replaying the
+     *  remainder could break atomicity, so the whole transaction is
+     *  dropped. */
     std::uint64_t incompleteTxVetoed = 0;
+
+    /** Committed transactions replayed from a partial chain whose
+     *  missing slices no observed corruption could explain: GC
+     *  migrated them home when it recycled their blocks, so the
+     *  surviving slices complete the transaction on top of that
+     *  baseline. */
+    std::uint64_t gcTrimmedTxReplayed = 0;
 
     /** Total CPU ticks charged for CRC verification (before dividing
      *  across recovery threads); part of `time`. */

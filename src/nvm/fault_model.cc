@@ -76,7 +76,10 @@ FaultModel::noteWrite(Addr addr, const std::uint8_t *preimage,
 bool
 FaultModel::wordPersists(std::uint64_t serial, std::uint64_t w) const
 {
-    return mixHash(seed_ ^ kTearSalt ^ (serial * 8191 + w)) & 1;
+    // Nested mix keeps (serial, w) pairs collision-free: a linear
+    // combination like serial*K+w would alias word K of one write
+    // with word 0 of the next, correlating their tear decisions.
+    return mixHash(mixHash(seed_ ^ kTearSalt ^ serial) ^ w) & 1;
 }
 
 void

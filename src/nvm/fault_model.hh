@@ -113,13 +113,23 @@ class FaultModel
     }
 
     /**
-     * Durability fence: declare every write issued so far persisted
-     * (it can no longer tear). The channel completes writes in issue
-     * order, so waiting for the newest outstanding write drains all of
-     * them — this is what GC does before recycling blocks, where a torn
-     * migration after the source slices are gone would lose data.
+     * Durability fence: declare every tracked write whose completion
+     * is at or before @p tick persisted (it can no longer tear). The
+     * channel completes writes in issue order, so completions in the
+     * in-flight set are monotonic and the settled writes form a
+     * prefix. GC uses this before recycling blocks — it waits (in
+     * simulated time) for its last issued migration write to
+     * complete, then settles exactly the writes that wait drained;
+     * anything issued later remains tearable.
      */
-    void settle() { pending_.clear(); }
+    void
+    settleUpTo(Tick tick)
+    {
+        while (!pending_.empty() &&
+               pending_.front().completion <= tick) {
+            pending_.pop_front();
+        }
+    }
 
     /**
      * Corrupt @p len bytes read from @p addr in place per the scheduled

@@ -182,6 +182,62 @@ TEST_F(RecoveryFixture, RegionClearedAfterRecovery)
     EXPECT_EQ(nvm.peekWord(0x6000), 6u);
 }
 
+TEST(GcBoundaryRecovery, ChainSpanningCollectedPrefixReplays)
+{
+    // A transaction whose slice chain starts in one block and commits
+    // in the next, where GC collects only the first block: the commit
+    // record then counts more Data slices than recovery can find, with
+    // no corruption anywhere. The missing prefix is already home (GC
+    // migrated it before recycling), so recovery must replay the
+    // survivors rather than veto the transaction — vetoing would leave
+    // it half-applied.
+    SystemConfig cfg = recConfig();
+    cfg.oopBlockBytes = kiB(8); // 63 slice slots per block
+    NvmDevice nvm(cfg.nvmCapacity(), cfg.nvm);
+    HoopController ctrl(nvm, cfg);
+
+    auto store = [&](Addr a, std::uint64_t v) {
+        std::uint8_t b[8];
+        std::memcpy(b, &v, 8);
+        ctrl.storeWord(0, a, b, 0);
+    };
+
+    // 31 two-slice transactions (one Data slice + one commit record)
+    // fill slots 1..62 of block 0, leaving exactly one slot.
+    for (unsigned t = 0; t < 31; ++t) {
+        ctrl.txBegin(0, 0);
+        for (unsigned i = 0; i < 8; ++i)
+            store(0x1000 + 8 * (t * 8 + i), 1000 + t * 8 + i);
+        ctrl.txEnd(0, 0);
+    }
+    // The spanning transaction: its first Data slice takes block 0's
+    // last slot (sealing it Full), its second Data slice and commit
+    // record land in block 1.
+    ctrl.txBegin(0, 0);
+    for (unsigned i = 0; i < 16; ++i)
+        store(0x8000 + 8 * i, 7000 + i);
+    ctrl.txEnd(0, 0);
+
+    // GC collects exactly the all-committed Full prefix: block 0.
+    ctrl.gc().run(0);
+    ASSERT_EQ(ctrl.region().block(0).state, BlockState::Unused);
+    ASSERT_NE(ctrl.region().block(1).state, BlockState::Unused);
+
+    ctrl.crash();
+    ctrl.recover(2);
+    const RecoveryResult &r = ctrl.lastRecovery();
+    EXPECT_EQ(r.incompleteTxVetoed, 0u);
+    EXPECT_EQ(r.gcTrimmedTxReplayed, 1u);
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(nvm.peekWord(0x8000 + 8 * i), 7000u + i) << i;
+    for (unsigned t = 0; t < 31; ++t) {
+        for (unsigned i = 0; i < 8; ++i) {
+            EXPECT_EQ(nvm.peekWord(0x1000 + 8 * (t * 8 + i)),
+                      1000u + t * 8 + i);
+        }
+    }
+}
+
 TEST_F(RecoveryFixture, TimingScalesWithBandwidthAndThreads)
 {
     // Populate a sizeable OOP footprint.
