@@ -15,50 +15,81 @@ using namespace hoopnvm;
 using namespace hoopnvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     SystemConfig cfg = paperConfig();
     banner("Ablation - GC coalescing on/off (HOOP)", cfg);
 
-    TablePrinter table("GC migration traffic, coalescing vs none");
-    table.setHeader({"workload", "home writes coalesced",
-                     "home writes raw", "reduction", "bytes/tx ratio"});
+    const std::vector<const char *> wls = {"vector", "hashmap", "queue",
+                                           "rbtree", "btree",  "ycsb"};
+    const std::uint64_t tx_per_core = benchTxPerCore();
 
-    for (const char *wl :
-         {"vector", "hashmap", "queue", "rbtree", "btree", "ycsb"}) {
+    struct Result
+    {
+        RunMetrics metrics;
+        std::uint64_t homeLines = 0;
+    };
+    std::vector<Result> coalesced(wls.size());
+    std::vector<Result> raw(wls.size());
+
+    CellRunner runner(benchJobs(argc, argv));
+    for (std::size_t w = 0; w < wls.size(); ++w) {
+        const char *wl = wls[w];
         const std::size_t vb = std::string(wl) == "ycsb" ? 512 : 64;
         WorkloadParams p = paperParams(vb);
         p.scale = 512; // hot working set: coalescing opportunity
 
-        auto run = [&](bool coalesce) {
+        auto schedule = [&](bool coalesce, Result *out) {
             SystemConfig c = cfg;
             c.gcCoalescing = coalesce;
-            System sys(c, Scheme::Hoop);
-            const RunOutcome out =
-                runWorkload(sys, makeWorkload(wl, p), kTxPerCore);
-            if (!out.verified)
-                HOOP_FATAL("verification failed");
-            auto &ctrl =
-                static_cast<HoopController &>(sys.controller());
-            return std::make_pair(
-                ctrl.gc().stats().value("home_lines_written"),
-                out.metrics.bytesWrittenPerTx);
+            const std::string label =
+                std::string(wl) +
+                (coalesce ? "/coalesced" : "/raw");
+            const std::size_t idx = runner.add(label, [c, wl, p,
+                                                       tx_per_core,
+                                                       out] {
+                System sys(c, Scheme::Hoop);
+                const RunOutcome res =
+                    runWorkload(sys, makeWorkload(wl, p), tx_per_core);
+                if (!res.verified)
+                    HOOP_FATAL("verification failed");
+                auto &ctrl =
+                    static_cast<HoopController &>(sys.controller());
+                out->metrics = res.metrics;
+                out->homeLines =
+                    ctrl.gc().stats().value("home_lines_written");
+            });
+            runner.noteMetrics(idx, &out->metrics);
         };
+        schedule(true, &coalesced[w]);
+        schedule(false, &raw[w]);
+    }
+    runner.run();
 
-        const auto on = run(true);
-        const auto off = run(false);
+    TablePrinter table("GC migration traffic, coalescing vs none");
+    table.setHeader({"workload", "home writes coalesced",
+                     "home writes raw", "reduction", "bytes/tx ratio"});
+    for (std::size_t w = 0; w < wls.size(); ++w) {
+        const Result &on = coalesced[w];
+        const Result &off = raw[w];
         table.addRow(
-            {wl, std::to_string(on.first), std::to_string(off.first),
-             TablePrinter::num(off.first > 0
-                                   ? 100.0 * (1.0 -
-                                              static_cast<double>(
-                                                  on.first) /
-                                                  static_cast<double>(
-                                                      off.first))
-                                   : 0.0,
-                               1) + "%",
-             TablePrinter::num(off.second / on.second, 2) + "x"});
+            {wls[w], std::to_string(on.homeLines),
+             std::to_string(off.homeLines),
+             TablePrinter::num(
+                 off.homeLines > 0
+                     ? 100.0 * (1.0 - static_cast<double>(on.homeLines) /
+                                          static_cast<double>(
+                                              off.homeLines))
+                     : 0.0,
+                 1) + "%",
+             TablePrinter::num(off.metrics.bytesWrittenPerTx /
+                                   on.metrics.bytesWrittenPerTx,
+                               2) + "x"});
     }
     table.print();
+
+    BenchReport report("ablation_coalescing", cfg, tx_per_core);
+    report.addCells(runner);
+    report.write();
     return 0;
 }

@@ -14,27 +14,43 @@ using namespace hoopnvm;
 using namespace hoopnvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     SystemConfig cfg = paperConfig();
     banner("Ablation - data packing on/off (HOOP)", cfg);
 
-    TablePrinter table("write traffic and throughput, packing vs none");
-    table.setHeader({"workload", "bytes/tx packed", "bytes/tx unpacked",
-                     "traffic ratio", "tput ratio (packed/unpacked)"});
+    const std::vector<const char *> wls = {"vector", "hashmap", "queue",
+                                           "rbtree", "btree",  "ycsb"};
+    const std::uint64_t tx_per_core = benchTxPerCore();
 
-    for (const char *wl :
-         {"vector", "hashmap", "queue", "rbtree", "btree", "ycsb"}) {
-        const std::size_t vb = std::string(wl) == "ycsb" ? 512 : 64;
+    std::vector<Cell> packed(wls.size());
+    std::vector<Cell> unpacked(wls.size());
+
+    CellRunner runner(benchJobs(argc, argv));
+    for (std::size_t w = 0; w < wls.size(); ++w) {
+        const std::size_t vb =
+            std::string(wls[w]) == "ycsb" ? 512 : 64;
         SystemConfig on = cfg;
         on.dataPacking = true;
         SystemConfig off = cfg;
         off.dataPacking = false;
+        scheduleCell(runner, std::string(wls[w]) + "/packed",
+                     Scheme::Hoop, wls[w], paperParams(vb), on,
+                     tx_per_core, &packed[w]);
+        scheduleCell(runner, std::string(wls[w]) + "/unpacked",
+                     Scheme::Hoop, wls[w], paperParams(vb), off,
+                     tx_per_core, &unpacked[w]);
+    }
+    runner.run();
 
-        const Cell a = runCell(Scheme::Hoop, wl, paperParams(vb), on);
-        const Cell b = runCell(Scheme::Hoop, wl, paperParams(vb), off);
+    TablePrinter table("write traffic and throughput, packing vs none");
+    table.setHeader({"workload", "bytes/tx packed", "bytes/tx unpacked",
+                     "traffic ratio", "tput ratio (packed/unpacked)"});
+    for (std::size_t w = 0; w < wls.size(); ++w) {
+        const Cell &a = packed[w];
+        const Cell &b = unpacked[w];
         table.addRow(
-            {wl, TablePrinter::num(a.metrics.bytesWrittenPerTx, 0),
+            {wls[w], TablePrinter::num(a.metrics.bytesWrittenPerTx, 0),
              TablePrinter::num(b.metrics.bytesWrittenPerTx, 0),
              TablePrinter::num(b.metrics.bytesWrittenPerTx /
                                    a.metrics.bytesWrittenPerTx,
@@ -46,5 +62,9 @@ main()
     table.print();
     std::printf("packing should cut slice traffic by up to 8x on "
                 "multi-word updates.\n");
+
+    BenchReport report("ablation_packing", cfg, tx_per_core);
+    report.addCells(runner);
+    report.write();
     return 0;
 }

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Parallel cell runner and machine-readable bench reports.
+ *
+ * Implementation notes on determinism: run() only decides *when* each
+ * cell executes, never what it computes. Every cell builds its own
+ * System from a by-value SystemConfig (per-cell seed included) and
+ * touches only its own result slot, so any job count produces the same
+ * per-cell RunMetrics and the same printed tables. All harness output
+ * goes to stderr / the JSON file; stdout stays byte-identical to a
+ * serial run.
+ */
+
+#include "bench_common.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace hoopnvm
+{
+namespace bench
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+unsigned
+envJobs()
+{
+    if (const char *env = std::getenv("HOOP_BENCH_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    return 0;
+}
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested >= 1)
+        return requested;
+    if (const unsigned env = envJobs())
+        return env;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+/** Minimal JSON string escaping (labels are printable ASCII). */
+void
+fputJsonString(std::FILE *f, const std::string &s)
+{
+    std::fputc('"', f);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            std::fputs("\\\"", f);
+            break;
+          case '\\':
+            std::fputs("\\\\", f);
+            break;
+          case '\n':
+            std::fputs("\\n", f);
+            break;
+          default:
+            std::fputc(c, f);
+        }
+    }
+    std::fputc('"', f);
+}
+
+void
+fputKey(std::FILE *f, const char *key)
+{
+    std::fprintf(f, "\"%s\": ", key);
+}
+
+void
+fputNum(std::FILE *f, const char *key, double v)
+{
+    fputKey(f, key);
+    std::fprintf(f, "%.17g", v);
+}
+
+void
+fputNum(std::FILE *f, const char *key, std::uint64_t v)
+{
+    fputKey(f, key);
+    std::fprintf(f, "%llu", static_cast<unsigned long long>(v));
+}
+
+} // namespace
+
+std::uint64_t
+benchTxPerCore()
+{
+    if (const char *env = std::getenv("HOOP_BENCH_TX")) {
+        const long long v = std::strtoll(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<std::uint64_t>(v);
+    }
+    return kTxPerCore;
+}
+
+unsigned
+benchJobs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "-j", 2) != 0)
+            continue;
+        const char *num = argv[i] + 2;
+        if (*num == '\0' && i + 1 < argc)
+            num = argv[++i];
+        const long v = std::strtol(num, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    return 0;
+}
+
+CellRunner::CellRunner(unsigned jobs) : jobs_(resolveJobs(jobs)) {}
+
+std::size_t
+CellRunner::add(std::string label, std::function<void()> task)
+{
+    slots.push_back(Slot{std::move(label), std::move(task), 0.0,
+                         nullptr});
+    return slots.size() - 1;
+}
+
+void
+CellRunner::noteMetrics(std::size_t idx, const RunMetrics *m)
+{
+    slots[idx].metrics = m;
+}
+
+double
+CellRunner::run()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, slots.size()));
+
+    auto worker = [this](std::atomic<std::size_t> &next) {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= slots.size())
+                return;
+            const auto c0 = std::chrono::steady_clock::now();
+            slots[i].task();
+            slots[i].seconds = secondsSince(c0);
+        }
+    };
+
+    std::atomic<std::size_t> next{0};
+    if (workers <= 1) {
+        worker(next); // -j1: inline on the calling thread, no pool
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back([&] { worker(next); });
+        for (auto &t : pool)
+            t.join();
+    }
+    totalSeconds_ += secondsSince(t0);
+    return totalSeconds_;
+}
+
+BenchReport::BenchReport(std::string name, const SystemConfig &cfg,
+                         std::uint64_t tx_per_core)
+    : name_(std::move(name)), cfg_(cfg), txPerCore_(tx_per_core)
+{
+}
+
+void
+BenchReport::addCells(const CellRunner &runner)
+{
+    for (std::size_t i = 0; i < runner.cells(); ++i)
+        addCell(runner.label(i), runner.cellSeconds(i),
+                runner.metrics(i));
+    jobs_ = runner.jobs();
+    wallSeconds_ += runner.totalSeconds();
+}
+
+void
+BenchReport::addCell(std::string label, double seconds,
+                     const RunMetrics *m)
+{
+    CellRecord rec;
+    rec.label = std::move(label);
+    rec.seconds = seconds;
+    if (m) {
+        rec.hasMetrics = true;
+        rec.metrics = *m;
+    }
+    cells_.push_back(std::move(rec));
+}
+
+void
+BenchReport::cellValue(const std::string &label, std::string key,
+                       double value)
+{
+    for (CellRecord &rec : cells_) {
+        if (rec.label == label) {
+            rec.values.emplace_back(std::move(key), value);
+            return;
+        }
+    }
+    HOOP_FATAL("BenchReport: no cell labelled '%s'", label.c_str());
+}
+
+void
+BenchReport::value(std::string key, double v)
+{
+    values_.emplace_back(std::move(key), v);
+}
+
+void
+BenchReport::write() const
+{
+    std::string dir = ".";
+    if (const char *env = std::getenv("HOOP_BENCH_JSON_DIR"))
+        dir = env;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+        return;
+    }
+
+    std::uint64_t sim_ticks = 0;
+    for (const CellRecord &rec : cells_) {
+        if (rec.hasMetrics)
+            sim_ticks += rec.metrics.simTicks;
+    }
+    const double wall = wallSeconds_ > 0.0 ? wallSeconds_ : 1e-9;
+    const double cells_per_sec = cells_.size() / wall;
+    const double ticks_per_sec = sim_ticks / wall;
+
+    std::fputs("{\n  ", f);
+    fputNum(f, "schema_version", std::uint64_t{1});
+    std::fputs(",\n  ", f);
+    fputKey(f, "bench");
+    fputJsonString(f, name_);
+
+    std::fputs(",\n  \"config\": {", f);
+    fputNum(f, "num_cores", std::uint64_t{cfg_.numCores});
+    std::fputs(", ", f);
+    fputNum(f, "cpu_ghz", cfg_.cpuGhz);
+    std::fputs(", ", f);
+    fputNum(f, "l1_bytes", cfg_.cache.l1Size);
+    std::fputs(", ", f);
+    fputNum(f, "l2_bytes", cfg_.cache.l2Size);
+    std::fputs(", ", f);
+    fputNum(f, "llc_bytes", cfg_.cache.llcSize);
+    std::fputs(", ", f);
+    fputNum(f, "oop_bytes", cfg_.oopBytes);
+    std::fputs(", ", f);
+    fputNum(f, "oop_block_bytes", cfg_.oopBlockBytes);
+    std::fputs(", ", f);
+    fputNum(f, "mapping_table_bytes", cfg_.mappingTableBytes);
+    std::fputs(", ", f);
+    fputNum(f, "nvm_read_ns", ticksToNs(cfg_.nvm.readLatency));
+    std::fputs(", ", f);
+    fputNum(f, "nvm_write_ns", ticksToNs(cfg_.nvm.writeLatency));
+    std::fputs(", ", f);
+    fputNum(f, "tx_per_core", txPerCore_);
+    std::fputs("}", f);
+
+    std::fputs(",\n  \"host\": {", f);
+    fputNum(f, "jobs", std::uint64_t{jobs_});
+    std::fputs(", ", f);
+    fputNum(f, "wall_seconds", wallSeconds_);
+    std::fputs(", ", f);
+    fputNum(f, "cells", std::uint64_t{cells_.size()});
+    std::fputs(", ", f);
+    fputNum(f, "cells_per_sec", cells_per_sec);
+    std::fputs(", ", f);
+    fputNum(f, "sim_ticks", sim_ticks);
+    std::fputs(", ", f);
+    fputNum(f, "sim_ticks_per_sec", ticks_per_sec);
+    std::fputs("}", f);
+
+    for (const auto &[key, v] : values_) {
+        std::fputs(",\n  ", f);
+        fputJsonString(f, key);
+        std::fprintf(f, ": %.17g", v);
+    }
+
+    std::fputs(",\n  \"cells\": [", f);
+    bool first_cell = true;
+    for (const CellRecord &rec : cells_) {
+        std::fputs(first_cell ? "\n    {" : ",\n    {", f);
+        first_cell = false;
+        fputKey(f, "label");
+        fputJsonString(f, rec.label);
+        std::fputs(", ", f);
+        fputNum(f, "seconds", rec.seconds);
+        if (rec.hasMetrics) {
+            const RunMetrics &m = rec.metrics;
+            std::fputs(",\n     \"metrics\": {", f);
+            fputNum(f, "transactions", m.transactions);
+            std::fputs(", ", f);
+            fputNum(f, "sim_ticks", m.simTicks);
+            std::fputs(", ", f);
+            fputNum(f, "tx_per_second", m.txPerSecond);
+            std::fputs(", ", f);
+            fputNum(f, "avg_critical_path_ns", m.avgCriticalPathNs);
+            std::fputs(", ", f);
+            fputNum(f, "nvm_bytes_written", m.nvmBytesWritten);
+            std::fputs(", ", f);
+            fputNum(f, "nvm_bytes_read", m.nvmBytesRead);
+            std::fputs(", ", f);
+            fputNum(f, "bytes_written_per_tx", m.bytesWrittenPerTx);
+            std::fputs(", ", f);
+            fputNum(f, "energy_pj", m.energyPj);
+            std::fputs(", ", f);
+            fputNum(f, "llc_miss_ratio", m.llcMissRatio);
+            std::fputs("}", f);
+        }
+        for (const auto &[key, v] : rec.values) {
+            std::fputs(", ", f);
+            fputJsonString(f, key);
+            std::fprintf(f, ": %.17g", v);
+        }
+        std::fputs("}", f);
+    }
+    std::fputs("\n  ]\n}\n", f);
+    std::fclose(f);
+
+    std::fprintf(stderr,
+                 "[bench %s] %zu cells, jobs=%u, wall=%.2fs "
+                 "(%.2f cells/s, %.3g sim ticks/s) -> %s\n",
+                 name_.c_str(), cells_.size(), jobs_, wallSeconds_,
+                 cells_per_sec, ticks_per_sec, path.c_str());
+}
+
+} // namespace bench
+} // namespace hoopnvm

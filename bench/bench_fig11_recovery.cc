@@ -46,7 +46,7 @@ fillOopRegion(System &sys, std::uint64_t target_slices)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     SystemConfig cfg = paperConfig();
     // 1 GB region at full scale; functionally we fill a 64 MB region
@@ -63,6 +63,42 @@ main()
     const std::uint64_t target_slices =
         cfg.oopBytes / MemorySlice::kSliceBytes * 9 / 10;
 
+    struct Result
+    {
+        RunMetrics metrics; // simTicks = modelled recovery time
+        double recoveryMs = 0.0;
+        RecoveryResult integrity{};
+    };
+    std::vector<std::vector<Result>> res(
+        std::size(bandwidths),
+        std::vector<Result>(std::size(threads)));
+
+    CellRunner runner(benchJobs(argc, argv));
+    for (std::size_t b = 0; b < std::size(bandwidths); ++b) {
+        for (std::size_t t = 0; t < std::size(threads); ++t) {
+            const double bw = bandwidths[b];
+            const unsigned thr = threads[t];
+            const std::string label =
+                TablePrinter::num(bw / 1e9, 0) + "GB/s/" +
+                std::to_string(thr) + "thr";
+            const std::size_t idx = runner.add(label, [&, b, t, bw,
+                                                       thr] {
+                SystemConfig c = cfg;
+                c.nvm.bandwidthBytesPerSec = bw;
+                System sys(c, Scheme::Hoop);
+                fillOopRegion(sys, target_slices);
+                const Tick time = sys.recover(thr);
+                auto &ctrl =
+                    static_cast<HoopController &>(sys.controller());
+                res[b][t].metrics.simTicks = time;
+                res[b][t].recoveryMs = ticksToMs(time);
+                res[b][t].integrity = ctrl.lastRecovery();
+            });
+            runner.noteMetrics(idx, &res[b][t].metrics);
+        }
+    }
+    runner.run();
+
     TablePrinter table("Fig. 11: modelled recovery time (ms), "
                        "~58 MB of committed OOP slices");
     std::vector<std::string> header = {"bandwidth"};
@@ -70,28 +106,18 @@ main()
         header.push_back(std::to_string(t) + "thr");
     table.setHeader(header);
 
-    double t_10_16 = 0.0, t_25_16 = 0.0;
-    RecoveryResult integrity{};
-    for (double bw : bandwidths) {
+    for (std::size_t b = 0; b < std::size(bandwidths); ++b) {
         std::vector<std::string> row = {
-            TablePrinter::num(bw / 1e9, 0) + "GB/s"};
-        for (unsigned t : threads) {
-            SystemConfig c = cfg;
-            c.nvm.bandwidthBytesPerSec = bw;
-            System sys(c, Scheme::Hoop);
-            fillOopRegion(sys, target_slices);
-            const Tick time = sys.recover(t);
-            row.push_back(TablePrinter::num(ticksToMs(time), 2));
-            auto &ctrl = static_cast<HoopController &>(sys.controller());
-            integrity = ctrl.lastRecovery();
-            if (t == 16 && bw == 10e9)
-                t_10_16 = ticksToMs(time);
-            if (t == 16 && bw == 25e9)
-                t_25_16 = ticksToMs(time);
-        }
+            TablePrinter::num(bandwidths[b] / 1e9, 0) + "GB/s"};
+        for (std::size_t t = 0; t < std::size(threads); ++t)
+            row.push_back(TablePrinter::num(res[b][t].recoveryMs, 2));
         table.addRow(row);
     }
     table.print();
+
+    const double t_10_16 = res[0][4].recoveryMs;
+    const double t_25_16 = res[3][4].recoveryMs;
+    const RecoveryResult &integrity = res[3][4].integrity;
 
     std::printf("scaled to the paper's 1 GB region this corresponds to "
                 "%.0f ms at 25 GB/s (paper: 47 ms); 10 GB/s is %.1fx "
@@ -124,5 +150,17 @@ main()
                           static_cast<double>(integrity.crcVerifyCost / 16) /
                           static_cast<double>(integrity.time)
                     : 0.0);
+
+    BenchReport report("fig11_recovery", cfg, benchTxPerCore());
+    report.addCells(runner);
+    for (std::size_t b = 0; b < std::size(bandwidths); ++b) {
+        for (std::size_t t = 0; t < std::size(threads); ++t) {
+            report.cellValue(TablePrinter::num(bandwidths[b] / 1e9, 0) +
+                                 "GB/s/" + std::to_string(threads[t]) +
+                                 "thr",
+                             "recovery_ms", res[b][t].recoveryMs);
+        }
+    }
+    report.write();
     return 0;
 }

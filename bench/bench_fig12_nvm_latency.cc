@@ -16,24 +16,51 @@ using namespace hoopnvm;
 using namespace hoopnvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     SystemConfig cfg = paperConfig();
     banner("Figure 12 - YCSB throughput vs NVM latency (HOOP)", cfg);
 
     const WorkloadParams params = paperParams(1024);
+    const std::uint64_t tx_per_core = benchTxPerCore();
+
+    const double read_ns[] = {50, 100, 150, 200, 250};
+    const double write_ns[] = {150, 200, 250, 300, 350};
+    std::vector<Cell> read_cells(std::size(read_ns));
+    std::vector<Cell> write_cells(std::size(write_ns));
+
+    CellRunner runner(benchJobs(argc, argv));
+    for (std::size_t i = 0; i < std::size(read_ns); ++i) {
+        SystemConfig c = cfg;
+        c.nvm.readLatency = nsToTicks(read_ns[i]);
+        scheduleCell(runner,
+                     "read/" + TablePrinter::num(read_ns[i], 0) + "ns",
+                     Scheme::Hoop, "ycsb", params, c, tx_per_core,
+                     &read_cells[i]);
+    }
+    for (std::size_t i = 0; i < std::size(write_ns); ++i) {
+        SystemConfig c = cfg;
+        c.nvm.writeLatency = nsToTicks(write_ns[i]);
+        // Slower cells also hold the bank longer: scale the write
+        // occupancy with the array write time.
+        c.nvm.writeBusy = nsToTicks(write_ns[i] / 7.5);
+        scheduleCell(runner,
+                     "write/" + TablePrinter::num(write_ns[i], 0) +
+                         "ns",
+                     Scheme::Hoop, "ycsb", params, c, tx_per_core,
+                     &write_cells[i]);
+    }
+    runner.run();
 
     TablePrinter reads("Fig. 12a: read latency sweep "
                        "(write fixed at 150 ns)");
     reads.setHeader({"read latency", "tx/s (M)", "normalized"});
     double base = 0.0;
-    for (double ns : {50, 100, 150, 200, 250}) {
-        SystemConfig c = cfg;
-        c.nvm.readLatency = nsToTicks(ns);
-        const Cell cell = runCell(Scheme::Hoop, "ycsb", params, c);
+    for (std::size_t i = 0; i < std::size(read_ns); ++i) {
+        const Cell &cell = read_cells[i];
         if (base == 0.0)
             base = cell.metrics.txPerSecond;
-        reads.addRow({TablePrinter::num(ns, 0) + "ns",
+        reads.addRow({TablePrinter::num(read_ns[i], 0) + "ns",
                       TablePrinter::num(
                           cell.metrics.txPerSecond / 1e6, 3),
                       TablePrinter::num(
@@ -45,21 +72,20 @@ main()
                         "(read fixed at 50 ns)");
     writes.setHeader({"write latency", "tx/s (M)", "normalized"});
     base = 0.0;
-    for (double ns : {150, 200, 250, 300, 350}) {
-        SystemConfig c = cfg;
-        c.nvm.writeLatency = nsToTicks(ns);
-        // Slower cells also hold the bank longer: scale the write
-        // occupancy with the array write time.
-        c.nvm.writeBusy = nsToTicks(ns / 7.5);
-        const Cell cell = runCell(Scheme::Hoop, "ycsb", params, c);
+    for (std::size_t i = 0; i < std::size(write_ns); ++i) {
+        const Cell &cell = write_cells[i];
         if (base == 0.0)
             base = cell.metrics.txPerSecond;
-        writes.addRow({TablePrinter::num(ns, 0) + "ns",
+        writes.addRow({TablePrinter::num(write_ns[i], 0) + "ns",
                        TablePrinter::num(
                            cell.metrics.txPerSecond / 1e6, 3),
                        TablePrinter::num(
                            cell.metrics.txPerSecond / base, 2)});
     }
     writes.print();
+
+    BenchReport report("fig12_nvm_latency", cfg, tx_per_core);
+    report.addCells(runner);
+    report.write();
     return 0;
 }

@@ -17,7 +17,7 @@ using namespace hoopnvm;
 using namespace hoopnvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     SystemConfig cfg = paperConfig();
     // A small LLC makes evictions (and therefore mapping entries)
@@ -28,43 +28,68 @@ main()
            cfg);
 
     const WorkloadParams params = paperParams(1024);
+    const std::uint64_t tx_per_core = benchTxPerCore();
+
+    const std::uint64_t sizes[] = {kiB(8),   kiB(16),  kiB(32),
+                                   kiB(64),  kiB(128), kiB(512),
+                                   miB(2)};
+    struct Result
+    {
+        RunMetrics metrics;
+        std::uint64_t pressure = 0;
+    };
+    std::vector<Result> res(std::size(sizes));
+
+    auto sizeLabel = [](std::uint64_t bytes) {
+        return bytes >= miB(1)
+                   ? TablePrinter::num(
+                         static_cast<double>(bytes) / miB(1), 0) + "MB"
+                   : TablePrinter::num(
+                         static_cast<double>(bytes) / kiB(1), 0) + "KB";
+    };
+
+    CellRunner runner(benchJobs(argc, argv));
+    for (std::size_t i = 0; i < std::size(sizes); ++i) {
+        SystemConfig c = cfg;
+        c.mappingTableBytes = sizes[i];
+        const std::size_t idx = runner.add(sizeLabel(sizes[i]), [&, c,
+                                                                 i] {
+            System sys(c, Scheme::Hoop);
+            const RunOutcome out = runWorkload(
+                sys, makeWorkload("ycsb", params), tx_per_core);
+            if (!out.verified)
+                HOOP_FATAL("verification failed");
+            auto &ctrl =
+                static_cast<HoopController &>(sys.controller());
+            res[i].metrics = out.metrics;
+            res[i].pressure = ctrl.stats().value("gc_mapping_full") +
+                              ctrl.stats().value("gc_pressure");
+        });
+        runner.noteMetrics(idx, &res[i].metrics);
+    }
+    runner.run();
 
     TablePrinter table("Fig. 13: mapping table size sweep");
     table.setHeader({"table size", "tx/s (M)", "normalized",
                      "gc runs (pressure)"});
     double base = 0.0;
-    for (std::uint64_t bytes :
-         {kiB(8), kiB(16), kiB(32), kiB(64), kiB(128), kiB(512),
-          miB(2)}) {
-        SystemConfig c = cfg;
-        c.mappingTableBytes = bytes;
-        System sys(c, Scheme::Hoop);
-        const RunOutcome out = runWorkload(
-            sys, makeWorkload("ycsb", params), kTxPerCore);
-        if (!out.verified)
-            HOOP_FATAL("verification failed");
+    for (std::size_t i = 0; i < std::size(sizes); ++i) {
         if (base == 0.0)
-            base = out.metrics.txPerSecond;
-        auto &ctrl = static_cast<HoopController &>(sys.controller());
-        const std::uint64_t pressure =
-            ctrl.stats().value("gc_mapping_full") +
-            ctrl.stats().value("gc_pressure");
-        std::string label =
-            bytes >= miB(1)
-                ? TablePrinter::num(
-                      static_cast<double>(bytes) / miB(1), 0) + "MB"
-                : TablePrinter::num(
-                      static_cast<double>(bytes) / kiB(1), 0) + "KB";
-        table.addRow({label,
+            base = res[i].metrics.txPerSecond;
+        table.addRow({sizeLabel(sizes[i]),
                       TablePrinter::num(
-                          out.metrics.txPerSecond / 1e6, 3),
+                          res[i].metrics.txPerSecond / 1e6, 3),
                       TablePrinter::num(
-                          out.metrics.txPerSecond / base, 2),
-                      std::to_string(pressure)});
+                          res[i].metrics.txPerSecond / base, 2),
+                      std::to_string(res[i].pressure)});
     }
     table.print();
     std::printf("(the paper sweeps 512 KB-8 MB at full scale; the "
                 "bench shrinks the LLC so the same pressure mechanism "
                 "appears at smaller table sizes)\n");
+
+    BenchReport report("fig13_mapping_table", cfg, tx_per_core);
+    report.addCells(runner);
+    report.write();
     return 0;
 }

@@ -22,7 +22,7 @@ using namespace hoopnvm;
 using namespace hoopnvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const SystemConfig cfg = paperConfig();
     banner("Figure 7 - transaction throughput & critical-path latency",
@@ -30,16 +30,46 @@ main()
 
     const auto cols = figureWorkloads();
     const auto schemes = figureSchemes();
+    const std::uint64_t tx_per_core = benchTxPerCore();
 
-    // metric[scheme][workload]
-    std::map<Scheme, std::vector<RunMetrics>> results;
+    // metric[scheme][workload], filled in parallel.
+    std::map<Scheme, std::vector<Cell>> results;
+    for (Scheme s : schemes)
+        results[s].resize(cols.size());
+
+    CellRunner runner(benchJobs(argc, argv));
     for (Scheme s : schemes) {
-        for (const auto &col : cols) {
-            results[s].push_back(
-                runCell(s, col.name, paperParams(col.valueBytes), cfg)
-                    .metrics);
+        for (std::size_t w = 0; w < cols.size(); ++w) {
+            scheduleCell(runner,
+                         std::string(schemeName(s)) + "/" +
+                             cols[w].label,
+                         s, cols[w].name,
+                         paperParams(cols[w].valueBytes), cfg,
+                         tx_per_core, &results[s][w]);
         }
     }
+
+    // §IV-C read-path profile for HOOP on the full suite: needs the
+    // System's internal stats, so it runs as a custom cell.
+    RunMetrics profile_metrics;
+    double profile_fills = 0.0;
+    double profile_parallel_reads = 0.0;
+    {
+        const std::size_t idx =
+            runner.add("hoop-read-path/ycsb-1KB", [&] {
+                System sys(cfg, Scheme::Hoop);
+                const RunOutcome out = runWorkload(
+                    sys, makeWorkload("ycsb", paperParams(1024)),
+                    tx_per_core);
+                profile_metrics = out.metrics;
+                profile_fills = static_cast<double>(
+                    sys.caches().stats().value("llc_fills"));
+                profile_parallel_reads = static_cast<double>(
+                    sys.controller().stats().value("parallel_reads"));
+            });
+        runner.noteMetrics(idx, &profile_metrics);
+    }
+    runner.run();
 
     TablePrinter tput(
         "Fig. 7a: throughput normalized to Opt-Redo (higher is better)");
@@ -55,8 +85,9 @@ main()
         std::vector<std::string> row = {schemeName(s)};
         double geo = 0.0;
         for (std::size_t w = 0; w < cols.size(); ++w) {
-            const double norm = results[s][w].txPerSecond /
-                                results[Scheme::OptRedo][w].txPerSecond;
+            const double norm =
+                results[s][w].metrics.txPerSecond /
+                results[Scheme::OptRedo][w].metrics.txPerSecond;
             row.push_back(TablePrinter::num(norm, 2));
             geo += std::log(norm);
         }
@@ -83,8 +114,8 @@ main()
         double geo = 0.0;
         for (std::size_t w = 0; w < cols.size(); ++w) {
             const double norm =
-                results[s][w].avgCriticalPathNs /
-                results[Scheme::Native][w].avgCriticalPathNs;
+                results[s][w].metrics.avgCriticalPathNs /
+                results[Scheme::Native][w].metrics.avgCriticalPathNs;
             row.push_back(TablePrinter::num(norm, 2));
             geo += std::log(norm);
         }
@@ -123,24 +154,17 @@ main()
                 "measured %+.1f%%\n\n",
                 (lat_geo[Scheme::Hoop] - 1.0) * 100.0);
 
-    // §IV-C read-path profile for HOOP on the full suite.
-    {
-        System sys(cfg, Scheme::Hoop);
-        const RunOutcome out = runWorkload(
-            sys, makeWorkload("ycsb", paperParams(1024)), kTxPerCore);
-        const auto &st = sys.controller().stats();
-        const double fills = static_cast<double>(
-            sys.caches().stats().value("llc_fills"));
-        std::printf("HOOP read-path profile (YCSB-1KB): LLC miss ratio "
-                    "%.1f%% (paper 12.1%%), parallel reads %.1f%% of "
-                    "fills (paper: 28.3%% of misses incur them, 3.4%% "
-                    "of accesses)\n",
-                    out.metrics.llcMissRatio * 100.0,
-                    fills > 0.0 ? 100.0 *
-                                      static_cast<double>(
-                                          st.value("parallel_reads")) /
-                                      fills
-                                : 0.0);
-    }
+    std::printf("HOOP read-path profile (YCSB-1KB): LLC miss ratio "
+                "%.1f%% (paper 12.1%%), parallel reads %.1f%% of "
+                "fills (paper: 28.3%% of misses incur them, 3.4%% "
+                "of accesses)\n",
+                profile_metrics.llcMissRatio * 100.0,
+                profile_fills > 0.0
+                    ? 100.0 * profile_parallel_reads / profile_fills
+                    : 0.0);
+
+    BenchReport report("fig7_throughput", cfg, tx_per_core);
+    report.addCells(runner);
+    report.write();
     return 0;
 }

@@ -18,21 +18,37 @@ using namespace hoopnvm;
 using namespace hoopnvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const SystemConfig cfg = paperConfig();
     banner("Figure 8 - write traffic to NVM", cfg);
 
     const auto cols = figureWorkloads();
     const auto schemes = figureSchemes();
+    const std::uint64_t tx_per_core = benchTxPerCore();
+
+    std::map<Scheme, std::vector<Cell>> results;
+    for (Scheme s : schemes)
+        results[s].resize(cols.size());
+
+    CellRunner runner(benchJobs(argc, argv));
+    for (Scheme s : schemes) {
+        for (std::size_t w = 0; w < cols.size(); ++w) {
+            scheduleCell(runner,
+                         std::string(schemeName(s)) + "/" +
+                             cols[w].label,
+                         s, cols[w].name,
+                         paperParams(cols[w].valueBytes), cfg,
+                         tx_per_core, &results[s][w]);
+        }
+    }
+    runner.run();
 
     std::map<Scheme, std::vector<double>> bytes_per_tx;
     for (Scheme s : schemes) {
-        for (const auto &col : cols) {
+        for (std::size_t w = 0; w < cols.size(); ++w)
             bytes_per_tx[s].push_back(
-                runCell(s, col.name, paperParams(col.valueBytes), cfg)
-                    .metrics.bytesWrittenPerTx);
-        }
+                results[s][w].metrics.bytesWrittenPerTx);
     }
 
     TablePrinter table(
@@ -72,5 +88,9 @@ main()
                 ratio(Scheme::Lsm));
     std::printf("  LAD:      paper 1.12x, measured %.2fx\n",
                 ratio(Scheme::Lad));
+
+    BenchReport report("fig8_write_traffic", cfg, tx_per_core);
+    report.addCells(runner);
+    report.write();
     return 0;
 }

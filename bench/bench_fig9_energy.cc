@@ -18,20 +18,36 @@ using namespace hoopnvm;
 using namespace hoopnvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const SystemConfig cfg = paperConfig();
     banner("Figure 9 - NVM energy consumption", cfg);
 
     const auto cols = figureWorkloads();
     const auto schemes = figureSchemes();
+    const std::uint64_t tx_per_core = benchTxPerCore();
+
+    std::map<Scheme, std::vector<Cell>> results;
+    for (Scheme s : schemes)
+        results[s].resize(cols.size());
+
+    CellRunner runner(benchJobs(argc, argv));
+    for (Scheme s : schemes) {
+        for (std::size_t w = 0; w < cols.size(); ++w) {
+            scheduleCell(runner,
+                         std::string(schemeName(s)) + "/" +
+                             cols[w].label,
+                         s, cols[w].name,
+                         paperParams(cols[w].valueBytes), cfg,
+                         tx_per_core, &results[s][w]);
+        }
+    }
+    runner.run();
 
     std::map<Scheme, std::vector<double>> energy;
     for (Scheme s : schemes) {
-        for (const auto &col : cols) {
-            const RunMetrics m =
-                runCell(s, col.name, paperParams(col.valueBytes), cfg)
-                    .metrics;
+        for (std::size_t w = 0; w < cols.size(); ++w) {
+            const RunMetrics &m = results[s][w].metrics;
             energy[s].push_back(
                 m.energyPj / static_cast<double>(m.transactions));
         }
@@ -71,5 +87,9 @@ main()
                 saving(Scheme::Lsm));
     std::printf("  vs LAD: paper 10.8%%, measured %.1f%%\n",
                 saving(Scheme::Lad));
+
+    BenchReport report("fig9_energy", cfg, tx_per_core);
+    report.addCells(runner);
+    report.write();
     return 0;
 }

@@ -4,9 +4,15 @@
  * slice encode/decode, mapping table, eviction buffer, skip list, and
  * the raw cache probe path. These guard the simulator's own
  * performance (host-side), not simulated time.
+ *
+ * The custom main wraps google-benchmark with a capturing reporter so
+ * the per-benchmark timings also land in BENCH_micro_components.json
+ * alongside the other benches' machine-readable reports.
  */
 
 #include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
 
 #include "baselines/skiplist.hh"
 #include "common/rng.hh"
@@ -98,6 +104,52 @@ BM_CacheProbe(benchmark::State &state)
 }
 BENCHMARK(BM_CacheProbe);
 
+/** Console reporter that also captures per-benchmark timings. */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Item
+    {
+        std::string name;
+        double realNsPerIter;
+        double cpuNsPerIter;
+    };
+    std::vector<Item> items;
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &r : runs) {
+            if (r.error_occurred)
+                continue;
+            items.push_back({r.benchmark_name(),
+                             r.GetAdjustedRealTime(),
+                             r.GetAdjustedCPUTime()});
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    hoopnvm::bench::BenchReport report(
+        "micro_components", hoopnvm::bench::paperConfig(), 0);
+    for (const auto &item : reporter.items) {
+        report.addCell(item.name, item.realNsPerIter * 1e-9, nullptr);
+        report.cellValue(item.name, "real_ns_per_iter",
+                         item.realNsPerIter);
+        report.cellValue(item.name, "cpu_ns_per_iter",
+                         item.cpuNsPerIter);
+    }
+    report.write();
+    return 0;
+}

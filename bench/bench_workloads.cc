@@ -10,7 +10,7 @@ using namespace hoopnvm;
 using namespace hoopnvm::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     SystemConfig cfg = paperConfig();
     banner("Table III - benchmark suite footprint", cfg);
@@ -31,23 +31,48 @@ main()
         {"ycsb", 512, "8-32", "80%/20%"},
         {"tpcc", 64, "10-35", "40%/60%"},
     };
+    constexpr std::size_t kRows = std::size(rows);
+
+    const std::uint64_t tx_per_core = benchTxPerCore();
+
+    struct Result
+    {
+        RunMetrics metrics;
+        double stores = 0.0;
+        double loads = 0.0;
+    };
+    std::vector<Result> res(kRows);
+
+    CellRunner runner(benchJobs(argc, argv));
+    for (std::size_t i = 0; i < kRows; ++i) {
+        const Row &r = rows[i];
+        const std::size_t idx = runner.add(r.name, [&, i, r] {
+            System sys(cfg, Scheme::Native);
+            const RunOutcome out = runWorkload(
+                sys, makeWorkload(r.name, paperParams(r.valueBytes)),
+                tx_per_core);
+            if (!out.verified)
+                HOOP_FATAL("verification failed for %s", r.name);
+            res[i].metrics = out.metrics;
+            res[i].stores = static_cast<double>(
+                sys.caches().stats().value("stores"));
+            res[i].loads = static_cast<double>(
+                sys.caches().stats().value("loads"));
+        });
+        runner.noteMetrics(idx, &res[i].metrics);
+    }
+    runner.run();
 
     TablePrinter table("Table III: measured footprint per transaction");
     table.setHeader({"workload", "paper stores/tx", "measured ops/tx",
                      "paper W/R", "measured W/R"});
 
-    for (const Row &r : rows) {
-        System sys(cfg, Scheme::Native);
-        const RunOutcome out = runWorkload(
-            sys, makeWorkload(r.name, paperParams(r.valueBytes)),
-            kTxPerCore);
-        if (!out.verified)
-            HOOP_FATAL("verification failed for %s", r.name);
-        const double tx = static_cast<double>(out.metrics.transactions);
-        const double stores = static_cast<double>(
-            sys.caches().stats().value("stores"));
-        const double loads = static_cast<double>(
-            sys.caches().stats().value("loads"));
+    for (std::size_t i = 0; i < kRows; ++i) {
+        const Row &r = rows[i];
+        const double tx =
+            static_cast<double>(res[i].metrics.transactions);
+        const double stores = res[i].stores;
+        const double loads = res[i].loads;
         // Item-level operation counts: word stores divided by the
         // words per item give the paper's "stores/tx" notion.
         const double item_words = static_cast<double>(
@@ -64,5 +89,9 @@ main()
     std::printf("(measured ops/tx counts item-size write bursts; tree "
                 "workloads also issue single-word metadata stores, so "
                 "their value exceeds 1 accordingly)\n");
+
+    BenchReport report("workloads", cfg, tx_per_core);
+    report.addCells(runner);
+    report.write();
     return 0;
 }

@@ -10,7 +10,11 @@ namespace hoopnvm
 LadController::LadController(NvmDevice &nvm, const SystemConfig &cfg_)
     : PersistenceController("lad", nvm, cfg_),
       txWrites(cfg_.numCores),
-      queueInsertCost(4 * cfg_.cycle())
+      queueInsertCost(4 * cfg_.cycle()),
+      queueDrainsC_(stats_.counter("queue_drains")),
+      txCommittedC_(stats_.counter("tx_committed")),
+      evictionsAbsorbedC_(stats_.counter("evictions_absorbed")),
+      homeWritebacksC_(stats_.counter("home_writebacks"))
 {
 }
 
@@ -54,12 +58,12 @@ LadController::txEnd(CoreId core, Tick now)
         nvm_.peek(kv.first, buf, kCacheLineSize);
         kv.second.overlay(buf);
         t = std::max(t, nvm_.write(now, kv.first, buf, kCacheLineSize));
-        ++stats_.counter("queue_drains");
+        ++queueDrainsC_;
     }
 
     writes.clear();
     coreTx[core] = CoreTxState{};
-    ++stats_.counter("tx_committed");
+    ++txCommittedC_;
     return t;
 }
 
@@ -96,11 +100,11 @@ LadController::evictLine(CoreId, Addr line, const std::uint8_t *data,
     if (persistent) {
         // Committed words already drained home; uncommitted words are
         // staged in the controller — nothing to write.
-        ++stats_.counter("evictions_absorbed");
+        ++evictionsAbsorbedC_;
         return;
     }
     nvm_.write(now, line, data, kCacheLineSize);
-    ++stats_.counter("home_writebacks");
+    ++homeWritebacksC_;
 }
 
 void

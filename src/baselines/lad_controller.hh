@@ -54,6 +54,12 @@ class LadController : public PersistenceController
 
     /** Cost of accepting one line into the persistent queue. */
     Tick queueInsertCost;
+
+    // Hot-path counters resolved once against the inherited stats_.
+    Counter &queueDrainsC_;
+    Counter &txCommittedC_;
+    Counter &evictionsAbsorbedC_;
+    Counter &homeWritebacksC_;
 };
 
 } // namespace hoopnvm

@@ -59,7 +59,10 @@ LogRegion::LogRegion(NvmDevice &nvm_, Addr base_, std::uint64_t bytes,
                      const std::string &name)
     : nvm(nvm_), base(base_),
       capacity_((bytes - kSuperBytes) / LogEntry::kEntryBytes),
-      stats_(name)
+      stats_(name),
+      superblockWritesC_(stats_.counter("superblock_writes")),
+      appendsC_(stats_.counter("appends")),
+      truncatedC_(stats_.counter("truncated"))
 {
     HOOP_ASSERT(capacity_ >= 16, "log region too small");
     writeSuperblock(0);
@@ -82,7 +85,7 @@ LogRegion::writeSuperblock(Tick now)
     // the oldest live entry always carries seq == tail + 1.
     sb.tailSeq = tail + 1;
     nvm.write(now, base, &sb, sizeof(sb));
-    ++stats_.counter("superblock_writes");
+    ++superblockWritesC_;
 }
 
 Tick
@@ -95,7 +98,7 @@ LogRegion::append(Tick now, LogEntry e)
     const Tick done =
         nvm.write(now, entryAddr(head), buf, LogEntry::kEntryBytes);
     ++head;
-    ++stats_.counter("appends");
+    ++appendsC_;
     return done;
 }
 
@@ -105,7 +108,7 @@ LogRegion::truncate(Tick now, std::uint64_t n)
     HOOP_ASSERT(n <= size(), "truncating more entries than live");
     tail += n;
     writeSuperblock(now);
-    stats_.counter("truncated") += n;
+    truncatedC_ += n;
     return now;
 }
 

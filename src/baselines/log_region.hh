@@ -115,6 +115,12 @@ class LogRegion
     std::uint64_t capacity_;
     StatSet stats_;
 
+    // Hot-path counters resolved once; StatSet references stay valid
+    // for the StatSet's lifetime.
+    Counter &superblockWritesC_;
+    Counter &appendsC_;
+    Counter &truncatedC_;
+
     /** Monotonic logical indices; slot = idx % capacity. */
     std::uint64_t head = 0;
     std::uint64_t tail = 0;

@@ -12,7 +12,16 @@ namespace hoopnvm
 LsmController::LsmController(NvmDevice &nvm, const SystemConfig &cfg_)
     : PersistenceController("lsm", nvm, cfg_),
       log_(nvm, cfg_.auxBase(), cfg_.auxBytes, "lsm_log"),
-      txWrites(cfg_.numCores)
+      txWrites(cfg_.numCores),
+      indexWalksC_(stats_.counter("index_walks")),
+      logEntriesC_(stats_.counter("log_entries")),
+      commitRecordsC_(stats_.counter("commit_records")),
+      txCommittedC_(stats_.counter("tx_committed")),
+      logReadsC_(stats_.counter("log_reads")),
+      evictionsAbsorbedC_(stats_.counter("evictions_absorbed")),
+      homeWritebacksC_(stats_.counter("home_writebacks")),
+      gcRunsC_(stats_.counter("gc_runs")),
+      migratedLinesC_(stats_.counter("migrated_lines"))
 {
 }
 
@@ -58,7 +67,7 @@ Tick
 LsmController::loadOverhead(CoreId, Addr, Tick)
 {
     // Every load translates through the DRAM-cached skip list.
-    ++stats_.counter("index_walks");
+    ++indexWalksC_;
     return indexWalkCost();
 }
 
@@ -88,7 +97,7 @@ LsmController::txEnd(CoreId core, Tick now)
         e.words = img.words;
         t = std::max(t, log_.append(now, e));
         index_.insert(kv.first, logicalEntryIdx++);
-        ++stats_.counter("log_entries");
+        ++logEntriesC_;
     }
 
     if (!writes.empty()) {
@@ -100,12 +109,12 @@ LsmController::txEnd(CoreId core, Tick now)
         rec.commitId = cid;
         rec.mask = 1;
         t = std::max(t, log_.append(now, rec));
-        ++stats_.counter("commit_records");
+        ++commitRecordsC_;
     }
 
     writes.clear();
     coreTx[core] = CoreTxState{};
-    ++stats_.counter("tx_committed");
+    ++txCommittedC_;
     return t;
 }
 
@@ -124,7 +133,7 @@ LsmController::fillLine(CoreId, Addr line, std::uint8_t *buf, Tick now)
         fr.completion = std::max(
             fr.completion,
             nvm_.readAccounting(now, LogEntry::kEntryBytes));
-        ++stats_.counter("log_reads");
+        ++logReadsC_;
     }
 
     TxId owner = kInvalidTxId;
@@ -151,11 +160,11 @@ LsmController::evictLine(CoreId, Addr line, const std::uint8_t *data,
 {
     if (persistent) {
         // The log and live-image map already hold this data.
-        ++stats_.counter("evictions_absorbed");
+        ++evictionsAbsorbedC_;
         return;
     }
     nvm_.write(now, line, data, kCacheLineSize);
-    ++stats_.counter("home_writebacks");
+    ++homeWritebacksC_;
 }
 
 Tick
@@ -169,7 +178,7 @@ LsmController::gc(Tick now)
     }
     if (liveImage.empty() && log_.size() == 0)
         return now;
-    ++stats_.counter("gc_runs");
+    ++gcRunsC_;
 
     Tick last = now;
     for (const auto &kv : liveImage) {
@@ -179,7 +188,7 @@ LsmController::gc(Tick now)
         last = std::max(last,
                         nvm_.write(now, kv.first, buf, kCacheLineSize));
         index_.erase(kv.first);
-        ++stats_.counter("migrated_lines");
+        ++migratedLinesC_;
     }
     liveImage.clear();
     if (log_.size() > 0)

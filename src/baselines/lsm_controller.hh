@@ -74,6 +74,17 @@ class LsmController : public PersistenceController
 
     Tick lastGc = 0;
     std::uint64_t logicalEntryIdx = 0;
+
+    // Hot-path counters resolved once against the inherited stats_.
+    Counter &indexWalksC_;
+    Counter &logEntriesC_;
+    Counter &commitRecordsC_;
+    Counter &txCommittedC_;
+    Counter &logReadsC_;
+    Counter &evictionsAbsorbedC_;
+    Counter &homeWritebacksC_;
+    Counter &gcRunsC_;
+    Counter &migratedLinesC_;
 };
 
 } // namespace hoopnvm

@@ -38,7 +38,15 @@ ospLogBytes(const SystemConfig &cfg)
 OspController::OspController(NvmDevice &nvm, const SystemConfig &cfg_)
     : PersistenceController("osp", nvm, cfg_),
       log_(nvm, ospLogBase(cfg_), ospLogBytes(cfg_), "osp_log"),
-      txWrites(cfg_.numCores)
+      txWrites(cfg_.numCores),
+      selectorWritesC_(stats_.counter("selector_writes")),
+      shadowWritesC_(stats_.counter("shadow_writes")),
+      txCommittedC_(stats_.counter("tx_committed")),
+      flipRecordsC_(stats_.counter("flip_records")),
+      tlbShootdownsC_(stats_.counter("tlb_shootdowns")),
+      consolidationCopiesC_(stats_.counter("consolidation_copies")),
+      inactiveWritebacksC_(stats_.counter("inactive_writebacks")),
+      homeWritebacksC_(stats_.counter("home_writebacks"))
 {
 }
 
@@ -100,7 +108,7 @@ OspController::applyFlips(Tick now, const std::vector<Addr> &lines)
     }
     for (Addr sl : selector_lines) {
         last = std::max(last, nvm_.writeAccounting(now, kCacheLineSize));
-        ++stats_.counter("selector_writes");
+        ++selectorWritesC_;
         (void)sl;
     }
     return last;
@@ -128,12 +136,12 @@ OspController::txEnd(CoreId core, Tick now)
         data_done = std::max(
             data_done, nvm_.write(now, target, buf, kCacheLineSize));
         flipped.push_back(line);
-        ++stats_.counter("shadow_writes");
+        ++shadowWritesC_;
     }
 
     if (writes.empty()) {
         coreTx[core] = CoreTxState{};
-        ++stats_.counter("tx_committed");
+        ++txCommittedC_;
         return now;
     }
 
@@ -155,7 +163,7 @@ OspController::txEnd(CoreId core, Tick now)
             e.words[j] = line | new_sel;
         }
         rec_done = std::max(rec_done, log_.append(data_done, e));
-        ++stats_.counter("flip_records");
+        ++flipRecordsC_;
     }
 
     // 3. Apply the flips (selector table) and pay the TLB shootdown.
@@ -165,7 +173,7 @@ OspController::txEnd(CoreId core, Tick now)
     }
     Tick done = applyFlips(rec_done, flipped);
     done += cfg.tlbShootdownCost;
-    ++stats_.counter("tlb_shootdowns");
+    ++tlbShootdownsC_;
 
     // Page consolidation (§IV-B): SSP periodically re-packs split
     // line pairs to recover spatial efficiency, copying data between
@@ -179,12 +187,12 @@ OspController::txEnd(CoreId core, Tick now)
             if (++copied >= 8)
                 break;
         }
-        stats_.counter("consolidation_copies") += copied;
+        consolidationCopiesC_ += copied;
     }
 
     writes.clear();
     coreTx[core] = CoreTxState{};
-    ++stats_.counter("tx_committed");
+    ++txCommittedC_;
     return done;
 }
 
@@ -230,14 +238,14 @@ OspController::evictLine(CoreId core, Addr line, const std::uint8_t *data,
             const Addr target =
                 shadowIsCurrent(line) ? line : shadowOf(line);
             nvm_.write(now, target, data, kCacheLineSize);
-            ++stats_.counter("inactive_writebacks");
+            ++inactiveWritebacksC_;
         }
         // Committed content matches the current copy already (it was
         // eagerly flushed at commit); dropping it costs nothing.
         return;
     }
     nvm_.write(now, currentCopy(line), data, kCacheLineSize);
-    ++stats_.counter("home_writebacks");
+    ++homeWritebacksC_;
     (void)core;
 }
 

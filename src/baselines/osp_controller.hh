@@ -75,6 +75,16 @@ class OspController : public PersistenceController
 
     /** Commits since the last page consolidation pass. */
     std::uint64_t commitsSinceConsolidation = 0;
+
+    // Hot-path counters resolved once against the inherited stats_.
+    Counter &selectorWritesC_;
+    Counter &shadowWritesC_;
+    Counter &txCommittedC_;
+    Counter &flipRecordsC_;
+    Counter &tlbShootdownsC_;
+    Counter &consolidationCopiesC_;
+    Counter &inactiveWritebacksC_;
+    Counter &homeWritebacksC_;
 };
 
 } // namespace hoopnvm

@@ -32,7 +32,14 @@ RedoController::RedoController(NvmDevice &nvm, const SystemConfig &cfg_)
       log_(nvm, cfg_.auxBase(), cfg_.auxBytes, "redo_log"),
       txWrites(cfg_.numCores),
       outstanding(cfg_.numCores, 0),
-      logLookupCost(nsToTicks(20))
+      logLookupCost(nsToTicks(20)),
+      logEntriesC_(stats_.counter("log_entries")),
+      commitRecordsC_(stats_.counter("commit_records")),
+      checkpointWritesC_(stats_.counter("checkpoint_writes")),
+      txCommittedC_(stats_.counter("tx_committed")),
+      evictionsAbsorbedC_(stats_.counter("evictions_absorbed")),
+      homeWritebacksC_(stats_.counter("home_writebacks")),
+      truncationsC_(stats_.counter("truncations"))
 {
 }
 
@@ -81,7 +88,7 @@ RedoController::txEnd(CoreId core, Tick now)
         t = std::max(t, log_.append(now, e));
         // WrAP's per-update metadata occupies a second cache line.
         nvm_.writeAccounting(now, kCacheLineSize);
-        ++stats_.counter("log_entries");
+        ++logEntriesC_;
     }
 
     // Commit record makes the transaction durable.
@@ -94,7 +101,7 @@ RedoController::txEnd(CoreId core, Tick now)
         rec.commitId = cid;
         rec.mask = 1;
         t = std::max(t, log_.append(now, rec));
-        ++stats_.counter("commit_records");
+        ++commitRecordsC_;
 
         // Asynchronous checkpointing (WrAP): each logged line is
         // retired to its home address in place. The commit does not
@@ -105,7 +112,7 @@ RedoController::txEnd(CoreId core, Tick now)
             nvm_.peek(kv.first, buf, kCacheLineSize);
             kv.second.overlay(buf);
             nvm_.write(t, kv.first, buf, kCacheLineSize);
-            ++stats_.counter("checkpoint_writes");
+            ++checkpointWritesC_;
         }
         truncatableEntries += txWrites[core].size() + 1;
     }
@@ -113,7 +120,7 @@ RedoController::txEnd(CoreId core, Tick now)
     t = std::max(t, outstanding[core]);
     txWrites[core].clear();
     coreTx[core] = CoreTxState{};
-    ++stats_.counter("tx_committed");
+    ++txCommittedC_;
     return t;
 }
 
@@ -153,11 +160,11 @@ RedoController::evictLine(CoreId, Addr line, const std::uint8_t *data,
     if (persistent) {
         // Transactional data is (or will be) durable via the log and
         // reaches home through checkpointing — never written here.
-        ++stats_.counter("evictions_absorbed");
+        ++evictionsAbsorbedC_;
         return;
     }
     nvm_.write(now, line, data, kCacheLineSize);
-    ++stats_.counter("home_writebacks");
+    ++homeWritebacksC_;
 }
 
 Tick
@@ -167,7 +174,7 @@ RedoController::truncateRetired(Tick now)
         return now;
     const Tick done = log_.truncate(now, truncatableEntries);
     truncatableEntries = 0;
-    ++stats_.counter("truncations");
+    ++truncationsC_;
     return done;
 }
 

@@ -89,6 +89,15 @@ class RedoController : public PersistenceController
 
     Tick lastCkpt = 0;
     Tick logLookupCost;
+
+    // Hot-path counters resolved once against the inherited stats_.
+    Counter &logEntriesC_;
+    Counter &commitRecordsC_;
+    Counter &checkpointWritesC_;
+    Counter &txCommittedC_;
+    Counter &evictionsAbsorbedC_;
+    Counter &homeWritebacksC_;
+    Counter &truncationsC_;
 };
 
 } // namespace hoopnvm

@@ -13,7 +13,12 @@ UndoController::UndoController(NvmDevice &nvm, const SystemConfig &cfg_)
     : PersistenceController("undo", nvm, cfg_),
       log_(nvm, cfg_.auxBase(), cfg_.auxBytes, "undo_log"),
       txWrites(cfg_.numCores),
-      outstanding(cfg_.numCores, 0)
+      outstanding(cfg_.numCores, 0),
+      logEntriesC_(stats_.counter("log_entries")),
+      commitFlushesC_(stats_.counter("commit_flushes")),
+      commitRecordsC_(stats_.counter("commit_records")),
+      txCommittedC_(stats_.counter("tx_committed")),
+      homeWritebacksC_(stats_.counter("home_writebacks"))
 {
 }
 
@@ -55,7 +60,7 @@ UndoController::storeWord(CoreId core, Addr addr,
         // Metadata companion line of the undo entry.
         nvm_.writeAccounting(now, kCacheLineSize);
         ++openEntries;
-        ++stats_.counter("log_entries");
+        ++logEntriesC_;
         it = writes.emplace(line, LineImage{}).first;
     }
     it->second.setWord(
@@ -81,7 +86,7 @@ UndoController::txEnd(CoreId core, Tick now)
         kv.second.overlay(buf);
         data_done = std::max(
             data_done, nvm_.write(t, kv.first, buf, kCacheLineSize));
-        ++stats_.counter("commit_flushes");
+        ++commitFlushesC_;
     }
 
     Tick commit_done = data_done;
@@ -95,14 +100,14 @@ UndoController::txEnd(CoreId core, Tick now)
         rec.mask = 1;
         commit_done = log_.append(data_done, rec);
         ++openEntries;
-        ++stats_.counter("commit_records");
+        ++commitRecordsC_;
     }
 
     committedEntries += openEntries;
     openEntries = 0;
     txWrites[core].clear();
     coreTx[core] = CoreTxState{};
-    ++stats_.counter("tx_committed");
+    ++txCommittedC_;
     return commit_done;
 }
 
@@ -123,7 +128,7 @@ UndoController::evictLine(CoreId, Addr line, const std::uint8_t *data,
     // In-place writeback is always legal: the undo entry for any
     // uncommitted content was persisted before the first store.
     nvm_.write(now, line, data, kCacheLineSize);
-    ++stats_.counter("home_writebacks");
+    ++homeWritebacksC_;
 }
 
 void

@@ -68,6 +68,13 @@ class UndoController : public PersistenceController
     std::uint64_t openEntries = 0;
 
     Tick lastTruncate = 0;
+
+    // Hot-path counters resolved once against the inherited stats_.
+    Counter &logEntriesC_;
+    Counter &commitFlushesC_;
+    Counter &commitRecordsC_;
+    Counter &txCommittedC_;
+    Counter &homeWritebacksC_;
 };
 
 } // namespace hoopnvm

@@ -5,7 +5,9 @@ namespace hoopnvm
 
 NativeController::NativeController(NvmDevice &nvm,
                                    const SystemConfig &cfg)
-    : PersistenceController("native", nvm, cfg)
+    : PersistenceController("native", nvm, cfg),
+      txCommittedC_(stats_.counter("tx_committed")),
+      homeWritebacksC_(stats_.counter("home_writebacks"))
 {
 }
 
@@ -14,7 +16,7 @@ NativeController::txEnd(CoreId core, Tick now)
 {
     coreTx[core].active = false;
     coreTx[core].txId = kInvalidTxId;
-    ++stats_.counter("tx_committed");
+    ++txCommittedC_;
     return now;
 }
 
@@ -40,7 +42,7 @@ NativeController::evictLine(CoreId, Addr line, const std::uint8_t *data,
 {
     // In-place writeback; the core does not wait for it.
     nvm_.write(now, line, data, kCacheLineSize);
-    ++stats_.counter("home_writebacks");
+    ++homeWritebacksC_;
 }
 
 void

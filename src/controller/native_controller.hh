@@ -33,6 +33,11 @@ class NativeController : public PersistenceController
                    Tick now) override;
     void crash() override;
     Tick recover(unsigned threads) override;
+
+  private:
+    // Hot-path counters resolved once against the inherited stats_.
+    Counter &txCommittedC_;
+    Counter &homeWritebacksC_;
 };
 
 } // namespace hoopnvm

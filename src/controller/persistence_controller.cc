@@ -8,7 +8,8 @@ namespace hoopnvm
 PersistenceController::PersistenceController(const std::string &name,
                                              NvmDevice &nvm,
                                              const SystemConfig &cfg_)
-    : nvm_(nvm), cfg(cfg_), stats_(name), coreTx(cfg_.numCores)
+    : nvm_(nvm), cfg(cfg_), stats_(name),
+      txBegunC_(stats_.counter("tx_begun")), coreTx(cfg_.numCores)
 {
 }
 
@@ -27,7 +28,7 @@ PersistenceController::txBeginAs(CoreId core, Tick now, TxId forced)
                 "nested transactions are not supported (core %u)", core);
     coreTx[core].active = true;
     coreTx[core].txId = forced;
-    ++stats_.counter("tx_begun");
+    ++txBegunC_;
     return coreTx[core].txId;
 }
 

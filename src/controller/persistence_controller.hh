@@ -201,6 +201,12 @@ class PersistenceController
     NvmDevice &nvm_;
     const SystemConfig &cfg;
     StatSet stats_;
+
+    // Hot-path counter resolved once; StatSet references stay valid for
+    // the StatSet's lifetime. Derived controllers follow the same
+    // pattern for their per-event counters.
+    Counter &txBegunC_;
+
     std::vector<CoreTxState> coreTx;
 
   private:

@@ -13,7 +13,17 @@ namespace hoopnvm
 {
 
 GarbageCollector::GarbageCollector(HoopController &ctrl_)
-    : ctrl(ctrl_), stats_("gc")
+    : ctrl(ctrl_), stats_("gc"),
+      noopRunsC_(stats_.counter("noop_runs")),
+      runsC_(stats_.counter("runs")),
+      slicesScannedC_(stats_.counter("slices_scanned")),
+      slicesCrcSkippedC_(stats_.counter("slices_crc_skipped")),
+      homeLinesWrittenC_(stats_.counter("home_lines_written")),
+      homeLinesSkippedFresherC_(
+          stats_.counter("home_lines_skipped_fresher")),
+      mappingEntriesDroppedC_(
+          stats_.counter("mapping_entries_dropped")),
+      blocksRecycledC_(stats_.counter("blocks_recycled"))
 {
 }
 
@@ -71,10 +81,10 @@ GarbageCollector::run(Tick now)
     }
 
     if (cand.empty()) {
-        ++stats_.counter("noop_runs");
+        ++noopRunsC_;
         return now;
     }
-    ++stats_.counter("runs");
+    ++runsC_;
 
     // ---- Step 2: scan committed slices and coalesce (Algorithm 1) ----
     struct WordVal
@@ -101,13 +111,13 @@ GarbageCollector::run(Tick now)
             Tick done;
             const MemorySlice s = region.readSlice(now, idx, &done);
             last = std::max(last, done);
-            ++stats_.counter("slices_scanned");
+            ++slicesScannedC_;
             if (!s.crcOk) {
                 // A media fault corrupted this slice in place: none of
                 // its fields can be trusted, so its words cannot be
                 // migrated. Count the loss and move on — the home copy
                 // (whatever it holds) is the best surviving version.
-                ++stats_.counter("slices_crc_skipped");
+                ++slicesCrcSkippedC_;
                 continue;
             }
             if (!s.carriesWords())
@@ -161,9 +171,9 @@ GarbageCollector::run(Tick now)
                 // Recently migrated lines stay visible in the eviction
                 // buffer so racing misses never read a stale home copy.
                 ctrl.evictBuf.put(kv.first, buf);
-                ++stats_.counter("home_lines_written");
+                ++homeLinesWrittenC_;
             } else {
-                ++stats_.counter("home_lines_skipped_fresher");
+                ++homeLinesSkippedFresherC_;
             }
             migratedWordBytes_ +=
                 kv.second.words.size() *
@@ -187,7 +197,7 @@ GarbageCollector::run(Tick now)
             last = std::max(last, ctrl.writeHomeLine(now, line, buf));
             ctrl.evictBuf.put(line, buf);
             migratedWordBytes_ += kWordSize;
-            ++stats_.counter("home_lines_written");
+            ++homeLinesWrittenC_;
         }
     }
 
@@ -200,7 +210,7 @@ GarbageCollector::run(Tick now)
     });
     for (Addr line : drop)
         ctrl.mapping.remove(line);
-    stats_.counter("mapping_entries_dropped") += drop.size();
+    mappingEntriesDroppedC_ += drop.size();
 
     // ---- Step 5: durability fence, then recycle the blocks ----
     // A crash must never tear a migration write whose source block was
@@ -215,7 +225,7 @@ GarbageCollector::run(Tick now)
     ctrl.nvm_.faults().settleUpTo(last);
     for (std::uint32_t b : cand)
         region.setBlockState(b, BlockState::Unused, now);
-    stats_.counter("blocks_recycled") += cand.size();
+    blocksRecycledC_ += cand.size();
 
     return last;
 }

@@ -65,6 +65,18 @@ class GarbageCollector
   private:
     HoopController &ctrl;
     StatSet stats_;
+
+    // Hot-path counters resolved once; StatSet references stay valid
+    // for the StatSet's lifetime.
+    Counter &noopRunsC_;
+    Counter &runsC_;
+    Counter &slicesScannedC_;
+    Counter &slicesCrcSkippedC_;
+    Counter &homeLinesWrittenC_;
+    Counter &homeLinesSkippedFresherC_;
+    Counter &mappingEntriesDroppedC_;
+    Counter &blocksRecycledC_;
+
     std::uint64_t migratedWordBytes_ = 0;
     std::uint64_t scannedWordBytes_ = 0;
 };

@@ -17,7 +17,22 @@ HoopController::HoopController(NvmDevice &nvm, const SystemConfig &cfg_)
       chains(cfg_.numCores),
       bufferInsertCost(cfg_.cycle()),
       unpackCost(2 * cfg_.cycle()),
-      evictBufReadCost(nsToTicks(20))
+      evictBufReadCost(nsToTicks(20)),
+      gcOnDemandC_(stats_.counter("gc_on_demand")),
+      dataSlicesC_(stats_.counter("data_slices")),
+      evictSlicesC_(stats_.counter("evict_slices")),
+      gcMappingFullC_(stats_.counter("gc_mapping_full")),
+      emergencyMigrationsC_(stats_.counter("emergency_migrations")),
+      txWordsC_(stats_.counter("tx_words")),
+      addrSlicesC_(stats_.counter("addr_slices")),
+      txCommittedC_(stats_.counter("tx_committed")),
+      mappingHitsC_(stats_.counter("mapping_hits")),
+      parallelReadsC_(stats_.counter("parallel_reads")),
+      fillSliceCrcDropsC_(stats_.counter("fill_slice_crc_drops")),
+      evictionBufferHitsC_(stats_.counter("eviction_buffer_hits")),
+      oopEvictionsC_(stats_.counter("oop_evictions")),
+      homeEvictionsC_(stats_.counter("home_evictions")),
+      gcPressureC_(stats_.counter("gc_pressure"))
 {
     gc_ = std::make_unique<GarbageCollector>(*this);
     recovery = std::make_unique<RecoveryManager>(*this);
@@ -40,7 +55,7 @@ HoopController::allocSliceOrGc(Tick &now)
     if (region_.allocSlice(idx, now))
         return idx;
     // Region exhausted: on-demand GC on the critical path (§IV-F).
-    ++stats_.counter("gc_on_demand");
+    ++gcOnDemandC_;
     now = std::max(now, gc_->run(now));
     if (region_.allocSlice(idx, now))
         return idx;
@@ -70,11 +85,11 @@ HoopController::emitSlice(CoreId core, const PendingSlice &p,
         s.start = chains[core].sliceCount == 0;
         chains[core].tailIdx = idx;
         ++chains[core].sliceCount;
-        ++stats_.counter("data_slices");
+        ++dataSlicesC_;
     } else {
         s.prevIdx = MemorySlice::kNullIdx;
         s.start = false;
-        ++stats_.counter("evict_slices");
+        ++evictSlicesC_;
     }
 
     const Tick done = region_.writeSlice(t, idx, s);
@@ -83,7 +98,7 @@ HoopController::emitSlice(CoreId core, const PendingSlice &p,
     if (type == SliceType::Evict) {
         if (!mapping.insert(lineAddr(p.addrs[0]), idx)) {
             // Mapping table full: GC drains it (Fig. 13's mechanism).
-            ++stats_.counter("gc_mapping_full");
+            ++gcMappingFullC_;
             gc_->run(t);
             // Remaining entries typically point into the still-open
             // block that GC cannot collect; migrate single committed
@@ -129,7 +144,7 @@ HoopController::emergencyEvictMappingEntry(Tick now)
     writeHomeLine(now, victim, buf);
     noteHomeSeq(victim, s.seq);
     mapping.remove(victim);
-    ++stats_.counter("emergency_migrations");
+    ++emergencyMigrationsC_;
     return true;
 }
 
@@ -140,7 +155,7 @@ HoopController::storeWord(CoreId core, Addr addr,
     std::uint64_t value;
     std::memcpy(&value, data, kWordSize);
     txModifiedBytes_ += kWordSize;
-    ++stats_.counter("tx_words");
+    ++txWordsC_;
 
     if (buffer.addWord(core, addr, value)) {
         // Slice full: flush it to the OOP region off the critical path.
@@ -213,7 +228,7 @@ HoopController::commitPrepared(CoreId core, Tick now)
         commit_done = nvm_.write(t, region_.sliceAddr(idx), enc,
                                  MemorySlice::kSliceBytes, 32);
         region_.noteSliceTx(idx, tx);
-        ++stats_.counter("addr_slices");
+        ++addrSlicesC_;
     }
 
     // Durability point: the commit record and every chain slice of this
@@ -222,7 +237,7 @@ HoopController::commitPrepared(CoreId core, Tick now)
     committed[tx] = cid;
     coreTx[core] = CoreTxState{};
     chains[core] = CoreChain{};
-    ++stats_.counter("tx_committed");
+    ++txCommittedC_;
     return std::max(now, commit_done);
 }
 
@@ -237,8 +252,8 @@ HoopController::fillLine(CoreId core, Addr line, std::uint8_t *buf,
         // Most recent version lives out of place: read the OOP slice
         // and the home line in parallel and reconstruct (§III-G).
         mapping.remove(line);
-        ++stats_.counter("mapping_hits");
-        ++stats_.counter("parallel_reads");
+        ++mappingHitsC_;
+        ++parallelReadsC_;
 
         const Tick home_done = nvm_.read(now, line, buf, kCacheLineSize);
         Tick slice_done;
@@ -247,7 +262,7 @@ HoopController::fillLine(CoreId core, Addr line, std::uint8_t *buf,
             // A media fault corrupted the out-of-place copy. The home
             // line (already read) is the best surviving version: serve
             // it rather than overlay garbage words.
-            ++stats_.counter("fill_slice_crc_drops");
+            ++fillSliceCrcDropsC_;
             fr.completion = home_done + unpackCost;
             return fr;
         }
@@ -275,7 +290,7 @@ HoopController::fillLine(CoreId core, Addr line, std::uint8_t *buf,
     std::uint8_t tmp[kCacheLineSize];
     if (evictBuf.get(line, tmp)) {
         // Served from the controller's eviction buffer (§III-C).
-        ++stats_.counter("eviction_buffer_hits");
+        ++evictionBufferHitsC_;
         std::memcpy(buf, tmp, kCacheLineSize);
         fr.completion = now + evictBufReadCost;
         return fr;
@@ -306,7 +321,7 @@ HoopController::evictLine(CoreId core, Addr line,
             ++p.count;
         }
         emitSlice(core, p, SliceType::Evict, tx, now);
-        ++stats_.counter("oop_evictions");
+        ++oopEvictionsC_;
         return;
     }
 
@@ -316,7 +331,7 @@ HoopController::evictLine(CoreId core, Addr line,
     writeHomeLine(now, line, data);
     noteHomeSeq(line, region_.allocSeq());
     mapping.remove(line);
-    ++stats_.counter("home_evictions");
+    ++homeEvictionsC_;
 }
 
 Tick
@@ -337,7 +352,7 @@ HoopController::maintenance(Tick now)
                           mapping.size() * 10 >= mapping.capacity() * 9;
     if (period_due || pressure) {
         if (pressure && !period_due)
-            ++stats_.counter("gc_pressure");
+            ++gcPressureC_;
         lastGc = now;
         gc_->run(now);
     }

@@ -182,6 +182,24 @@ class HoopController : public PersistenceController
     Tick bufferInsertCost;
     Tick unpackCost;
     Tick evictBufReadCost;
+
+    // Hot-path counters resolved once against stats_ (see
+    // PersistenceController). "recoveries" stays string-keyed: rare.
+    Counter &gcOnDemandC_;
+    Counter &dataSlicesC_;
+    Counter &evictSlicesC_;
+    Counter &gcMappingFullC_;
+    Counter &emergencyMigrationsC_;
+    Counter &txWordsC_;
+    Counter &addrSlicesC_;
+    Counter &txCommittedC_;
+    Counter &mappingHitsC_;
+    Counter &parallelReadsC_;
+    Counter &fillSliceCrcDropsC_;
+    Counter &evictionBufferHitsC_;
+    Counter &oopEvictionsC_;
+    Counter &homeEvictionsC_;
+    Counter &gcPressureC_;
 };
 
 } // namespace hoopnvm

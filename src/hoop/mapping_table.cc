@@ -1,15 +1,77 @@
 #include "hoop/mapping_table.hh"
 
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
 {
 
+namespace
+{
+
+/** Smallest power of two >= @p n. */
+std::size_t
+ceilPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+constexpr std::size_t kInitialSlots = 64;
+constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
+
+} // namespace
+
 MappingTable::MappingTable(std::uint64_t bytes)
     : capacity_(static_cast<std::size_t>(bytes / kEntryBytes))
 {
     HOOP_ASSERT(capacity_ > 0, "mapping table too small for one entry");
-    map.reserve(capacity_);
+    // Full table at <= 3/4 probe load: 4/3 * capacity slots, rounded up
+    // to a power of two so the probe mask is a single AND.
+    maxSlots_ = ceilPow2((capacity_ * 4 + 2) / 3);
+    slots.resize(std::min(kInitialSlots, maxSlots_));
+}
+
+std::size_t
+MappingTable::homeSlot(Addr line) const
+{
+    return static_cast<std::size_t>(mixHash(line / kCacheLineSize)) &
+           (slots.size() - 1);
+}
+
+std::size_t
+MappingTable::findSlot(Addr line) const
+{
+    const std::size_t mask = slots.size() - 1;
+    std::size_t i = homeSlot(line);
+    while (slots[i].line != kEmptyLine) {
+        if (slots[i].line == line)
+            return i;
+        i = (i + 1) & mask;
+    }
+    return kNoSlot;
+}
+
+void
+MappingTable::grow()
+{
+    std::vector<Slot> old = std::move(slots);
+    slots.assign(old.size() * 2, Slot{});
+    const std::size_t mask = slots.size() - 1;
+    for (const Slot &s : old) {
+        if (s.line == kEmptyLine)
+            continue;
+        std::size_t i = homeSlot(s.line);
+        while (slots[i].line != kEmptyLine)
+            i = (i + 1) & mask;
+        slots[i] = s;
+    }
 }
 
 bool
@@ -17,36 +79,69 @@ MappingTable::insert(Addr line, std::uint32_t slice_idx)
 {
     HOOP_ASSERT(isAligned(line, kCacheLineSize),
                 "mapping table keys are line addresses");
-    auto it = map.find(line);
-    if (it != map.end()) {
-        it->second = slice_idx;
+    const std::size_t existing = findSlot(line);
+    if (existing != kNoSlot) {
+        slots[existing].slice = slice_idx; // update-in-place, even full
         return true;
     }
-    if (map.size() >= capacity_)
+    if (size_ >= capacity_)
         return false;
-    map.emplace(line, slice_idx);
+    // Grow before the probe load factor crosses 3/4 (maxSlots_ keeps
+    // even a completely full table at or below that bound).
+    if (slots.size() < maxSlots_ && (size_ + 1) * 4 > slots.size() * 3)
+        grow();
+    const std::size_t mask = slots.size() - 1;
+    std::size_t i = homeSlot(line);
+    while (slots[i].line != kEmptyLine)
+        i = (i + 1) & mask;
+    slots[i] = Slot{line, slice_idx};
+    ++size_;
     return true;
 }
 
 std::optional<std::uint32_t>
 MappingTable::lookup(Addr line) const
 {
-    auto it = map.find(line);
-    if (it == map.end())
+    const std::size_t i = findSlot(line);
+    if (i == kNoSlot)
         return std::nullopt;
-    return it->second;
+    return slots[i].slice;
 }
 
 void
 MappingTable::remove(Addr line)
 {
-    map.erase(line);
+    std::size_t i = findSlot(line);
+    if (i == kNoSlot)
+        return;
+    --size_;
+    // Backward-shift deletion: pull displaced entries over the hole so
+    // no tombstones accumulate and probe chains stay short.
+    const std::size_t mask = slots.size() - 1;
+    std::size_t j = i;
+    for (;;) {
+        j = (j + 1) & mask;
+        if (slots[j].line == kEmptyLine)
+            break;
+        const std::size_t home = homeSlot(slots[j].line);
+        // slots[j] can fill the hole unless its home slot lies
+        // (cyclically) strictly after the hole — then it is already
+        // reachable from its home and must stay put.
+        const bool keep = (i <= j) ? (i < home && home <= j)
+                                   : (i < home || home <= j);
+        if (!keep) {
+            slots[i] = slots[j];
+            i = j;
+        }
+    }
+    slots[i] = Slot{};
 }
 
 void
 MappingTable::clear()
 {
-    map.clear();
+    slots.assign(std::min(kInitialSlots, maxSlots_), Slot{});
+    size_ = 0;
 }
 
 } // namespace hoopnvm

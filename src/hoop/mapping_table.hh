@@ -7,6 +7,14 @@
  * table is a fixed-capacity structure in the memory controller (2 MB
  * default, 16 bytes per entry); when it fills up the controller must
  * run GC to drain entries (Fig. 13 sweeps this size).
+ *
+ * The software model mirrors the hardware: a flat open-addressed array
+ * (linear probing, backward-shift deletion) rather than a node-based
+ * hash map — controller SRAM is a fixed array of entry slots, and the
+ * flat layout is also the fastest thing the host can probe. The host
+ * allocation grows lazily from a few slots up to the modelled capacity,
+ * so a Fig. 13 8 MB sweep whose run touches a few thousand lines does
+ * not pay for half a million buckets per System.
  */
 
 #ifndef HOOPNVM_HOOP_MAPPING_TABLE_HH
@@ -14,7 +22,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -49,20 +57,64 @@ class MappingTable
     void
     forEach(Fn &&fn) const
     {
-        for (const auto &kv : map)
-            fn(kv.first, kv.second);
+        for (const Slot &s : slots) {
+            if (s.line != kEmptyLine)
+                fn(s.line, s.slice);
+        }
     }
 
-    std::size_t size() const { return map.size(); }
+    std::size_t size() const { return size_; }
     std::size_t capacity() const { return capacity_; }
-    bool full() const { return map.size() >= capacity_; }
+    bool full() const { return size_ >= capacity_; }
 
     /** Drop every entry (crash / post-recovery). */
     void clear();
 
+    /**
+     * Host memory currently allocated for slots, in bytes. Exposed so
+     * the lazy-growth behaviour is testable: a freshly built table
+     * must cost a few hundred bytes regardless of the modelled
+     * capacity.
+     */
+    std::size_t
+    hostAllocatedBytes() const
+    {
+        return slots.size() * sizeof(Slot);
+    }
+
   private:
+    /**
+     * Sentinel marking an empty slot. Mapping keys are line-aligned
+     * simulated physical addresses, which can never be all-ones.
+     */
+    static constexpr Addr kEmptyLine = kInvalidAddr;
+
+    struct Slot
+    {
+        Addr line = kEmptyLine;
+        std::uint32_t slice = 0;
+    };
+
+    /** Preferred slot of @p line in a table of slots.size() entries. */
+    std::size_t homeSlot(Addr line) const;
+
+    /** Slot holding @p line, or SIZE_MAX when absent. */
+    std::size_t findSlot(Addr line) const;
+
+    /** Double the slot array (bounded by maxSlots_) and rehash. */
+    void grow();
+
     std::size_t capacity_;
-    std::unordered_map<Addr, std::uint32_t> map;
+    std::size_t size_ = 0;
+
+    /**
+     * Largest slot count the table may grow to: the smallest power of
+     * two that keeps the probe load factor at or below 3/4 when the
+     * modelled capacity is fully used.
+     */
+    std::size_t maxSlots_;
+
+    std::vector<Slot> slots;
 };
 
 } // namespace hoopnvm

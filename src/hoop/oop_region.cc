@@ -59,7 +59,11 @@ headerCrc(const BlockHeader &h)
 } // namespace
 
 OopRegion::OopRegion(NvmDevice &nvm_, const SystemConfig &cfg_)
-    : nvm(nvm_), cfg(cfg_), stats_("oop_region")
+    : nvm(nvm_), cfg(cfg_), stats_("oop_region"),
+      headerWritesC_(stats_.counter("header_writes")),
+      blocksOpenedC_(stats_.counter("blocks_opened")),
+      sliceWritesC_(stats_.counter("slice_writes")),
+      sliceReadsC_(stats_.counter("slice_reads"))
 {
     HOOP_ASSERT(cfg.oopBlockBytes % MemorySlice::kSliceBytes == 0,
                 "OOP block size must be a multiple of the slice size");
@@ -121,7 +125,7 @@ OopRegion::writeHeader(std::uint32_t b, Tick now)
     std::memcpy(buf, &h, sizeof(h));
     // Headers persist as one full line write (the header slot).
     nvm.write(now, blockBase(b), buf, kCacheLineSize);
-    ++stats_.counter("header_writes");
+    ++headerWritesC_;
 }
 
 bool
@@ -138,7 +142,7 @@ OopRegion::openNextBlock(Tick now)
             blocks[b].txs.clear();
             writeHeader(b, now);
             currentBlock = b;
-            ++stats_.counter("blocks_opened");
+            ++blocksOpenedC_;
             return true;
         }
     }
@@ -169,7 +173,7 @@ OopRegion::writeSlice(Tick now, std::uint32_t idx, const MemorySlice &s)
 {
     std::uint8_t buf[MemorySlice::kSliceBytes];
     s.encode(buf);
-    ++stats_.counter("slice_writes");
+    ++sliceWritesC_;
     return nvm.write(now, sliceAddr(idx), buf,
                      MemorySlice::kSliceBytes);
 }
@@ -182,7 +186,7 @@ OopRegion::readSlice(Tick now, std::uint32_t idx, Tick *completion)
         nvm.read(now, sliceAddr(idx), buf, MemorySlice::kSliceBytes);
     if (completion)
         *completion = done;
-    ++stats_.counter("slice_reads");
+    ++sliceReadsC_;
     return MemorySlice::decode(buf);
 }
 

@@ -153,6 +153,13 @@ class OopRegion
     const SystemConfig &cfg;
     StatSet stats_;
 
+    // Hot-path counters resolved once; StatSet references stay valid
+    // for the StatSet's lifetime.
+    Counter &headerWritesC_;
+    Counter &blocksOpenedC_;
+    Counter &sliceWritesC_;
+    Counter &sliceReadsC_;
+
     std::uint32_t numBlocks_;
     std::uint32_t slicesPerBlock_;
     std::vector<OopBlockInfo> blocks;

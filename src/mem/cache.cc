@@ -10,7 +10,12 @@ namespace hoopnvm
 
 Cache::Cache(const std::string &name, std::uint64_t size_bytes,
              unsigned assoc_, Tick latency)
-    : assoc(assoc_), latency_(latency), stats_(name)
+    : assoc(assoc_), latency_(latency), stats_(name),
+      hitsC_(stats_.counter("hits")),
+      missesC_(stats_.counter("misses")),
+      insertionsC_(stats_.counter("insertions")),
+      dirtyEvictionsC_(stats_.counter("dirty_evictions")),
+      cleanEvictionsC_(stats_.counter("clean_evictions"))
 {
     HOOP_ASSERT(assoc > 0, "associativity must be positive");
     HOOP_ASSERT(size_bytes % (assoc * kCacheLineSize) == 0,
@@ -40,11 +45,11 @@ Cache::probe(Addr line_addr, bool touch)
         if (line.valid && line.addr == line_addr) {
             if (touch)
                 line.lastUse = ++useClock;
-            ++stats_.counter("hits");
+            ++hitsC_;
             return &line;
         }
     }
-    ++stats_.counter("misses");
+    ++missesC_;
     return nullptr;
 }
 
@@ -74,10 +79,8 @@ Cache::peekLine(Addr line_addr) const
     return nullptr;
 }
 
-CacheVictim
-Cache::insert(Addr line_addr, const std::uint8_t *data, bool dirty,
-              bool persistent, CoreId writer, TxId tx_id,
-              std::uint8_t word_mask)
+CacheLine *
+Cache::findVictim(Addr line_addr)
 {
     HOOP_ASSERT(isAligned(line_addr, kCacheLineSize),
                 "insert of unaligned line address");
@@ -87,53 +90,67 @@ Cache::insert(Addr line_addr, const std::uint8_t *data, bool dirty,
     // Reuse an existing copy or an invalid way before evicting.
     for (unsigned w = 0; w < assoc; ++w) {
         CacheLine &line = lines[static_cast<std::size_t>(set) * assoc + w];
-        if (line.valid && line.addr == line_addr) {
-            slot = &line;
-            break;
-        }
+        if (line.valid && line.addr == line_addr)
+            return &line;
         if (!line.valid && !slot)
             slot = &line;
     }
+    if (slot)
+        return slot;
 
-    CacheVictim victim;
-    if (!slot) {
-        // Evict the LRU way.
-        CacheLine *lru = nullptr;
-        for (unsigned w = 0; w < assoc; ++w) {
-            CacheLine &line =
-                lines[static_cast<std::size_t>(set) * assoc + w];
-            if (!lru || line.lastUse < lru->lastUse)
-                lru = &line;
-        }
-        victim.valid = true;
-        victim.addr = lru->addr;
-        victim.dirty = lru->dirty;
-        victim.persistent = lru->persistent;
-        victim.lastWriter = lru->lastWriter;
-        victim.txId = lru->txId;
-        victim.wordMask = lru->wordMask;
-        victim.data = lru->data;
-        if (lru->dirty)
-            ++stats_.counter("dirty_evictions");
-        else
-            ++stats_.counter("clean_evictions");
-        slot = lru;
+    // Evict the LRU way.
+    CacheLine *lru = nullptr;
+    for (unsigned w = 0; w < assoc; ++w) {
+        CacheLine &line =
+            lines[static_cast<std::size_t>(set) * assoc + w];
+        if (!lru || line.lastUse < lru->lastUse)
+            lru = &line;
     }
+    if (lru->dirty)
+        ++dirtyEvictionsC_;
+    else
+        ++cleanEvictionsC_;
+    return lru;
+}
 
-    const bool reinsert = slot->valid && slot->addr == line_addr;
-    slot->addr = line_addr;
-    slot->valid = true;
-    slot->dirty = reinsert ? (slot->dirty || dirty) : dirty;
-    slot->persistent =
-        reinsert ? (slot->persistent || persistent) : persistent;
-    slot->wordMask = reinsert ? (slot->wordMask | word_mask) : word_mask;
+void
+Cache::fillSlot(CacheLine &slot, Addr line_addr, const std::uint8_t *data,
+                bool dirty, bool persistent, CoreId writer, TxId tx_id,
+                std::uint8_t word_mask)
+{
+    const bool reinsert = slot.valid && slot.addr == line_addr;
+    slot.addr = line_addr;
+    slot.valid = true;
+    slot.dirty = reinsert ? (slot.dirty || dirty) : dirty;
+    slot.persistent =
+        reinsert ? (slot.persistent || persistent) : persistent;
+    slot.wordMask = reinsert ? (slot.wordMask | word_mask) : word_mask;
     if (!reinsert || dirty) {
-        slot->lastWriter = writer;
-        slot->txId = tx_id;
+        slot.lastWriter = writer;
+        slot.txId = tx_id;
     }
-    std::memcpy(slot->data.data(), data, kCacheLineSize);
-    slot->lastUse = ++useClock;
-    ++stats_.counter("insertions");
+    std::memcpy(slot.data.data(), data, kCacheLineSize);
+    slot.lastUse = ++useClock;
+    ++insertionsC_;
+}
+
+CacheVictim
+Cache::insert(Addr line_addr, const std::uint8_t *data, bool dirty,
+              bool persistent, CoreId writer, TxId tx_id,
+              std::uint8_t word_mask)
+{
+    CacheVictim victim;
+    insert(line_addr, data, dirty, persistent, writer, tx_id, word_mask,
+           [&victim](const CacheLine &lru) {
+               victim.valid = true;
+               victim.addr = lru.addr;
+               victim.dirty = lru.dirty;
+               victim.persistent = lru.persistent;
+               victim.lastWriter = lru.lastWriter;
+               victim.txId = lru.txId;
+               victim.wordMask = lru.wordMask;
+               victim.data = lru.data;
+           });
     return victim;
 }
 

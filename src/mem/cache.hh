@@ -55,7 +55,11 @@ struct CacheLine
     std::array<std::uint8_t, kCacheLineSize> data{};
 };
 
-/** A victim line produced by an insertion. */
+/**
+ * A victim line produced by an insertion. The payload is left
+ * uninitialized until a victim is captured into it — when valid is
+ * false, data holds garbage.
+ */
 struct CacheVictim
 {
     bool valid = false;
@@ -65,7 +69,7 @@ struct CacheVictim
     CoreId lastWriter = 0;
     TxId txId = kInvalidTxId;
     std::uint8_t wordMask = 0;
-    std::array<std::uint8_t, kCacheLineSize> data{};
+    std::array<std::uint8_t, kCacheLineSize> data;
 };
 
 /** Set-associative write-back cache with LRU replacement. */
@@ -100,8 +104,34 @@ class Cache
 
     /**
      * Insert a line, evicting the LRU way of the set if necessary.
-     * The victim (possibly invalid) is returned so the caller can
-     * write it back or merge it into the next level.
+     *
+     * When a valid line with a different address is displaced,
+     * @p retire is invoked with the victim *in place* — the callback
+     * borrows the slot's storage for its duration, so the common case
+     * (no writeback, or a writeback that only reads the data once)
+     * never copies the 64-byte payload. The referenced line is
+     * overwritten as soon as the callback returns; callers must not
+     * retain the reference. The callback may mutate the victim (e.g.
+     * fold dirtier upper-level copies into it) but must not touch this
+     * cache.
+     */
+    template <typename RetireFn>
+    void
+    insert(Addr line_addr, const std::uint8_t *data, bool dirty,
+           bool persistent, CoreId writer, TxId tx_id,
+           std::uint8_t word_mask, RetireFn &&retire)
+    {
+        CacheLine *slot = findVictim(line_addr);
+        if (slot->valid && slot->addr != line_addr)
+            retire(*slot);
+        fillSlot(*slot, line_addr, data, dirty, persistent, writer,
+                 tx_id, word_mask);
+    }
+
+    /**
+     * Insert returning a copy of the victim (possibly invalid).
+     * Convenience wrapper over the retire-callback overload for tests
+     * and tools that want the copy.
      */
     CacheVictim insert(Addr line_addr, const std::uint8_t *data,
                        bool dirty, bool persistent, CoreId writer,
@@ -135,12 +165,33 @@ class Cache
     /** Index of the set holding @p line_addr. */
     unsigned setIndex(Addr line_addr) const;
 
+    /**
+     * Slot that will hold @p line_addr: an existing copy, an invalid
+     * way, or the LRU way of the set (whose previous occupant the
+     * caller must retire). Updates the eviction statistics when the
+     * returned slot holds a valid line with a different address.
+     */
+    CacheLine *findVictim(Addr line_addr);
+
+    /** Overwrite @p slot with the inserted line's state. */
+    void fillSlot(CacheLine &slot, Addr line_addr,
+                  const std::uint8_t *data, bool dirty, bool persistent,
+                  CoreId writer, TxId tx_id, std::uint8_t word_mask);
+
     unsigned assoc;
     unsigned numSets_;
     Tick latency_;
     std::uint64_t useClock = 0;
     std::vector<CacheLine> lines;
     StatSet stats_;
+
+    // Hot-path counters resolved once; StatSet references stay valid
+    // for the StatSet's lifetime, so these alias the named registry.
+    Counter &hitsC_;
+    Counter &missesC_;
+    Counter &insertionsC_;
+    Counter &dirtyEvictionsC_;
+    Counter &cleanEvictionsC_;
 };
 
 } // namespace hoopnvm

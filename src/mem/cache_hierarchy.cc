@@ -7,8 +7,40 @@
 namespace hoopnvm
 {
 
+namespace
+{
+
+/**
+ * Capture an evicted line's tag state; the 64-byte payload is copied
+ * only when the victim is dirty — every retirement path either never
+ * reads a clean victim's data or overwrites it wholesale from a dirtier
+ * upper-level copy first.
+ */
+inline void
+captureVictim(const CacheLine &lru, CacheVictim &v)
+{
+    v.valid = true;
+    v.addr = lru.addr;
+    v.dirty = lru.dirty;
+    v.persistent = lru.persistent;
+    v.lastWriter = lru.lastWriter;
+    v.txId = lru.txId;
+    v.wordMask = lru.wordMask;
+    if (lru.dirty)
+        v.data = lru.data;
+}
+
+} // namespace
+
 CacheHierarchy::CacheHierarchy(const SystemConfig &cfg_)
-    : cfg(cfg_), stats_("hierarchy")
+    : cfg(cfg_), stats_("hierarchy"),
+      loadsC_(stats_.counter("loads")),
+      storesC_(stats_.counter("stores")),
+      llcFillsC_(stats_.counter("llc_fills")),
+      invalidationsC_(stats_.counter("invalidations")),
+      downgradesC_(stats_.counter("downgrades")),
+      backInvalidationsC_(stats_.counter("back_invalidations")),
+      llcDirtyWritebacksC_(stats_.counter("llc_dirty_writebacks"))
 {
     HOOP_ASSERT(cfg.numCores >= 1 && cfg.numCores <= 32,
                 "sharer mask supports 1..32 cores");
@@ -56,12 +88,12 @@ CacheHierarchy::reconcileSharers(CoreId core, Addr line,
             }
             if (exclusive) {
                 cache->invalidate(line);
-                ++stats_.counter("invalidations");
+                ++invalidationsC_;
             } else if (upper->dirty) {
                 // Downgrade: LLC now has the data; drop the dirty copy
                 // so a single up-to-date copy exists below.
                 cache->invalidate(line);
-                ++stats_.counter("downgrades");
+                ++downgradesC_;
             }
         }
         if (exclusive)
@@ -110,7 +142,7 @@ CacheHierarchy::ensureInL1(CoreId core, Addr line, bool for_store,
     CacheLine *llcl = llc_->probe(line);
     if (!llcl) {
         // LLC miss: ask the persistence controller for the line.
-        ++stats_.counter("llc_fills");
+        ++llcFillsC_;
         std::uint8_t buf[kCacheLineSize];
         FillResult fr = ctrl->fillLine(core, line, buf, t);
         t = fr.completion;
@@ -138,7 +170,7 @@ CacheHierarchy::loadWord(CoreId core, Addr addr, std::uint64_t &out,
                          Tick now)
 {
     HOOP_ASSERT(isAligned(addr, kWordSize), "unaligned word load");
-    ++stats_.counter("loads");
+    ++loadsC_;
     Tick t = now + cfg.opCost();
     // Software translation overheads (e.g. LSM's index walk) apply
     // when the access leaves the L1 — hot translations stay cached
@@ -156,7 +188,7 @@ CacheHierarchy::storeWord(CoreId core, Addr addr, std::uint64_t value,
                           Tick now)
 {
     HOOP_ASSERT(isAligned(addr, kWordSize), "unaligned word store");
-    ++stats_.counter("stores");
+    ++storesC_;
     Tick t = now + cfg.opCost();
     CacheLine *line = ensureInL1(core, lineAddr(addr), true, t);
     std::memcpy(line->data.data() + (addr - lineAddr(addr)), &value,
@@ -182,9 +214,16 @@ CacheHierarchy::insertL1(CoreId core, Addr line, const std::uint8_t *data,
                          bool dirty, bool persistent, CoreId writer,
                          TxId tx, std::uint8_t mask, Tick now)
 {
-    CacheVictim v = l1s[core]->insert(line, data, dirty, persistent,
-                                      writer, tx, mask);
-    if (!v.valid || v.addr == line)
+    // The victim is captured inside the insert but processed only
+    // after it completes, so nested evictions (which may back-
+    // invalidate the line being inserted) observe the same hierarchy
+    // state as before the zero-copy rework.
+    CacheVictim v;
+    l1s[core]->insert(line, data, dirty, persistent, writer, tx, mask,
+                      [&v](const CacheLine &lru) {
+                          captureVictim(lru, v);
+                      });
+    if (!v.valid)
         return;
     if (v.dirty) {
         insertL2(core, v.addr, v.data.data(), true, v.persistent,
@@ -199,9 +238,12 @@ CacheHierarchy::insertL2(CoreId core, Addr line, const std::uint8_t *data,
                          bool dirty, bool persistent, CoreId writer,
                          TxId tx, std::uint8_t mask, Tick now)
 {
-    CacheVictim v = l2s[core]->insert(line, data, dirty, persistent,
-                                      writer, tx, mask);
-    if (!v.valid || v.addr == line)
+    CacheVictim v;
+    l2s[core]->insert(line, data, dirty, persistent, writer, tx, mask,
+                      [&v](const CacheLine &lru) {
+                          captureVictim(lru, v);
+                      });
+    if (!v.valid)
         return;
 
     // Maintain L2 inclusion of L1: merge and drop any L1 copy.
@@ -230,14 +272,17 @@ CacheHierarchy::insertLlc(CoreId core, Addr line, const std::uint8_t *data,
                           TxId tx, std::uint8_t mask, Tick now)
 {
     (void)core;
-    CacheVictim v = llc_->insert(line, data, dirty, persistent, writer,
-                                 tx, mask);
-    if (v.valid && v.addr != line)
-        retireLlcVictim(std::move(v), now);
+    CacheVictim v;
+    llc_->insert(line, data, dirty, persistent, writer, tx, mask,
+                 [&v](const CacheLine &lru) {
+                     captureVictim(lru, v);
+                 });
+    if (v.valid)
+        retireLlcVictim(v, now);
 }
 
 void
-CacheHierarchy::retireLlcVictim(CacheVictim &&victim, Tick now)
+CacheHierarchy::retireLlcVictim(CacheVictim &victim, Tick now)
 {
     // Inclusive LLC: back-invalidate every upper-level copy, folding
     // any dirty data into the victim before it leaves the hierarchy.
@@ -264,11 +309,11 @@ CacheHierarchy::retireLlcVictim(CacheVictim &&victim, Tick now)
             }
         }
         sharers.erase(it);
-        ++stats_.counter("back_invalidations");
+        ++backInvalidationsC_;
     }
 
     if (victim.dirty) {
-        ++stats_.counter("llc_dirty_writebacks");
+        ++llcDirtyWritebacksC_;
         ctrl->evictLine(victim.lastWriter, victim.addr,
                         victim.data.data(), victim.persistent,
                         victim.txId, victim.wordMask, now);

@@ -94,7 +94,7 @@ class CacheHierarchy
                    std::uint8_t mask, Tick now);
 
     /** Handle an LLC victim: merge upper copies, hand to controller. */
-    void retireLlcVictim(CacheVictim &&victim, Tick now);
+    void retireLlcVictim(CacheVictim &victim, Tick now);
 
     /**
      * Pull the freshest copy of @p line from other cores' private
@@ -117,6 +117,17 @@ class CacheHierarchy
     std::unordered_map<Addr, std::uint32_t> sharers;
 
     StatSet stats_;
+
+    // Hot-path counters resolved once at construction (the StatSet
+    // guarantees reference stability), so the per-access paths skip
+    // the string-keyed registry lookup.
+    Counter &loadsC_;
+    Counter &storesC_;
+    Counter &llcFillsC_;
+    Counter &invalidationsC_;
+    Counter &downgradesC_;
+    Counter &backInvalidationsC_;
+    Counter &llcDirtyWritebacksC_;
 };
 
 } // namespace hoopnvm

@@ -20,12 +20,18 @@ NvmDevice::pageFor(Addr addr)
 {
     HOOP_ASSERT(addr < capacity_, "NVM address 0x%llx out of range",
                 static_cast<unsigned long long>(addr));
-    auto &slot = pages[addr / kPageBytes];
-    if (!slot) {
-        slot = std::make_unique<Page>();
-        slot->fill(0);
+    const std::uint64_t idx = addr / kPageBytes;
+    const std::size_t slot = idx & (kPageCacheSlots - 1);
+    if (cachedPageIdx_[slot] == idx + 1)
+        return *cachedPage_[slot];
+    auto &entry = pages[idx];
+    if (!entry) {
+        entry = std::make_unique<Page>();
+        entry->fill(0);
     }
-    return *slot;
+    cachedPageIdx_[slot] = idx + 1;
+    cachedPage_[slot] = entry.get();
+    return *entry;
 }
 
 const NvmDevice::Page *
@@ -33,8 +39,22 @@ NvmDevice::pageIfPresent(Addr addr) const
 {
     HOOP_ASSERT(addr < capacity_, "NVM address 0x%llx out of range",
                 static_cast<unsigned long long>(addr));
-    auto it = pages.find(addr / kPageBytes);
-    return it == pages.end() ? nullptr : it->second.get();
+    const std::uint64_t idx = addr / kPageBytes;
+    const std::size_t slot = idx & (kPageCacheSlots - 1);
+    if (cachedPageIdx_[slot] == idx + 1)
+        return cachedPage_[slot];
+    auto it = pages.find(idx);
+    if (it == pages.end())
+        return nullptr; // absent pages are not cached: they may appear
+    cachedPageIdx_[slot] = idx + 1;
+    cachedPage_[slot] = it->second.get();
+    return it->second.get();
+}
+
+void
+NvmDevice::flushPageCache() const
+{
+    cachedPageIdx_.fill(0);
 }
 
 Tick
@@ -170,6 +190,7 @@ void
 NvmDevice::clear()
 {
     pages.clear();
+    flushPageCache();
     channelFree_ = 0;
     faults_.reset();
     resetCounters();

@@ -130,11 +130,24 @@ class NvmDevice
     static constexpr std::uint64_t kPageBytes = 4096;
     using Page = std::array<std::uint8_t, kPageBytes>;
 
+    /**
+     * Direct-mapped cache of page-table resolutions, sized so the hot
+     * working set of a bench cell (home lines, OOP block, log head)
+     * hits without a hash lookup. Entries store page_index + 1 so a
+     * zero-filled cache is all-empty. The cached Page pointers stay
+     * valid across page-table rehashes because pages are owned by
+     * unique_ptr (the map moves the owner, not the page).
+     */
+    static constexpr std::size_t kPageCacheSlots = 256;
+
     /** Backing page for @p addr, created zero-filled on demand. */
     Page &pageFor(Addr addr);
 
     /** Backing page for @p addr if it exists, else nullptr. */
     const Page *pageIfPresent(Addr addr) const;
+
+    /** Drop every cached page resolution. */
+    void flushPageCache() const;
 
     /** peek() without the media-fault filter (pre-image capture). */
     void peekRaw(Addr addr, void *buf, std::size_t len) const;
@@ -147,6 +160,12 @@ class NvmDevice
     EnergyModel energy_;
     FaultModel faults_;
     std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages;
+
+    // mutable: peek() is logically const but warms the resolution
+    // cache. The device is owned by a single simulated System, so
+    // there is no concurrent access to guard.
+    mutable std::array<std::uint64_t, kPageCacheSlots> cachedPageIdx_{};
+    mutable std::array<Page *, kPageCacheSlots> cachedPage_{};
 
     Tick channelFree_ = 0;
     std::uint64_t bytesRead_ = 0;

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the parallel bench harness: CellRunner must produce
+ * exactly the same per-cell RunMetrics at any job count as a serial
+ * `-j1` run (each cell owns a fully independent System), and the
+ * -jN / environment-variable plumbing must resolve as documented.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+namespace hoopnvm
+{
+namespace
+{
+
+using bench::Cell;
+using bench::CellRunner;
+
+// Small but real scheme x workload matrix: enough cells to actually
+// exercise the pool, small enough to finish in a couple of seconds.
+struct MatrixCell
+{
+    Scheme scheme;
+    const char *workload;
+};
+
+std::vector<MatrixCell>
+matrix()
+{
+    return {{Scheme::Hoop, "vector"},   {Scheme::Hoop, "queue"},
+            {Scheme::Native, "vector"}, {Scheme::OptRedo, "hashmap"},
+            {Scheme::OptUndo, "queue"}, {Scheme::Lad, "vector"}};
+}
+
+std::vector<Cell>
+runMatrix(unsigned jobs)
+{
+    SystemConfig cfg = bench::paperConfig();
+    WorkloadParams params = bench::paperParams(64);
+    params.scale = 256;
+
+    const auto cells = matrix();
+    std::vector<Cell> out(cells.size());
+    CellRunner runner(jobs);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        bench::scheduleCell(runner,
+                            std::string(schemeName(cells[i].scheme)) +
+                                "/" + cells[i].workload,
+                            cells[i].scheme, cells[i].workload, params,
+                            cfg, /*tx_per_core=*/20, &out[i]);
+    }
+    runner.run();
+    return out;
+}
+
+void
+expectIdenticalMetrics(const RunMetrics &a, const RunMetrics &b)
+{
+    EXPECT_EQ(a.transactions, b.transactions);
+    EXPECT_EQ(a.simTicks, b.simTicks);
+    EXPECT_EQ(a.txPerSecond, b.txPerSecond);
+    EXPECT_EQ(a.avgCriticalPathNs, b.avgCriticalPathNs);
+    EXPECT_EQ(a.nvmBytesWritten, b.nvmBytesWritten);
+    EXPECT_EQ(a.nvmBytesRead, b.nvmBytesRead);
+    EXPECT_EQ(a.bytesWrittenPerTx, b.bytesWrittenPerTx);
+    EXPECT_EQ(a.energyPj, b.energyPj);
+    EXPECT_EQ(a.llcMissRatio, b.llcMissRatio);
+}
+
+// The acceptance property of the whole harness: per-cell metrics are
+// bit-identical whether cells run serially or across a pool.
+TEST(CellRunner, ParallelMatchesSerialExactly)
+{
+    const std::vector<Cell> serial = runMatrix(1);
+    const std::vector<Cell> parallel = runMatrix(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        EXPECT_TRUE(serial[i].verified);
+        EXPECT_TRUE(parallel[i].verified);
+        expectIdenticalMetrics(serial[i].metrics, parallel[i].metrics);
+    }
+}
+
+// And so is a re-run at the same job count (seeds are per-cell).
+TEST(CellRunner, ParallelRunIsRepeatable)
+{
+    const std::vector<Cell> a = runMatrix(3);
+    const std::vector<Cell> b = runMatrix(3);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        expectIdenticalMetrics(a[i].metrics, b[i].metrics);
+    }
+}
+
+TEST(CellRunner, RunsEveryCellExactlyOnce)
+{
+    CellRunner runner(4);
+    std::atomic<int> counts[8] = {};
+    for (int i = 0; i < 8; ++i) {
+        runner.add("cell" + std::to_string(i),
+                   [&counts, i] { ++counts[i]; });
+    }
+    EXPECT_EQ(runner.cells(), 8u);
+    runner.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(counts[i].load(), 1);
+    EXPECT_EQ(runner.label(3), "cell3");
+    EXPECT_GE(runner.totalSeconds(), 0.0);
+}
+
+TEST(CellRunner, JobFlagParsing)
+{
+    {
+        const char *argv[] = {"bench", "-j4"};
+        EXPECT_EQ(bench::benchJobs(2, const_cast<char **>(argv)), 4u);
+    }
+    {
+        const char *argv[] = {"bench", "-j", "7"};
+        EXPECT_EQ(bench::benchJobs(3, const_cast<char **>(argv)), 7u);
+    }
+    {
+        const char *argv[] = {"bench"};
+        EXPECT_EQ(bench::benchJobs(1, const_cast<char **>(argv)), 0u);
+    }
+}
+
+TEST(CellRunner, JobsResolveFromEnvironment)
+{
+    ::setenv("HOOP_BENCH_JOBS", "3", 1);
+    EXPECT_EQ(CellRunner(0).jobs(), 3u);
+    // An explicit request beats the environment.
+    EXPECT_EQ(CellRunner(2).jobs(), 2u);
+    ::unsetenv("HOOP_BENCH_JOBS");
+    EXPECT_GE(CellRunner(0).jobs(), 1u);
+}
+
+TEST(CellRunner, TxPerCoreEnvOverride)
+{
+    ::setenv("HOOP_BENCH_TX", "5", 1);
+    EXPECT_EQ(bench::benchTxPerCore(), 5u);
+    ::unsetenv("HOOP_BENCH_TX");
+    EXPECT_EQ(bench::benchTxPerCore(), bench::kTxPerCore);
+}
+
+} // namespace
+} // namespace hoopnvm

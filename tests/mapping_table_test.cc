@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "hoop/mapping_table.hh"
@@ -75,6 +76,88 @@ TEST(MappingTable, ClearEmptiesTable)
     t.clear();
     EXPECT_EQ(t.size(), 0u);
     EXPECT_FALSE(t.lookup(0).has_value());
+}
+
+// Construction must not allocate the full modelled capacity: a Fig. 13
+// 8 MB sweep builds ~512 Ki-entry tables per System and most runs
+// touch a tiny fraction of them.
+TEST(MappingTable, LazyAllocationFootprint)
+{
+    MappingTable t(miB(8));
+    EXPECT_EQ(t.capacity(), miB(8) / MappingTable::kEntryBytes);
+    EXPECT_LT(t.hostAllocatedBytes(), kiB(4));
+
+    for (Addr a = 0; a < 1000; ++a)
+        ASSERT_TRUE(t.insert(a * 64, static_cast<std::uint32_t>(a)));
+    // Growth tracks the live entry count, not the modelled capacity.
+    EXPECT_LT(t.hostAllocatedBytes(), kiB(64));
+    for (Addr a = 0; a < 1000; ++a)
+        EXPECT_EQ(*t.lookup(a * 64), static_cast<std::uint32_t>(a));
+
+    // clear() releases back to the small initial allocation.
+    t.clear();
+    EXPECT_LT(t.hostAllocatedBytes(), kiB(4));
+}
+
+// Open-addressing stress: interleaved insert/remove/lookup against a
+// std::map reference model. Catches backward-shift deletion bugs that
+// leave entries unreachable or resurrect removed keys.
+TEST(MappingTable, RandomOpsMatchReferenceModel)
+{
+    MappingTable t(MappingTable::kEntryBytes * 256);
+    std::map<Addr, std::uint32_t> ref;
+    std::uint64_t state = 12345;
+    auto next = [&state] {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+    };
+    for (int i = 0; i < 20000; ++i) {
+        const Addr line = (next() % 512) * 64;
+        const auto op = next() % 3;
+        if (op == 0) {
+            const auto v = static_cast<std::uint32_t>(next());
+            const bool want =
+                ref.count(line) || ref.size() < t.capacity();
+            EXPECT_EQ(t.insert(line, v), want);
+            if (want)
+                ref[line] = v;
+        } else if (op == 1) {
+            t.remove(line);
+            ref.erase(line);
+        } else {
+            const auto got = t.lookup(line);
+            const auto it = ref.find(line);
+            ASSERT_EQ(got.has_value(), it != ref.end());
+            if (got) {
+                EXPECT_EQ(*got, it->second);
+            }
+        }
+        ASSERT_EQ(t.size(), ref.size());
+    }
+    // Final full sweep: every reference entry is reachable.
+    std::size_t visited = 0;
+    t.forEach([&](Addr line, std::uint32_t idx) {
+        ++visited;
+        auto it = ref.find(line);
+        ASSERT_NE(it, ref.end());
+        EXPECT_EQ(idx, it->second);
+    });
+    EXPECT_EQ(visited, ref.size());
+}
+
+// Filling to the modelled capacity keeps working through growth.
+TEST(MappingTable, FillToCapacityAndDrain)
+{
+    MappingTable t(MappingTable::kEntryBytes * 1000);
+    for (Addr a = 0; a < 1000; ++a)
+        ASSERT_TRUE(t.insert(a * 64, static_cast<std::uint32_t>(a)));
+    EXPECT_TRUE(t.full());
+    EXPECT_FALSE(t.insert(1000 * 64, 0));
+    for (Addr a = 0; a < 1000; ++a) {
+        ASSERT_TRUE(t.lookup(a * 64).has_value());
+        t.remove(a * 64);
+    }
+    EXPECT_EQ(t.size(), 0u);
 }
 
 } // namespace
