@@ -61,6 +61,25 @@ LadController::txEnd(CoreId core, Tick now)
         ++queueDrainsC_;
     }
 
+    // The controller queues sit inside the ADR persistence domain:
+    // once the drain writes are queued, the battery guarantees they
+    // reach the media in full even across power loss. Settle them in
+    // the fault model so a later crash can never tear a committed
+    // drain — without this, LAD's whole durability argument is void.
+    if (!writes.empty()) {
+        const Tick drained = std::max(
+            t, nvm_.channelFree() + nvm_.timing().writeLatency);
+        nvm_.faults().settleUpTo(drained);
+    }
+
+    // Crash point: the ADR queue-drain boundary. The whole drain is
+    // the durability domain (battery-backed queues complete it across
+    // power loss), so the hook fires once after the full drain rather
+    // than between lines — a mid-drain cut would model a failure mode
+    // LAD's hardware guarantees cannot produce.
+    if (!writes.empty())
+        crashStep(CrashPointKind::GcStep);
+
     writes.clear();
     coreTx[core] = CoreTxState{};
     ++txCommittedC_;
@@ -122,6 +141,8 @@ Tick
 LadController::recover(unsigned)
 {
     // Nothing to replay: the ADR drain left the home region consistent.
+    // Crash point: trivially idempotent (recovery is a no-op).
+    crashStep(CrashPointKind::RecoveryStep);
     stats_.counter("recoveries") += 1;
     return nsToTicks(100);
 }

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/crc32.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -10,13 +11,21 @@ namespace hoopnvm
 namespace
 {
 
-/** Durable ring state, kept at the base of the log area. */
+/**
+ * Durable ring state, kept at the base of the log area.
+ *
+ * The only mutable field is tailIdx — a single 8-byte word, so a torn
+ * superblock write merely reverts it to the previous value (the NVM
+ * word is the tear unit). The matching tail sequence is derived as
+ * tailIdx + 1 (head and nextSeq move in lockstep from 0 and 1), never
+ * stored: persisting it separately would let the two words tear
+ * independently into an inconsistent pair that disowns the whole log.
+ */
 struct Superblock
 {
     std::uint32_t magic;
     std::uint32_t pad;
     std::uint64_t tailIdx;
-    std::uint64_t tailSeq;
 };
 
 constexpr std::uint32_t kSuperMagic = 0x4c4f4752; // "LOGR"
@@ -36,6 +45,13 @@ LogEntry::encode(std::uint8_t *out) const
     out[96] = mask;
     out[97] = count;
     out[98] = static_cast<std::uint8_t>(type);
+    // Entry writes span 16 NVM words and are not atomic: a crash can
+    // revert any subset of them while the type byte and sequence word
+    // survive. The CRC (over every meaningful byte above) lets the
+    // post-crash scan reject such a torn entry instead of replaying
+    // its garbage payload as committed data.
+    const std::uint32_t crc = crc32c(out, 100);
+    std::memcpy(out + 100, &crc, 4);
 }
 
 LogEntry
@@ -45,6 +61,9 @@ LogEntry::decode(const std::uint8_t *in)
     e.type = static_cast<LogEntryType>(in[98]);
     if (e.type == LogEntryType::Invalid)
         return e;
+    std::uint32_t stored;
+    std::memcpy(&stored, in + 100, 4);
+    e.crcOk = stored == crc32c(in, 100);
     std::memcpy(e.words.data(), in + 0, 64);
     std::memcpy(&e.line, in + 64, 8);
     std::memcpy(&e.txId, in + 72, 8);
@@ -81,9 +100,6 @@ LogRegion::writeSuperblock(Tick now)
     Superblock sb{};
     sb.magic = kSuperMagic;
     sb.tailIdx = tail;
-    // head and nextSeq move in lockstep (head=0 pairs with seq 1), so
-    // the oldest live entry always carries seq == tail + 1.
-    sb.tailSeq = tail + 1;
     nvm.write(now, base, &sb, sizeof(sb));
     ++superblockWritesC_;
 }
@@ -132,9 +148,13 @@ LogRegion::scan(const std::function<void(const LogEntry &)> &fn) const
         std::uint8_t buf[LogEntry::kEntryBytes];
         nvm.peek(entryAddr(sb.tailIdx + i), buf, LogEntry::kEntryBytes);
         const LogEntry e = LogEntry::decode(buf);
-        // Live entries carry exactly the expected ascending sequence;
-        // anything else is a stale or unwritten slot.
-        if (e.type == LogEntryType::Invalid || e.seq != sb.tailSeq + i)
+        // Live entries verify their CRC and carry exactly the expected
+        // ascending sequence (seq == logical index + 1 by the lockstep
+        // head/nextSeq discipline); anything else — unwritten slot,
+        // stale previous-lap entry, or a torn in-flight write — ends
+        // the live suffix.
+        if (e.type == LogEntryType::Invalid || !e.crcOk ||
+            e.seq != sb.tailIdx + 1 + i)
             break;
         fn(e);
     }

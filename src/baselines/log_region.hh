@@ -51,6 +51,11 @@ struct LogEntry
     std::uint8_t count = 0; ///< Payload count for list-style entries.
     std::uint64_t seq = 0;
 
+    /** CRC verdict filled by decode(); encode() stamps the CRC. A
+     *  torn or corrupt entry cannot be trusted in any field, so a
+     *  post-crash scan must cut the log at the first failure. */
+    bool crcOk = true;
+
     /** Word payload: line words, or a list of line addresses (OSP). */
     std::array<std::uint64_t, 8> words{};
 

@@ -21,7 +21,9 @@ LsmController::LsmController(NvmDevice &nvm, const SystemConfig &cfg_)
       evictionsAbsorbedC_(stats_.counter("evictions_absorbed")),
       homeWritebacksC_(stats_.counter("home_writebacks")),
       gcRunsC_(stats_.counter("gc_runs")),
-      migratedLinesC_(stats_.counter("migrated_lines"))
+      migratedLinesC_(stats_.counter("migrated_lines")),
+      logBackpressureStallsC_(
+          stats_.counter("log_backpressure_stalls"))
 {
 }
 
@@ -82,7 +84,7 @@ LsmController::txEnd(CoreId core, Tick now)
     Tick t = now;
     for (const auto &kv : writes) {
         if (log_.full())
-            t = std::max(t, gc(t));
+            t = std::max(t, stallForLogSpace(t));
         // Fold into the cumulative live image so one entry per line is
         // always sufficient to reconstruct the newest data.
         LineImage &img = liveImage[kv.first];
@@ -102,7 +104,7 @@ LsmController::txEnd(CoreId core, Tick now)
 
     if (!writes.empty()) {
         if (log_.full())
-            t = std::max(t, gc(t));
+            t = std::max(t, stallForLogSpace(t));
         LogEntry rec;
         rec.type = LogEntryType::Commit;
         rec.txId = tx;
@@ -182,6 +184,10 @@ LsmController::gc(Tick now)
 
     Tick last = now;
     for (const auto &kv : liveImage) {
+        // Crash point: between home-migration writes. The log keeps
+        // every migrated image until the truncate below, so recovery
+        // redoes torn migrations from the log.
+        crashStep(CrashPointKind::GcStep);
         std::uint8_t buf[kCacheLineSize];
         nvm_.read(now, kv.first, buf, kCacheLineSize);
         kv.second.overlay(buf);
@@ -191,9 +197,35 @@ LsmController::gc(Tick now)
         ++migratedLinesC_;
     }
     liveImage.clear();
-    if (log_.size() > 0)
-        last = std::max(last, log_.truncate(now, log_.size()));
+    if (log_.size() > 0) {
+        // Crash point: migration done, log tail not yet moved.
+        crashStep(CrashPointKind::GcStep);
+        // The truncation superblock write must not race the migration
+        // writes above: if a migration tears while the truncation
+        // survives, the log no longer holds the only good copy. Drain
+        // the channel and settle the migrations first.
+        const Tick drained = std::max(
+            last, nvm_.channelFree() + nvm_.timing().writeLatency);
+        nvm_.faults().settleUpTo(drained);
+        last = std::max(last, log_.truncate(drained, log_.size()));
+    }
     return last;
+}
+
+Tick
+LsmController::stallForLogSpace(Tick now)
+{
+    // Log full on the commit path: the writer stalls for compaction
+    // (modelled backpressure, counted). Whole-log truncation cannot
+    // run while this transaction's own entries are live, so a full log
+    // here means open transactions outgrew it — configuration error.
+    ++logBackpressureStallsC_;
+    const Tick done = gc(now);
+    if (log_.full()) {
+        HOOP_FATAL("lsm log wedged: all entries belong to open "
+                   "transactions; increase auxBytes");
+    }
+    return done;
 }
 
 void
@@ -243,6 +275,9 @@ LsmController::recover(unsigned)
         for (const LogEntry &e : kv.second) {
             if (!has_record.count(e.txId))
                 continue;
+            // Crash point: between replay writes; the log survives
+            // until the clear below, so replay is re-runnable.
+            crashStep(CrashPointKind::RecoveryStep);
             std::uint8_t buf[kCacheLineSize];
             nvm_.peek(e.line, buf, kCacheLineSize);
             LineImage img;
@@ -253,6 +288,8 @@ LsmController::recover(unsigned)
             ++lines;
         }
     }
+    // Crash point: replay done, log not yet cleared.
+    crashStep(CrashPointKind::RecoveryStep);
     log_.clear(0);
     liveImage.clear();
     index_.clear();

@@ -60,6 +60,9 @@ class LsmController : public PersistenceController
     /** Migrate all committed live images home and truncate the log. */
     Tick gc(Tick now);
 
+    /** Backpressure: stall until compaction frees log space. */
+    Tick stallForLogSpace(Tick now);
+
     /** Cost of one index walk at the current tree size. */
     Tick indexWalkCost() const;
 
@@ -85,6 +88,7 @@ class LsmController : public PersistenceController
     Counter &homeWritebacksC_;
     Counter &gcRunsC_;
     Counter &migratedLinesC_;
+    Counter &logBackpressureStallsC_;
 };
 
 } // namespace hoopnvm

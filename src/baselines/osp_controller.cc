@@ -46,7 +46,9 @@ OspController::OspController(NvmDevice &nvm, const SystemConfig &cfg_)
       tlbShootdownsC_(stats_.counter("tlb_shootdowns")),
       consolidationCopiesC_(stats_.counter("consolidation_copies")),
       inactiveWritebacksC_(stats_.counter("inactive_writebacks")),
-      homeWritebacksC_(stats_.counter("home_writebacks"))
+      homeWritebacksC_(stats_.counter("home_writebacks")),
+      logBackpressureStallsC_(
+          stats_.counter("log_backpressure_stalls"))
 {
 }
 
@@ -149,8 +151,18 @@ OspController::txEnd(CoreId core, Tick now)
     // record stores up to 8 (line | new-selector) entries.
     Tick rec_done = data_done;
     for (std::size_t i = 0; i < flipped.size(); i += 8) {
-        if (log_.full())
+        if (log_.full()) {
+            // Backpressure: the committer stalls on truncation. The
+            // flip log only truncates between transactions, so a
+            // still-full log means this commit's records alone exceed
+            // it — configuration error, not a transient stall.
+            ++logBackpressureStallsC_;
             maintenance(rec_done);
+            if (log_.full()) {
+                HOOP_FATAL("osp flip log wedged by open transactions; "
+                           "increase auxBytes");
+            }
+        }
         LogEntry e;
         e.type = LogEntryType::OspRecord;
         e.txId = tx;
@@ -181,7 +193,11 @@ OspController::txEnd(CoreId core, Tick now)
     if (++commitsSinceConsolidation >= 8) {
         commitsSinceConsolidation = 0;
         std::uint64_t copied = 0;
-        for (Addr line : flipped) {
+        for ([[maybe_unused]] Addr line : flipped) {
+            // Crash point: between background consolidation copies
+            // (OSP's migration analog — both physical copies stay
+            // valid throughout).
+            crashStep(CrashPointKind::GcStep);
             nvm_.readAccounting(done, kCacheLineSize);
             nvm_.writeAccounting(done, kCacheLineSize);
             if (++copied >= 8)
@@ -257,8 +273,13 @@ OspController::maintenance(Tick now)
     bool any_open = false;
     for (const auto &t : coreTx)
         any_open |= t.active;
-    if (!any_open && log_.size() > 0)
+    if (!any_open && log_.size() > 0) {
+        // Crash point: before the flip-log tail moves. Every live
+        // record was already applied to the durable selector table and
+        // re-applying is idempotent.
+        crashStep(CrashPointKind::GcStep);
         log_.truncate(now, log_.size());
+    }
 }
 
 void
@@ -283,6 +304,8 @@ OspController::recover(unsigned)
     std::vector<std::uint8_t> chunk(4096);
     for (std::uint64_t off = 0; off < n_lines;
          off += chunk.size()) {
+        // Crash point: during the read-only selector-table rebuild.
+        crashStep(CrashPointKind::RecoveryStep);
         const std::size_t n = static_cast<std::size_t>(
             std::min<std::uint64_t>(chunk.size(), n_lines - off));
         nvm_.peek(table + off, chunk.data(), n);
@@ -299,6 +322,10 @@ OspController::recover(unsigned)
         ++entries;
         if (e.type != LogEntryType::OspRecord)
             return;
+        // Crash point: between flip-record re-applications. Records
+        // hold absolute selector values and survive until the clear
+        // below, so a second recovery converges to the same table.
+        crashStep(CrashPointKind::RecoveryStep);
         for (unsigned j = 0; j < e.count; ++j) {
             const Addr line = e.words[j] & ~std::uint64_t{1};
             const bool to_shadow = (e.words[j] & 1) != 0;
@@ -310,6 +337,8 @@ OspController::recover(unsigned)
                 shadowCurrent.erase(line);
         }
     });
+    // Crash point: flips re-applied, log not yet cleared.
+    crashStep(CrashPointKind::RecoveryStep);
     log_.clear(0);
     stats_.counter("recoveries") += 1;
 

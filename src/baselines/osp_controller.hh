@@ -85,6 +85,7 @@ class OspController : public PersistenceController
     Counter &consolidationCopiesC_;
     Counter &inactiveWritebacksC_;
     Counter &homeWritebacksC_;
+    Counter &logBackpressureStallsC_;
 };
 
 } // namespace hoopnvm

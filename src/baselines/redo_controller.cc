@@ -39,7 +39,9 @@ RedoController::RedoController(NvmDevice &nvm, const SystemConfig &cfg_)
       txCommittedC_(stats_.counter("tx_committed")),
       evictionsAbsorbedC_(stats_.counter("evictions_absorbed")),
       homeWritebacksC_(stats_.counter("home_writebacks")),
-      truncationsC_(stats_.counter("truncations"))
+      truncationsC_(stats_.counter("truncations")),
+      logBackpressureStallsC_(
+          stats_.counter("log_backpressure_stalls"))
 {
 }
 
@@ -77,7 +79,7 @@ RedoController::txEnd(CoreId core, Tick now)
     // Stream one redo entry per modified line (data + metadata line).
     for (const auto &kv : txWrites[core]) {
         if (log_.full())
-            t = std::max(t, truncateRetired(t));
+            t = std::max(t, stallForLogSpace(t));
         LogEntry e;
         e.type = LogEntryType::RedoData;
         e.txId = tx;
@@ -94,7 +96,7 @@ RedoController::txEnd(CoreId core, Tick now)
     // Commit record makes the transaction durable.
     if (!txWrites[core].empty()) {
         if (log_.full())
-            t = std::max(t, truncateRetired(t));
+            t = std::max(t, stallForLogSpace(t));
         LogEntry rec;
         rec.type = LogEntryType::Commit;
         rec.txId = tx;
@@ -108,6 +110,10 @@ RedoController::txEnd(CoreId core, Tick now)
         // wait, but the double write consumes NVM bandwidth — the
         // scheme's fundamental cost (§II-B).
         for (const auto &kv : txWrites[core]) {
+            // Crash point: between checkpoint (migration-home) writes.
+            // The log still holds the full redo image, so recovery
+            // redoes any torn checkpoint.
+            crashStep(CrashPointKind::GcStep);
             std::uint8_t buf[kCacheLineSize];
             nvm_.peek(kv.first, buf, kCacheLineSize);
             kv.second.overlay(buf);
@@ -172,9 +178,39 @@ RedoController::truncateRetired(Tick now)
 {
     if (truncatableEntries == 0)
         return now;
-    const Tick done = log_.truncate(now, truncatableEntries);
+    // Crash point: before the tail moves. Entries about to be
+    // truncated are already checkpointed home, so replaying them once
+    // more after the crash is idempotent.
+    crashStep(CrashPointKind::GcStep);
+    // The checkpoint writes were issued asynchronously at commit time
+    // and may still be in flight: once the tail moves past an entry,
+    // its checkpointed home line is the ONLY durable copy, so the
+    // channel must drain (checkpoints settled) before the superblock
+    // write is issued. Without the drain a crash could tear a
+    // checkpoint while the later superblock write survives, losing
+    // committed data with no log entry left to redo it.
+    const Tick drained = std::max(
+        now, nvm_.channelFree() + nvm_.timing().writeLatency);
+    nvm_.faults().settleUpTo(drained);
+    const Tick done = log_.truncate(drained, truncatableEntries);
     truncatableEntries = 0;
     ++truncationsC_;
+    return done;
+}
+
+Tick
+RedoController::stallForLogSpace(Tick now)
+{
+    // Log full on the commit path: the writer stalls until retired
+    // entries are truncated (modelled backpressure, counted). If
+    // truncation frees nothing every live entry belongs to open
+    // transactions and no progress is possible — configuration error.
+    ++logBackpressureStallsC_;
+    const Tick done = truncateRetired(now);
+    if (log_.full()) {
+        HOOP_FATAL("redo log wedged: all entries belong to open "
+                   "transactions; increase auxBytes");
+    }
     return done;
 }
 
@@ -223,6 +259,10 @@ RedoController::recover(unsigned)
         for (const LogEntry &e : kv.second) {
             if (!has_record.count(e.txId))
                 continue; // uncommitted: discard
+            // Crash point: between replay writes. The log is cleared
+            // only after the loop, so a second recovery replays the
+            // same committed images idempotently.
+            crashStep(CrashPointKind::RecoveryStep);
             std::uint8_t buf[kCacheLineSize];
             nvm_.peek(e.line, buf, kCacheLineSize);
             LineImage img;
@@ -233,6 +273,9 @@ RedoController::recover(unsigned)
             ++lines;
         }
     }
+    // Crash point: replay done, log not yet cleared — re-entering
+    // recovery replays everything again with the same result.
+    crashStep(CrashPointKind::RecoveryStep);
     log_.clear(0);
     truncatableEntries = 0;
     stats_.counter("recoveries") += 1;

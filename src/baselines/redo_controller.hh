@@ -76,6 +76,10 @@ class RedoController : public PersistenceController
     /** Truncate retired log entries. */
     Tick truncateRetired(Tick now);
 
+    /** Backpressure: stall the committer until truncation frees log
+     *  space; fatal if nothing is truncatable (wedged). */
+    Tick stallForLogSpace(Tick now);
+
     LogRegion log_;
 
     /** Per-core in-flight transaction writes. */
@@ -98,6 +102,7 @@ class RedoController : public PersistenceController
     Counter &evictionsAbsorbedC_;
     Counter &homeWritebacksC_;
     Counter &truncationsC_;
+    Counter &logBackpressureStallsC_;
 };
 
 } // namespace hoopnvm

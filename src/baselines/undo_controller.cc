@@ -18,7 +18,9 @@ UndoController::UndoController(NvmDevice &nvm, const SystemConfig &cfg_)
       commitFlushesC_(stats_.counter("commit_flushes")),
       commitRecordsC_(stats_.counter("commit_records")),
       txCommittedC_(stats_.counter("tx_committed")),
-      homeWritebacksC_(stats_.counter("home_writebacks"))
+      homeWritebacksC_(stats_.counter("home_writebacks")),
+      logBackpressureStallsC_(
+          stats_.counter("log_backpressure_stalls"))
 {
 }
 
@@ -46,7 +48,7 @@ UndoController::storeWord(CoreId core, Addr addr,
         // enforces the ordering in the controller, so the store itself
         // is not delayed; the commit waits for the log instead.
         if (log_.full())
-            truncateCommitted(now);
+            stallForLogSpace(now);
         std::uint8_t old_line[kCacheLineSize];
         nvm_.read(now, line, old_line, kCacheLineSize);
         LogEntry e;
@@ -92,7 +94,7 @@ UndoController::txEnd(CoreId core, Tick now)
     Tick commit_done = data_done;
     if (!txWrites[core].empty()) {
         if (log_.full())
-            truncateCommitted(data_done);
+            stallForLogSpace(data_done);
         LogEntry rec;
         rec.type = LogEntryType::Commit;
         rec.txId = tx;
@@ -142,8 +144,27 @@ UndoController::truncateCommitted(Tick now)
         any_open |= t.active;
     if (any_open || log_.size() == 0)
         return;
+    // Crash point: before the tail moves. All live entries belong to
+    // committed transactions whose data is durably in place, so
+    // recovery rolls nothing back either way.
+    crashStep(CrashPointKind::GcStep);
     log_.truncate(now, log_.size());
     committedEntries = 0;
+}
+
+void
+UndoController::stallForLogSpace(Tick now)
+{
+    // Log full mid-transaction: the writer stalls on truncation
+    // (modelled backpressure, counted). Truncation can only proceed
+    // between transactions, so if it frees nothing the open
+    // transactions have outgrown the log — configuration error.
+    ++logBackpressureStallsC_;
+    truncateCommitted(now);
+    if (log_.full()) {
+        HOOP_FATAL("undo log wedged: all entries belong to open "
+                   "transactions; increase auxBytes");
+    }
 }
 
 void
@@ -186,9 +207,15 @@ UndoController::recover(unsigned)
     for (auto it = images.rbegin(); it != images.rend(); ++it) {
         if (has_record.count(it->txId))
             continue; // committed: keep the in-place data
+        // Crash point: between rollback writes. Pre-images are
+        // absolute and the log survives until the clear below, so a
+        // second recovery reapplies them idempotently.
+        crashStep(CrashPointKind::RecoveryStep);
         nvm_.poke(it->line, it->words.data(), kCacheLineSize);
         ++lines;
     }
+    // Crash point: rollback done, log not yet cleared.
+    crashStep(CrashPointKind::RecoveryStep);
     log_.clear(0);
     committedEntries = 0;
     stats_.counter("recoveries") += 1;

@@ -54,6 +54,9 @@ class UndoController : public PersistenceController
     /** Truncate undo entries of fully-committed transactions. */
     void truncateCommitted(Tick now);
 
+    /** Backpressure: stall until truncation frees log space. */
+    void stallForLogSpace(Tick now);
+
     LogRegion log_;
 
     /** Per-core new data of the running transaction (for the commit
@@ -75,6 +78,7 @@ class UndoController : public PersistenceController
     Counter &commitRecordsC_;
     Counter &txCommittedC_;
     Counter &homeWritebacksC_;
+    Counter &logBackpressureStallsC_;
 };
 
 } // namespace hoopnvm

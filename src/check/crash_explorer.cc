@@ -1,0 +1,364 @@
+#include "check/crash_explorer.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/system.hh"
+#include "workloads/registry.hh"
+
+namespace hoopnvm
+{
+
+namespace
+{
+
+/**
+ * Small, eviction-heavy machine (mirrors the crash property tests):
+ * tiny caches widen the crash surface and a short GC period guarantees
+ * GC-boundary events inside a short window.
+ */
+SystemConfig
+configFor(const CrashSchedule &sched)
+{
+    SystemConfig cfg;
+    cfg.numCores = sched.numCores;
+    cfg.seed = sched.seed;
+    cfg.homeBytes = miB(64);
+    // Small OOP blocks fill within a short window, so HOOP's GC has
+    // real migration candidates to crash between.
+    cfg.oopBytes = miB(1);
+    cfg.oopBlockBytes = kiB(8);
+    cfg.auxBytes = miB(64) + miB(8);
+    cfg.cache.l1Size = kiB(1);
+    cfg.cache.l1Assoc = 2;
+    cfg.cache.l2Size = kiB(4);
+    cfg.cache.l2Assoc = 2;
+    cfg.cache.llcSize = kiB(16);
+    cfg.cache.llcAssoc = 4;
+    cfg.gcPeriod = nsToTicks(10'000);
+    cfg.debugNoCommitFence = sched.breakCommitFence;
+    return cfg;
+}
+
+WorkloadParams
+paramsFor()
+{
+    WorkloadParams p;
+    p.valueBytes = 64;
+    p.scale = 128;
+    return p;
+}
+
+unsigned
+kindIndex(CrashPointKind k)
+{
+    return static_cast<unsigned>(k);
+}
+
+} // namespace
+
+ScheduleResult
+runSchedule(const CrashSchedule &sched)
+{
+    ScheduleResult res;
+    const SystemConfig cfg = configFor(sched);
+    System sys(cfg, sched.scheme);
+    if (sched.tornWrites) {
+        sys.nvm().faults().setSeed(sched.seed ^ 0x7ea55eedULL);
+        sys.nvm().faults().setTornWrites(true);
+    }
+
+    auto factory = makeWorkload(sched.workload, paramsFor());
+    std::vector<std::unique_ptr<Workload>> wls;
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        wls.push_back(factory(sys, c));
+        wls.back()->setup();
+    }
+
+    std::uint64_t txi = 0;
+    for (; txi < sched.warmupTx; ++txi) {
+        for (unsigned c = 0; c < cfg.numCores; ++c)
+            wls[c]->runTransaction(txi);
+        sys.maintenance();
+    }
+    sys.crashHook().resetCounts();
+
+    // Post-recovery oracle. The crashed transaction's shadow update may
+    // still be pending (the crash hit inside its commit, where both
+    // durable and dropped are legal outcomes): strict verify first,
+    // then retry with the pending update adopted. Media-fault regimes
+    // skip the oracles — damage-at-rest legitimately vetoes committed
+    // transactions, so exact equality is not the contract there.
+    auto oracle = [&](const char *when) -> bool {
+        if (sched.mediaFaultProb > 0) {
+            for (auto &wl : wls)
+                wl->dropPendingShadow();
+            return true;
+        }
+        for (unsigned c = 0; c < cfg.numCores; ++c) {
+            bool ok = wls[c]->verify();
+            if (!ok && wls[c]->hasPendingShadow()) {
+                wls[c]->applyPendingShadow();
+                ok = wls[c]->verify();
+            } else {
+                wls[c]->dropPendingShadow();
+            }
+            if (!ok) {
+                res.violated = true;
+                res.detail = std::string(schemeToken(sched.scheme)) +
+                             "/" + sched.workload + " core " +
+                             std::to_string(c) +
+                             ": committed state lost or phantom data "
+                             "surfaced (" + when + ")";
+                return false;
+            }
+            std::string why;
+            if (!wls[c]->verifyStructure(&why)) {
+                res.violated = true;
+                res.detail = std::string(schemeToken(sched.scheme)) +
+                             "/" + sched.workload + " core " +
+                             std::to_string(c) +
+                             ": structural invariant broken (" + when +
+                             "): " + why;
+                return false;
+            }
+        }
+        return true;
+    };
+
+    auto runWindow = [&]() {
+        for (std::uint64_t n = 0; n < sched.runTx; ++n, ++txi) {
+            for (unsigned c = 0; c < cfg.numCores; ++c)
+                wls[c]->runTransaction(txi);
+            sys.maintenance();
+        }
+    };
+
+    if (sched.steps.empty()) {
+        // Profiling run: measure per-class events over a crash-free
+        // window, then one end-of-window crash for RecoveryStep counts.
+        runWindow();
+        res.events = sys.crashHook().counts();
+        sys.crash();
+        const std::uint64_t before =
+            sys.crashHook().count(CrashPointKind::RecoveryStep);
+        sys.recover(sched.recoverThreads);
+        res.events[kindIndex(CrashPointKind::RecoveryStep)] =
+            sys.crashHook().count(CrashPointKind::RecoveryStep) - before;
+        oracle("profiling run");
+        return res;
+    }
+
+    for (const CrashStep &step : sched.steps) {
+        sys.crashHook().arm(step.kind, step.countdown);
+        bool crashed = false;
+        try {
+            runWindow();
+        } catch (const SimCrash &) {
+            crashed = true;
+        }
+        sys.crashHook().disarm(step.kind);
+        if (!crashed)
+            continue; // countdown exceeded the window's events
+
+        res.crashFired = true;
+        sys.crash();
+        if (sched.mediaFaultProb > 0) {
+            sys.nvm().faults().addMediaFault(
+                cfg.oopBase(), cfg.oopBase() + cfg.oopBytes,
+                MediaFaultKind::StuckAtOne, sched.mediaFaultProb);
+        }
+
+        bool rec_crashed = false;
+        if (step.recoveryCountdown > 0) {
+            sys.crashHook().arm(CrashPointKind::RecoveryStep,
+                                step.recoveryCountdown);
+            try {
+                sys.recover(sched.recoverThreads);
+            } catch (const SimCrash &) {
+                rec_crashed = true;
+                res.recoveryCrashFired = true;
+            }
+            sys.crashHook().disarm(CrashPointKind::RecoveryStep);
+            if (rec_crashed) {
+                // Power fails again mid-recovery: discard the
+                // half-rebuilt volatile state and re-enter recovery on
+                // the twice-crashed image.
+                sys.crash();
+                sys.recover(sched.recoverThreads);
+            }
+        } else {
+            sys.recover(sched.recoverThreads);
+        }
+
+        if (!oracle(rec_crashed ? "after crash-during-recovery"
+                                : "after crash + recovery"))
+            return res;
+    }
+
+    res.events = sys.crashHook().counts();
+    return res;
+}
+
+CrashSchedule
+shrink(const CrashSchedule &failing, std::string *detail)
+{
+    CrashSchedule best = failing;
+    int budget = 48;
+
+    auto attempt = [&](const CrashSchedule &cand) -> bool {
+        if (budget <= 0)
+            return false;
+        --budget;
+        const ScheduleResult r = runSchedule(cand);
+        if (!r.violated)
+            return false;
+        best = cand;
+        if (detail)
+            *detail = r.detail;
+        return true;
+    };
+
+    bool improved = true;
+    while (improved && budget > 0) {
+        improved = false;
+
+        // Drop whole steps.
+        for (std::size_t i = 0; best.steps.size() > 1 &&
+                                i < best.steps.size();
+             ++i) {
+            CrashSchedule cand = best;
+            cand.steps.erase(cand.steps.begin() +
+                             static_cast<long>(i));
+            if (attempt(cand)) {
+                improved = true;
+                break;
+            }
+        }
+        if (improved)
+            continue;
+
+        // Shrink the warmup prefix.
+        if (best.warmupTx > 0) {
+            CrashSchedule cand = best;
+            cand.warmupTx /= 2;
+            if (attempt(cand)) {
+                improved = true;
+                continue;
+            }
+        }
+
+        // Shrink the crash window.
+        if (best.runTx > 1) {
+            CrashSchedule cand = best;
+            cand.runTx = std::max<std::uint64_t>(1, cand.runTx / 2);
+            if (attempt(cand)) {
+                improved = true;
+                continue;
+            }
+        }
+
+        // Pull crash points earlier.
+        for (std::size_t i = 0; i < best.steps.size(); ++i) {
+            if (best.steps[i].countdown > 1) {
+                CrashSchedule cand = best;
+                cand.steps[i].countdown /= 2;
+                if (attempt(cand)) {
+                    improved = true;
+                    break;
+                }
+            }
+            if (best.steps[i].recoveryCountdown > 1) {
+                CrashSchedule cand = best;
+                cand.steps[i].recoveryCountdown /= 2;
+                if (attempt(cand)) {
+                    improved = true;
+                    break;
+                }
+            }
+        }
+    }
+    return best;
+}
+
+ExploreReport
+explore(const ExploreOptions &opt)
+{
+    ExploreReport rep;
+
+    CrashSchedule base;
+    base.scheme = opt.scheme;
+    base.workload = opt.workload;
+    base.seed = opt.seed;
+    base.numCores = opt.numCores;
+    base.warmupTx = opt.warmupTx;
+    base.runTx = opt.runTx;
+    base.recoverThreads = opt.recoverThreads;
+    // A broken commit fence is only observable when the in-flight
+    // record can actually tear.
+    base.tornWrites = opt.tornWrites || opt.breakCommitFence;
+    base.mediaFaultProb = opt.mediaFaultProb;
+    base.breakCommitFence = opt.breakCommitFence;
+
+    const ScheduleResult profile = runSchedule(base);
+    rep.eventsProfiled = profile.events;
+
+    std::vector<CrashPointKind> kinds = opt.kinds;
+    if (kinds.empty()) {
+        for (unsigned k = 0; k < kNumCrashPointKinds; ++k)
+            kinds.push_back(static_cast<CrashPointKind>(k));
+    }
+
+    const std::uint64_t per_kind = std::max<std::uint64_t>(
+        1, opt.budget / kinds.size());
+
+    for (CrashPointKind kind : kinds) {
+        const unsigned ki = kindIndex(kind);
+        const std::uint64_t events = rep.eventsProfiled[ki];
+        if (events == 0)
+            continue; // this scheme never reaches the boundary class
+        const std::uint64_t n = std::min(per_kind, events);
+        const std::uint64_t stores = std::max<std::uint64_t>(
+            1, rep.eventsProfiled[kindIndex(CrashPointKind::Store)]);
+
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::uint64_t pos = 1 + (i * events) / n;
+            CrashSchedule sched = base;
+            CrashStep step;
+            if (kind == CrashPointKind::RecoveryStep) {
+                // Crash-during-recovery: a primary store crash brings
+                // the system down, a surviving RecoveryStep countdown
+                // crashes the recovery that follows.
+                step.kind = CrashPointKind::Store;
+                step.countdown = 1 + (i * stores) / n;
+                step.recoveryCountdown = pos;
+            } else {
+                step.kind = kind;
+                step.countdown = pos;
+            }
+            sched.steps.push_back(step);
+
+            const ScheduleResult r = runSchedule(sched);
+            ++rep.schedulesRun;
+            ++rep.schedulesPerKind[ki];
+            if (r.crashFired)
+                ++rep.crashesFired;
+            if (r.recoveryCrashFired)
+                ++rep.recoveryCrashesFired;
+            const bool kind_fired = kind == CrashPointKind::RecoveryStep
+                                        ? r.recoveryCrashFired
+                                        : r.crashFired;
+            if (kind_fired)
+                ++rep.firedPerKind[ki];
+            if (r.violated) {
+                Violation v;
+                v.detail = r.detail;
+                v.reproducer = shrink(sched, &v.detail);
+                rep.violations.push_back(std::move(v));
+            }
+        }
+    }
+    return rep;
+}
+
+} // namespace hoopnvm

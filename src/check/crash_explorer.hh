@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Systematic crash-point exploration engine.
+ *
+ * The explorer turns the paper's core guarantee — recovery restores
+ * exactly the committed prefix (§II-A) — into a searchable property.
+ * A profiling run first measures how many crash-point events of each
+ * boundary class (stores, evictions, commit records, GC steps,
+ * recovery steps) one deterministic workload window exposes; the
+ * budget is then spread across the classes as evenly-spaced crash
+ * schedules. Each schedule crashes, optionally crashes *again inside
+ * recovery*, re-enters recovery on the twice-crashed image, and
+ * validates two oracles:
+ *
+ *  1. committed-shadow equality (Workload::verify), with the
+ *     commit-record ambiguity resolved by trying the crashed
+ *     transaction's pending shadow update both ways, and
+ *  2. the workload's structural invariants
+ *     (Workload::verifyStructure: B-tree ordering/occupancy, red-black
+ *     properties, FIFO continuity, hash-chain integrity).
+ *
+ * A violating schedule is shrunk to a minimal reproducer and can be
+ * serialized for deterministic replay (see crash_schedule.hh).
+ */
+
+#ifndef HOOPNVM_CHECK_CRASH_EXPLORER_HH
+#define HOOPNVM_CHECK_CRASH_EXPLORER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/crash_schedule.hh"
+
+namespace hoopnvm
+{
+
+/** Parameters of one exploration sweep (one scheme x one workload). */
+struct ExploreOptions
+{
+    Scheme scheme = Scheme::Hoop;
+    std::string workload = "vector";
+    std::uint64_t seed = 42;
+
+    /** Maximum schedules to run, split across the boundary classes. */
+    std::uint64_t budget = 100;
+
+    unsigned numCores = 2;
+    std::uint64_t warmupTx = 10;
+    std::uint64_t runTx = 40;
+    unsigned recoverThreads = 2;
+
+    bool tornWrites = false;
+    double mediaFaultProb = 0.0;
+
+    /** Debug knob: commit acks before the record is durable. */
+    bool breakCommitFence = false;
+
+    /** Boundary classes to explore; empty = all five. */
+    std::vector<CrashPointKind> kinds;
+};
+
+/** Outcome of executing one schedule. */
+struct ScheduleResult
+{
+    bool violated = false;
+
+    /** Any step's primary crash point actually fired. */
+    bool crashFired = false;
+
+    /** A crash-during-recovery point actually fired. */
+    bool recoveryCrashFired = false;
+
+    /** Human-readable description of the first violation. */
+    std::string detail;
+
+    /** Per-class event counts over the run window (profiling). */
+    std::array<std::uint64_t, kNumCrashPointKinds> events{};
+};
+
+/** One confirmed, shrunken violation. */
+struct Violation
+{
+    CrashSchedule reproducer;
+    std::string detail;
+};
+
+/** Aggregate outcome of explore(). */
+struct ExploreReport
+{
+    /** Event counts measured by the profiling run. */
+    std::array<std::uint64_t, kNumCrashPointKinds> eventsProfiled{};
+
+    std::uint64_t schedulesRun = 0;
+    std::uint64_t crashesFired = 0;
+    std::uint64_t recoveryCrashesFired = 0;
+
+    std::array<std::uint64_t, kNumCrashPointKinds> schedulesPerKind{};
+    std::array<std::uint64_t, kNumCrashPointKinds> firedPerKind{};
+
+    std::vector<Violation> violations;
+};
+
+/**
+ * Execute @p schedule deterministically: warmup, then each crash step,
+ * recovery (re-entered if the step crashed it), and both oracles.
+ * A schedule with no steps is a profiling run: the window executes
+ * crash-free, a final crash+recovery measures RecoveryStep events, and
+ * per-class counts are returned in ScheduleResult::events.
+ */
+ScheduleResult runSchedule(const CrashSchedule &schedule);
+
+/**
+ * Greedily shrink @p failing toward a minimal schedule that still
+ * violates: drop steps, shrink warmup/window, reduce countdowns.
+ * @return the smallest still-violating schedule found.
+ */
+CrashSchedule shrink(const CrashSchedule &failing,
+                     std::string *detail = nullptr);
+
+/** Run a full budget-bounded sweep for one scheme x workload. */
+ExploreReport explore(const ExploreOptions &opt);
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_CHECK_CRASH_EXPLORER_HH

@@ -1,0 +1,311 @@
+#include "check/crash_schedule.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace hoopnvm
+{
+
+namespace
+{
+
+struct SchemeToken
+{
+    Scheme scheme;
+    const char *token;
+};
+
+constexpr SchemeToken kSchemeTokens[] = {
+    {Scheme::Native, "native"}, {Scheme::Hoop, "hoop"},
+    {Scheme::OptRedo, "redo"},  {Scheme::OptUndo, "undo"},
+    {Scheme::Osp, "osp"},       {Scheme::Lsm, "lsm"},
+    {Scheme::Lad, "lad"},
+};
+
+/**
+ * Minimal JSON reader for the schedule grammar: objects, arrays,
+ * strings (no escapes beyond \" and \\), numbers, booleans. Enough to
+ * round-trip toJson() output without an external dependency.
+ */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    bool fail(const std::string &msg)
+    {
+        if (err_.empty())
+            err_ = msg + " near offset " + std::to_string(pos_);
+        return false;
+    }
+
+    const std::string &error() const { return err_; }
+
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        skipWs();
+        if (pos_ >= s_.size() || s_[pos_] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos_;
+        return true;
+    }
+
+    bool peekIs(char c)
+    {
+        skipWs();
+        return pos_ < s_.size() && s_[pos_] == c;
+    }
+
+    bool parseString(std::string *out)
+    {
+        if (!consume('"'))
+            return false;
+        out->clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\' && pos_ + 1 < s_.size())
+                ++pos_;
+            out->push_back(s_[pos_++]);
+        }
+        if (pos_ >= s_.size())
+            return fail("unterminated string");
+        ++pos_;
+        return true;
+    }
+
+    bool parseNumber(double *out)
+    {
+        skipWs();
+        const char *start = s_.c_str() + pos_;
+        char *end = nullptr;
+        *out = std::strtod(start, &end);
+        if (end == start)
+            return fail("expected number");
+        pos_ += static_cast<std::size_t>(end - start);
+        return true;
+    }
+
+    bool parseBool(bool *out)
+    {
+        skipWs();
+        if (s_.compare(pos_, 4, "true") == 0) {
+            *out = true;
+            pos_ += 4;
+            return true;
+        }
+        if (s_.compare(pos_, 5, "false") == 0) {
+            *out = false;
+            pos_ += 5;
+            return true;
+        }
+        return fail("expected boolean");
+    }
+
+    /**
+     * Walk the members of an object, invoking @p member for each key;
+     * the callback must consume the value and return success.
+     */
+    template <typename Fn>
+    bool parseObject(Fn member)
+    {
+        if (!consume('{'))
+            return false;
+        if (peekIs('}'))
+            return consume('}');
+        while (true) {
+            std::string key;
+            if (!parseString(&key) || !consume(':'))
+                return false;
+            if (!member(key))
+                return fail("bad value for key \"" + key + "\"");
+            if (peekIs(',')) {
+                consume(',');
+                continue;
+            }
+            return consume('}');
+        }
+    }
+
+  private:
+    const std::string &s_;
+    std::size_t pos_ = 0;
+    std::string err_;
+};
+
+} // namespace
+
+const char *
+schemeToken(Scheme s)
+{
+    for (const auto &t : kSchemeTokens) {
+        if (t.scheme == s)
+            return t.token;
+    }
+    return "unknown";
+}
+
+bool
+schemeFromToken(const std::string &token, Scheme *out)
+{
+    for (const auto &t : kSchemeTokens) {
+        if (token == t.token) {
+            *out = t.scheme;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+crashPointKindFromToken(const std::string &token, CrashPointKind *out)
+{
+    for (unsigned k = 0; k < kNumCrashPointKinds; ++k) {
+        if (token == crashPointKindToken(static_cast<CrashPointKind>(k))) {
+            *out = static_cast<CrashPointKind>(k);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+CrashSchedule::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"scheme\": \"" << schemeToken(scheme) << "\",\n";
+    os << "  \"workload\": \"" << workload << "\",\n";
+    os << "  \"seed\": " << seed << ",\n";
+    os << "  \"num_cores\": " << numCores << ",\n";
+    os << "  \"warmup_tx\": " << warmupTx << ",\n";
+    os << "  \"run_tx\": " << runTx << ",\n";
+    os << "  \"recover_threads\": " << recoverThreads << ",\n";
+    os << "  \"torn_writes\": " << (tornWrites ? "true" : "false")
+       << ",\n";
+    os << "  \"media_fault_prob\": " << mediaFaultProb << ",\n";
+    os << "  \"break_commit_fence\": "
+       << (breakCommitFence ? "true" : "false") << ",\n";
+    os << "  \"steps\": [";
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"kind\": \"" << crashPointKindToken(steps[i].kind)
+           << "\", \"countdown\": " << steps[i].countdown
+           << ", \"recovery_countdown\": " << steps[i].recoveryCountdown
+           << "}";
+    }
+    os << (steps.empty() ? "]\n" : "\n  ]\n");
+    os << "}\n";
+    return os.str();
+}
+
+bool
+CrashSchedule::fromJson(const std::string &text, CrashSchedule *out,
+                        std::string *err)
+{
+    *out = CrashSchedule{};
+    JsonParser p(text);
+    std::string str;
+    double num = 0;
+
+    const bool ok = p.parseObject([&](const std::string &key) {
+        if (key == "scheme") {
+            return p.parseString(&str) &&
+                   (schemeFromToken(str, &out->scheme) ||
+                    p.fail("unknown scheme \"" + str + "\""));
+        }
+        if (key == "workload")
+            return p.parseString(&out->workload);
+        if (key == "seed") {
+            if (!p.parseNumber(&num))
+                return false;
+            out->seed = static_cast<std::uint64_t>(num);
+            return true;
+        }
+        if (key == "num_cores") {
+            if (!p.parseNumber(&num))
+                return false;
+            out->numCores = static_cast<unsigned>(num);
+            return true;
+        }
+        if (key == "warmup_tx") {
+            if (!p.parseNumber(&num))
+                return false;
+            out->warmupTx = static_cast<std::uint64_t>(num);
+            return true;
+        }
+        if (key == "run_tx") {
+            if (!p.parseNumber(&num))
+                return false;
+            out->runTx = static_cast<std::uint64_t>(num);
+            return true;
+        }
+        if (key == "recover_threads") {
+            if (!p.parseNumber(&num))
+                return false;
+            out->recoverThreads = static_cast<unsigned>(num);
+            return true;
+        }
+        if (key == "torn_writes")
+            return p.parseBool(&out->tornWrites);
+        if (key == "media_fault_prob")
+            return p.parseNumber(&out->mediaFaultProb);
+        if (key == "break_commit_fence")
+            return p.parseBool(&out->breakCommitFence);
+        if (key == "steps") {
+            if (!p.consume('['))
+                return false;
+            if (p.peekIs(']'))
+                return p.consume(']');
+            while (true) {
+                CrashStep step;
+                const bool step_ok =
+                    p.parseObject([&](const std::string &sk) {
+                        if (sk == "kind") {
+                            return p.parseString(&str) &&
+                                   (crashPointKindFromToken(str,
+                                                            &step.kind) ||
+                                    p.fail("unknown crash-point kind \"" +
+                                           str + "\""));
+                        }
+                        if (sk == "countdown") {
+                            if (!p.parseNumber(&num))
+                                return false;
+                            step.countdown =
+                                static_cast<std::uint64_t>(num);
+                            return true;
+                        }
+                        if (sk == "recovery_countdown") {
+                            if (!p.parseNumber(&num))
+                                return false;
+                            step.recoveryCountdown =
+                                static_cast<std::uint64_t>(num);
+                            return true;
+                        }
+                        return p.fail("unknown step key \"" + sk + "\"");
+                    });
+                if (!step_ok)
+                    return false;
+                out->steps.push_back(step);
+                if (p.peekIs(',')) {
+                    p.consume(',');
+                    continue;
+                }
+                return p.consume(']');
+            }
+        }
+        return p.fail("unknown key \"" + key + "\"");
+    });
+
+    if (!ok && err)
+        *err = p.error();
+    return ok;
+}
+
+} // namespace hoopnvm

@@ -32,6 +32,7 @@
 
 #include "common/types.hh"
 #include "nvm/nvm_device.hh"
+#include "sim/crash_hook.hh"
 #include "sim/system_config.hh"
 #include "stats/stat_set.hh"
 
@@ -176,6 +177,29 @@ class PersistenceController
 
     NvmDevice &nvm() { return nvm_; }
 
+    // ---- Crash-point injection ----
+
+    /** Attach the system's crash hook (nullptr detaches). */
+    void setCrashHook(CrashHook *hook) { crashHook_ = hook; }
+    CrashHook *crashHook() const { return crashHook_; }
+
+    /**
+     * Fire one crash-point event of class @p k if a hook is attached.
+     * Called from the controller's own mechanisms (GC migration,
+     * checkpointing, log truncation, recovery replay) and from the
+     * cache hierarchy at eviction drains. May throw SimCrash.
+     *
+     * Recovery implementations must only fire this from serial code:
+     * a SimCrash unwinding a recovery worker thread would terminate
+     * the process.
+     */
+    void
+    crashStep(CrashPointKind k)
+    {
+        if (crashHook_)
+            crashHook_->step(k);
+    }
+
   protected:
     /** Per-core transaction state. */
     struct CoreTxState
@@ -212,6 +236,7 @@ class PersistenceController
   private:
     TxId nextTxId = 1;
     std::uint64_t nextCommitId = 1;
+    CrashHook *crashHook_ = nullptr;
 };
 
 } // namespace hoopnvm

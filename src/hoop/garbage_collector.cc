@@ -103,6 +103,10 @@ GarbageCollector::run(Tick now)
 
     Tick last = now;
     for (std::uint32_t b : cand) {
+        // Crash point: between marking blocks as under-GC. A block left
+        // in the Gc state is still scanned by recovery, so no slice is
+        // lost.
+        ctrl.crashStep(CrashPointKind::GcStep);
         region.setBlockState(b, BlockState::Gc, now);
         const std::uint32_t used = region.block(b).writePtr;
         for (std::uint32_t slot = 1; slot < used; ++slot) {
@@ -156,6 +160,10 @@ GarbageCollector::run(Tick now)
                                  kv.second.value);
         }
         for (const auto &kv : by_line) {
+            // Crash point: between home-line migration writes. The
+            // source blocks are not recycled until after the fence
+            // below, so recovery can always redo a torn migration.
+            ctrl.crashStep(CrashPointKind::GcStep);
             // Skip lines whose home copy is already newer (a committed
             // eviction wrote the full line in place after these slices
             // were produced) — GC must never regress the home region.
@@ -187,6 +195,7 @@ GarbageCollector::run(Tick now)
                       return a.seq < b.seq;
                   });
         for (const RawWord &w : raw) {
+            ctrl.crashStep(CrashPointKind::GcStep);
             const Addr line = lineAddr(w.addr);
             if (ctrl.homeFresherThan(line, w.seq))
                 continue;
@@ -212,7 +221,7 @@ GarbageCollector::run(Tick now)
         ctrl.mapping.remove(line);
     mappingEntriesDroppedC_ += drop.size();
 
-    // ---- Step 5: durability fence, then recycle the blocks ----
+    // ---- Step 5: durability fence, watermark, then recycle ----
     // A crash must never tear a migration write whose source block was
     // already recycled, so the GC engine drains the channel before the
     // free-list update. The drain costs real time: GC's completion
@@ -223,8 +232,35 @@ GarbageCollector::run(Tick now)
     last = std::max(last, ctrl.nvm_.channelFree() +
                               ctrl.nvm_.timing().writeLatency);
     ctrl.nvm_.faults().settleUpTo(last);
-    for (std::uint32_t b : cand)
+
+    // Advance the durable GC watermark past every collected block and
+    // fence it before any recycle header is issued. The recycle
+    // headers are NOT atomic: a torn one can revert wholesale to the
+    // previous, CRC-consistent header and resurrect a recycled block,
+    // whose stale slices recovery would then replay over the newer
+    // migrated home baseline. The watermark closes that hole — if any
+    // recycle header was issued the watermark is already durable and
+    // recovery skips the whole batch by openSeq; if the watermark
+    // itself tore (a single 8-byte word, so it merely reverts), no
+    // recycle header was issued yet and every batch block still
+    // replays together, reproducing the migration via max-seq-wins.
+    std::uint64_t batch_max_open = 0;
+    for (std::uint32_t b : cand) {
+        batch_max_open =
+            std::max(batch_max_open, region.block(b).openSeq);
+    }
+    last = std::max(last,
+                    region.writeGcWatermark(batch_max_open + 1, now));
+    last = std::max(last, ctrl.nvm_.channelFree() +
+                              ctrl.nvm_.timing().writeLatency);
+    ctrl.nvm_.faults().settleUpTo(last);
+    for (std::uint32_t b : cand) {
+        // Crash point: between block recycles, after the fence. An
+        // already-recycled block's data is durably home; a not-yet-
+        // recycled one is rescanned and re-migrated idempotently.
+        ctrl.crashStep(CrashPointKind::GcStep);
         region.setBlockState(b, BlockState::Unused, now);
+    }
     blocksRecycledC_ += cand.size();
 
     return last;

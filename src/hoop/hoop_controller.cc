@@ -32,7 +32,10 @@ HoopController::HoopController(NvmDevice &nvm, const SystemConfig &cfg_)
       evictionBufferHitsC_(stats_.counter("eviction_buffer_hits")),
       oopEvictionsC_(stats_.counter("oop_evictions")),
       homeEvictionsC_(stats_.counter("home_evictions")),
-      gcPressureC_(stats_.counter("gc_pressure"))
+      gcPressureC_(stats_.counter("gc_pressure")),
+      oopBackpressureStallsC_(stats_.counter("oop_backpressure_stalls")),
+      oopBackpressureStallTicksC_(
+          stats_.counter("oop_backpressure_stall_ticks"))
 {
     gc_ = std::make_unique<GarbageCollector>(*this);
     recovery = std::make_unique<RecoveryManager>(*this);
@@ -54,12 +57,24 @@ HoopController::allocSliceOrGc(Tick &now)
     std::uint32_t idx;
     if (region_.allocSlice(idx, now))
         return idx;
-    // Region exhausted: on-demand GC on the critical path (§IV-F).
+    // Region exhausted: the writer stalls while on-demand GC runs on
+    // the critical path (§IV-F). This is modelled backpressure, not an
+    // error — the GC's completion tick is charged to the blocked store
+    // and the stall is counted.
+    const Tick stall_start = now;
     ++gcOnDemandC_;
+    ++oopBackpressureStallsC_;
     now = std::max(now, gc_->run(now));
-    if (region_.allocSlice(idx, now))
+    if (region_.allocSlice(idx, now)) {
+        oopBackpressureStallTicksC_ += now - stall_start;
         return idx;
-    HOOP_FATAL("OOP region exhausted: all blocks pinned by open "
+    }
+    // GC freed nothing: the oldest live block is pinned by a
+    // transaction that has not committed, and no other core can commit
+    // while this store blocks (the simulation is cooperative), so
+    // waiting longer cannot help. A single transaction outgrew the OOP
+    // region — a configuration error, not a transient stall.
+    HOOP_FATAL("OOP region wedged: every block pinned by open "
                "transactions; increase oopBytes or shorten transactions");
 }
 
@@ -232,8 +247,15 @@ HoopController::commitPrepared(CoreId core, Tick now)
     }
 
     // Durability point: the commit record and every chain slice of this
-    // transaction are on NVM.
-    commit_done = std::max(commit_done, chains[core].outstanding);
+    // transaction are on NVM. The debugNoCommitFence ablation
+    // acknowledges at issue time instead — record and chain writes are
+    // still in flight, so a crash can tear an acknowledged commit.
+    // It exists only so hoop_crashcheck can validate that it catches
+    // exactly the bug class this fence prevents.
+    if (cfg.debugNoCommitFence)
+        commit_done = t;
+    else
+        commit_done = std::max(commit_done, chains[core].outstanding);
     committed[tx] = cid;
     coreTx[core] = CoreTxState{};
     chains[core] = CoreChain{};
@@ -347,6 +369,8 @@ HoopController::writeHomeLine(Tick now, Addr line,
 void
 HoopController::maintenance(Tick now)
 {
+    if (!cfg.gcEnabled)
+        return;
     const bool period_due = now - lastGc >= cfg.gcPeriod;
     const bool pressure = region_.freeBlocks() <= 1 ||
                           mapping.size() * 10 >= mapping.capacity() * 9;

@@ -200,6 +200,8 @@ class HoopController : public PersistenceController
     Counter &oopEvictionsC_;
     Counter &homeEvictionsC_;
     Counter &gcPressureC_;
+    Counter &oopBackpressureStallsC_;
+    Counter &oopBackpressureStallTicksC_;
 };
 
 } // namespace hoopnvm

@@ -278,6 +278,23 @@ OopRegion::setBlockState(std::uint32_t b, BlockState state, Tick now)
     writeHeader(b, now);
 }
 
+std::uint64_t
+OopRegion::gcWatermark() const
+{
+    // The watermark lives in the (otherwise unused under HOOP) aux
+    // region; each controller owns a private device, so the fixed
+    // address never collides.
+    return nvm.peekWord(cfg.auxBase());
+}
+
+Tick
+OopRegion::writeGcWatermark(std::uint64_t seq, Tick now)
+{
+    std::uint8_t buf[kWordSize];
+    std::memcpy(buf, &seq, kWordSize);
+    return nvm.write(now, cfg.auxBase(), buf, kWordSize);
+}
+
 void
 OopRegion::reset()
 {

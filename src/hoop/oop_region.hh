@@ -131,6 +131,24 @@ class OopRegion
     /** Reset the whole region to Unused (end of recovery). */
     void reset();
 
+    /**
+     * Durable GC watermark: every block whose openSeq is below it had
+     * its committed words migrated home and fenced before the
+     * watermark was written, so recovery must treat such a block as
+     * recycled even if its header still reads live (a torn recycle
+     * header can revert wholesale to the previous, self-consistent
+     * header — the CRC cannot tell a resurrected block from a live
+     * one, but the watermark can).
+     */
+    std::uint64_t gcWatermark() const;
+
+    /**
+     * Persist the watermark (timed). A single 8-byte word: torn-write
+     * injection reverts whole words, so a torn watermark is the
+     * previous watermark — monotonic and always safe.
+     */
+    Tick writeGcWatermark(std::uint64_t seq, Tick now);
+
     /** Restore the global sequence counter after recovery. */
     void setNextSeq(std::uint64_t seq) { nextSeq_ = seq; }
 

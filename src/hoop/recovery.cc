@@ -60,24 +60,66 @@ RecoveryManager::run(unsigned threads,
     std::unordered_map<TxId, std::uint32_t> chainFound;
     std::unordered_map<TxId, std::uint64_t> commitSeq;
     std::uint64_t max_commit = 0;
-    // Lowest slice sequence number a corruption-cut block could have
-    // held: a CRC failure that ends block b's live area may have
-    // swallowed any slice with seq >= b's openSeq, and a block whose
-    // *header* fails its CRC hides even that bound. While no
+    // Lowest slice sequence number a corruption cut could have
+    // swallowed. A CRC failure that ends a block's live area can only
+    // hide slices newer than the last good slice before the cut
+    // (slices append in sequence order); a block whose *header* fails
+    // its CRC is bounded below by the GC watermark instead. While no
     // corruption is observed the floor sits above every real sequence
     // number, so nothing is vetoed for incompleteness.
     std::uint64_t corruptionFloor = ~0ull;
     const FaultModel &faults = ctrl.nvm_.faults();
+    // Durable GC watermark (a single 8-byte word, so it never tears
+    // into an invalid value): blocks below it are migrated home.
+    const std::uint64_t gc_watermark = region.gcWatermark();
 
     for (std::uint32_t b = 0; b < region.numBlocks(); ++b) {
+        // Crash point: between block-header scans. Recovery has
+        // written nothing yet, so re-entering recovery after a crash
+        // here sees the untouched post-crash image.
+        ctrl.crashStep(CrashPointKind::RecoveryStep);
         const BlockHeaderView h = region.peekHeader(b);
         if (h.crcFailed) {
             ++res.headersRejected;
-            corruptionFloor = 0;
+            // A torn header write never hides committed data: a torn
+            // *recycle* header means the block's content was migrated
+            // home and fenced before the recycle was issued (watermark
+            // protocol), and a torn *(re)open* header means no slice in
+            // the block had settled — by in-order channel completion a
+            // settled slice implies a settled open write — so no
+            // committed slice (acked, hence settled) ever lived there.
+            // Only a media fault on the header line can swallow real
+            // data; then the durable watermark still bounds the loss
+            // (everything below it is migrated home), so the floor
+            // drops to the watermark instead of zero. Lowering the
+            // floor for harmless torn headers would veto — and thereby
+            // half-apply — committed transactions whose chains span
+            // the GC boundary.
+            if (faults.mediaFaultyRange(region.blockBase(b),
+                                        kCacheLineSize)) {
+                corruptionFloor =
+                    std::min(corruptionFloor, gc_watermark);
+            }
         }
         if (!h.valid || h.state == BlockState::Unused)
             continue;
+        if (h.openSeq < gc_watermark) {
+            // The block sits below the durable GC watermark: its
+            // committed words were migrated home and fenced before the
+            // watermark was written, so this header is a recycle write
+            // that tore back to its previous (self-consistent) value.
+            // Replaying the resurrected slices would overlay the newer
+            // migrated baseline with stale data — skip the block.
+            ++res.blocksSkippedByWatermark;
+            continue;
+        }
         std::uint32_t used = 0;
+        // Lowest sequence number a corruption cut in THIS block could
+        // swallow. Slices are appended in strictly increasing global
+        // sequence order, so a cut after a good slice with seq S can
+        // only hide slices with seq > S; only a cut at the very first
+        // slot could reach back to the block's openSeq.
+        std::uint64_t block_floor = h.openSeq;
         for (std::uint32_t slot = 1; slot <= region.slicesPerBlock();
              ++slot) {
             const std::uint32_t idx =
@@ -102,12 +144,13 @@ RecoveryManager::run(unsigned threads,
                 if (s.type == SliceType::AddrRec)
                     ++res.tornCommitsDetected;
                 corruptionFloor =
-                    std::min(corruptionFloor, h.openSeq);
+                    std::min(corruptionFloor, block_floor);
                 break;
             }
             if (s.seq < h.openSeq)
                 break; // stale slice from the block's previous life
             used = slot;
+            block_floor = s.seq + 1;
             ++res.slicesScanned;
             res.bytesScanned += MemorySlice::kSliceBytes;
             res.maxSeq = std::max(res.maxSeq, s.seq);
@@ -214,6 +257,12 @@ RecoveryManager::run(unsigned threads,
             kv.first - lineAddr(kv.first), kv.second.value);
     }
     for (const auto &kv : by_line) {
+        // Crash point: between home-line replay writes. The OOP region
+        // is untouched until recoverWithFilter() resets it after run()
+        // returns, so a second recovery redoes the overlay idempotently
+        // (winning words depend only on the durable slices). Serial
+        // code: phase-2 workers must never fire crash points.
+        ctrl.crashStep(CrashPointKind::RecoveryStep);
         std::uint8_t buf[kCacheLineSize];
         ctrl.nvm_.peek(kv.first, buf, kCacheLineSize);
         for (const auto &w : kv.second)
@@ -253,6 +302,8 @@ RecoveryManager::run(unsigned threads,
     stats_.counter("torn_commits_detected") += res.tornCommitsDetected;
     stats_.counter("bit_flips_detected") += res.bitFlipsDetected;
     stats_.counter("headers_rejected") += res.headersRejected;
+    stats_.counter("blocks_skipped_by_watermark") +=
+        res.blocksSkippedByWatermark;
     stats_.counter("incomplete_tx_vetoed") += res.incompleteTxVetoed;
     stats_.counter("gc_trimmed_tx_replayed") += res.gcTrimmedTxReplayed;
     return res;

@@ -75,6 +75,12 @@ struct RecoveryResult
     /** Block headers rejected by their CRC (block skipped whole). */
     std::uint64_t headersRejected = 0;
 
+    /** Blocks skipped because their openSeq sits below the durable GC
+     *  watermark: their words are migrated home, so a live-looking
+     *  header is a recycle write that tore back to its previous,
+     *  CRC-consistent value (a resurrected block). */
+    std::uint64_t blocksSkippedByWatermark = 0;
+
     /** Committed transactions vetoed because part of their slice chain
      *  may have been lost to observed corruption — replaying the
      *  remainder could break atomicity, so the whole transaction is

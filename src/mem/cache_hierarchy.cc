@@ -314,6 +314,9 @@ CacheHierarchy::retireLlcVictim(CacheVictim &victim, Tick now)
 
     if (victim.dirty) {
         ++llcDirtyWritebacksC_;
+        // Crash point: the dirty victim has left the hierarchy but the
+        // controller has not yet accepted (and persisted) it.
+        ctrl->crashStep(CrashPointKind::Eviction);
         ctrl->evictLine(victim.lastWriter, victim.addr,
                         victim.data.data(), victim.persistent,
                         victim.txId, victim.wordMask, now);

@@ -43,6 +43,7 @@ System::System(const SystemConfig &cfg, Scheme scheme)
     nvm_ = std::make_unique<NvmDevice>(cfg_.nvmCapacity(), cfg_.nvm,
                                        cfg_.energy);
     ctrl_ = makeController(scheme, *nvm_, cfg_);
+    ctrl_->setCrashHook(&crashHook_);
     caches_ = std::make_unique<CacheHierarchy>(cfg_);
     caches_->setController(ctrl_.get());
     alloc_ = std::make_unique<SimAllocator>(cfg_.homeBase(),
@@ -73,13 +74,11 @@ System::txEnd(CoreId core)
     Core &c = cores_[core];
     HOOP_ASSERT(c.inTx(), "txEnd without txBegin on core %u", core);
     const Tick done = ctrl_->txEnd(core, c.clock() + cfg_.opCost());
-    if (commitCrashCountdown_ > 0 && --commitCrashCountdown_ == 0) {
-        // Crash after the commit record was issued but before the
-        // commit is acknowledged: the record is still in flight (the
-        // core clock has not advanced to its completion), so torn-write
-        // injection can tear it.
-        throw SimCrash{};
-    }
+    // Crash point between the commit record being issued and the
+    // commit being acknowledged: the record is still in flight (the
+    // core clock has not advanced to its completion), so torn-write
+    // injection can tear it.
+    crashHook_.step(CrashPointKind::CommitRecord);
     c.advanceTo(done);
     c.setInTx(false);
     ++committedTx_;
@@ -98,8 +97,7 @@ System::loadWord(CoreId core, Addr addr)
 void
 System::storeWord(CoreId core, Addr addr, std::uint64_t value)
 {
-    if (crashCountdown > 0 && --crashCountdown == 0)
-        throw SimCrash{};
+    crashHook_.step(CrashPointKind::Store);
     Core &c = cores_[core];
     c.advanceTo(caches_->storeWord(core, addr, value, c.clock()));
 }
@@ -161,13 +159,13 @@ System::debugLoadWord(Addr addr) const
 void
 System::scheduleCrashAfterStores(std::uint64_t n)
 {
-    crashCountdown = n;
+    crashHook_.arm(CrashPointKind::Store, n);
 }
 
 void
 System::scheduleCrashAtCommit(std::uint64_t n)
 {
-    commitCrashCountdown_ = n;
+    crashHook_.arm(CrashPointKind::CommitRecord, n);
 }
 
 void
@@ -181,8 +179,10 @@ System::crash()
     ctrl_->crash();
     for (auto &c : cores_)
         c.reset();
-    crashCountdown = 0;
-    commitCrashCountdown_ = 0;
+    // Volatile-execution crash points die with the machine; an armed
+    // RecoveryStep countdown survives so it can fire inside the
+    // recovery that follows (crash-during-recovery coverage).
+    crashHook_.disarmVolatile();
 }
 
 Tick

@@ -21,16 +21,12 @@
 #include "mem/cache_hierarchy.hh"
 #include "nvm/nvm_device.hh"
 #include "sim/core.hh"
+#include "sim/crash_hook.hh"
 #include "sim/system_config.hh"
 #include "txn/sim_allocator.hh"
 
 namespace hoopnvm
 {
-
-/** Thrown when a scheduled crash point fires mid-execution. */
-struct SimCrash
-{
-};
 
 /** Measurement snapshot of one run. */
 struct RunMetrics
@@ -105,7 +101,8 @@ class System
 
     /**
      * Arrange for SimCrash to be thrown after @p n more stores
-     * (0 disables). Used by the crash-consistency property tests.
+     * (0 disables). Convenience wrapper over
+     * crashHook().arm(CrashPointKind::Store, n).
      */
     void scheduleCrashAfterStores(std::uint64_t n);
 
@@ -118,6 +115,15 @@ class System
      * tear — the window scheduleCrashAfterStores() can never hit.
      */
     void scheduleCrashAtCommit(std::uint64_t n);
+
+    /**
+     * Full crash-point injection interface: arm/disarm any boundary
+     * class (stores, evictions, commit records, GC steps, recovery
+     * steps) and read per-class event counts. The controller, cache
+     * hierarchy, GC and recovery all fire through this one hook.
+     */
+    CrashHook &crashHook() { return crashHook_; }
+    const CrashHook &crashHook() const { return crashHook_; }
 
     /**
      * Power failure: caches and volatile controller state vanish, and
@@ -173,8 +179,7 @@ class System
     std::vector<Tick> txStart;
     std::uint64_t committedTx_ = 0;
     Tick criticalPathSum_ = 0;
-    std::uint64_t crashCountdown = 0;
-    std::uint64_t commitCrashCountdown_ = 0;
+    CrashHook crashHook_;
     Tick measureStart = 0;
 };
 

@@ -112,6 +112,24 @@ struct SystemConfig
     /** Enable GC data coalescing (ablation switch). */
     bool gcCoalescing = true;
 
+    /**
+     * Enable periodic / pressure-triggered GC. When false the OOP
+     * region fills until writers hit allocation backpressure (on-demand
+     * GC on the critical path) — used by the exhaustion regression
+     * tests. Explicit drain() still collects.
+     */
+    bool gcEnabled = true;
+
+    /**
+     * Deliberately broken commit path for checker validation: txEnd
+     * acknowledges the commit without waiting for the commit record
+     * (and the tail of the slice chain) to become durable. A crash
+     * shortly after commit can then tear the record of an already
+     * acknowledged transaction — exactly the bug class hoop_crashcheck
+     * must catch. Never enable outside tests.
+     */
+    bool debugNoCommitFence = false;
+
     // ---- Baseline parameters ----
 
     /** Cost of one TLB shootdown charged to OSP commits. */

@@ -96,6 +96,20 @@ class TxContext
         return sys_->debugLoadWord(a);
     }
 
+    /**
+     * Whether @p a is a plausible home-region object address that a
+     * verification walk may dereference. Structural verifiers follow
+     * pointers read from a possibly-corrupt NVM image; a torn word can
+     * hold garbage that would otherwise send debugLoad() out of the
+     * device (fatal) instead of merely failing the check.
+     */
+    bool
+    debugAddrOk(Addr a) const
+    {
+        return a >= kCacheLineSize && a % kWordSize == 0 &&
+               a + kCacheLineSize <= sys_->config().homeBytes;
+    }
+
     CoreId core() const { return core_; }
     Rng &rng() { return rng_; }
     System &system() { return *sys_; }

@@ -195,9 +195,7 @@ BTreeWorkload::runTransaction(std::uint64_t)
         if (valueBytes >= 16)
             ctx.store(payload + 2 * kWordSize,
                       patternWord(key, ver, 8));
-        ctx.txEnd();
-
-        it->second = ver;
+        commitTx([it, ver] { it->second = ver; });
         return;
     }
 
@@ -213,16 +211,20 @@ BTreeWorkload::runTransaction(std::uint64_t)
     fillPattern(buf.data(), valueBytes, key, 0);
     ctx.write(payload + kWordSize, buf.data(), valueBytes);
     insert(key, payload);
-    ctx.txEnd();
-    shadow[key] = 0;
+    commitTx([this, key] { shadow[key] = 0; });
 }
 
 bool
 BTreeWorkload::collect(Addr n, std::uint64_t lo, std::uint64_t hi,
-                       std::map<std::uint64_t, Addr> &out) const
+                       std::map<std::uint64_t, Addr> &out,
+                       std::set<Addr> &visited) const
 {
     if (!n)
         return true;
+    // Wild or cyclic child pointers (torn crash image) fail the walk
+    // instead of dereferencing garbage or recursing forever.
+    if (!ctx.debugAddrOk(n) || !visited.insert(n).second)
+        return false;
     const bool leaf = ctx.debugLoad(n + kLeaf) != 0;
     const unsigned count =
         static_cast<unsigned>(ctx.debugLoad(n + kCount));
@@ -234,22 +236,112 @@ BTreeWorkload::collect(Addr n, std::uint64_t lo, std::uint64_t hi,
         if (key < prev || key > hi)
             return false;
         if (!leaf &&
-            !collect(ctx.debugLoad(n + kKids + 8 * i), prev, key, out))
+            !collect(ctx.debugLoad(n + kKids + 8 * i), prev, key, out,
+                     visited))
             return false;
         out[key] = ctx.debugLoad(n + kVals + 8 * i);
         prev = key;
     }
     if (!leaf &&
-        !collect(ctx.debugLoad(n + kKids + 8 * count), prev, hi, out))
+        !collect(ctx.debugLoad(n + kKids + 8 * count), prev, hi, out,
+                 visited))
         return false;
     return true;
+}
+
+bool
+BTreeWorkload::checkNodeInvariants(Addr n, std::uint64_t lo,
+                                   std::uint64_t hi, unsigned depth,
+                                   long &leaf_depth, bool is_root,
+                                   std::set<Addr> &visited,
+                                   std::string *why) const
+{
+    if (!ctx.debugAddrOk(n) || !visited.insert(n).second) {
+        if (why)
+            *why = "btree: wild or cyclic node pointer";
+        return false;
+    }
+    const bool leaf = ctx.debugLoad(n + kLeaf) != 0;
+    const unsigned count =
+        static_cast<unsigned>(ctx.debugLoad(n + kCount));
+    if (count > kMaxKeys) {
+        if (why)
+            *why = "btree: node overfull (count " +
+                   std::to_string(count) + " > " +
+                   std::to_string(kMaxKeys) + ")";
+        return false;
+    }
+    if (!is_root && count < kMinDegree - 1) {
+        if (why)
+            *why = "btree: non-root node underfull (count " +
+                   std::to_string(count) + " < " +
+                   std::to_string(kMinDegree - 1) + ")";
+        return false;
+    }
+    if (is_root && !leaf && count == 0) {
+        if (why)
+            *why = "btree: internal root with zero keys";
+        return false;
+    }
+    if (leaf) {
+        if (leaf_depth < 0)
+            leaf_depth = static_cast<long>(depth);
+        else if (leaf_depth != static_cast<long>(depth)) {
+            if (why)
+                *why = "btree: leaves at unequal depths " +
+                       std::to_string(leaf_depth) + " and " +
+                       std::to_string(depth);
+            return false;
+        }
+    }
+    std::uint64_t prev = lo;
+    for (unsigned i = 0; i < count; ++i) {
+        const std::uint64_t key = ctx.debugLoad(n + kKeys + 8 * i);
+        if (key <= prev || key >= hi) {
+            if (why)
+                *why = "btree: key " + std::to_string(key) +
+                       " violates ordering bounds (" +
+                       std::to_string(prev) + ", " +
+                       std::to_string(hi) + ")";
+            return false;
+        }
+        if (!leaf &&
+            !checkNodeInvariants(ctx.debugLoad(n + kKids + 8 * i), prev,
+                                 key, depth + 1, leaf_depth, false,
+                                 visited, why))
+            return false;
+        prev = key;
+    }
+    if (!leaf &&
+        !checkNodeInvariants(ctx.debugLoad(n + kKids + 8 * count), prev,
+                             hi, depth + 1, leaf_depth, false, visited,
+                             why))
+        return false;
+    return true;
+}
+
+bool
+BTreeWorkload::verifyStructure(std::string *why) const
+{
+    // Classic B-tree invariants from the NVM image alone: strict key
+    // ordering, per-node occupancy bounds, and uniform leaf depth.
+    // Keys are 1-based so exclusive bounds (0, ~0) cover the root.
+    const Addr root = ctx.debugLoad(rootPtr);
+    if (!root)
+        return true;
+    long leaf_depth = -1;
+    std::set<Addr> visited;
+    return checkNodeInvariants(root, 0, ~std::uint64_t{0}, 0,
+                               leaf_depth, true, visited, why);
 }
 
 bool
 BTreeWorkload::verify() const
 {
     std::map<std::uint64_t, Addr> found;
-    if (!collect(ctx.debugLoad(rootPtr), 0, ~std::uint64_t{0}, found))
+    std::set<Addr> visited;
+    if (!collect(ctx.debugLoad(rootPtr), 0, ~std::uint64_t{0}, found,
+                 visited))
         return false;
     if (found.size() != shadow.size())
         return false;

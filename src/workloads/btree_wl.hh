@@ -12,6 +12,7 @@
 #define HOOPNVM_WORKLOADS_BTREE_WL_HH
 
 #include <map>
+#include <set>
 
 #include "workloads/workload.hh"
 
@@ -29,6 +30,7 @@ class BTreeWorkload : public Workload
     void setup() override;
     void runTransaction(std::uint64_t i) override;
     bool verify() const override;
+    bool verifyStructure(std::string *why = nullptr) const override;
 
   private:
     static constexpr unsigned kMinDegree = 4;           // t
@@ -62,9 +64,19 @@ class BTreeWorkload : public Workload
     /** Timed search. @return payload address or 0. */
     Addr search(std::uint64_t key);
 
-    /** Untimed structural walk collecting key -> payload address. */
+    /** Untimed structural walk collecting key -> payload address.
+     *  @p visited breaks cycles a torn child pointer may have formed
+     *  in the crash image. */
     bool collect(Addr n, std::uint64_t lo, std::uint64_t hi,
-                 std::map<std::uint64_t, Addr> &out) const;
+                 std::map<std::uint64_t, Addr> &out,
+                 std::set<Addr> &visited) const;
+
+    /** Recursive invariant check: ordering, occupancy, leaf depth,
+     *  pointer sanity (cycles and wild addresses are violations). */
+    bool checkNodeInvariants(Addr n, std::uint64_t lo, std::uint64_t hi,
+                             unsigned depth, long &leaf_depth,
+                             bool is_root, std::set<Addr> &visited,
+                             std::string *why) const;
 
     std::size_t valueBytes;
     std::uint64_t keySpace;

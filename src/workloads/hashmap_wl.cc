@@ -87,8 +87,7 @@ HashmapWorkload::runTransaction(std::uint64_t)
                       patternWord(key, ver, j * kWordSize));
         }
     }
-    ctx.txEnd();
-    shadow[key] = ver;
+    commitTx([this, key, ver] { shadow[key] = ver; });
 }
 
 bool
@@ -116,6 +115,66 @@ HashmapWorkload::verify() const
         for (std::size_t w = 0; w < item_words; ++w) {
             if (ctx.debugLoad(bucketAddr(slot) + 16 + w * kWordSize) !=
                 expectedWord(kv.first, kv.second, w, item_words)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+HashmapWorkload::verifyStructure(std::string *why) const
+{
+    // Chain integrity from the NVM image alone: every occupied bucket
+    // must be reachable by linear probing from its key's home slot
+    // (no empty bucket may interrupt the probe path), keys must be
+    // unique and in range, and each payload must be internally
+    // consistent with its stored version.
+    const std::size_t item_words = valueBytes / kWordSize;
+    std::unordered_map<std::uint64_t, std::uint64_t> seen;
+    for (std::uint64_t slot = 0; slot < slots; ++slot) {
+        const std::uint64_t key = ctx.debugLoad(bucketAddr(slot));
+        if (key == 0)
+            continue;
+        if (key > keySpace) {
+            if (why)
+                *why = "hashmap: slot " + std::to_string(slot) +
+                       " holds out-of-range key " + std::to_string(key);
+            return false;
+        }
+        auto ins = seen.emplace(key, slot);
+        if (!ins.second) {
+            if (why)
+                *why = "hashmap: key " + std::to_string(key) +
+                       " duplicated in slots " +
+                       std::to_string(ins.first->second) + " and " +
+                       std::to_string(slot);
+            return false;
+        }
+        // Walk the probe path; an empty bucket before this slot would
+        // make the key unreachable by lookups.
+        std::uint64_t s = mixHash(key) & (slots - 1);
+        while (s != slot) {
+            if (ctx.debugLoad(bucketAddr(s)) == 0) {
+                if (why)
+                    *why = "hashmap: key " + std::to_string(key) +
+                           " in slot " + std::to_string(slot) +
+                           " unreachable (empty bucket breaks its "
+                           "probe chain at slot " + std::to_string(s) +
+                           ")";
+                return false;
+            }
+            s = (s + 1) & (slots - 1);
+        }
+        const std::uint64_t ver = ctx.debugLoad(bucketAddr(slot) + 8);
+        for (std::size_t w = 0; w < item_words; ++w) {
+            if (ctx.debugLoad(bucketAddr(slot) + 16 + w * kWordSize) !=
+                expectedWord(key, ver, w, item_words)) {
+                if (why)
+                    *why = "hashmap: key " + std::to_string(key) +
+                           " version " + std::to_string(ver) +
+                           " has a torn payload at word " +
+                           std::to_string(w);
                 return false;
             }
         }

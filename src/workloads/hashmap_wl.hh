@@ -32,6 +32,7 @@ class HashmapWorkload : public Workload
     void setup() override;
     void runTransaction(std::uint64_t i) override;
     bool verify() const override;
+    bool verifyStructure(std::string *why = nullptr) const override;
 
   private:
     std::size_t bucketBytes() const { return 16 + valueBytes; }

@@ -55,17 +55,16 @@ QueueWorkload::runTransaction(std::uint64_t)
             ctx.store(headAddr, head);
         }
     }
-    ctx.txEnd();
-
-    // Commit shadow state.
-    while (committedTail < tail) {
-        shadow.push_back(committedTail);
-        ++committedTail;
-    }
-    while (committedHead < head) {
-        shadow.pop_front();
-        ++committedHead;
-    }
+    commitTx([this, head, tail] {
+        while (committedTail < tail) {
+            shadow.push_back(committedTail);
+            ++committedTail;
+        }
+        while (committedHead < head) {
+            shadow.pop_front();
+            ++committedHead;
+        }
+    });
 }
 
 bool
@@ -80,6 +79,39 @@ QueueWorkload::verify() const
         ctx.debugRead(slotAddr(seq), buf.data(), valueBytes);
         if (!checkPattern(buf.data(), valueBytes, seq, 0))
             return false;
+    }
+    return true;
+}
+
+bool
+QueueWorkload::verifyStructure(std::string *why) const
+{
+    // FIFO continuity from the NVM image alone: the pointers must
+    // delimit a legal window and every live slot must hold the item
+    // written for its sequence number.
+    const std::uint64_t head = ctx.debugLoad(headAddr);
+    const std::uint64_t tail = ctx.debugLoad(tailAddr);
+    if (head > tail) {
+        if (why)
+            *why = "queue: head " + std::to_string(head) +
+                   " > tail " + std::to_string(tail);
+        return false;
+    }
+    if (tail - head > capacity) {
+        if (why)
+            *why = "queue: occupancy " + std::to_string(tail - head) +
+                   " exceeds capacity " + std::to_string(capacity);
+        return false;
+    }
+    std::vector<std::uint8_t> buf(valueBytes);
+    for (std::uint64_t seq = head; seq < tail; ++seq) {
+        ctx.debugRead(slotAddr(seq), buf.data(), valueBytes);
+        if (!checkPattern(buf.data(), valueBytes, seq, 0)) {
+            if (why)
+                *why = "queue: slot for seq " + std::to_string(seq) +
+                       " holds a foreign or torn item";
+            return false;
+        }
     }
     return true;
 }

@@ -29,6 +29,7 @@ class QueueWorkload : public Workload
     void setup() override;
     void runTransaction(std::uint64_t i) override;
     bool verify() const override;
+    bool verifyStructure(std::string *why = nullptr) const override;
 
   private:
     Addr slotAddr(std::uint64_t seq) const;

@@ -209,9 +209,7 @@ RbTreeWorkload::runTransaction(std::uint64_t)
         setFld(n, kVersion, ver);
         setFld(n, kValue, patternWord(key, ver, 0));
         setFld(n, kValue + 8, patternWord(key, ver, 8));
-        ctx.txEnd();
-
-        it->second = ver;
+        commitTx([it, ver] { it->second = ver; });
         return;
     }
 
@@ -223,17 +221,22 @@ RbTreeWorkload::runTransaction(std::uint64_t)
 
     ctx.txBegin();
     insert(key, 0);
-    ctx.txEnd();
-    shadow[key] = 0;
+    commitTx([this, key] { shadow[key] = 0; });
 }
 
 int
 RbTreeWorkload::checkNode(Addr n, std::uint64_t lo, std::uint64_t hi,
-                          std::map<std::uint64_t, std::uint64_t> &seen)
-    const
+                          std::map<std::uint64_t, std::uint64_t> &seen,
+                          std::set<Addr> &visited) const
 {
     if (!n)
         return 1;
+    // The walk runs over a possibly-corrupt NVM image: a torn child
+    // pointer can point anywhere, including back into the tree. Reject
+    // wild addresses before dereferencing them and cycles before they
+    // overflow the stack — both are structural violations, not crashes.
+    if (!ctx.debugAddrOk(n) || !visited.insert(n).second)
+        return -1;
     const std::uint64_t key = ctx.debugLoad(n + kKey);
     if (key < lo || key > hi)
         return -1;
@@ -246,8 +249,8 @@ RbTreeWorkload::checkNode(Addr n, std::uint64_t lo, std::uint64_t hi,
             return -1; // red-red violation
         }
     }
-    const int lh = checkNode(l, lo, key, seen);
-    const int rh = checkNode(r, key, hi, seen);
+    const int lh = checkNode(l, lo, key, seen, visited);
+    const int rh = checkNode(r, key, hi, seen, visited);
     if (lh < 0 || rh < 0 || lh != rh)
         return -1;
     seen[key] = ctx.debugLoad(n + kVersion);
@@ -255,13 +258,43 @@ RbTreeWorkload::checkNode(Addr n, std::uint64_t lo, std::uint64_t hi,
 }
 
 bool
+RbTreeWorkload::verifyStructure(std::string *why) const
+{
+    // Red-black properties from the NVM image alone: black root, no
+    // red-red edge, equal black height on every path, BST ordering.
+    std::map<std::uint64_t, std::uint64_t> seen;
+    std::set<Addr> visited;
+    const Addr r = ctx.debugLoad(rootPtr);
+    if (r && !ctx.debugAddrOk(r)) {
+        if (why)
+            *why = "rbtree: root pointer is wild";
+        return false;
+    }
+    if (r && ctx.debugLoad(r + kColor) != kBlack) {
+        if (why)
+            *why = "rbtree: root is red";
+        return false;
+    }
+    if (checkNode(r, 0, ~std::uint64_t{0}, seen, visited) < 0) {
+        if (why)
+            *why = "rbtree: ordering, red-red, or black-height "
+                   "violation";
+        return false;
+    }
+    return true;
+}
+
+bool
 RbTreeWorkload::verify() const
 {
     std::map<std::uint64_t, std::uint64_t> seen;
+    std::set<Addr> visited;
     const Addr r = ctx.debugLoad(rootPtr);
+    if (r && !ctx.debugAddrOk(r))
+        return false;
     if (r && ctx.debugLoad(r + kColor) != kBlack)
         return false;
-    if (checkNode(r, 0, ~std::uint64_t{0}, seen) < 0)
+    if (checkNode(r, 0, ~std::uint64_t{0}, seen, visited) < 0)
         return false;
     if (seen != shadow)
         return false;

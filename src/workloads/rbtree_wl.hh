@@ -13,6 +13,7 @@
 #define HOOPNVM_WORKLOADS_RBTREE_WL_HH
 
 #include <map>
+#include <set>
 
 #include "workloads/workload.hh"
 
@@ -30,6 +31,7 @@ class RbTreeWorkload : public Workload
     void setup() override;
     void runTransaction(std::uint64_t i) override;
     bool verify() const override;
+    bool verifyStructure(std::string *why = nullptr) const override;
 
   private:
     // Node field offsets (node payload follows the header).
@@ -58,10 +60,12 @@ class RbTreeWorkload : public Workload
     /** Timed search. @return node address or 0. */
     Addr search(std::uint64_t key);
 
-    /** Untimed recursive structural check. @return black height or
-     *  -1 on violation. */
+    /** Untimed recursive structural check over a possibly-corrupt
+     *  image: @p visited breaks pointer cycles a torn write may have
+     *  formed. @return black height or -1 on violation. */
     int checkNode(Addr n, std::uint64_t lo, std::uint64_t hi,
-                  std::map<std::uint64_t, std::uint64_t> &seen) const;
+                  std::map<std::uint64_t, std::uint64_t> &seen,
+                  std::set<Addr> &visited) const;
 
     std::size_t valueBytes;
     std::uint64_t keySpace;

@@ -107,19 +107,18 @@ TpccWorkload::runTransaction(std::uint64_t)
         ctx.store(ol + 24, mixHash(o_id * 16 + l)); // amount
     }
 
-    ctx.txEnd();
-
-    // Commit shadow state.
-    nextOid = o_id + 1;
-    nextOlSeq = ol_seq;
-    for (unsigned l = 0; l < ol_cnt; ++l) {
-        auto it = stockQty.find(line_items[l]);
-        if (it == stockQty.end())
-            stockQty[line_items[l]] = kInitialStock - 1;
-        else
-            --it->second;
-    }
-    orderOlCounts.push_back(ol_cnt);
+    commitTx([this, o_id, ol_seq, line_items, ol_cnt] {
+        nextOid = o_id + 1;
+        nextOlSeq = ol_seq;
+        for (unsigned l = 0; l < ol_cnt; ++l) {
+            auto it = stockQty.find(line_items[l]);
+            if (it == stockQty.end())
+                stockQty[line_items[l]] = kInitialStock - 1;
+            else
+                --it->second;
+        }
+        orderOlCounts.push_back(ol_cnt);
+    });
 }
 
 bool

@@ -55,8 +55,7 @@ VectorWorkload::runTransaction(std::uint64_t)
         ctx.txBegin();
         ctx.write(itemAddr(size), buf.data(), valueBytes);
         ctx.store(base, size + 1);
-        ctx.txEnd();
-        shadow.push_back(0);
+        commitTx([this] { shadow.push_back(0); });
         return;
     }
 
@@ -68,8 +67,7 @@ VectorWorkload::runTransaction(std::uint64_t)
         ctx.store(itemAddr(idx) + j * kWordSize,
                   patternWord(idx, ver, j * kWordSize));
     }
-    ctx.txEnd();
-    shadow[idx] = ver;
+    commitTx([this, idx, ver] { shadow[idx] = ver; });
 }
 
 bool

@@ -47,8 +47,57 @@ class Workload
      */
     virtual bool verify() const = 0;
 
+    /**
+     * Check structural invariants of the NVM-resident data structure
+     * itself (ordering, occupancy, chain integrity, ...) independent of
+     * the shadow. Default: no invariants beyond verify().
+     * @param why receives a human-readable reason on failure.
+     */
+    virtual bool verifyStructure(std::string *why = nullptr) const
+    {
+        (void)why;
+        return true;
+    }
+
+    /**
+     * A commit whose shadow update is still pending: the simulated
+     * txEnd() finished but the crash-exploration engine has not yet
+     * decided whether the commit became durable. After a crash *at* the
+     * commit record both outcomes are legal; the checker resolves the
+     * ambiguity by trying verify() with and without the pending update.
+     */
+    bool hasPendingShadow() const { return bool(pendingShadow_); }
+
+    /** Apply the staged shadow mutation of the last commitTx(). */
+    void applyPendingShadow()
+    {
+        if (pendingShadow_) {
+            pendingShadow_();
+            pendingShadow_ = nullptr;
+        }
+    }
+
+    /** Discard the staged shadow mutation (commit did not survive). */
+    void dropPendingShadow() { pendingShadow_ = nullptr; }
+
   protected:
+    /**
+     * Commit the open transaction and stage @p shadow_update as the
+     * matching shadow mutation. In normal runs the update applies
+     * immediately after txEnd(); if txEnd() throws (a scheduled
+     * SimCrash), the update stays pending for the checker to resolve.
+     */
+    void commitTx(std::function<void()> shadow_update)
+    {
+        pendingShadow_ = std::move(shadow_update);
+        ctx.txEnd();
+        applyPendingShadow();
+    }
+
     TxContext ctx;
+
+  private:
+    std::function<void()> pendingShadow_;
 };
 
 /** Builds one workload instance per core. */

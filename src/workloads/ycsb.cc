@@ -61,10 +61,10 @@ YcsbWorkload::runTransaction(std::uint64_t)
                             ctx.rng().nextBounded(stride));
         }
     }
-    ctx.txEnd();
-
-    for (const auto &s : staged)
-        shadow[s.first] = s.second;
+    commitTx([this, staged] {
+        for (const auto &s : staged)
+            shadow[s.first] = s.second;
+    });
 }
 
 bool

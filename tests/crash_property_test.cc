@@ -99,6 +99,10 @@ crashAndVerify(Scheme scheme, const char *wl_name,
         EXPECT_TRUE(wls[c]->verify())
             << schemeName(scheme) << "/" << wl_name << " core " << c
             << " crash_after=" << crash_after_stores;
+        std::string why;
+        EXPECT_TRUE(wls[c]->verifyStructure(&why))
+            << schemeName(scheme) << "/" << wl_name << " core " << c
+            << " crash_after=" << crash_after_stores << ": " << why;
     }
 }
 
@@ -384,6 +388,65 @@ TEST(FaultRegimes, BitFlipsVetoButNeverMixTransactions)
             << "second recovery changed tx " << tx;
     }
 }
+
+/**
+ * Recovery idempotence for every persistent scheme: crash, arm a
+ * second crash partway through recovery, re-enter recovery on the
+ * twice-crashed image — the visible state must be the same committed
+ * prefix a single recovery would have produced.
+ */
+class RecoveryIdempotence : public ::testing::TestWithParam<Scheme>
+{
+};
+
+TEST_P(RecoveryIdempotence, SecondRecoveryYieldsSameState)
+{
+    const Scheme scheme = GetParam();
+    for (std::uint64_t rec_point : {1u, 2u, 5u, 9u}) {
+        SystemConfig cfg = crashConfig();
+        System sys(cfg, scheme);
+        auto wl = makeWorkload("hashmap", crashParams())(sys, 0);
+        wl->setup();
+        for (int i = 0; i < 25; ++i) {
+            wl->runTransaction(i);
+            sys.maintenance();
+        }
+
+        sys.crash();
+        sys.crashHook().arm(CrashPointKind::RecoveryStep, rec_point);
+        bool rec_crashed = false;
+        try {
+            sys.recover(2);
+        } catch (const SimCrash &) {
+            rec_crashed = true;
+            sys.crash();
+        }
+        sys.crashHook().disarm(CrashPointKind::RecoveryStep);
+        if (rec_crashed)
+            sys.recover(3);
+
+        EXPECT_TRUE(wl->verify())
+            << schemeName(scheme) << " rec_point=" << rec_point
+            << " rec_crashed=" << rec_crashed;
+        std::string why;
+        EXPECT_TRUE(wl->verifyStructure(&why))
+            << schemeName(scheme) << " rec_point=" << rec_point << ": "
+            << why;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPersistentSchemes, RecoveryIdempotence,
+    ::testing::Values(Scheme::Hoop, Scheme::OptRedo, Scheme::OptUndo,
+                      Scheme::Osp, Scheme::Lsm, Scheme::Lad),
+    [](const auto &info) {
+        std::string n = schemeName(info.param);
+        for (auto &c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n;
+    });
 
 TEST(CrashEdgeCases, DoubleCrashDuringRecoveryWindow)
 {
