@@ -266,9 +266,13 @@ figureWorkloads()
 inline std::vector<Scheme>
 figureSchemes(bool include_ideal = true)
 {
-    std::vector<Scheme> s = {Scheme::OptRedo, Scheme::OptUndo,
-                             Scheme::Osp,     Scheme::Lsm,
-                             Scheme::Lad,     Scheme::Hoop};
+    // Reserve for the optional Ideal entry up front: growing from the
+    // exact six-element capacity trips a spurious GCC -Warray-bounds
+    // in the relocation path under -fsanitize=undefined.
+    std::vector<Scheme> s;
+    s.reserve(7);
+    s.assign({Scheme::OptRedo, Scheme::OptUndo, Scheme::Osp,
+              Scheme::Lsm, Scheme::Lad, Scheme::Hoop});
     if (include_ideal)
         s.push_back(Scheme::Native);
     return s;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "analysis/ordering_tracker.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -16,6 +17,14 @@ LadController::LadController(NvmDevice &nvm, const SystemConfig &cfg_)
       evictionsAbsorbedC_(stats_.counter("evictions_absorbed")),
       homeWritebacksC_(stats_.counter("home_writebacks"))
 {
+}
+
+void
+LadController::declareOrderingRules(OrderingTracker &t)
+{
+    t.rule("lad-commit-drain")
+        .requiresSettled("every committed line inside the ADR domain "
+                         "(battery-drained) before the commit ack");
 }
 
 TxId
@@ -58,6 +67,7 @@ LadController::txEnd(CoreId core, Tick now)
         nvm_.peek(kv.first, buf, kCacheLineSize);
         kv.second.overlay(buf);
         t = std::max(t, nvm_.write(now, kv.first, buf, kCacheLineSize));
+        orderDep("lad-commit-drain", coreTx[core].txId);
         ++queueDrainsC_;
     }
 
@@ -69,7 +79,9 @@ LadController::txEnd(CoreId core, Tick now)
     if (!writes.empty()) {
         const Tick drained = std::max(
             t, nvm_.channelFree() + nvm_.timing().writeLatency);
-        nvm_.faults().settleUpTo(drained);
+        if (!cfg.debugSkipSettleFences)
+            nvm_.faults().settleUpTo(drained);
+        orderTrigger("lad-commit-drain", coreTx[core].txId, drained);
     }
 
     // Crash point: the ADR queue-drain boundary. The whole drain is

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <map>
 
+#include "analysis/ordering_tracker.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -35,6 +36,17 @@ LsmController::indexWalkCost() const
     // the tower height costs a DRAM access.
     const unsigned hops = index_.height() / 5 + 2;
     return cfg.lsmIndexCycles * cfg.cycle() + hops * cfg.dramLatency;
+}
+
+void
+LsmController::declareOrderingRules(OrderingTracker &t)
+{
+    t.rule("lsm-commit-record")
+        .requiresDurable("every log extent and the commit record of an "
+                         "acknowledged transaction");
+    t.rule("lsm-log-truncate")
+        .requiresSettled("home-migration writes before the log entries "
+                         "that redo them are truncated");
 }
 
 TxId
@@ -98,6 +110,7 @@ LsmController::txEnd(CoreId core, Tick now)
         e.mask = img.mask;
         e.words = img.words;
         t = std::max(t, log_.append(now, e));
+        orderDep("lsm-commit-record", tx);
         index_.insert(kv.first, logicalEntryIdx++);
         ++logEntriesC_;
     }
@@ -111,13 +124,18 @@ LsmController::txEnd(CoreId core, Tick now)
         rec.commitId = cid;
         rec.mask = 1;
         t = std::max(t, log_.append(now, rec));
+        orderDep("lsm-commit-record", tx);
         ++commitRecordsC_;
     }
 
+    // debugEarlyCommitAck acknowledges at issue time while the log
+    // appends are still in flight (checker validation only).
+    const Tick ack = cfg.debugEarlyCommitAck ? now : t;
+    orderTrigger("lsm-commit-record", tx, ack);
     writes.clear();
     coreTx[core] = CoreTxState{};
     ++txCommittedC_;
-    return t;
+    return ack;
 }
 
 FillResult
@@ -193,6 +211,7 @@ LsmController::gc(Tick now)
         kv.second.overlay(buf);
         last = std::max(last,
                         nvm_.write(now, kv.first, buf, kCacheLineSize));
+        orderDep("lsm-log-truncate", 0);
         index_.erase(kv.first);
         ++migratedLinesC_;
     }
@@ -206,7 +225,9 @@ LsmController::gc(Tick now)
         // the channel and settle the migrations first.
         const Tick drained = std::max(
             last, nvm_.channelFree() + nvm_.timing().writeLatency);
-        nvm_.faults().settleUpTo(drained);
+        if (!cfg.debugSkipSettleFences)
+            nvm_.faults().settleUpTo(drained);
+        orderTrigger("lsm-log-truncate", 0, drained);
         last = std::max(last, log_.truncate(drained, log_.size()));
     }
     return last;
@@ -273,7 +294,7 @@ LsmController::recover(unsigned)
     std::uint64_t lines = 0;
     for (const auto &kv : by_commit) {
         for (const LogEntry &e : kv.second) {
-            if (!has_record.count(e.txId))
+            if (!has_record.contains(e.txId))
                 continue;
             // Crash point: between replay writes; the log survives
             // until the clear below, so replay is re-runnable.

@@ -52,6 +52,7 @@ class LsmController : public PersistenceController
     void crash() override;
     Tick recover(unsigned threads) override;
     void debugReadLine(Addr line, std::uint8_t *buf) const override;
+    void declareOrderingRules(OrderingTracker &t) override;
 
     SkipList &index() { return index_; }
     LogRegion &log() { return log_; }

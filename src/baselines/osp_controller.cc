@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "analysis/ordering_tracker.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -52,6 +53,14 @@ OspController::OspController(NvmDevice &nvm, const SystemConfig &cfg_)
 {
 }
 
+void
+OspController::declareOrderingRules(OrderingTracker &t)
+{
+    t.rule("osp-flip-record")
+        .requiresDurable("inactive-copy data writes and the flip "
+                         "records of an acknowledged transaction");
+}
+
 Addr
 OspController::shadowOf(Addr line) const
 {
@@ -67,7 +76,7 @@ OspController::selectorAddr(Addr line) const
 bool
 OspController::shadowIsCurrent(Addr line) const
 {
-    return shadowCurrent.count(line) != 0;
+    return shadowCurrent.contains(line);
 }
 
 Addr
@@ -104,7 +113,7 @@ OspController::applyFlips(Tick now, const std::vector<Addr> &lines)
     std::unordered_set<Addr> selector_lines;
     Tick last = now;
     for (Addr line : lines) {
-        const std::uint8_t v = shadowCurrent.count(line) ? 1 : 0;
+        const std::uint8_t v = shadowCurrent.contains(line) ? 1 : 0;
         nvm_.poke(selectorAddr(line), &v, 1);
         selector_lines.insert(lineAddr(selectorAddr(line)));
     }
@@ -137,6 +146,7 @@ OspController::txEnd(CoreId core, Tick now)
             shadowIsCurrent(line) ? line : shadowOf(line);
         data_done = std::max(
             data_done, nvm_.write(now, target, buf, kCacheLineSize));
+        orderDep("osp-flip-record", tx);
         flipped.push_back(line);
         ++shadowWritesC_;
     }
@@ -175,8 +185,16 @@ OspController::txEnd(CoreId core, Tick now)
             e.words[j] = line | new_sel;
         }
         rec_done = std::max(rec_done, log_.append(data_done, e));
+        orderDep("osp-flip-record", tx);
         ++flipRecordsC_;
     }
+
+    // The commit is durable once every inactive-copy write and flip
+    // record is on NVM — rec_done bounds them all (records are issued
+    // after the data on the same channel). debugEarlyCommitAck claims
+    // durability at issue time instead (checker validation only).
+    orderTrigger("osp-flip-record", tx,
+                 cfg.debugEarlyCommitAck ? now : rec_done);
 
     // 3. Apply the flips (selector table) and pay the TLB shootdown.
     for (Addr line : flipped) {
@@ -247,7 +265,7 @@ OspController::evictLine(CoreId core, Addr line, const std::uint8_t *data,
     if (persistent) {
         bool open = false;
         for (unsigned c = 0; c < cfg.numCores && !open; ++c)
-            open = txWrites[c].count(line) != 0;
+            open = txWrites[c].contains(line);
         if (open) {
             // Uncommitted data parks in the inactive copy; the old copy
             // stays intact for crash safety.

@@ -48,6 +48,7 @@ class OspController : public PersistenceController
     void crash() override;
     Tick recover(unsigned threads) override;
     void debugReadLine(Addr line, std::uint8_t *buf) const override;
+    void declareOrderingRules(OrderingTracker &t) override;
 
     /** NVM address of the line's shadow copy. */
     Addr shadowOf(Addr line) const;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <map>
 
+#include "analysis/ordering_tracker.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -43,6 +44,17 @@ RedoController::RedoController(NvmDevice &nvm, const SystemConfig &cfg_)
       logBackpressureStallsC_(
           stats_.counter("log_backpressure_stalls"))
 {
+}
+
+void
+RedoController::declareOrderingRules(OrderingTracker &t)
+{
+    t.rule("redo-commit-record")
+        .requiresDurable("every redo entry and the commit record of an "
+                         "acknowledged transaction");
+    t.rule("redo-log-truncate")
+        .requiresSettled("asynchronous checkpoint writes before the log "
+                         "entries that redo them are truncated");
 }
 
 TxId
@@ -88,6 +100,7 @@ RedoController::txEnd(CoreId core, Tick now)
         e.mask = kv.second.mask;
         e.words = kv.second.words;
         t = std::max(t, log_.append(now, e));
+        orderDep("redo-commit-record", tx);
         // WrAP's per-update metadata occupies a second cache line.
         nvm_.writeAccounting(now, kCacheLineSize);
         ++logEntriesC_;
@@ -103,6 +116,7 @@ RedoController::txEnd(CoreId core, Tick now)
         rec.commitId = cid;
         rec.mask = 1;
         t = std::max(t, log_.append(now, rec));
+        orderDep("redo-commit-record", tx);
         ++commitRecordsC_;
 
         // Asynchronous checkpointing (WrAP): each logged line is
@@ -118,16 +132,22 @@ RedoController::txEnd(CoreId core, Tick now)
             nvm_.peek(kv.first, buf, kCacheLineSize);
             kv.second.overlay(buf);
             nvm_.write(t, kv.first, buf, kCacheLineSize);
+            orderDep("redo-log-truncate", 0);
             ++checkpointWritesC_;
         }
         truncatableEntries += txWrites[core].size() + 1;
     }
 
     t = std::max(t, outstanding[core]);
+    // debugEarlyCommitAck acknowledges at issue time while the log
+    // appends are still in flight — the durable-by-ack rule must flag
+    // every such commit (checker validation only).
+    const Tick ack = cfg.debugEarlyCommitAck ? now : t;
+    orderTrigger("redo-commit-record", tx, ack);
     txWrites[core].clear();
     coreTx[core] = CoreTxState{};
     ++txCommittedC_;
-    return t;
+    return ack;
 }
 
 FillResult
@@ -191,7 +211,9 @@ RedoController::truncateRetired(Tick now)
     // committed data with no log entry left to redo it.
     const Tick drained = std::max(
         now, nvm_.channelFree() + nvm_.timing().writeLatency);
-    nvm_.faults().settleUpTo(drained);
+    if (!cfg.debugSkipSettleFences)
+        nvm_.faults().settleUpTo(drained);
+    orderTrigger("redo-log-truncate", 0, drained);
     const Tick done = log_.truncate(drained, truncatableEntries);
     truncatableEntries = 0;
     ++truncationsC_;
@@ -257,7 +279,7 @@ RedoController::recover(unsigned)
     std::uint64_t lines = 0;
     for (const auto &kv : by_commit) {
         for (const LogEntry &e : kv.second) {
-            if (!has_record.count(e.txId))
+            if (!has_record.contains(e.txId))
                 continue; // uncommitted: discard
             // Crash point: between replay writes. The log is cleared
             // only after the loop, so a second recovery replays the

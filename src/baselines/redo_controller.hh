@@ -69,6 +69,7 @@ class RedoController : public PersistenceController
     void crash() override;
     Tick recover(unsigned threads) override;
     void debugReadLine(Addr line, std::uint8_t *buf) const override;
+    void declareOrderingRules(OrderingTracker &t) override;
 
     LogRegion &log() { return log_; }
 

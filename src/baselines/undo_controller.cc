@@ -4,6 +4,7 @@
 #include <cstring>
 #include <map>
 
+#include "analysis/ordering_tracker.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -22,6 +23,17 @@ UndoController::UndoController(NvmDevice &nvm, const SystemConfig &cfg_)
       logBackpressureStallsC_(
           stats_.counter("log_backpressure_stalls"))
 {
+}
+
+void
+UndoController::declareOrderingRules(OrderingTracker &t)
+{
+    t.rule("undo-home-write")
+        .requiresIssued("the line's undo pre-image entry before any "
+                        "in-place write of an open transaction's line");
+    t.rule("undo-commit-record")
+        .requiresDurable("in-place data flushes and the commit record "
+                         "of an acknowledged transaction");
 }
 
 TxId
@@ -47,22 +59,27 @@ UndoController::storeWord(CoreId core, Addr addr,
         // before any in-place update may reach the home region. ATOM
         // enforces the ordering in the controller, so the store itself
         // is not delayed; the commit waits for the log instead.
-        if (log_.full())
-            stallForLogSpace(now);
-        std::uint8_t old_line[kCacheLineSize];
-        nvm_.read(now, line, old_line, kCacheLineSize);
-        LogEntry e;
-        e.type = LogEntryType::UndoImage;
-        e.txId = coreTx[core].txId;
-        e.line = line;
-        e.mask = 0xff;
-        std::memcpy(e.words.data(), old_line, kCacheLineSize);
-        outstanding[core] =
-            std::max(outstanding[core], log_.append(now, e));
-        // Metadata companion line of the undo entry.
-        nvm_.writeAccounting(now, kCacheLineSize);
-        ++openEntries;
-        ++logEntriesC_;
+        // debugSkipUndoLog drops the entry, breaking write-ahead
+        // logging so the issued-before-trigger rule can be validated.
+        if (!cfg.debugSkipUndoLog) {
+            if (log_.full())
+                stallForLogSpace(now);
+            std::uint8_t old_line[kCacheLineSize];
+            nvm_.read(now, line, old_line, kCacheLineSize);
+            LogEntry e;
+            e.type = LogEntryType::UndoImage;
+            e.txId = coreTx[core].txId;
+            e.line = line;
+            e.mask = 0xff;
+            std::memcpy(e.words.data(), old_line, kCacheLineSize);
+            outstanding[core] =
+                std::max(outstanding[core], log_.append(now, e));
+            orderDep("undo-home-write", line);
+            // Metadata companion line of the undo entry.
+            nvm_.writeAccounting(now, kCacheLineSize);
+            ++openEntries;
+            ++logEntriesC_;
+        }
         it = writes.emplace(line, LineImage{}).first;
     }
     it->second.setWord(
@@ -88,6 +105,8 @@ UndoController::txEnd(CoreId core, Tick now)
         kv.second.overlay(buf);
         data_done = std::max(
             data_done, nvm_.write(t, kv.first, buf, kCacheLineSize));
+        orderDep("undo-commit-record", tx);
+        orderTrigger("undo-home-write", kv.first, 0, 1, false);
         ++commitFlushesC_;
     }
 
@@ -101,16 +120,21 @@ UndoController::txEnd(CoreId core, Tick now)
         rec.commitId = cid;
         rec.mask = 1;
         commit_done = log_.append(data_done, rec);
+        orderDep("undo-commit-record", tx);
         ++openEntries;
         ++commitRecordsC_;
     }
 
+    // debugEarlyCommitAck acknowledges at issue time while the flushes
+    // and the record are still in flight (checker validation only).
+    const Tick ack = cfg.debugEarlyCommitAck ? now : commit_done;
+    orderTrigger("undo-commit-record", tx, ack);
     committedEntries += openEntries;
     openEntries = 0;
     txWrites[core].clear();
     coreTx[core] = CoreTxState{};
     ++txCommittedC_;
-    return commit_done;
+    return ack;
 }
 
 FillResult
@@ -129,6 +153,13 @@ UndoController::evictLine(CoreId, Addr line, const std::uint8_t *data,
 {
     // In-place writeback is always legal: the undo entry for any
     // uncommitted content was persisted before the first store.
+    if (ordering()) {
+        bool open_tx_line = false;
+        for (unsigned c = 0; c < cfg.numCores && !open_tx_line; ++c)
+            open_tx_line = txWrites[c].contains(line);
+        if (open_tx_line)
+            orderTrigger("undo-home-write", line, 0, 1, false);
+    }
     nvm_.write(now, line, data, kCacheLineSize);
     ++homeWritebacksC_;
 }
@@ -149,6 +180,9 @@ UndoController::truncateCommitted(Tick now)
     // recovery rolls nothing back either way.
     crashStep(CrashPointKind::GcStep);
     log_.truncate(now, log_.size());
+    // The truncated entries' pre-images are gone; retire their
+    // write-ahead obligations (all owners have committed).
+    orderClear("undo-home-write");
     committedEntries = 0;
 }
 
@@ -205,7 +239,7 @@ UndoController::recover(unsigned)
 
     std::uint64_t lines = 0;
     for (auto it = images.rbegin(); it != images.rend(); ++it) {
-        if (has_record.count(it->txId))
+        if (has_record.contains(it->txId))
             continue; // committed: keep the in-place data
         // Crash point: between rollback writes. Pre-images are
         // absolute and the log survives until the clear below, so a

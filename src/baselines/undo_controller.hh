@@ -47,6 +47,7 @@ class UndoController : public PersistenceController
     void crash() override;
     Tick recover(unsigned threads) override;
     void debugReadLine(Addr line, std::uint8_t *buf) const override;
+    void declareOrderingRules(OrderingTracker &t) override;
 
     LogRegion &log() { return log_; }
 

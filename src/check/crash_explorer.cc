@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "analysis/order_harness.hh"
 #include "sim/system.hh"
 #include "workloads/registry.hh"
 
@@ -20,22 +21,7 @@ namespace
 SystemConfig
 configFor(const CrashSchedule &sched)
 {
-    SystemConfig cfg;
-    cfg.numCores = sched.numCores;
-    cfg.seed = sched.seed;
-    cfg.homeBytes = miB(64);
-    // Small OOP blocks fill within a short window, so HOOP's GC has
-    // real migration candidates to crash between.
-    cfg.oopBytes = miB(1);
-    cfg.oopBlockBytes = kiB(8);
-    cfg.auxBytes = miB(64) + miB(8);
-    cfg.cache.l1Size = kiB(1);
-    cfg.cache.l1Assoc = 2;
-    cfg.cache.l2Size = kiB(4);
-    cfg.cache.l2Assoc = 2;
-    cfg.cache.llcSize = kiB(16);
-    cfg.cache.llcAssoc = 4;
-    cfg.gcPeriod = nsToTicks(10'000);
+    SystemConfig cfg = smallCheckConfig(sched.numCores, sched.seed);
     cfg.debugNoCommitFence = sched.breakCommitFence;
     return cfg;
 }
@@ -82,6 +68,20 @@ runSchedule(const CrashSchedule &sched)
         sys.maintenance();
     }
     sys.crashHook().resetCounts();
+
+    // The ordering analyzer arms after warmup (rules judge the steady
+    // state) and watches every phase that follows: the crash window,
+    // the crash itself (onCrash retires in-flight state) and recovery.
+    OrderingTracker tracker;
+    if (sched.ordering)
+        sys.armOrdering(&tracker);
+    auto captureOrdering = [&]() {
+        if (!sched.ordering)
+            return;
+        res.orderingRules = tracker.ruleReports();
+        res.orderingTraces = tracker.violations();
+        sys.armOrdering(nullptr);
+    };
 
     // Post-recovery oracle. The crashed transaction's shadow update may
     // still be pending (the crash hit inside its commit, where both
@@ -146,6 +146,7 @@ runSchedule(const CrashSchedule &sched)
         res.events[kindIndex(CrashPointKind::RecoveryStep)] =
             sys.crashHook().count(CrashPointKind::RecoveryStep) - before;
         oracle("profiling run");
+        captureOrdering();
         return res;
     }
 
@@ -192,11 +193,14 @@ runSchedule(const CrashSchedule &sched)
         }
 
         if (!oracle(rec_crashed ? "after crash-during-recovery"
-                                : "after crash + recovery"))
+                                : "after crash + recovery")) {
+            captureOrdering();
             return res;
+        }
     }
 
     res.events = sys.crashHook().counts();
+    captureOrdering();
     return res;
 }
 
@@ -299,9 +303,37 @@ explore(const ExploreOptions &opt)
     base.tornWrites = opt.tornWrites || opt.breakCommitFence;
     base.mediaFaultProb = opt.mediaFaultProb;
     base.breakCommitFence = opt.breakCommitFence;
+    base.ordering = opt.ordering;
+
+    // Sum per-rule outcomes across schedules (merged by rule name): a
+    // rule with zero fires over the whole sweep is dead, and every
+    // violation counts even when its schedule's crash missed the
+    // vulnerable window.
+    auto absorbOrdering = [&rep](const ScheduleResult &r) {
+        for (const OrderingRuleReport &rr : r.orderingRules) {
+            auto it = std::find_if(
+                rep.orderingRules.begin(), rep.orderingRules.end(),
+                [&rr](const OrderingRuleReport &have) {
+                    return have.name == rr.name;
+                });
+            if (it == rep.orderingRules.end()) {
+                rep.orderingRules.push_back(rr);
+            } else {
+                it->fires += rr.fires;
+                it->depsChecked += rr.depsChecked;
+                it->violations += rr.violations;
+            }
+            rep.orderingViolations += rr.violations;
+        }
+        for (const OrderingViolation &v : r.orderingTraces) {
+            if (rep.orderingTraces.size() < 50)
+                rep.orderingTraces.push_back(v);
+        }
+    };
 
     const ScheduleResult profile = runSchedule(base);
     rep.eventsProfiled = profile.events;
+    absorbOrdering(profile);
 
     std::vector<CrashPointKind> kinds = opt.kinds;
     if (kinds.empty()) {
@@ -339,6 +371,7 @@ explore(const ExploreOptions &opt)
             sched.steps.push_back(step);
 
             const ScheduleResult r = runSchedule(sched);
+            absorbOrdering(r);
             ++rep.schedulesRun;
             ++rep.schedulesPerKind[ki];
             if (r.crashFired)

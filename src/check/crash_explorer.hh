@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/ordering_tracker.hh"
 #include "check/crash_schedule.hh"
 
 namespace hoopnvm
@@ -57,6 +58,14 @@ struct ExploreOptions
     /** Debug knob: commit acks before the record is durable. */
     bool breakCommitFence = false;
 
+    /**
+     * Arm the persistency-ordering analyzer on every schedule. Rule
+     * checks run continuously, so a broken fence is reported as a
+     * violated rule even when no schedule's crash lands in the
+     * vulnerable window.
+     */
+    bool ordering = false;
+
     /** Boundary classes to explore; empty = all five. */
     std::vector<CrashPointKind> kinds;
 };
@@ -77,6 +86,12 @@ struct ScheduleResult
 
     /** Per-class event counts over the run window (profiling). */
     std::array<std::uint64_t, kNumCrashPointKinds> events{};
+
+    /** Per-rule outcome of this schedule (ordering armed only). */
+    std::vector<OrderingRuleReport> orderingRules;
+
+    /** Ordering-violation traces of this schedule (capped). */
+    std::vector<OrderingViolation> orderingTraces;
 };
 
 /** One confirmed, shrunken violation. */
@@ -100,6 +115,19 @@ struct ExploreReport
     std::array<std::uint64_t, kNumCrashPointKinds> firedPerKind{};
 
     std::vector<Violation> violations;
+
+    /**
+     * Per-rule outcomes summed over every schedule of the sweep
+     * (ordering armed only). A rule with zero aggregate fires never
+     * triggered anywhere in the sweep — a spec-coverage hole.
+     */
+    std::vector<OrderingRuleReport> orderingRules;
+
+    /** Total ordering-rule violations over the sweep. */
+    std::uint64_t orderingViolations = 0;
+
+    /** Sample ordering-violation traces (capped). */
+    std::vector<OrderingViolation> orderingTraces;
 };
 
 /**

@@ -192,6 +192,7 @@ CrashSchedule::toJson() const
     os << "  \"media_fault_prob\": " << mediaFaultProb << ",\n";
     os << "  \"break_commit_fence\": "
        << (breakCommitFence ? "true" : "false") << ",\n";
+    os << "  \"ordering\": " << (ordering ? "true" : "false") << ",\n";
     os << "  \"steps\": [";
     for (std::size_t i = 0; i < steps.size(); ++i) {
         os << (i ? ",\n    " : "\n    ");
@@ -258,6 +259,8 @@ CrashSchedule::fromJson(const std::string &text, CrashSchedule *out,
             return p.parseNumber(&out->mediaFaultProb);
         if (key == "break_commit_fence")
             return p.parseBool(&out->breakCommitFence);
+        if (key == "ordering")
+            return p.parseBool(&out->ordering);
         if (key == "steps") {
             if (!p.consume('['))
                 return false;

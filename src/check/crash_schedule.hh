@@ -51,6 +51,10 @@ struct CrashSchedule
     bool tornWrites = false;
     double mediaFaultProb = 0.0;
     bool breakCommitFence = false;
+
+    /** Arm the persistency-ordering analyzer for the whole run. */
+    bool ordering = false;
+
     std::vector<CrashStep> steps;
 
     std::string toJson() const;

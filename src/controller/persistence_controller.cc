@@ -1,5 +1,6 @@
 #include "controller/persistence_controller.hh"
 
+#include "analysis/ordering_tracker.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -30,6 +31,29 @@ PersistenceController::txBeginAs(CoreId core, Tick now, TxId forced)
     coreTx[core].txId = forced;
     ++txBegunC_;
     return coreTx[core].txId;
+}
+
+void
+PersistenceController::orderDep(const char *rule, std::uint64_t key)
+{
+    if (ordering_)
+        ordering_->addDep(rule, key);
+}
+
+void
+PersistenceController::orderTrigger(const char *rule, std::uint64_t key,
+                                    Tick ack, std::size_t minDeps,
+                                    bool consume)
+{
+    if (ordering_)
+        ordering_->trigger(rule, key, ack, minDeps, consume);
+}
+
+void
+PersistenceController::orderClear(const char *rule)
+{
+    if (ordering_)
+        ordering_->clearRule(rule);
 }
 
 void

@@ -39,6 +39,8 @@
 namespace hoopnvm
 {
 
+class OrderingTracker;
+
 /** Result of servicing an LLC miss. */
 struct FillResult
 {
@@ -177,6 +179,25 @@ class PersistenceController
 
     NvmDevice &nvm() { return nvm_; }
 
+    // ---- Persistency-ordering analysis ----
+
+    /** Attach the ordering analyzer (nullptr detaches). */
+    void setOrderingTracker(OrderingTracker *t) { ordering_ = t; }
+
+    /** The attached analyzer, or nullptr when not armed. */
+    OrderingTracker *ordering() const { return ordering_; }
+
+    /**
+     * Declare this scheme's durability happens-before rules into @p t.
+     * Called once when the analyzer is armed; implementations then tag
+     * the runtime via orderDep()/orderTrigger() at the matching sites.
+     */
+    virtual void
+    declareOrderingRules(OrderingTracker &t)
+    {
+        (void)t;
+    }
+
     // ---- Crash-point injection ----
 
     /** Attach the system's crash hook (nullptr detaches). */
@@ -222,6 +243,21 @@ class PersistenceController
         nextCommitId = next_commit;
     }
 
+    // Null-safe forwarding to the attached ordering analyzer (see
+    // OrderingTracker for the semantics). Out of line: the tracker is
+    // an incomplete type here.
+
+    /** Tag the write just issued as a dependency of @p rule. */
+    void orderDep(const char *rule, std::uint64_t key);
+
+    /** Claim @p rule's guarantee for group @p key; see trigger(). */
+    void orderTrigger(const char *rule, std::uint64_t key,
+                      Tick ack = 0, std::size_t minDeps = 0,
+                      bool consume = true);
+
+    /** Retire every dependency group of @p rule. */
+    void orderClear(const char *rule);
+
     NvmDevice &nvm_;
     const SystemConfig &cfg;
     StatSet stats_;
@@ -237,6 +273,7 @@ class PersistenceController
     TxId nextTxId = 1;
     std::uint64_t nextCommitId = 1;
     CrashHook *crashHook_ = nullptr;
+    OrderingTracker *ordering_ = nullptr;
 };
 
 } // namespace hoopnvm

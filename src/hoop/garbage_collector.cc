@@ -175,6 +175,7 @@ GarbageCollector::run(Tick now)
                     std::memcpy(buf + w.first, &w.second, kWordSize);
                 last = std::max(last,
                                 ctrl.writeHomeLine(now, kv.first, buf));
+                ctrl.orderDep("hoop-gc-watermark", 0);
                 ctrl.noteHomeSeq(kv.first, kv.second.maxSeq);
                 // Recently migrated lines stay visible in the eviction
                 // buffer so racing misses never read a stale home copy.
@@ -204,6 +205,7 @@ GarbageCollector::run(Tick now)
                 last, ctrl.nvm_.read(now, line, buf, kCacheLineSize));
             std::memcpy(buf + (w.addr - line), &w.value, kWordSize);
             last = std::max(last, ctrl.writeHomeLine(now, line, buf));
+            ctrl.orderDep("hoop-gc-watermark", 0);
             ctrl.evictBuf.put(line, buf);
             migratedWordBytes_ += kWordSize;
             ++homeLinesWrittenC_;
@@ -231,7 +233,9 @@ GarbageCollector::run(Tick now)
     // including the recycle header writes below, can still tear.
     last = std::max(last, ctrl.nvm_.channelFree() +
                               ctrl.nvm_.timing().writeLatency);
-    ctrl.nvm_.faults().settleUpTo(last);
+    if (!ctrl.cfg.debugSkipSettleFences)
+        ctrl.nvm_.faults().settleUpTo(last);
+    ctrl.orderTrigger("hoop-gc-watermark", 0, last);
 
     // Advance the durable GC watermark past every collected block and
     // fence it before any recycle header is issued. The recycle
@@ -251,9 +255,12 @@ GarbageCollector::run(Tick now)
     }
     last = std::max(last,
                     region.writeGcWatermark(batch_max_open + 1, now));
+    ctrl.orderDep("hoop-gc-recycle", 0);
     last = std::max(last, ctrl.nvm_.channelFree() +
                               ctrl.nvm_.timing().writeLatency);
-    ctrl.nvm_.faults().settleUpTo(last);
+    if (!ctrl.cfg.debugSkipSettleFences)
+        ctrl.nvm_.faults().settleUpTo(last);
+    ctrl.orderTrigger("hoop-gc-recycle", 0, last, 1);
     for (std::uint32_t b : cand) {
         // Crash point: between block recycles, after the fence. An
         // already-recycled block's data is durably home; a not-yet-

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "analysis/ordering_tracker.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -42,6 +43,20 @@ HoopController::HoopController(NvmDevice &nvm, const SystemConfig &cfg_)
 }
 
 HoopController::~HoopController() = default;
+
+void
+HoopController::declareOrderingRules(OrderingTracker &t)
+{
+    t.rule("hoop-commit-record")
+        .requiresDurable("every chain slice and the commit record of an "
+                         "acknowledged transaction");
+    t.rule("hoop-gc-watermark")
+        .requiresSettled("migrated home lines before the GC watermark "
+                         "advances past their slices");
+    t.rule("hoop-gc-recycle")
+        .requiresSettled("the GC watermark before any collected block "
+                         "is recycled");
+}
 
 TxId
 HoopController::txBeginAs(CoreId core, Tick now, TxId forced)
@@ -109,6 +124,10 @@ HoopController::emitSlice(CoreId core, const PendingSlice &p,
 
     const Tick done = region_.writeSlice(t, idx, s);
     region_.noteSliceTx(idx, tx);
+    // Evict slices are read-redirection copies; the chain slices carry
+    // the same words, so commit durability depends only on Data slices.
+    if (type == SliceType::Data)
+        orderDep("hoop-commit-record", tx);
 
     if (type == SliceType::Evict) {
         if (!mapping.insert(lineAddr(p.addrs[0]), idx)) {
@@ -243,6 +262,7 @@ HoopController::commitPrepared(CoreId core, Tick now)
         commit_done = nvm_.write(t, region_.sliceAddr(idx), enc,
                                  MemorySlice::kSliceBytes, 32);
         region_.noteSliceTx(idx, tx);
+        orderDep("hoop-commit-record", tx);
         ++addrSlicesC_;
     }
 
@@ -260,7 +280,9 @@ HoopController::commitPrepared(CoreId core, Tick now)
     coreTx[core] = CoreTxState{};
     chains[core] = CoreChain{};
     ++txCommittedC_;
-    return std::max(now, commit_done);
+    const Tick ack = std::max(now, commit_done);
+    orderTrigger("hoop-commit-record", tx, ack);
+    return ack;
 }
 
 FillResult

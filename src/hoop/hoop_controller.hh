@@ -77,6 +77,7 @@ class HoopController : public PersistenceController
     void crash() override;
     Tick recover(unsigned threads) override;
     void debugReadLine(Addr line, std::uint8_t *buf) const override;
+    void declareOrderingRules(OrderingTracker &t) override;
 
     // ---- Component access (tests, benches, GC) ----
 

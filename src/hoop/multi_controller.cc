@@ -42,7 +42,7 @@ MultiHoopSystem::storeWord(CoreId core, Addr addr, std::uint64_t value)
 {
     const unsigned ch = channelOf(addr);
     // Lazily enlist the channel as a 2PC participant.
-    if (!touched[core].count(ch)) {
+    if (!touched[core].contains(ch)) {
         mcs[ch].ctrl->txBeginAs(core, clocks[core], globalTx[core]);
         touched[core].insert(ch);
     }
@@ -137,7 +137,7 @@ MultiHoopSystem::recoverAll(unsigned threads)
         }
         for (TxId tx : has_slices) {
             auto it = eligible.emplace(tx, true).first;
-            if (!has_record.count(tx))
+            if (!has_record.contains(tx))
                 it->second = false; // prepared but never committed here
         }
         for (TxId tx : has_record)

@@ -216,7 +216,7 @@ RecoveryManager::run(unsigned threads,
                     lb.block * (region.slicesPerBlock() + 1) + slot;
                 const MemorySlice s = region.peekSlice(idx);
                 if (!s.crcOk || !s.carriesWords() ||
-                    !committed.count(s.txId))
+                    !committed.contains(s.txId))
                     continue;
                 for (unsigned w = 0; w < s.count; ++w) {
                     WordVersion &v = local[s.homeAddrs[w]];

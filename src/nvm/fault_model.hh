@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "nvm/write_observer.hh"
 
 namespace hoopnvm
 {
@@ -83,6 +84,14 @@ class FaultModel
     /** Back to a pristine, fault-free injector (counters included). */
     void reset();
 
+    /**
+     * Attach an observer of durability fences (nullptr detaches). The
+     * settle notification fires even with torn writes disabled, so the
+     * ordering analyzer sees every fence in clean runs too. Survives
+     * reset(): attachment is wiring, not fault state.
+     */
+    void setObserver(NvmWriteObserver *obs) { observer_ = obs; }
+
     // ---- Device hooks ----
 
     /**
@@ -125,6 +134,8 @@ class FaultModel
     void
     settleUpTo(Tick tick)
     {
+        if (observer_)
+            observer_->onSettle(tick);
         while (!pending_.empty() &&
                pending_.front().completion <= tick) {
             pending_.pop_front();
@@ -184,6 +195,7 @@ class FaultModel
 
     std::uint64_t seed_;
     bool tornWrites_ = false;
+    NvmWriteObserver *observer_ = nullptr;
     std::deque<PendingWrite> pending_;
     std::uint64_t nextSerial_ = 0;
     std::vector<MediaFaultRange> ranges_;

@@ -107,6 +107,8 @@ NvmDevice::write(Tick now, Addr addr, const void *buf, std::size_t len,
     const Tick done = reserve(now, accounted, true);
     if (faults_.tornWritesEnabled())
         faults_.noteWrite(addr, preimage.data(), len, done, now);
+    if (observer_)
+        observer_->onTimedWrite(addr, len, now, done);
     return done;
 }
 
@@ -203,6 +205,15 @@ NvmDevice::applyCrashFaults(Tick tick)
                                     std::size_t len) {
         poke(a, buf, len);
     });
+    if (observer_)
+        observer_->onCrash(tick);
+}
+
+void
+NvmDevice::setWriteObserver(NvmWriteObserver *obs)
+{
+    observer_ = obs;
+    faults_.setObserver(obs);
 }
 
 } // namespace hoopnvm

@@ -39,6 +39,7 @@
 #include "nvm/energy_model.hh"
 #include "nvm/fault_model.hh"
 #include "nvm/nvm_timing.hh"
+#include "nvm/write_observer.hh"
 #include "stats/stat_set.hh"
 
 namespace hoopnvm
@@ -126,6 +127,14 @@ class NvmDevice
      */
     void applyCrashFaults(Tick tick);
 
+    /**
+     * Attach an observer of timed writes, durability fences and
+     * crashes (nullptr detaches). Used by the persistency-ordering
+     * analyzer; accounting-only traffic and untimed peek/poke are not
+     * reported (they carry no durability obligation).
+     */
+    void setWriteObserver(NvmWriteObserver *obs);
+
   private:
     static constexpr std::uint64_t kPageBytes = 4096;
     using Page = std::array<std::uint8_t, kPageBytes>;
@@ -167,6 +176,7 @@ class NvmDevice
     mutable std::array<std::uint64_t, kPageCacheSlots> cachedPageIdx_{};
     mutable std::array<Page *, kPageCacheSlots> cachedPage_{};
 
+    NvmWriteObserver *observer_ = nullptr;
     Tick channelFree_ = 0;
     std::uint64_t bytesRead_ = 0;
     std::uint64_t bytesWritten_ = 0;

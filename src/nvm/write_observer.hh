@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Observer interface over the NVM device's durability-relevant events.
+ *
+ * The persistency-ordering analyzer (src/analysis/) needs to see three
+ * things to reason about durability happens-before: every *timed* write
+ * (issue and completion ticks), every durability fence
+ * (FaultModel::settleUpTo), and every crash. The interface lives in the
+ * nvm layer so the device depends only on this header, never on the
+ * analyzer.
+ *
+ * Untimed accesses (peek/poke) and pure accounting traffic
+ * (writeAccounting) carry no durability obligation — they bypass the
+ * fault model too — so they are deliberately not observable.
+ */
+
+#ifndef HOOPNVM_NVM_WRITE_OBSERVER_HH
+#define HOOPNVM_NVM_WRITE_OBSERVER_HH
+
+#include <cstddef>
+
+#include "common/types.hh"
+
+namespace hoopnvm
+{
+
+/** Sees timed writes, durability fences and crashes of one device. */
+class NvmWriteObserver
+{
+  public:
+    virtual ~NvmWriteObserver() = default;
+
+    /**
+     * A timed write of @p len bytes at @p addr was issued at @p issue
+     * and completes (becomes durable) at @p completion. Completion
+     * ticks arrive monotonically non-decreasing: the channel services
+     * writes in issue order.
+     */
+    virtual void onTimedWrite(Addr addr, std::size_t len, Tick issue,
+                              Tick completion) = 0;
+
+    /**
+     * Durability fence: every write with completion <= @p tick is now
+     * settled and can no longer tear. Fired by FaultModel::settleUpTo
+     * regardless of whether torn-write injection is enabled.
+     */
+    virtual void onSettle(Tick tick) = 0;
+
+    /**
+     * Power failure at @p tick: all in-flight writes resolve (tear or
+     * persist); nothing issued before the crash remains in flight.
+     */
+    virtual void onCrash(Tick tick) = 0;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_NVM_WRITE_OBSERVER_HH

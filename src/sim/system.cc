@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "analysis/ordering_tracker.hh"
 #include "baselines/lad_controller.hh"
 #include "baselines/lsm_controller.hh"
 #include "baselines/osp_controller.hh"
@@ -189,6 +190,15 @@ Tick
 System::recover(unsigned threads)
 {
     return ctrl_->recover(threads);
+}
+
+void
+System::armOrdering(OrderingTracker *tracker)
+{
+    nvm_->setWriteObserver(tracker);
+    ctrl_->setOrderingTracker(tracker);
+    if (tracker)
+        ctrl_->declareOrderingRules(*tracker);
 }
 
 void

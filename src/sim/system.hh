@@ -135,6 +135,16 @@ class System
     /** Run the scheme's recovery. @return modelled recovery ticks. */
     Tick recover(unsigned threads);
 
+    // ---- Persistency-ordering analysis ----
+
+    /**
+     * Arm (or with nullptr disarm) the persistency-ordering analyzer:
+     * hooks it into the NVM device's timed write stream and has the
+     * controller declare its durability rules into it. The tracker must
+     * outlive the system or be disarmed first.
+     */
+    void armOrdering(OrderingTracker *tracker);
+
     // ---- Engine hooks ----
 
     /** Invoke controller maintenance at the trailing core clock. */

@@ -130,6 +130,33 @@ struct SystemConfig
      */
     bool debugNoCommitFence = false;
 
+    /**
+     * Deliberately broken commit ack for checker validation: baseline
+     * controllers (Opt-Redo, Opt-Undo, LSM, OSP) acknowledge the commit
+     * at issue time instead of at the durability tick of their log /
+     * shadow writes. The ordering analyzer's durable-by-ack rules must
+     * flag every such commit. Never enable outside tests.
+     */
+    bool debugEarlyCommitAck = false;
+
+    /**
+     * Deliberately skip the settleUpTo() durability fences (HOOP GC
+     * watermark/recycle, Opt-Redo and LSM log truncation, LAD commit
+     * drain) while keeping the timing unchanged. Reintroduces the
+     * torn-write bug class those fences exist to prevent; the ordering
+     * analyzer's settled-at-trigger rules must flag it. Never enable
+     * outside tests.
+     */
+    bool debugSkipSettleFences = false;
+
+    /**
+     * Deliberately skip appending the undo pre-image on first touch
+     * (Opt-Undo only), breaking write-ahead logging. The analyzer's
+     * issued-before-trigger rule must flag the in-place home writes.
+     * Never enable outside tests.
+     */
+    bool debugSkipUndoLog = false;
+
     // ---- Baseline parameters ----
 
     /** Cost of one TLB shootdown charged to OSP commits. */

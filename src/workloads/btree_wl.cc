@@ -202,7 +202,7 @@ BTreeWorkload::runTransaction(std::uint64_t)
     std::uint64_t key;
     do {
         key = 1 + ctx.rng().nextBounded(keySpace);
-    } while (shadow.count(key));
+    } while (shadow.contains(key));
 
     ctx.txBegin();
     const Addr payload =

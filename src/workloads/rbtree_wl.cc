@@ -217,7 +217,7 @@ RbTreeWorkload::runTransaction(std::uint64_t)
     std::uint64_t key;
     do {
         key = 1 + ctx.rng().nextBounded(keySpace);
-    } while (shadow.count(key));
+    } while (shadow.contains(key));
 
     ctx.txBegin();
     insert(key, 0);

@@ -66,8 +66,9 @@ TEST_F(RegionFixture, SliceAddressesAreDistinctAndInRange)
     for (int i = 0; i < 100; ++i) {
         std::uint32_t idx;
         ASSERT_TRUE(region.allocSlice(idx, 0));
-        if (i > 0)
+        if (i > 0) {
             EXPECT_NE(idx, prev);
+        }
         const Addr a = region.sliceAddr(idx);
         EXPECT_GE(a, cfg.oopBase());
         EXPECT_LT(a, cfg.oopBase() + cfg.oopBytes);

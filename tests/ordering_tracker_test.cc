@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the persistency-ordering tracker
+ * (analysis/ordering_tracker.hh): each rule kind's pass/fail boundary,
+ * minDeps enforcement, dependency-group consumption, the redundant
+ * settle / in-flight overwrite counters, dead-rule reporting and the
+ * crash reset.
+ *
+ * The tracker is driven directly through its NvmWriteObserver
+ * interface — no simulator is built, which pins down the contract
+ * each controller integration relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/ordering_tracker.hh"
+
+namespace hoopnvm
+{
+namespace
+{
+
+constexpr Addr kA = 0x1000;
+constexpr Addr kB = 0x2000;
+
+TEST(DurableByAck, PassesWhenAckCoversCompletion)
+{
+    OrderingTracker t;
+    t.rule("commit").requiresDurable("the commit record");
+
+    t.onTimedWrite(kA, 64, 10, 100);
+    t.addDep("commit", 7);
+    t.trigger("commit", 7, /*ack=*/100);
+
+    EXPECT_EQ(t.totalViolations(), 0u);
+    const auto reps = t.ruleReports();
+    ASSERT_EQ(reps.size(), 1u);
+    EXPECT_EQ(reps[0].fires, 1u);
+    EXPECT_EQ(reps[0].depsChecked, 1u);
+}
+
+TEST(DurableByAck, FlagsAckBeforeCompletion)
+{
+    OrderingTracker t;
+    t.rule("commit").requiresDurable("the commit record");
+
+    t.onTimedWrite(kA, 64, 10, 100);
+    t.addDep("commit", 7);
+    t.trigger("commit", 7, /*ack=*/99);
+
+    EXPECT_EQ(t.totalViolations(), 1u);
+    ASSERT_EQ(t.violations().size(), 1u);
+    EXPECT_EQ(t.violations()[0].rule, "commit");
+}
+
+TEST(SettledAtTrigger, PassesAfterFence)
+{
+    OrderingTracker t;
+    t.rule("truncate").requiresSettled("retired log entries");
+
+    t.onTimedWrite(kA, 64, 10, 100);
+    t.addDep("truncate", 0);
+    t.onSettle(100); // fence drains the write
+    t.trigger("truncate", 0);
+
+    EXPECT_EQ(t.totalViolations(), 0u);
+}
+
+TEST(SettledAtTrigger, FlagsInFlightDependency)
+{
+    OrderingTracker t;
+    t.rule("truncate").requiresSettled("retired log entries");
+
+    t.onTimedWrite(kA, 64, 10, 100);
+    t.addDep("truncate", 0);
+    t.onSettle(99); // fence too early: completion is 100
+    t.trigger("truncate", 0);
+
+    EXPECT_EQ(t.totalViolations(), 1u);
+}
+
+TEST(IssuedBeforeTrigger, MinDepsEnforcesPresence)
+{
+    OrderingTracker t;
+    t.rule("wal").requiresIssued("the line's undo entry");
+
+    // No dependency issued: the write-ahead contract is broken.
+    t.trigger("wal", 3, 0, /*minDeps=*/1, /*consume=*/false);
+    EXPECT_EQ(t.totalViolations(), 1u);
+
+    // With the entry issued first, the same trigger passes.
+    t.onTimedWrite(kB, 64, 10, 50);
+    t.addDep("wal", 3);
+    t.trigger("wal", 3, 0, /*minDeps=*/1, /*consume=*/false);
+    EXPECT_EQ(t.totalViolations(), 1u);
+}
+
+TEST(Trigger, ConsumeRetiresTheGroup)
+{
+    OrderingTracker t;
+    t.rule("commit").requiresDurable("the commit record");
+
+    t.onTimedWrite(kA, 64, 10, 100);
+    t.addDep("commit", 1);
+    t.trigger("commit", 1, /*ack=*/100); // consumes group 1
+
+    // Re-triggering the consumed group checks nothing.
+    t.trigger("commit", 1, /*ack=*/0);
+    EXPECT_EQ(t.totalViolations(), 0u);
+    EXPECT_EQ(t.ruleReports()[0].depsChecked, 1u);
+}
+
+TEST(Trigger, NonConsumingGroupIsRecheckable)
+{
+    OrderingTracker t;
+    t.rule("wal").requiresIssued("the line's undo entry");
+
+    t.onTimedWrite(kA, 64, 10, 100);
+    t.addDep("wal", 9);
+    t.trigger("wal", 9, 0, 1, /*consume=*/false);
+    t.trigger("wal", 9, 0, 1, /*consume=*/false);
+
+    EXPECT_EQ(t.totalViolations(), 0u);
+    EXPECT_EQ(t.ruleReports()[0].depsChecked, 2u);
+}
+
+TEST(Trigger, ClearRuleRetiresEveryGroup)
+{
+    OrderingTracker t;
+    t.rule("wal").requiresIssued("the line's undo entry");
+
+    t.onTimedWrite(kA, 64, 10, 100);
+    t.addDep("wal", 1);
+    t.onTimedWrite(kB, 64, 20, 110);
+    t.addDep("wal", 2);
+    t.clearRule("wal"); // e.g. the log was truncated
+
+    t.trigger("wal", 1, 0, /*minDeps=*/1);
+    EXPECT_EQ(t.totalViolations(), 1u); // group gone -> presence fails
+}
+
+TEST(Counters, RedundantSettleIsCounted)
+{
+    OrderingTracker t;
+    t.onTimedWrite(kA, 64, 10, 100);
+    t.onSettle(100); // drains one write
+    t.onSettle(200); // drains nothing
+    EXPECT_EQ(t.counters().settledWrites, 1u);
+    EXPECT_EQ(t.counters().redundantSettles, 1u);
+    EXPECT_EQ(t.counters().settleCalls, 2u);
+}
+
+TEST(Counters, InflightOverwriteIsCounted)
+{
+    OrderingTracker t;
+    t.onTimedWrite(kA, 8, 10, 100);
+    t.onTimedWrite(kA, 8, 20, 110); // same word, first still in flight
+    EXPECT_EQ(t.counters().inflightOverwrites, 1u);
+    EXPECT_EQ(t.counters().depOverwrites, 0u);
+
+    // After a fence the rewrite is not a race.
+    t.onSettle(110);
+    t.onTimedWrite(kA, 8, 30, 120);
+    EXPECT_EQ(t.counters().inflightOverwrites, 1u);
+}
+
+TEST(Counters, DependencyOverwriteWarns)
+{
+    OrderingTracker t;
+    t.rule("commit").requiresDurable("the commit record");
+
+    t.onTimedWrite(kA, 8, 10, 100);
+    t.addDep("commit", 1);
+    t.onTimedWrite(kA, 8, 20, 110); // clobbers the live dependency
+
+    EXPECT_EQ(t.counters().depOverwrites, 1u);
+    ASSERT_EQ(t.warnings().size(), 1u);
+    EXPECT_EQ(t.warnings()[0].rule, "commit");
+    EXPECT_EQ(t.totalViolations(), 0u) << "races warn, not violate";
+}
+
+TEST(Reporting, UnfiredRuleIsDead)
+{
+    OrderingTracker t;
+    t.rule("used").requiresSettled("something");
+    t.rule("orphan").requiresSettled("something else");
+    t.trigger("used", 0);
+
+    const auto dead = t.deadRules();
+    ASSERT_EQ(dead.size(), 1u);
+    EXPECT_EQ(dead[0], "orphan");
+}
+
+TEST(Crash, ResetsVolatileStateButKeepsTotals)
+{
+    OrderingTracker t;
+    t.rule("commit").requiresDurable("the commit record");
+
+    t.onTimedWrite(kA, 8, 10, 100);
+    t.addDep("commit", 1);
+    t.onCrash(50);
+
+    // The open group died with the crash: a post-recovery trigger of
+    // the same key checks nothing and passes.
+    t.trigger("commit", 1, /*ack=*/0);
+    EXPECT_EQ(t.totalViolations(), 0u);
+
+    // The pre-crash write is resolved, not in flight: rewriting its
+    // word is not an overwrite race...
+    t.onTimedWrite(kA, 8, 60, 160);
+    EXPECT_EQ(t.counters().inflightOverwrites, 0u);
+
+    // ...and cumulative totals survive the crash.
+    EXPECT_EQ(t.counters().timedWrites, 2u);
+    EXPECT_EQ(t.ruleReports()[0].fires, 1u);
+}
+
+} // namespace
+} // namespace hoopnvm

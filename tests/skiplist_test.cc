@@ -109,8 +109,9 @@ TEST(SkipList, DifferentialAgainstStdMap)
             auto v = s.find(key);
             auto it = ref.find(key);
             ASSERT_EQ(v.has_value(), it != ref.end());
-            if (v)
+            if (v) {
                 ASSERT_EQ(*v, it->second);
+            }
           }
         }
     }

@@ -10,6 +10,7 @@
  * Exit codes: 0 = clean sweep, 1 = violations found, 2 = usage error.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -37,6 +38,12 @@ constexpr const char *kUsage =
     "  --break-commit-fence   debug: ack commits before the record is\n"
     "                         durable (implies torn writes; HOOP only\n"
     "                         knob, used to validate the checker)\n"
+    "  --ordering      arm the persistency-ordering analyzer on every\n"
+    "                  schedule: declared durability rules are checked\n"
+    "                  continuously, so a violated rule is reported\n"
+    "                  even when no schedule's crash lands in the\n"
+    "                  vulnerable window; rules that never fire across\n"
+    "                  a scheme's whole sweep are reported as dead\n"
     "  --out DIR       write reproducer JSON files here (default .)\n"
     "  --replay FILE   re-execute one schedule JSON and exit\n";
 
@@ -78,8 +85,27 @@ replay(const std::string &path)
     std::printf("  crash fired: %s  recovery crash fired: %s\n",
                 r.crashFired ? "yes" : "no",
                 r.recoveryCrashFired ? "yes" : "no");
+    std::uint64_t ordering_violations = 0;
+    for (const OrderingRuleReport &rr : r.orderingRules) {
+        ordering_violations += rr.violations;
+        std::printf("  rule %-20s fires %6llu deps %6llu "
+                    "violations %llu\n",
+                    rr.name.c_str(),
+                    static_cast<unsigned long long>(rr.fires),
+                    static_cast<unsigned long long>(rr.depsChecked),
+                    static_cast<unsigned long long>(rr.violations));
+    }
+    for (const OrderingViolation &v : r.orderingTraces)
+        std::printf("  ORDERING VIOLATION [%s]: %s\n", v.rule.c_str(),
+                    v.detail.c_str());
     if (r.violated) {
         std::printf("  VIOLATION: %s\n", r.detail.c_str());
+        return 1;
+    }
+    if (ordering_violations > 0) {
+        std::printf("  %llu ordering violation(s)\n",
+                    static_cast<unsigned long long>(
+                        ordering_violations));
         return 1;
     }
     std::printf("  no violation\n");
@@ -111,6 +137,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 42;
     unsigned threads = 2;
     bool break_fence = false;
+    bool ordering = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -151,6 +178,8 @@ main(int argc, char **argv)
             faults_arg = v;
         } else if (a == "--break-commit-fence") {
             break_fence = true;
+        } else if (a == "--ordering") {
+            ordering = true;
         } else if (a == "--out") {
             const char *v = next();
             if (!v)
@@ -184,8 +213,11 @@ main(int argc, char **argv)
 
     std::vector<Scheme> schemes;
     if (scheme_arg == "all") {
-        schemes.assign(std::begin(kPersistentSchemes),
-                       std::end(kPersistentSchemes));
+        // push_back rather than assign(first, last): GCC's UBSan build
+        // flags the range-assign growth path with a spurious
+        // -Warray-bounds on the 6-element source array.
+        for (Scheme s : kPersistentSchemes)
+            schemes.push_back(s);
     } else {
         Scheme s;
         if (!schemeFromToken(scheme_arg, &s) || s == Scheme::Native)
@@ -203,8 +235,15 @@ main(int argc, char **argv)
     std::size_t violation_files = 0;
     std::uint64_t total_schedules = 0;
     std::uint64_t total_violations = 0;
+    std::uint64_t total_ordering_violations = 0;
+    std::uint64_t total_dead_rules = 0;
 
     for (Scheme scheme : schemes) {
+        // A rule can legitimately sit idle on one workload (e.g. a GC
+        // rule on a read-mostly stream), so dead-rule detection sums
+        // fires across every workload of the scheme's sweep.
+        std::vector<OrderingRuleReport> scheme_rules;
+
         for (const std::string &wl : workloads) {
             ExploreOptions opt;
             opt.scheme = scheme;
@@ -214,10 +253,27 @@ main(int argc, char **argv)
             opt.recoverThreads = threads;
             opt.tornWrites = faults_arg == "torn";
             opt.breakCommitFence = break_fence;
+            opt.ordering = ordering;
 
             const ExploreReport rep = explore(opt);
             total_schedules += rep.schedulesRun;
             total_violations += rep.violations.size();
+            total_ordering_violations += rep.orderingViolations;
+
+            for (const OrderingRuleReport &rr : rep.orderingRules) {
+                auto it = std::find_if(
+                    scheme_rules.begin(), scheme_rules.end(),
+                    [&rr](const OrderingRuleReport &have) {
+                        return have.name == rr.name;
+                    });
+                if (it == scheme_rules.end()) {
+                    scheme_rules.push_back(rr);
+                } else {
+                    it->fires += rr.fires;
+                    it->depsChecked += rr.depsChecked;
+                    it->violations += rr.violations;
+                }
+            }
 
             std::printf("%-6s %-8s schedules %4llu crashes %4llu "
                         "rec-crashes %3llu violations %zu\n",
@@ -242,6 +298,15 @@ main(int argc, char **argv)
                         rep.firedPerKind[k]));
             }
 
+            if (rep.orderingViolations > 0) {
+                std::printf("         ordering violations %llu\n",
+                            static_cast<unsigned long long>(
+                                rep.orderingViolations));
+                for (const OrderingViolation &v : rep.orderingTraces)
+                    std::printf("         ORDERING [%s]: %s\n",
+                                v.rule.c_str(), v.detail.c_str());
+            }
+
             for (const Violation &v : rep.violations) {
                 const std::string path =
                     reproducerPath(out_dir, v, violation_files++);
@@ -251,10 +316,36 @@ main(int argc, char **argv)
                             v.detail.c_str(), path.c_str());
             }
         }
+
+        if (ordering) {
+            std::printf("%-6s ordering rules:\n", schemeToken(scheme));
+            for (const OrderingRuleReport &rr : scheme_rules) {
+                std::printf("         %-20s fires %8llu deps %8llu "
+                            "violations %llu%s\n",
+                            rr.name.c_str(),
+                            static_cast<unsigned long long>(rr.fires),
+                            static_cast<unsigned long long>(
+                                rr.depsChecked),
+                            static_cast<unsigned long long>(
+                                rr.violations),
+                            rr.fires == 0 ? "  DEAD RULE" : "");
+                if (rr.fires == 0)
+                    ++total_dead_rules;
+            }
+        }
     }
 
-    std::printf("total: %llu schedules, %llu violations\n",
+    std::printf("total: %llu schedules, %llu violations",
                 static_cast<unsigned long long>(total_schedules),
                 static_cast<unsigned long long>(total_violations));
-    return total_violations == 0 ? 0 : 1;
+    if (ordering)
+        std::printf(", %llu ordering violations, %llu dead rules",
+                    static_cast<unsigned long long>(
+                        total_ordering_violations),
+                    static_cast<unsigned long long>(total_dead_rules));
+    std::printf("\n");
+    const bool clean = total_violations == 0 &&
+                       total_ordering_violations == 0 &&
+                       total_dead_rules == 0;
+    return clean ? 0 : 1;
 }
