@@ -57,26 +57,11 @@ resolveJobs(unsigned requested)
     return hw >= 1 ? hw : 1;
 }
 
-/** Minimal JSON string escaping (labels are printable ASCII). */
 void
 fputJsonString(std::FILE *f, const std::string &s)
 {
     std::fputc('"', f);
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            std::fputs("\\\"", f);
-            break;
-          case '\\':
-            std::fputs("\\\\", f);
-            break;
-          case '\n':
-            std::fputs("\\n", f);
-            break;
-          default:
-            std::fputc(c, f);
-        }
-    }
+    std::fputs(jsonEscape(s).c_str(), f);
     std::fputc('"', f);
 }
 
@@ -100,7 +85,91 @@ fputNum(std::FILE *f, const char *key, std::uint64_t v)
     std::fprintf(f, "%llu", static_cast<unsigned long long>(v));
 }
 
+void
+fputSummary(std::FILE *f, const char *key, const LatencySummary &s)
+{
+    fputKey(f, key);
+    std::fputc('{', f);
+    fputNum(f, "count", s.count);
+    std::fputs(", ", f);
+    fputNum(f, "p50_ns", s.p50Ns);
+    std::fputs(", ", f);
+    fputNum(f, "p95_ns", s.p95Ns);
+    std::fputs(", ", f);
+    fputNum(f, "p99_ns", s.p99Ns);
+    std::fputs(", ", f);
+    fputNum(f, "max_ns", s.maxNs);
+    std::fputs(", ", f);
+    fputNum(f, "mean_ns", s.meanNs);
+    std::fputc('}', f);
+}
+
+void
+fputEpochs(std::FILE *f, const std::vector<EpochSample> &epochs)
+{
+    fputKey(f, "epochs");
+    std::fputc('[', f);
+    bool first = true;
+    for (const EpochSample &e : epochs) {
+        std::fputs(first ? "{" : ", {", f);
+        first = false;
+        fputNum(f, "at_ticks", e.at);
+        std::fputs(", ", f);
+        fputNum(f, "mapping_entries", e.mappingEntries);
+        std::fputs(", ", f);
+        fputNum(f, "struct_bytes", e.structBytes);
+        std::fputs(", ", f);
+        fputNum(f, "backpressure_stalls", e.backpressureStalls);
+        std::fputs(", ", f);
+        fputNum(f, "inflight_writes", e.inflightWrites);
+        std::fputc('}', f);
+    }
+    std::fputc(']', f);
+}
+
 } // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (u < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
 
 std::uint64_t
 benchTxPerCore()
@@ -251,7 +320,7 @@ BenchReport::write() const
     const double ticks_per_sec = sim_ticks / wall;
 
     std::fputs("{\n  ", f);
-    fputNum(f, "schema_version", std::uint64_t{1});
+    fputNum(f, "schema_version", std::uint64_t{2});
     std::fputs(",\n  ", f);
     fputKey(f, "bench");
     fputJsonString(f, name_);
@@ -329,6 +398,14 @@ BenchReport::write() const
             fputNum(f, "energy_pj", m.energyPj);
             std::fputs(", ", f);
             fputNum(f, "llc_miss_ratio", m.llcMissRatio);
+            std::fputs(",\n     ", f);
+            fputSummary(f, "crit_path", m.critPath);
+            std::fputs(",\n     ", f);
+            fputSummary(f, "llc_miss_lat", m.llcMiss);
+            std::fputs(",\n     ", f);
+            fputSummary(f, "gc_pause", m.gcPause);
+            std::fputs(",\n     ", f);
+            fputEpochs(f, m.epochs);
             std::fputs("}", f);
         }
         for (const auto &[key, v] : rec.values) {

@@ -68,6 +68,13 @@ std::uint64_t benchTxPerCore();
  */
 unsigned benchJobs(int argc, char **argv);
 
+/**
+ * Escape @p s for embedding in a JSON string literal: backslash,
+ * double quote, and every control character below 0x20 (RFC 8259
+ * requires all of them, not just newline).
+ */
+std::string jsonEscape(const std::string &s);
+
 /** One measured cell. */
 struct Cell
 {

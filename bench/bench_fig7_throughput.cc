@@ -126,6 +126,30 @@ main(int argc, char **argv)
     }
     lat.print();
 
+    // Latency tails: the mean in Fig. 7b hides GC- and log-induced
+    // spikes; the per-scheme quantiles (geomean across workloads, in
+    // ns) make them visible.
+    TablePrinter tails("Critical-path latency quantiles "
+                       "(geomean across workloads, ns)");
+    tails.setHeader({"scheme", "p50", "p95", "p99", "max"});
+    for (Scheme s : schemes) {
+        double g50 = 0.0, g95 = 0.0, g99 = 0.0, gmax = 0.0;
+        for (std::size_t w = 0; w < cols.size(); ++w) {
+            const LatencySummary &q = results[s][w].metrics.critPath;
+            g50 += std::log(q.p50Ns);
+            g95 += std::log(q.p95Ns);
+            g99 += std::log(q.p99Ns);
+            gmax += std::log(q.maxNs);
+        }
+        const double n = static_cast<double>(cols.size());
+        tails.addRow({schemeName(s),
+                      TablePrinter::num(std::exp(g50 / n), 0),
+                      TablePrinter::num(std::exp(g95 / n), 0),
+                      TablePrinter::num(std::exp(g99 / n), 0),
+                      TablePrinter::num(std::exp(gmax / n), 0)});
+    }
+    tails.print();
+
     std::printf("paper-vs-measured headline ratios:\n");
     auto imp = [&](Scheme s) {
         return (tput_geo[Scheme::Hoop] / tput_geo[s] - 1.0) * 100.0;

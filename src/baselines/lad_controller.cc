@@ -138,6 +138,19 @@ LadController::evictLine(CoreId, Addr line, const std::uint8_t *data,
     ++homeWritebacksC_;
 }
 
+ControllerGauges
+LadController::sampleGauges() const
+{
+    // LAD's only persistence structure is the staged write set of each
+    // open transaction (the controller's persistent queues).
+    ControllerGauges g;
+    for (const auto &w : txWrites) {
+        g.mappingEntries += w.size();
+        g.structBytes += w.size() * kCacheLineSize;
+    }
+    return g;
+}
+
 void
 LadController::crash()
 {

@@ -259,6 +259,16 @@ LsmController::maintenance(Tick now)
     }
 }
 
+ControllerGauges
+LsmController::sampleGauges() const
+{
+    ControllerGauges g;
+    g.mappingEntries = index_.size();
+    g.structBytes = log_.size() * LogEntry::kEntryBytes;
+    g.backpressureStalls = stats_.value("log_backpressure_stalls");
+    return g;
+}
+
 Tick
 LsmController::drain(Tick now)
 {

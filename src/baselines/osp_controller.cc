@@ -300,6 +300,16 @@ OspController::maintenance(Tick now)
     }
 }
 
+ControllerGauges
+OspController::sampleGauges() const
+{
+    ControllerGauges g;
+    g.mappingEntries = log_.size();
+    g.structBytes = log_.size() * LogEntry::kEntryBytes;
+    g.backpressureStalls = stats_.value("log_backpressure_stalls");
+    return g;
+}
+
 void
 OspController::crash()
 {

@@ -45,6 +45,7 @@ class OspController : public PersistenceController
                    bool persistent, TxId tx, std::uint8_t word_mask,
                    Tick now) override;
     void maintenance(Tick now) override;
+    ControllerGauges sampleGauges() const override;
     void crash() override;
     Tick recover(unsigned threads) override;
     void debugReadLine(Addr line, std::uint8_t *buf) const override;

@@ -246,6 +246,16 @@ RedoController::maintenance(Tick now)
     }
 }
 
+ControllerGauges
+RedoController::sampleGauges() const
+{
+    ControllerGauges g;
+    g.mappingEntries = log_.size();
+    g.structBytes = log_.size() * LogEntry::kEntryBytes;
+    g.backpressureStalls = stats_.value("log_backpressure_stalls");
+    return g;
+}
+
 Tick
 RedoController::drain(Tick now)
 {

@@ -65,6 +65,7 @@ class RedoController : public PersistenceController
                    bool persistent, TxId tx, std::uint8_t word_mask,
                    Tick now) override;
     void maintenance(Tick now) override;
+    ControllerGauges sampleGauges() const override;
     Tick drain(Tick now) override;
     void crash() override;
     Tick recover(unsigned threads) override;

@@ -211,6 +211,16 @@ UndoController::maintenance(Tick now)
     }
 }
 
+ControllerGauges
+UndoController::sampleGauges() const
+{
+    ControllerGauges g;
+    g.mappingEntries = log_.size();
+    g.structBytes = log_.size() * LogEntry::kEntryBytes;
+    g.backpressureStalls = stats_.value("log_backpressure_stalls");
+    return g;
+}
+
 void
 UndoController::crash()
 {

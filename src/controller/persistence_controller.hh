@@ -40,6 +40,25 @@ namespace hoopnvm
 {
 
 class OrderingTracker;
+class TraceBuffer;
+
+/**
+ * Scheme-generic occupancy gauges snapshotted by the epoch sampler.
+ * Each controller reports the state of whatever persistence structure
+ * it maintains — HOOP its mapping table and OOP region, the log-based
+ * baselines their log, OSP its shadow directory.
+ */
+struct ControllerGauges
+{
+    /** Live entries in the remap structure (mapping table, log index). */
+    std::uint64_t mappingEntries = 0;
+
+    /** Bytes held live in the scheme's persistence structure. */
+    std::uint64_t structBytes = 0;
+
+    /** Cumulative allocation backpressure stalls (monotonic). */
+    std::uint64_t backpressureStalls = 0;
+};
 
 /** Result of servicing an LLC miss. */
 struct FillResult
@@ -140,6 +159,13 @@ class PersistenceController
         (void)now;
     }
 
+    /** Snapshot this scheme's occupancy gauges (epoch sampler). */
+    virtual ControllerGauges
+    sampleGauges() const
+    {
+        return {};
+    }
+
     /**
      * Finalize all pending background work (outstanding checkpoints,
      * partially filled OOP blocks, log truncation) so end-of-run
@@ -197,6 +223,14 @@ class PersistenceController
     {
         (void)t;
     }
+
+    // ---- Tracing ----
+
+    /** Attach the system's trace buffer (nullptr detaches). */
+    void setTrace(TraceBuffer *t) { trace_ = t; }
+
+    /** The attached trace buffer, or nullptr when tracing is off. */
+    TraceBuffer *trace() const { return trace_; }
 
     // ---- Crash-point injection ----
 
@@ -274,6 +308,7 @@ class PersistenceController
     std::uint64_t nextCommitId = 1;
     CrashHook *crashHook_ = nullptr;
     OrderingTracker *ordering_ = nullptr;
+    TraceBuffer *trace_ = nullptr;
 };
 
 } // namespace hoopnvm

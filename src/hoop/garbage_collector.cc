@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "hoop/hoop_controller.hh"
+#include "stats/trace.hh"
 
 namespace hoopnvm
 {
@@ -23,7 +24,8 @@ GarbageCollector::GarbageCollector(HoopController &ctrl_)
           stats_.counter("home_lines_skipped_fresher")),
       mappingEntriesDroppedC_(
           stats_.counter("mapping_entries_dropped")),
-      blocksRecycledC_(stats_.counter("blocks_recycled"))
+      blocksRecycledC_(stats_.counter("blocks_recycled")),
+      pauseH_(ctrl_.stats().histogram("maint_pause_ticks"))
 {
 }
 
@@ -86,6 +88,10 @@ GarbageCollector::run(Tick now)
     }
     ++runsC_;
 
+    // Trace lane: one synthetic tid past the last core.
+    TraceBuffer *const tr = ctrl.trace();
+    const unsigned gc_tid = ctrl.cfg.numCores;
+
     // ---- Step 2: scan committed slices and coalesce (Algorithm 1) ----
     struct WordVal
     {
@@ -143,6 +149,10 @@ GarbageCollector::run(Tick now)
             }
         }
     }
+
+    const Tick scan_done = last;
+    if (tr)
+        tr->span("gc.scan", "gc", gc_tid, now, scan_done);
 
     // ---- Step 3: migrate to the home region ----
     if (ctrl.cfg.gcCoalescing) {
@@ -212,6 +222,9 @@ GarbageCollector::run(Tick now)
         }
     }
 
+    if (tr)
+        tr->span("gc.migrate", "migration", gc_tid, scan_done, last);
+
     // ---- Step 4: drop mapping entries that point into collected
     // blocks (their lines' latest committed data is now home) ----
     std::vector<Addr> drop;
@@ -269,6 +282,12 @@ GarbageCollector::run(Tick now)
         region.setBlockState(b, BlockState::Unused, now);
     }
     blocksRecycledC_ += cand.size();
+
+    // The pause this GC run imposes on the system: its completion tick
+    // minus the tick it started at (Fig. 10's GC-induced latency).
+    pauseH_.record(last - now);
+    if (tr)
+        tr->span("gc", "gc", gc_tid, now, last);
 
     return last;
 }

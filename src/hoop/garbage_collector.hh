@@ -77,6 +77,9 @@ class GarbageCollector
     Counter &mappingEntriesDroppedC_;
     Counter &blocksRecycledC_;
 
+    /** GC pause durations, recorded into the controller's StatSet. */
+    Histogram &pauseH_;
+
     std::uint64_t migratedWordBytes_ = 0;
     std::uint64_t scannedWordBytes_ = 0;
 };

@@ -404,6 +404,18 @@ HoopController::maintenance(Tick now)
     }
 }
 
+ControllerGauges
+HoopController::sampleGauges() const
+{
+    ControllerGauges g;
+    g.mappingEntries = mapping.size();
+    g.structBytes = static_cast<std::uint64_t>(region_.numBlocks() -
+                                               region_.freeBlocks()) *
+                    cfg.oopBlockBytes;
+    g.backpressureStalls = oopBackpressureStallsC_.value();
+    return g;
+}
+
 Tick
 HoopController::runGcNow(Tick now)
 {
@@ -473,6 +485,7 @@ HoopController::recoverWithFilter(unsigned threads,
     homeSeq.clear();
     restartIds(r.maxTxId + 1, r.committedTxReplayed + 1);
     stats_.counter("recoveries") += 1;
+    stats_.histogram("recovery_replay_ticks").record(r.time);
     return r.time;
 }
 

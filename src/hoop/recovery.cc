@@ -10,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "hoop/hoop_controller.hh"
+#include "stats/trace.hh"
 
 namespace hoopnvm
 {
@@ -293,6 +294,24 @@ RecoveryManager::run(unsigned threads,
     res.time = std::max(channel_time, cpu_time) +
                ctrl.nvm_.timing().readLatency +
                ctrl.nvm_.timing().writeLatency;
+
+    if (TraceBuffer *tr = ctrl.trace()) {
+        // Recovery runs on a freshly-reset machine: the cores sit at
+        // tick 0, so the phase spans start there. The scan phases are
+        // charged the portion of the modelled time proportional to
+        // their share of the channel traffic; replay gets the rest.
+        const unsigned tid = ctrl.cfg.numCores + 1;
+        Tick scan_t = res.time;
+        if (rw_bytes > 0) {
+            scan_t = static_cast<Tick>(
+                static_cast<double>(res.time) *
+                static_cast<double>(res.bytesScanned * 2) /
+                static_cast<double>(rw_bytes));
+        }
+        tr->span("recovery.scan", "recovery", tid, 0, scan_t);
+        tr->span("recovery.replay", "recovery", tid, scan_t, res.time);
+        tr->span("recovery", "recovery", tid, 0, res.time);
+    }
     res.bytesScanned = rw_bytes;
 
     stats_.counter("runs") += 1;

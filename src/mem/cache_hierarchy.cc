@@ -40,7 +40,8 @@ CacheHierarchy::CacheHierarchy(const SystemConfig &cfg_)
       invalidationsC_(stats_.counter("invalidations")),
       downgradesC_(stats_.counter("downgrades")),
       backInvalidationsC_(stats_.counter("back_invalidations")),
-      llcDirtyWritebacksC_(stats_.counter("llc_dirty_writebacks"))
+      llcDirtyWritebacksC_(stats_.counter("llc_dirty_writebacks")),
+      llcMissLatH_(stats_.histogram("llc_miss_latency_ticks"))
 {
     HOOP_ASSERT(cfg.numCores >= 1 && cfg.numCores <= 32,
                 "sharer mask supports 1..32 cores");
@@ -145,6 +146,7 @@ CacheHierarchy::ensureInL1(CoreId core, Addr line, bool for_store,
         ++llcFillsC_;
         std::uint8_t buf[kCacheLineSize];
         FillResult fr = ctrl->fillLine(core, line, buf, t);
+        llcMissLatH_.record(fr.completion > t ? fr.completion - t : 0);
         t = fr.completion;
         insertLlc(core, line, buf, fr.dirty, fr.persistent, core,
                   fr.txId, fr.wordMask, t);
@@ -413,6 +415,17 @@ CacheHierarchy::writebackAll(Tick now)
     });
     llc_->invalidateAll();
     sharers.clear();
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    stats_.resetAll();
+    llc_->stats().resetAll();
+    for (auto &c : l1s)
+        c->stats().resetAll();
+    for (auto &c : l2s)
+        c->stats().resetAll();
 }
 
 double

@@ -69,9 +69,17 @@ class CacheHierarchy
     Cache &l2(CoreId core) { return *l2s[core]; }
 
     StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
 
     /** LLC miss ratio over all accesses so far. */
     double llcMissRatio() const;
+
+    /**
+     * Zero the hierarchy's and every cache's counters and histograms so
+     * a measurement phase starting mid-run (after warmup) reports only
+     * its own accesses. Cache *contents* are untouched.
+     */
+    void resetStats();
 
   private:
     /** Returns the L1 line for @p line, fetching through the levels. */
@@ -128,6 +136,9 @@ class CacheHierarchy
     Counter &downgradesC_;
     Counter &backInvalidationsC_;
     Counter &llcDirtyWritebacksC_;
+
+    /** Per-miss memory latency (fill completion minus request tick). */
+    Histogram &llcMissLatH_;
 };
 
 } // namespace hoopnvm

@@ -85,6 +85,18 @@ class FaultModel
     void reset();
 
     /**
+     * Zero the tallies only; in-flight writes and scheduled faults are
+     * untouched. Used when a measurement phase begins mid-run.
+     */
+    void
+    resetCounters()
+    {
+        writesTorn_ = 0;
+        wordsTorn_ = 0;
+        wordsCorrupted_ = 0;
+    }
+
+    /**
      * Attach an observer of durability fences (nullptr detaches). The
      * settle notification fires even with torn writes disabled, so the
      * ordering analyzer sees every fence in clean runs too. Survives
@@ -158,6 +170,9 @@ class FaultModel
     std::uint64_t writesTorn() const { return writesTorn_; }
     std::uint64_t wordsTorn() const { return wordsTorn_; }
     std::uint64_t wordsCorrupted() const { return wordsCorrupted_; }
+
+    /** Timed writes still in flight (tracked, not yet settled). */
+    std::size_t inflight() const { return pending_.size(); }
 
   private:
     struct PendingWrite

@@ -21,6 +21,7 @@ void
 Core::reset()
 {
     inTx_ = false;
+    txStart_ = 0;
 }
 
 } // namespace hoopnvm

@@ -36,12 +36,24 @@ class Core
     bool inTx() const { return inTx_; }
     void setInTx(bool v) { inTx_ = v; }
 
+    /** Mark a transaction begun at @p t (records the start tick). */
+    void
+    beginTx(Tick t)
+    {
+        inTx_ = true;
+        txStart_ = t;
+    }
+
+    /** Start tick of the transaction in flight (valid while inTx()). */
+    Tick txStart() const { return txStart_; }
+
     /** Reset after a crash. */
     void reset();
 
   private:
     CoreId id_;
     Tick clock_ = 0;
+    Tick txStart_ = 0;
     bool inTx_ = false;
 };
 

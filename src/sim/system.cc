@@ -12,9 +12,31 @@
 #include "common/logging.hh"
 #include "controller/native_controller.hh"
 #include "hoop/hoop_controller.hh"
+#include "stats/trace.hh"
 
 namespace hoopnvm
 {
+
+namespace
+{
+
+/** Summarize @p h (samples in ticks) as nanosecond quantiles. */
+LatencySummary
+summarizeTicks(const Histogram *h)
+{
+    LatencySummary s;
+    if (!h || h->count() == 0)
+        return s;
+    s.count = h->count();
+    s.p50Ns = h->quantile(0.50) / static_cast<double>(kTicksPerNs);
+    s.p95Ns = h->quantile(0.95) / static_cast<double>(kTicksPerNs);
+    s.p99Ns = h->quantile(0.99) / static_cast<double>(kTicksPerNs);
+    s.maxNs = ticksToNs(h->max());
+    s.meanNs = h->mean() / static_cast<double>(kTicksPerNs);
+    return s;
+}
+
+} // namespace
 
 std::unique_ptr<PersistenceController>
 makeController(Scheme scheme, NvmDevice &nvm, const SystemConfig &cfg)
@@ -39,7 +61,8 @@ makeController(Scheme scheme, NvmDevice &nvm, const SystemConfig &cfg)
 }
 
 System::System(const SystemConfig &cfg, Scheme scheme)
-    : cfg_(cfg), scheme_(scheme)
+    : cfg_(cfg), scheme_(scheme), stats_("system"),
+      critPathH_(stats_.histogram("tx_critical_path_ticks"))
 {
     nvm_ = std::make_unique<NvmDevice>(cfg_.nvmCapacity(), cfg_.nvm,
                                        cfg_.energy);
@@ -53,7 +76,11 @@ System::System(const SystemConfig &cfg, Scheme scheme)
     cores_.reserve(cfg_.numCores);
     for (unsigned c = 0; c < cfg_.numCores; ++c)
         cores_.emplace_back(c);
-    txStart.resize(cfg_.numCores, 0);
+    nextEpoch_ = cfg_.epochSamplePeriod;
+    if (Trace::enabled()) {
+        trace_ = std::make_unique<TraceBuffer>(schemeName(scheme_));
+        ctrl_->setTrace(trace_.get());
+    }
 }
 
 System::~System() = default;
@@ -65,8 +92,7 @@ System::txBegin(CoreId core)
     HOOP_ASSERT(!c.inTx(), "nested txBegin on core %u", core);
     c.advanceBy(cfg_.opCost()); // Tx_begin sets the tx-state bit
     ctrl_->txBegin(core, c.clock());
-    c.setInTx(true);
-    txStart[core] = c.clock();
+    c.beginTx(c.clock());
 }
 
 void
@@ -83,7 +109,11 @@ System::txEnd(CoreId core)
     c.advanceTo(done);
     c.setInTx(false);
     ++committedTx_;
-    criticalPathSum_ += c.clock() - txStart[core];
+    const Tick latency = c.clock() - c.txStart();
+    criticalPathSum_ += latency;
+    critPathH_.record(latency);
+    if (trace_)
+        trace_->span("tx", "tx", core, c.txStart(), c.clock());
 }
 
 std::uint64_t
@@ -204,7 +234,45 @@ System::armOrdering(OrderingTracker *tracker)
 void
 System::maintenance()
 {
-    ctrl_->maintenance(minClock());
+    const Tick now = minClock();
+    ctrl_->maintenance(now);
+    sampleEpoch(now);
+}
+
+void
+System::sampleEpoch(Tick now)
+{
+    if (cfg_.epochSamplePeriod == 0 || cfg_.epochRingCapacity == 0 ||
+        now < nextEpoch_)
+        return;
+    const ControllerGauges g = ctrl_->sampleGauges();
+    EpochSample s;
+    s.at = now;
+    s.mappingEntries = g.mappingEntries;
+    s.structBytes = g.structBytes;
+    s.backpressureStalls = g.backpressureStalls;
+    s.inflightWrites = nvm_->faults().inflight();
+    if (epochRing_.size() < cfg_.epochRingCapacity) {
+        epochRing_.push_back(s);
+    } else {
+        epochRing_[epochHead_] = s;
+        epochHead_ = (epochHead_ + 1) % epochRing_.size();
+    }
+    if (trace_)
+        trace_->counter("mapping_entries", now, g.mappingEntries);
+    nextEpoch_ = now + cfg_.epochSamplePeriod;
+}
+
+std::vector<EpochSample>
+System::epochSamples() const
+{
+    std::vector<EpochSample> out;
+    out.reserve(epochRing_.size());
+    for (std::size_t i = 0; i < epochRing_.size(); ++i) {
+        out.push_back(
+            epochRing_[(epochHead_ + i) % epochRing_.size()]);
+    }
+    return out;
 }
 
 void
@@ -218,10 +286,23 @@ System::finalize()
 void
 System::beginMeasurement()
 {
+    // Everything metrics() reports must cover only the measurement
+    // interval: NVM traffic and energy, fault-model tallies, cache and
+    // hierarchy counters (the LLC miss ratio used to count warmup
+    // accesses), the latency histograms and the epoch samples. The
+    // controller's *counters* deliberately keep accumulating — GC data
+    // reduction (Table IV) is defined over the whole run.
     nvm_->resetCounters();
+    nvm_->faults().resetCounters();
+    caches_->resetStats();
+    ctrl_->stats().resetHistograms();
     committedTx_ = 0;
     criticalPathSum_ = 0;
+    stats_.resetAll();
+    epochRing_.clear();
+    epochHead_ = 0;
     measureStart = maxClock();
+    nextEpoch_ = measureStart + cfg_.epochSamplePeriod;
 }
 
 RunMetrics
@@ -246,6 +327,12 @@ System::metrics() const
     m.nvmBytesRead = nvm_->bytesRead();
     m.energyPj = nvm_->energy().totalEnergyPj();
     m.llcMissRatio = caches_->llcMissRatio();
+    m.critPath = summarizeTicks(&critPathH_);
+    m.llcMiss = summarizeTicks(
+        caches_->stats().findHistogram("llc_miss_latency_ticks"));
+    m.gcPause = summarizeTicks(
+        ctrl_->stats().findHistogram("maint_pause_ticks"));
+    m.epochs = epochSamples();
     return m;
 }
 

@@ -28,6 +28,38 @@
 namespace hoopnvm
 {
 
+class TraceBuffer;
+
+/** Quantile summary of one latency histogram, in nanoseconds. */
+struct LatencySummary
+{
+    std::uint64_t count = 0;
+    double p50Ns = 0.0;
+    double p95Ns = 0.0;
+    double p99Ns = 0.0;
+    double maxNs = 0.0;
+    double meanNs = 0.0;
+};
+
+/** One snapshot of the system's occupancy gauges (epoch sampler). */
+struct EpochSample
+{
+    /** Simulated tick the sample was taken at. */
+    Tick at = 0;
+
+    /** Live entries in the scheme's remap structure. */
+    std::uint64_t mappingEntries = 0;
+
+    /** Bytes live in the scheme's persistence structure (OOP, log). */
+    std::uint64_t structBytes = 0;
+
+    /** Cumulative allocation backpressure stalls at this epoch. */
+    std::uint64_t backpressureStalls = 0;
+
+    /** NVM writes issued but not yet settled (fault-model tracked). */
+    std::uint64_t inflightWrites = 0;
+};
+
 /** Measurement snapshot of one run. */
 struct RunMetrics
 {
@@ -50,6 +82,18 @@ struct RunMetrics
     double energyPj = 0.0;
 
     double llcMissRatio = 0.0;
+
+    /** Tx_begin..Tx_end latency distribution (Fig. 7b tails). */
+    LatencySummary critPath;
+
+    /** Per-LLC-miss memory latency distribution. */
+    LatencySummary llcMiss;
+
+    /** GC / maintenance pause distribution (Fig. 10). */
+    LatencySummary gcPause;
+
+    /** Epoch gauge samples, oldest first (ring-buffer bounded). */
+    std::vector<EpochSample> epochs;
 };
 
 /** A full simulated machine running one persistence scheme. */
@@ -177,7 +221,16 @@ class System
     /** Sum of commit latencies since the last beginMeasurement(). */
     Tick criticalPathSum() const { return criticalPathSum_; }
 
+    /** System-level statistics (critical-path histogram et al.). */
+    const StatSet &stats() const { return stats_; }
+
+    /** Epoch gauge samples collected so far, oldest first. */
+    std::vector<EpochSample> epochSamples() const;
+
   private:
+    /** Take an epoch gauge sample if the period has elapsed. */
+    void sampleEpoch(Tick now);
+
     SystemConfig cfg_;
     Scheme scheme_;
     std::unique_ptr<NvmDevice> nvm_;
@@ -186,11 +239,21 @@ class System
     std::unique_ptr<SimAllocator> alloc_;
     std::vector<Core> cores_;
 
-    std::vector<Tick> txStart;
     std::uint64_t committedTx_ = 0;
     Tick criticalPathSum_ = 0;
     CrashHook crashHook_;
     Tick measureStart = 0;
+
+    StatSet stats_;
+    Histogram &critPathH_;
+
+    /** Epoch gauge ring buffer (oldest overwritten when full). */
+    std::vector<EpochSample> epochRing_;
+    std::size_t epochHead_ = 0;
+    Tick nextEpoch_ = 0;
+
+    /** Present only when tracing is armed (HOOP_TRACE). */
+    std::unique_ptr<TraceBuffer> trace_;
 };
 
 /** Instantiate the persistence controller for @p scheme. */

@@ -171,6 +171,22 @@ struct SystemConfig
     /** CPU cycles of software bookkeeping per LSM index operation. */
     unsigned lsmIndexCycles = 24;
 
+    // ---- Observability ----
+
+    /**
+     * Simulated-time period of the epoch gauge sampler. Every period
+     * the System snapshots occupancy gauges (mapping-table entries,
+     * OOP live bytes, in-flight writes, backpressure stalls) into the
+     * epoch ring buffer. Zero disables sampling.
+     */
+    Tick epochSamplePeriod = nsToTicks(50e3);
+
+    /**
+     * Capacity of the epoch ring buffer. When full, the oldest samples
+     * are dropped so a long run keeps its most recent history.
+     */
+    std::size_t epochRingCapacity = 256;
+
     /** RNG seed for workloads. */
     std::uint64_t seed = 42;
 

@@ -23,10 +23,31 @@ StatSet::value(const std::string &name) const
     return it == map.end() ? 0 : it->second.value();
 }
 
+Histogram &
+StatSet::histogram(const std::string &name)
+{
+    return histMap[name];
+}
+
+const Histogram *
+StatSet::findHistogram(const std::string &name) const
+{
+    auto it = histMap.find(name);
+    return it == histMap.end() ? nullptr : &it->second;
+}
+
 void
 StatSet::resetAll()
 {
     for (auto &kv : map)
+        kv.second.reset();
+    resetHistograms();
+}
+
+void
+StatSet::resetHistograms()
+{
+    for (auto &kv : histMap)
         kv.second.reset();
 }
 
@@ -37,6 +58,12 @@ StatSet::dump() const
     for (const auto &kv : map)
         os << prefix_ << '.' << kv.first << ' ' << kv.second.value()
            << '\n';
+    for (const auto &kv : histMap) {
+        const Histogram &h = kv.second;
+        os << prefix_ << '.' << kv.first << " count " << h.count()
+           << " p50 " << h.quantile(0.50) << " p95 " << h.quantile(0.95)
+           << " p99 " << h.quantile(0.99) << " max " << h.max() << '\n';
+    }
     return os.str();
 }
 

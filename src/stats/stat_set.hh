@@ -3,9 +3,9 @@
  * Lightweight named-statistics registry.
  *
  * Every simulated component owns a StatSet and registers named counters
- * in it. The System aggregates the StatSets of all components so benches
- * can print any counter by name without each bench knowing the component
- * internals.
+ * and histograms in it. The System aggregates the StatSets of all
+ * components so benches can print any statistic by name without each
+ * bench knowing the component internals.
  */
 
 #ifndef HOOPNVM_STATS_STAT_SET_HH
@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <map>
 #include <string>
+
+#include "stats/histogram.hh"
 
 namespace hoopnvm
 {
@@ -50,18 +52,38 @@ class StatSet
     /** Value of counter @p name, or 0 if it was never created. */
     std::uint64_t value(const std::string &name) const;
 
-    /** Reset every counter to zero (used between measurement phases). */
+    /**
+     * Get-or-create the histogram named @p name. References stay valid
+     * for the lifetime of the StatSet.
+     */
+    Histogram &histogram(const std::string &name);
+
+    /** The histogram named @p name, or nullptr if never created. */
+    const Histogram *findHistogram(const std::string &name) const;
+
+    /**
+     * Reset every counter and histogram to zero (used between
+     * measurement phases).
+     */
     void resetAll();
 
-    /** Render all counters as "prefix.name value" lines. */
+    /** Reset only the histograms (counters keep accumulating). */
+    void resetHistograms();
+
+    /** Render all counters and histogram summaries as text lines. */
     std::string dump() const;
 
     const std::string &prefix() const { return prefix_; }
     const std::map<std::string, Counter> &counters() const { return map; }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histMap;
+    }
 
   private:
     std::string prefix_;
     std::map<std::string, Counter> map;
+    std::map<std::string, Histogram> histMap;
 };
 
 } // namespace hoopnvm

@@ -140,10 +140,33 @@ class Parser
                 switch (s[pos]) {
                 case 'n': out += '\n'; break;
                 case 't': out += '\t'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'r': out += '\r'; break;
                 case '\\': out += '\\'; break;
                 case '"': out += '"'; break;
                 case '/': out += '/'; break;
-                default: return false; // \uXXXX not emitted by us
+                case 'u': {
+                    // The bench only emits \u00XX (control bytes).
+                    if (pos + 4 >= s.size())
+                        return false;
+                    unsigned v = 0;
+                    for (int d = 1; d <= 4; ++d) {
+                        const char h = s[pos + d];
+                        if (!std::isxdigit(
+                                static_cast<unsigned char>(h)))
+                            return false;
+                        v = v * 16 +
+                            (h <= '9' ? h - '0'
+                                      : (std::tolower(h) - 'a') + 10);
+                    }
+                    if (v > 0xff)
+                        return false;
+                    out += static_cast<char>(v);
+                    pos += 4;
+                    break;
+                }
+                default: return false;
                 }
                 ++pos;
             } else {
@@ -239,8 +262,8 @@ main(int argc, char **argv)
 
     CHECK(root.kind == Json::Obj, "root is not an object");
     const Json *ver = root.find("schema_version");
-    CHECK(ver && ver->kind == Json::Num && ver->num == 1.0,
-          "schema_version != 1");
+    CHECK(ver && ver->kind == Json::Num && ver->num == 2.0,
+          "schema_version != 2");
     const Json *name = root.find("bench");
     CHECK(name && name->kind == Json::Str && !name->str.empty(),
           "missing bench name");
@@ -289,6 +312,34 @@ main(int argc, char **argv)
                      {"transactions", "sim_ticks", "tx_per_second",
                       "nvm_bytes_written", "nvm_bytes_read"})
                     requireNum(*metrics, k, "metrics");
+                // Schema v2: latency quantile summaries + epoch ring.
+                for (const char *k :
+                     {"crit_path", "llc_miss_lat", "gc_pause"}) {
+                    const Json *sum = metrics->find(k);
+                    CHECK(sum && sum->kind == Json::Obj,
+                          "cell %zu metrics missing summary \"%s\"",
+                          i, k);
+                    if (sum && sum->kind == Json::Obj) {
+                        for (const char *q :
+                             {"count", "p50_ns", "p95_ns", "p99_ns",
+                              "max_ns", "mean_ns"})
+                            requireNum(*sum, q, k);
+                    }
+                }
+                const Json *epochs = metrics->find("epochs");
+                CHECK(epochs && epochs->kind == Json::Arr,
+                      "cell %zu metrics missing epochs array", i);
+                if (epochs && epochs->kind == Json::Arr) {
+                    for (const Json &e : epochs->arr) {
+                        CHECK(e.kind == Json::Obj,
+                              "epoch entry not an object");
+                        for (const char *k :
+                             {"at_ticks", "mapping_entries",
+                              "struct_bytes", "backpressure_stalls",
+                              "inflight_writes"})
+                            requireNum(e, k, "epoch");
+                    }
+                }
             }
         }
     }

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the log-bucketed latency histogram: bucket boundary
+ * arithmetic over the whole u64 range, nearest-rank quantiles with
+ * in-bucket interpolation, and merge() associativity/commutativity —
+ * the property the parallel bench harness relies on for bit-identical
+ * -jN results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/histogram.hh"
+
+namespace hoopnvm
+{
+namespace
+{
+
+TEST(HistogramBuckets, ExactBelowSubBucketCount)
+{
+    for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+        EXPECT_EQ(Histogram::bucketIndex(v), v);
+        EXPECT_EQ(Histogram::bucketLow(v), v);
+        EXPECT_EQ(Histogram::bucketHigh(v), v + 1);
+    }
+}
+
+TEST(HistogramBuckets, BoundsContainTheirValue)
+{
+    std::vector<std::uint64_t> vals;
+    for (unsigned p = 0; p < 63; ++p) {
+        const std::uint64_t v = std::uint64_t{1} << p;
+        vals.push_back(v);
+        vals.push_back(v - 1);
+        vals.push_back(v + 1);
+        vals.push_back(v | (v >> 3));
+    }
+    for (std::uint64_t v : vals) {
+        const std::size_t i = Histogram::bucketIndex(v);
+        ASSERT_LT(i, Histogram::kBuckets) << "value " << v;
+        EXPECT_LE(Histogram::bucketLow(i), v) << "value " << v;
+        EXPECT_GT(Histogram::bucketHigh(i), v) << "value " << v;
+    }
+}
+
+TEST(HistogramBuckets, BucketsTileTheRangeWithoutGaps)
+{
+    for (std::size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+        EXPECT_EQ(Histogram::bucketHigh(i),
+                  Histogram::bucketLow(i + 1))
+            << "bucket " << i;
+    }
+}
+
+TEST(HistogramBuckets, RelativeWidthBoundedBySubBucketCount)
+{
+    // Geometric bucketing promise: width <= low / kSubBuckets above
+    // the exact range, which bounds quantile error at ~1/16.
+    for (std::size_t i = Histogram::kSubBuckets;
+         i + 1 < Histogram::kBuckets; ++i) {
+        const std::uint64_t lo = Histogram::bucketLow(i);
+        const std::uint64_t width = Histogram::bucketHigh(i) - lo;
+        EXPECT_LE(width, lo / Histogram::kSubBuckets)
+            << "bucket " << i;
+    }
+}
+
+TEST(HistogramQuantile, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramQuantile, SingleValueExactAtEveryQuantile)
+{
+    Histogram h;
+    h.recordN(12345, 7);
+    for (double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_EQ(h.quantile(q), 12345.0) << "q " << q;
+    EXPECT_EQ(h.min(), 12345u);
+    EXPECT_EQ(h.max(), 12345u);
+    EXPECT_EQ(h.mean(), 12345.0);
+    EXPECT_EQ(h.sum(), 12345u * 7);
+}
+
+TEST(HistogramQuantile, UniformWidthOneBucketsAreHalfSampleExact)
+{
+    // 0..9 once each: every sample sits in its own width-1 bucket, so
+    // nearest-rank + mid-bucket interpolation gives rank - 0.5.
+    Histogram h;
+    for (std::uint64_t v = 0; v < 10; ++v)
+        h.record(v);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.1), 0.5);
+    // Extremes clamp to the observed min/max.
+    EXPECT_EQ(h.quantile(1.0), 9.0);
+    EXPECT_GE(h.quantile(0.0), 0.0);
+}
+
+TEST(HistogramQuantile, InterpolatesWithinASharedBucket)
+{
+    // 40 and 41 share the width-2 bucket [40, 42): the interpolated
+    // quantile walks the bucket linearly and clamps at max().
+    ASSERT_EQ(Histogram::bucketIndex(40), Histogram::bucketIndex(41));
+    Histogram h;
+    h.record(40);
+    h.record(41);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 40.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 41.0);
+    EXPECT_GE(h.quantile(0.01), 40.0);
+}
+
+TEST(HistogramQuantile, LargeValuesStayWithinRelativeError)
+{
+    Histogram h;
+    const std::uint64_t big = std::uint64_t{3} << 40;
+    h.recordN(big, 100);
+    const double q99 = h.quantile(0.99);
+    EXPECT_EQ(q99, static_cast<double>(big)); // clamped to max
+    EXPECT_EQ(h.max(), big);
+}
+
+/** Deterministic pseudo-random sample stream (xorshift). */
+std::uint64_t
+nextSample(std::uint64_t &state)
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+}
+
+void
+expectIdentical(const Histogram &a, const Histogram &b)
+{
+    ASSERT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.sum(), b.sum());
+    EXPECT_EQ(a.min(), b.min());
+    EXPECT_EQ(a.max(), b.max());
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+        ASSERT_EQ(a.bucketCount(i), b.bucketCount(i)) << "bucket " << i;
+    for (double q : {0.5, 0.95, 0.99})
+        EXPECT_EQ(a.quantile(q), b.quantile(q)) << "q " << q;
+}
+
+TEST(HistogramMerge, AssociativeAndCommutative)
+{
+    Histogram parts[3];
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    for (int p = 0; p < 3; ++p) {
+        for (int i = 0; i < 500; ++i)
+            parts[p].record(nextSample(state) >> (p * 11));
+    }
+
+    Histogram ab_c; // (a + b) + c
+    ab_c.merge(parts[0]);
+    ab_c.merge(parts[1]);
+    ab_c.merge(parts[2]);
+
+    Histogram c_ba; // c + (b + a), built in reverse
+    c_ba.merge(parts[2]);
+    c_ba.merge(parts[1]);
+    c_ba.merge(parts[0]);
+
+    Histogram bc_a; // a + (b + c) with an explicit inner merge
+    Histogram bc;
+    bc.merge(parts[1]);
+    bc.merge(parts[2]);
+    bc_a.merge(parts[0]);
+    bc_a.merge(bc);
+
+    expectIdentical(ab_c, c_ba);
+    expectIdentical(ab_c, bc_a);
+
+    std::uint64_t total = 0;
+    for (const Histogram &p : parts)
+        total += p.count();
+    EXPECT_EQ(ab_c.count(), total);
+}
+
+TEST(HistogramMerge, MergingEmptyIsIdentity)
+{
+    Histogram h;
+    h.record(99);
+    Histogram empty;
+    Histogram merged = h;
+    merged.merge(empty);
+    expectIdentical(merged, h);
+
+    Histogram from_empty;
+    from_empty.merge(h);
+    expectIdentical(from_empty, h);
+}
+
+TEST(HistogramMerge, EqualsSingleStreamRecording)
+{
+    // Sharded recording + merge must equal recording the same stream
+    // into one histogram — the -jN determinism property.
+    Histogram whole, shard_a, shard_b;
+    std::uint64_t state = 42;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = nextSample(state) % 1000000;
+        whole.record(v);
+        (i % 2 ? shard_a : shard_b).record(v);
+    }
+    Histogram merged;
+    merged.merge(shard_a);
+    merged.merge(shard_b);
+    expectIdentical(merged, whole);
+}
+
+TEST(Histogram, ResetForgetsEverything)
+{
+    Histogram h;
+    h.recordN(7, 3);
+    h.record(1u << 20);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.quantile(0.99), 0.0);
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+        ASSERT_EQ(h.bucketCount(i), 0u);
+}
+
+} // namespace
+} // namespace hoopnvm

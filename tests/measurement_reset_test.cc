@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Measurement-phase reset regression tests.
+ *
+ * beginMeasurement() must put every metric metrics() reports back to
+ * zero — NVM traffic and energy, cache counters (the LLC miss ratio
+ * used to count warmup accesses), the latency histograms and the epoch
+ * ring. The strongest form of the property: a system in steady state
+ * running two back-to-back *identical* measurement phases must report
+ * *identical* metrics, field for field — any counter that leaks across
+ * beginMeasurement() makes the second phase read differently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/system.hh"
+
+namespace hoopnvm
+{
+namespace
+{
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    cfg.homeBytes = miB(64);
+    cfg.oopBytes = miB(8);
+    cfg.auxBytes = miB(64) + miB(8);
+    // Sample gauges often enough that a short phase collects several
+    // epochs, and keep the ring small so the overwrite path runs too.
+    cfg.epochSamplePeriod = nsToTicks(500);
+    cfg.epochRingCapacity = 8;
+    return cfg;
+}
+
+/**
+ * One fixed, fully deterministic work phase: every repetition writes
+ * the same values to the same addresses, so from any steady state the
+ * phase leaves the system in exactly the state it found it in.
+ */
+void
+runPhase(System &sys, Addr base, unsigned words)
+{
+    for (unsigned rep = 0; rep < 6; ++rep) {
+        for (CoreId c = 0; c < sys.config().numCores; ++c) {
+            sys.txBegin(c);
+            for (unsigned i = 0; i < 48; ++i) {
+                const Addr a =
+                    base + ((c * 48 + i) % words) * kWordSize;
+                sys.storeWord(c, a, (std::uint64_t{rep} << 8) | i);
+                (void)sys.loadWord(c, a);
+            }
+            sys.txEnd(c);
+            sys.maintenance();
+        }
+    }
+    sys.finalize();
+}
+
+void
+expectIdenticalSummary(const LatencySummary &a, const LatencySummary &b,
+                       const char *which)
+{
+    SCOPED_TRACE(which);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.p50Ns, b.p50Ns);
+    EXPECT_EQ(a.p95Ns, b.p95Ns);
+    EXPECT_EQ(a.p99Ns, b.p99Ns);
+    EXPECT_EQ(a.maxNs, b.maxNs);
+    EXPECT_EQ(a.meanNs, b.meanNs);
+}
+
+TEST(MeasurementReset, BackToBackPhasesReportIdenticalMetrics)
+{
+    System sys(smallConfig(), Scheme::Native);
+    const unsigned kWords = 256;
+    const Addr base = sys.alloc(0, kWords * kWordSize);
+
+    // Warm up into steady state, then measure the same phase twice.
+    runPhase(sys, base, kWords);
+
+    sys.beginMeasurement();
+    runPhase(sys, base, kWords);
+    const RunMetrics a = sys.metrics();
+
+    sys.beginMeasurement();
+    runPhase(sys, base, kWords);
+    const RunMetrics b = sys.metrics();
+
+    ASSERT_GT(a.transactions, 0u);
+    EXPECT_EQ(a.transactions, b.transactions);
+    EXPECT_EQ(a.simTicks, b.simTicks);
+    EXPECT_EQ(a.txPerSecond, b.txPerSecond);
+    EXPECT_EQ(a.avgCriticalPathNs, b.avgCriticalPathNs);
+    EXPECT_EQ(a.nvmBytesWritten, b.nvmBytesWritten);
+    EXPECT_EQ(a.nvmBytesRead, b.nvmBytesRead);
+    EXPECT_EQ(a.bytesWrittenPerTx, b.bytesWrittenPerTx);
+    EXPECT_EQ(a.energyPj, b.energyPj);
+    EXPECT_EQ(a.llcMissRatio, b.llcMissRatio);
+
+    expectIdenticalSummary(a.critPath, b.critPath, "critPath");
+    expectIdenticalSummary(a.llcMiss, b.llcMiss, "llcMiss");
+    expectIdenticalSummary(a.gcPause, b.gcPause, "gcPause");
+    EXPECT_EQ(a.critPath.count, a.transactions);
+
+    // Epoch samples: identical gauges at identical offsets from the
+    // start of each phase (the absolute ticks differ by one phase).
+    ASSERT_EQ(a.epochs.size(), b.epochs.size());
+    ASSERT_FALSE(a.epochs.empty());
+    for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+        SCOPED_TRACE("epoch " + std::to_string(i));
+        EXPECT_EQ(a.epochs[i].at - a.epochs[0].at,
+                  b.epochs[i].at - b.epochs[0].at);
+        EXPECT_EQ(a.epochs[i].mappingEntries,
+                  b.epochs[i].mappingEntries);
+        EXPECT_EQ(a.epochs[i].structBytes, b.epochs[i].structBytes);
+        EXPECT_EQ(a.epochs[i].backpressureStalls,
+                  b.epochs[i].backpressureStalls);
+        EXPECT_EQ(a.epochs[i].inflightWrites,
+                  b.epochs[i].inflightWrites);
+    }
+}
+
+TEST(MeasurementReset, MetricsAreZeroRightAfterBeginMeasurement)
+{
+    // HOOP exercises the controller-side histograms (GC pauses) and
+    // gauges that Native never populates, so run the warmup there.
+    System sys(smallConfig(), Scheme::Hoop);
+    const unsigned kWords = 256;
+    const Addr base = sys.alloc(0, kWords * kWordSize);
+    runPhase(sys, base, kWords);
+
+    const RunMetrics warm = sys.metrics();
+    ASSERT_GT(warm.transactions, 0u);
+    ASSERT_GT(warm.nvmBytesWritten, 0u);
+    ASSERT_GT(warm.critPath.count, 0u);
+
+    sys.beginMeasurement();
+    const RunMetrics m = sys.metrics();
+    EXPECT_EQ(m.transactions, 0u);
+    EXPECT_EQ(m.simTicks, 0u);
+    EXPECT_EQ(m.txPerSecond, 0.0);
+    EXPECT_EQ(m.avgCriticalPathNs, 0.0);
+    EXPECT_EQ(m.nvmBytesWritten, 0u);
+    EXPECT_EQ(m.nvmBytesRead, 0u);
+    EXPECT_EQ(m.energyPj, 0.0);
+    EXPECT_EQ(m.llcMissRatio, 0.0);
+    EXPECT_EQ(m.critPath.count, 0u);
+    EXPECT_EQ(m.llcMiss.count, 0u);
+    EXPECT_EQ(m.gcPause.count, 0u);
+    EXPECT_TRUE(m.epochs.empty());
+}
+
+} // namespace
+} // namespace hoopnvm

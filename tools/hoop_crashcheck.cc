@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "check/crash_explorer.hh"
+#include "stats/trace.hh"
 
 namespace
 {
@@ -45,7 +46,10 @@ constexpr const char *kUsage =
     "                  vulnerable window; rules that never fire across\n"
     "                  a scheme's whole sweep are reported as dead\n"
     "  --out DIR       write reproducer JSON files here (default .)\n"
-    "  --replay FILE   re-execute one schedule JSON and exit\n";
+    "  --replay FILE   re-execute one schedule JSON and exit\n"
+    "  --trace FILE    write a Chrome trace (Perfetto-loadable) of\n"
+    "                  every explored schedule to FILE (same as the\n"
+    "                  HOOP_TRACE environment variable)\n";
 
 const char *kAllWorkloads[] = {"vector", "hashmap", "queue", "rbtree",
                                "btree",  "ycsb",    "tpcc"};
@@ -190,6 +194,11 @@ main(int argc, char **argv)
             if (!v)
                 return usageError("--replay needs a value");
             replay_path = v;
+        } else if (a == "--trace") {
+            const char *v = next();
+            if (!v)
+                return usageError("--trace needs a value");
+            Trace::setPath(v);
         } else if (a == "--help" || a == "-h") {
             std::fputs(kUsage, stdout);
             return 0;

@@ -29,6 +29,7 @@
 
 #include "analysis/order_harness.hh"
 #include "check/crash_schedule.hh"
+#include "stats/trace.hh"
 
 namespace
 {
@@ -50,7 +51,10 @@ constexpr const char *kUsage =
     "  --break-commit-fence   hoop: ack commit before record durable\n"
     "  --early-commit-ack     redo/undo/lsm/osp: ack at issue time\n"
     "  --skip-settle-fences   skip drain fences before truncate/GC\n"
-    "  --skip-undo-log        undo: in-place writes without log entry\n";
+    "  --skip-undo-log        undo: in-place writes without log entry\n"
+    "  --trace FILE    write a Chrome trace (Perfetto-loadable) of\n"
+    "                  every analyzed run to FILE (same as the\n"
+    "                  HOOP_TRACE environment variable)\n";
 
 const char *kAllWorkloads[] = {"vector", "hashmap", "queue", "rbtree",
                                "btree",  "ycsb",    "tpcc"};
@@ -148,6 +152,11 @@ main(int argc, char **argv)
             knobs.skipSettleFences = true;
         } else if (a == "--skip-undo-log") {
             knobs.skipUndoLog = true;
+        } else if (a == "--trace") {
+            const char *v = next();
+            if (!v)
+                return usageError("--trace needs a value");
+            Trace::setPath(v);
         } else if (a == "--help" || a == "-h") {
             std::fputs(kUsage, stdout);
             return 0;
