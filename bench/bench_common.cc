@@ -122,6 +122,14 @@ fputEpochs(std::FILE *f, const std::vector<EpochSample> &epochs)
         fputNum(f, "backpressure_stalls", e.backpressureStalls);
         std::fputs(", ", f);
         fputNum(f, "inflight_writes", e.inflightWrites);
+        std::fputs(", ", f);
+        fputNum(f, "retired_units", e.retiredUnits);
+        std::fputs(", ", f);
+        fputNum(f, "corrected_words", e.correctedWords);
+        std::fputs(", ", f);
+        fputNum(f, "degraded_fraction", e.degradedFraction);
+        std::fputs(", ", f);
+        fputNum(f, "tx_rejected", e.txRejected);
         std::fputc('}', f);
     }
     std::fputc(']', f);
@@ -320,7 +328,7 @@ BenchReport::write() const
     const double ticks_per_sec = sim_ticks / wall;
 
     std::fputs("{\n  ", f);
-    fputNum(f, "schema_version", std::uint64_t{2});
+    fputNum(f, "schema_version", std::uint64_t{3});
     std::fputs(",\n  ", f);
     fputKey(f, "bench");
     fputJsonString(f, name_);
@@ -404,6 +412,20 @@ BenchReport::write() const
             fputSummary(f, "llc_miss_lat", m.llcMiss);
             std::fputs(",\n     ", f);
             fputSummary(f, "gc_pause", m.gcPause);
+            std::fputs(",\n     ", f);
+            fputSummary(f, "scrub_pause", m.scrubPause);
+            std::fputs(",\n     ", f);
+            fputNum(f, "ecc_corrected_words", m.eccCorrectedWords);
+            std::fputs(", ", f);
+            fputNum(f, "uncorrectable_reads", m.uncorrectableReads);
+            std::fputs(", ", f);
+            fputNum(f, "read_retries", m.readRetries);
+            std::fputs(", ", f);
+            fputNum(f, "retired_units", m.retiredUnits);
+            std::fputs(", ", f);
+            fputNum(f, "tx_rejected", m.txRejected);
+            std::fputs(", ", f);
+            fputNum(f, "degraded_fraction", m.degradedFraction);
             std::fputs(",\n     ", f);
             fputEpochs(f, m.epochs);
             std::fputs("}", f);

@@ -22,10 +22,14 @@
 
 #include "common/types.hh"
 #include "nvm/nvm_device.hh"
+#include "nvm/retirement_map.hh"
+#include "sim/system_config.hh"
 #include "stats/stat_set.hh"
 
 namespace hoopnvm
 {
+
+class OrderingTracker;
 
 /** Kinds of entries the baseline schemes write. */
 enum class LogEntryType : std::uint8_t
@@ -72,9 +76,17 @@ class LogRegion
      * @param base  First byte of the log area (64-byte superblock,
      *              then the entry ring).
      * @param bytes Total area size.
+     * @param cfg   When non-null and cfg->ft.enabled, a durable slot
+     *              retirement bitmap is carved from the area's tail and
+     *              the ring runs the media-tolerance discipline: bad
+     *              slots are program-verified at append, burned (head
+     *              and nextSeq advance in lockstep past them, keeping
+     *              seq == logical index + 1), durably retired, and
+     *              skipped — never cut — by post-crash scans.
      */
     LogRegion(NvmDevice &nvm, Addr base, std::uint64_t bytes,
-              const std::string &name);
+              const std::string &name,
+              const SystemConfig *cfg = nullptr);
 
     /** Entries the ring can hold. */
     std::uint64_t capacity() const { return capacity_; }
@@ -83,6 +95,15 @@ class LogRegion
     std::uint64_t size() const { return head - tail; }
 
     bool full() const { return size() >= capacity_; }
+
+    /**
+     * True when @p n appends are guaranteed to succeed from the current
+     * head — i.e. n usable (non-retired, non-faulted) free slots exist,
+     * counting the bad slots the appends would burn through. Pure
+     * check: lets a multi-record commit reserve space upfront so it
+     * never throws after a partial append.
+     */
+    bool canAppend(std::uint64_t n) const;
 
     /**
      * Append @p e durably (stamps its sequence number).
@@ -111,9 +132,63 @@ class LogRegion
 
     StatSet &stats() { return stats_; }
 
+    // ---- Runtime fault tolerance (inert unless cfg.ft.enabled) ----
+
+    /** Attach the ordering analyzer for retirement-rule tagging. */
+    void setOrdering(OrderingTracker *t) { ordering_ = t; }
+
+    /** True when the slot-retirement machinery is active. */
+    bool faultToleranceEnabled() const { return retireMap_.attached(); }
+
+    /** Ring slots durably retired as bad. */
+    std::uint64_t retiredSlots() const { return retireMap_.retiredCount(); }
+
+    /** Fraction of ring capacity lost to retirement, in [0, 1]. */
+    double
+    degradedFraction() const
+    {
+        return static_cast<double>(retireMap_.retiredCount()) /
+               static_cast<double>(capacity_);
+    }
+
+    /**
+     * One background scrub pass: patrol-read @p count ring slots round
+     * robin, counting ECC corrections into @p corrected (may be null),
+     * and durably retire uncorrectable slots that hold no live entry.
+     * @return Completion tick of the patrol traffic.
+     */
+    Tick scrubSlots(Tick now, std::uint32_t count,
+                    std::uint64_t *corrected = nullptr);
+
+    /**
+     * Adopt the durable retirement bitmap into the host mirror (start
+     * of recovery); retired slots are burned, not scanned.
+     */
+    void loadRetirement();
+
+    /**
+     * Byte ranges of ring slots holding no live entry and not retired
+     * (adjacent slots coalesced) — the slots a wear-out fault may be
+     * scheduled over without damaging durable data.
+     */
+    std::vector<std::pair<Addr, Addr>> freeSlotRanges() const;
+
   private:
     Addr entryAddr(std::uint64_t logical_idx) const;
     void writeSuperblock(Tick now);
+
+    /** True when physical slot @p slot sits on uncorrectable cells. */
+    bool slotUncorrectable(std::uint64_t slot) const;
+
+    /**
+     * Program-verify at the ring head: burn (head++, nextSeq++) past
+     * retired or uncorrectable slots, durably retiring newly-degraded
+     * ones with a fenced bitmap write ("log-retire-bitmap" rule).
+     */
+    Tick skipBadHead(Tick now);
+
+    /** Durably retire physical slot @p slot (fenced). */
+    Tick retireSlot(std::uint64_t slot, Tick now);
 
     NvmDevice &nvm;
     Addr base;
@@ -125,11 +200,24 @@ class LogRegion
     Counter &superblockWritesC_;
     Counter &appendsC_;
     Counter &truncatedC_;
+    Counter &slotsBurnedC_;
+    Counter &slotsRetiredC_;
 
     /** Monotonic logical indices; slot = idx % capacity. */
     std::uint64_t head = 0;
     std::uint64_t tail = 0;
     std::uint64_t nextSeq = 1;
+
+    /** Fence retirement bitmap writes (cfg.debugSkipSettleFences). */
+    bool skipSettleFences_ = false;
+
+    /** Round-robin slot cursor of the background scrubber. */
+    std::uint64_t scrubCursor_ = 0;
+
+    /** Durable bad-slot bitmap (attached only when cfg.ft.enabled). */
+    RetirementMap retireMap_;
+
+    OrderingTracker *ordering_ = nullptr;
 };
 
 } // namespace hoopnvm

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "analysis/ordering_tracker.hh"
+#include "common/errors.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -12,7 +13,7 @@ namespace hoopnvm
 
 LsmController::LsmController(NvmDevice &nvm, const SystemConfig &cfg_)
     : PersistenceController("lsm", nvm, cfg_),
-      log_(nvm, cfg_.auxBase(), cfg_.auxBytes, "lsm_log"),
+      log_(nvm, cfg_.auxBase(), cfg_.auxBytes, "lsm_log", &cfg_),
       txWrites(cfg_.numCores),
       indexWalksC_(stats_.counter("index_walks")),
       logEntriesC_(stats_.counter("log_entries")),
@@ -47,11 +48,23 @@ LsmController::declareOrderingRules(OrderingTracker &t)
     t.rule("lsm-log-truncate")
         .requiresSettled("home-migration writes before the log entries "
                          "that redo them are truncated");
+    if (cfg.ft.enabled) {
+        t.rule("log-retire-bitmap")
+            .requiresSettled("the durable slot-retirement bitmap before "
+                             "the retirement is acted upon");
+    }
 }
 
 TxId
 LsmController::txBegin(CoreId core, Tick now)
 {
+    if (cfg.ft.enabled &&
+        log_.degradedFraction() >= cfg.ft.rejectCapacityFraction) {
+        stats_.counter("tx_rejected") += 1;
+        throw TxRejected{RejectCause::CapacityDegraded,
+                         "lsm log degraded past the admission "
+                         "threshold by bad-slot retirement"};
+    }
     const TxId tx = PersistenceController::txBegin(core, now);
     txWrites[core].clear();
     return tx;
@@ -243,9 +256,25 @@ LsmController::stallForLogSpace(Tick now)
     ++logBackpressureStallsC_;
     const Tick done = gc(now);
     if (log_.full()) {
-        HOOP_FATAL("lsm log wedged: all entries belong to open "
-                   "transactions; increase auxBytes");
+        // Degrade, don't die: the offending transaction carries no
+        // commit record, so crash+recovery discards it whole.
+        stats_.counter("tx_rejected") += 1;
+        throw TxRejected{RejectCause::LogExhausted,
+                         "lsm log wedged: all entries belong to open "
+                         "transactions; increase auxBytes"};
     }
+    return done;
+}
+
+Tick
+LsmController::scrub(Tick now)
+{
+    std::uint64_t corrected = 0;
+    const Tick done =
+        log_.scrubSlots(now, cfg.ft.scrubChunks, &corrected);
+    stats_.counter("scrub_corrected_words") += corrected;
+    stats_.counter("scrub_passes") += 1;
+    stats_.histogram("scrub_pause_ticks").record(done - now);
     return done;
 }
 
@@ -266,6 +295,12 @@ LsmController::sampleGauges() const
     g.mappingEntries = index_.size();
     g.structBytes = log_.size() * LogEntry::kEntryBytes;
     g.backpressureStalls = stats_.value("log_backpressure_stalls");
+    if (log_.faultToleranceEnabled()) {
+        g.retiredUnits = log_.retiredSlots();
+        g.correctedWords = nvm_.faults().wordsEccCorrected();
+        g.degradedFraction = log_.degradedFraction();
+    }
+    g.txRejected = stats_.value("tx_rejected");
     return g;
 }
 
@@ -289,6 +324,9 @@ LsmController::crash()
 Tick
 LsmController::recover(unsigned)
 {
+    // Adopt the durable slot-retirement bitmap before the scan: retired
+    // slots are burned, not read — their garbage would cut the suffix.
+    log_.loadRetirement();
     // Apply committed cumulative images in commit order.
     std::unordered_map<TxId, bool> has_record;
     std::map<std::uint64_t, std::vector<LogEntry>> by_commit;

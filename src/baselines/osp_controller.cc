@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "analysis/ordering_tracker.hh"
+#include "common/errors.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -38,7 +39,7 @@ ospLogBytes(const SystemConfig &cfg)
 
 OspController::OspController(NvmDevice &nvm, const SystemConfig &cfg_)
     : PersistenceController("osp", nvm, cfg_),
-      log_(nvm, ospLogBase(cfg_), ospLogBytes(cfg_), "osp_log"),
+      log_(nvm, ospLogBase(cfg_), ospLogBytes(cfg_), "osp_log", &cfg_),
       txWrites(cfg_.numCores),
       selectorWritesC_(stats_.counter("selector_writes")),
       shadowWritesC_(stats_.counter("shadow_writes")),
@@ -59,6 +60,11 @@ OspController::declareOrderingRules(OrderingTracker &t)
     t.rule("osp-flip-record")
         .requiresDurable("inactive-copy data writes and the flip "
                          "records of an acknowledged transaction");
+    if (cfg.ft.enabled) {
+        t.rule("log-retire-bitmap")
+            .requiresSettled("the durable slot-retirement bitmap before "
+                             "the retirement is acted upon");
+    }
 }
 
 Addr
@@ -88,6 +94,13 @@ OspController::currentCopy(Addr line) const
 TxId
 OspController::txBegin(CoreId core, Tick now)
 {
+    if (cfg.ft.enabled &&
+        log_.degradedFraction() >= cfg.ft.rejectCapacityFraction) {
+        stats_.counter("tx_rejected") += 1;
+        throw TxRejected{RejectCause::CapacityDegraded,
+                         "osp flip log degraded past the admission "
+                         "threshold by bad-slot retirement"};
+    }
     const TxId tx = PersistenceController::txBegin(core, now);
     txWrites[core].clear();
     return tx;
@@ -158,21 +171,23 @@ OspController::txEnd(CoreId core, Tick now)
     }
 
     // 2. Durable flip records make the multi-line commit atomic. Each
-    // record stores up to 8 (line | new-selector) entries.
+    // record stores up to 8 (line | new-selector) entries. The flip
+    // log only truncates between transactions, so a full log here
+    // cannot drain — reserve the whole burst upfront: recovery applies
+    // every durable flip record independently, so rejecting after a
+    // partial append would replay a half-flipped commit.
+    const std::uint64_t recs = (flipped.size() + 7) / 8;
+    if (!log_.canAppend(recs)) {
+        ++logBackpressureStallsC_;
+        // Degrade, don't die: no flip record was appended, so the old
+        // copies stay live and the commit vanishes atomically.
+        stats_.counter("tx_rejected") += 1;
+        throw TxRejected{RejectCause::LogExhausted,
+                         "osp flip log wedged by open transactions; "
+                         "increase auxBytes"};
+    }
     Tick rec_done = data_done;
     for (std::size_t i = 0; i < flipped.size(); i += 8) {
-        if (log_.full()) {
-            // Backpressure: the committer stalls on truncation. The
-            // flip log only truncates between transactions, so a
-            // still-full log means this commit's records alone exceed
-            // it — configuration error, not a transient stall.
-            ++logBackpressureStallsC_;
-            maintenance(rec_done);
-            if (log_.full()) {
-                HOOP_FATAL("osp flip log wedged by open transactions; "
-                           "increase auxBytes");
-            }
-        }
         LogEntry e;
         e.type = LogEntryType::OspRecord;
         e.txId = tx;
@@ -300,6 +315,18 @@ OspController::maintenance(Tick now)
     }
 }
 
+Tick
+OspController::scrub(Tick now)
+{
+    std::uint64_t corrected = 0;
+    const Tick done =
+        log_.scrubSlots(now, cfg.ft.scrubChunks, &corrected);
+    stats_.counter("scrub_corrected_words") += corrected;
+    stats_.counter("scrub_passes") += 1;
+    stats_.histogram("scrub_pause_ticks").record(done - now);
+    return done;
+}
+
 ControllerGauges
 OspController::sampleGauges() const
 {
@@ -307,6 +334,12 @@ OspController::sampleGauges() const
     g.mappingEntries = log_.size();
     g.structBytes = log_.size() * LogEntry::kEntryBytes;
     g.backpressureStalls = stats_.value("log_backpressure_stalls");
+    if (log_.faultToleranceEnabled()) {
+        g.retiredUnits = log_.retiredSlots();
+        g.correctedWords = nvm_.faults().wordsEccCorrected();
+        g.degradedFraction = log_.degradedFraction();
+    }
+    g.txRejected = stats_.value("tx_rejected");
     return g;
 }
 
@@ -325,6 +358,9 @@ OspController::crash()
 Tick
 OspController::recover(unsigned)
 {
+    // Adopt the durable slot-retirement bitmap before the scan: retired
+    // slots are burned, not read — their garbage would cut the suffix.
+    log_.loadRetirement();
     // 1. Rebuild the selector view from the durable table.
     shadowCurrent.clear();
     const std::uint64_t n_lines = cfg.homeBytes / kCacheLineSize;

@@ -45,11 +45,27 @@ class OspController : public PersistenceController
                    bool persistent, TxId tx, std::uint8_t word_mask,
                    Tick now) override;
     void maintenance(Tick now) override;
+    Tick scrub(Tick now) override;
     ControllerGauges sampleGauges() const override;
     void crash() override;
     Tick recover(unsigned threads) override;
     void debugReadLine(Addr line, std::uint8_t *buf) const override;
     void declareOrderingRules(OrderingTracker &t) override;
+
+    /** Forward the tracker to the log's retirement machinery. */
+    void
+    setOrderingTracker(OrderingTracker *t) override
+    {
+        PersistenceController::setOrderingTracker(t);
+        log_.setOrdering(t);
+    }
+
+    /** Free log-ring slots: wear-out fault-injection targets. */
+    std::vector<std::pair<Addr, Addr>>
+    freeMediaRanges() const override
+    {
+        return log_.freeSlotRanges();
+    }
 
     /** NVM address of the line's shadow copy. */
     Addr shadowOf(Addr line) const;

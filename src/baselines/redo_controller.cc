@@ -5,6 +5,7 @@
 #include <map>
 
 #include "analysis/ordering_tracker.hh"
+#include "common/errors.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -30,7 +31,7 @@ LineImage::merge(const LineImage &other)
 
 RedoController::RedoController(NvmDevice &nvm, const SystemConfig &cfg_)
     : PersistenceController("redo", nvm, cfg_),
-      log_(nvm, cfg_.auxBase(), cfg_.auxBytes, "redo_log"),
+      log_(nvm, cfg_.auxBase(), cfg_.auxBytes, "redo_log", &cfg_),
       txWrites(cfg_.numCores),
       outstanding(cfg_.numCores, 0),
       logLookupCost(nsToTicks(20)),
@@ -55,11 +56,28 @@ RedoController::declareOrderingRules(OrderingTracker &t)
     t.rule("redo-log-truncate")
         .requiresSettled("asynchronous checkpoint writes before the log "
                          "entries that redo them are truncated");
+    // Declared only when the subsystem can fire it: a rule that cannot
+    // fire would (correctly) be reported dead by clean-run sweeps.
+    if (cfg.ft.enabled) {
+        t.rule("log-retire-bitmap")
+            .requiresSettled("the durable slot-retirement bitmap before "
+                             "the retirement is acted upon");
+    }
 }
 
 TxId
 RedoController::txBegin(CoreId core, Tick now)
 {
+    // Graceful degradation: once slot retirement has eaten past the
+    // configured fraction of the log ring, stop admitting transactions
+    // (ENOSPC-style) instead of wedging mid-commit.
+    if (cfg.ft.enabled &&
+        log_.degradedFraction() >= cfg.ft.rejectCapacityFraction) {
+        stats_.counter("tx_rejected") += 1;
+        throw TxRejected{RejectCause::CapacityDegraded,
+                         "redo log degraded past the admission "
+                         "threshold by bad-slot retirement"};
+    }
     const TxId tx = PersistenceController::txBegin(core, now);
     txWrites[core].clear();
     outstanding[core] = now;
@@ -230,9 +248,25 @@ RedoController::stallForLogSpace(Tick now)
     ++logBackpressureStallsC_;
     const Tick done = truncateRetired(now);
     if (log_.full()) {
-        HOOP_FATAL("redo log wedged: all entries belong to open "
-                   "transactions; increase auxBytes");
+        // Degrade, don't die: the offending transaction carries no
+        // commit record, so crash+recovery discards it whole.
+        stats_.counter("tx_rejected") += 1;
+        throw TxRejected{RejectCause::LogExhausted,
+                         "redo log wedged: all entries belong to open "
+                         "transactions; increase auxBytes"};
     }
+    return done;
+}
+
+Tick
+RedoController::scrub(Tick now)
+{
+    std::uint64_t corrected = 0;
+    const Tick done =
+        log_.scrubSlots(now, cfg.ft.scrubChunks, &corrected);
+    stats_.counter("scrub_corrected_words") += corrected;
+    stats_.counter("scrub_passes") += 1;
+    stats_.histogram("scrub_pause_ticks").record(done - now);
     return done;
 }
 
@@ -253,6 +287,12 @@ RedoController::sampleGauges() const
     g.mappingEntries = log_.size();
     g.structBytes = log_.size() * LogEntry::kEntryBytes;
     g.backpressureStalls = stats_.value("log_backpressure_stalls");
+    if (log_.faultToleranceEnabled()) {
+        g.retiredUnits = log_.retiredSlots();
+        g.correctedWords = nvm_.faults().wordsEccCorrected();
+        g.degradedFraction = log_.degradedFraction();
+    }
+    g.txRejected = stats_.value("tx_rejected");
     return g;
 }
 
@@ -274,6 +314,9 @@ RedoController::crash()
 Tick
 RedoController::recover(unsigned)
 {
+    // Adopt the durable slot-retirement bitmap before the scan: retired
+    // slots are burned, not read — their garbage would cut the suffix.
+    log_.loadRetirement();
     // Replay committed transactions' redo images in commit order.
     std::map<std::uint64_t, std::vector<LogEntry>> by_commit;
     std::unordered_map<TxId, bool> has_record;

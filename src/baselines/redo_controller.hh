@@ -65,12 +65,28 @@ class RedoController : public PersistenceController
                    bool persistent, TxId tx, std::uint8_t word_mask,
                    Tick now) override;
     void maintenance(Tick now) override;
+    Tick scrub(Tick now) override;
     ControllerGauges sampleGauges() const override;
     Tick drain(Tick now) override;
     void crash() override;
     Tick recover(unsigned threads) override;
     void debugReadLine(Addr line, std::uint8_t *buf) const override;
     void declareOrderingRules(OrderingTracker &t) override;
+
+    /** Forward the tracker to the log's retirement machinery. */
+    void
+    setOrderingTracker(OrderingTracker *t) override
+    {
+        PersistenceController::setOrderingTracker(t);
+        log_.setOrdering(t);
+    }
+
+    /** Free log-ring slots: wear-out fault-injection targets. */
+    std::vector<std::pair<Addr, Addr>>
+    freeMediaRanges() const override
+    {
+        return log_.freeSlotRanges();
+    }
 
     LogRegion &log() { return log_; }
 

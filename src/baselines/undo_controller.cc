@@ -5,6 +5,7 @@
 #include <map>
 
 #include "analysis/ordering_tracker.hh"
+#include "common/errors.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -12,7 +13,7 @@ namespace hoopnvm
 
 UndoController::UndoController(NvmDevice &nvm, const SystemConfig &cfg_)
     : PersistenceController("undo", nvm, cfg_),
-      log_(nvm, cfg_.auxBase(), cfg_.auxBytes, "undo_log"),
+      log_(nvm, cfg_.auxBase(), cfg_.auxBytes, "undo_log", &cfg_),
       txWrites(cfg_.numCores),
       outstanding(cfg_.numCores, 0),
       logEntriesC_(stats_.counter("log_entries")),
@@ -34,11 +35,23 @@ UndoController::declareOrderingRules(OrderingTracker &t)
     t.rule("undo-commit-record")
         .requiresDurable("in-place data flushes and the commit record "
                          "of an acknowledged transaction");
+    if (cfg.ft.enabled) {
+        t.rule("log-retire-bitmap")
+            .requiresSettled("the durable slot-retirement bitmap before "
+                             "the retirement is acted upon");
+    }
 }
 
 TxId
 UndoController::txBegin(CoreId core, Tick now)
 {
+    if (cfg.ft.enabled &&
+        log_.degradedFraction() >= cfg.ft.rejectCapacityFraction) {
+        stats_.counter("tx_rejected") += 1;
+        throw TxRejected{RejectCause::CapacityDegraded,
+                         "undo log degraded past the admission "
+                         "threshold by bad-slot retirement"};
+    }
     const TxId tx = PersistenceController::txBegin(core, now);
     txWrites[core].clear();
     outstanding[core] = now;
@@ -196,9 +209,25 @@ UndoController::stallForLogSpace(Tick now)
     ++logBackpressureStallsC_;
     truncateCommitted(now);
     if (log_.full()) {
-        HOOP_FATAL("undo log wedged: all entries belong to open "
-                   "transactions; increase auxBytes");
+        // Degrade, don't die: the offending transaction's in-place
+        // writes are rolled back by its logged pre-images on recovery.
+        stats_.counter("tx_rejected") += 1;
+        throw TxRejected{RejectCause::LogExhausted,
+                         "undo log wedged: all entries belong to open "
+                         "transactions; increase auxBytes"};
     }
+}
+
+Tick
+UndoController::scrub(Tick now)
+{
+    std::uint64_t corrected = 0;
+    const Tick done =
+        log_.scrubSlots(now, cfg.ft.scrubChunks, &corrected);
+    stats_.counter("scrub_corrected_words") += corrected;
+    stats_.counter("scrub_passes") += 1;
+    stats_.histogram("scrub_pause_ticks").record(done - now);
+    return done;
 }
 
 void
@@ -218,6 +247,12 @@ UndoController::sampleGauges() const
     g.mappingEntries = log_.size();
     g.structBytes = log_.size() * LogEntry::kEntryBytes;
     g.backpressureStalls = stats_.value("log_backpressure_stalls");
+    if (log_.faultToleranceEnabled()) {
+        g.retiredUnits = log_.retiredSlots();
+        g.correctedWords = nvm_.faults().wordsEccCorrected();
+        g.degradedFraction = log_.degradedFraction();
+    }
+    g.txRejected = stats_.value("tx_rejected");
     return g;
 }
 
@@ -234,6 +269,9 @@ UndoController::crash()
 Tick
 UndoController::recover(unsigned)
 {
+    // Adopt the durable slot-retirement bitmap before the scan: retired
+    // slots are burned, not read — their garbage would cut the suffix.
+    log_.loadRetirement();
     // Roll back every transaction without a commit record by applying
     // its old images newest-first.
     std::unordered_map<TxId, bool> has_record;

@@ -4,6 +4,8 @@
 #include <memory>
 
 #include "analysis/order_harness.hh"
+#include "check/soak.hh" // installRuntimeFaults
+#include "common/errors.hh"
 #include "sim/system.hh"
 #include "workloads/registry.hh"
 
@@ -23,6 +25,11 @@ configFor(const CrashSchedule &sched)
 {
     SystemConfig cfg = smallCheckConfig(sched.numCores, sched.seed);
     cfg.debugNoCommitFence = sched.breakCommitFence;
+    cfg.ft.enabled = sched.runtimeFaultProb > 0;
+    // Check windows span tens of transactions, far less simulated time
+    // than the default scrub cadence; scrub on the GC period so
+    // scrub-driven retirement is reachable inside a schedule.
+    cfg.ft.scrubPeriod = cfg.gcPeriod;
     return cfg;
 }
 
@@ -49,10 +56,10 @@ runSchedule(const CrashSchedule &sched)
     ScheduleResult res;
     const SystemConfig cfg = configFor(sched);
     System sys(cfg, sched.scheme);
-    if (sched.tornWrites) {
+    if (sched.tornWrites || sched.runtimeFaultProb > 0)
         sys.nvm().faults().setSeed(sched.seed ^ 0x7ea55eedULL);
+    if (sched.tornWrites)
         sys.nvm().faults().setTornWrites(true);
-    }
 
     auto factory = makeWorkload(sched.workload, paramsFor());
     std::vector<std::unique_ptr<Workload>> wls;
@@ -67,6 +74,14 @@ runSchedule(const CrashSchedule &sched)
             wls[c]->runTransaction(txi);
         sys.maintenance();
     }
+
+    // Faults land after warmup, over capacity that is free *now*: the
+    // program-verify contract then guarantees no committed data ever
+    // sits on an uncorrectable cell, which is what keeps the oracles
+    // strict under this regime.
+    if (sched.runtimeFaultProb > 0)
+        installRuntimeFaults(sys, cfg, sched.runtimeFaultProb, 0);
+
     sys.crashHook().resetCounts();
 
     // The ordering analyzer arms after warmup (rules judge the steady
@@ -86,9 +101,12 @@ runSchedule(const CrashSchedule &sched)
     // Post-recovery oracle. The crashed transaction's shadow update may
     // still be pending (the crash hit inside its commit, where both
     // durable and dropped are legal outcomes): strict verify first,
-    // then retry with the pending update adopted. Media-fault regimes
-    // skip the oracles — damage-at-rest legitimately vetoes committed
-    // transactions, so exact equality is not the contract there.
+    // then retry with the pending update adopted. The legacy
+    // damage-at-rest regime (mediaFaultProb) skips the oracles —
+    // corrupting occupied cells legitimately vetoes committed
+    // transactions, so exact equality is not the contract there. The
+    // runtime regime (runtimeFaultProb) does NOT skip: its faults only
+    // ever land on then-free capacity, so committed data must survive.
     auto oracle = [&](const char *when) -> bool {
         if (sched.mediaFaultProb > 0) {
             for (auto &wl : wls)
@@ -128,8 +146,20 @@ runSchedule(const CrashSchedule &sched)
 
     auto runWindow = [&]() {
         for (std::uint64_t n = 0; n < sched.runTx; ++n, ++txi) {
-            for (unsigned c = 0; c < cfg.numCores; ++c)
-                wls[c]->runTransaction(txi);
+            for (unsigned c = 0; c < cfg.numCores; ++c) {
+                try {
+                    wls[c]->runTransaction(txi);
+                } catch (const TxRejected &) {
+                    // Graceful degradation: the rejected transaction
+                    // wrote no commit record, so crash + recovery
+                    // discards its partial effects and the stream
+                    // continues on the surviving committed state.
+                    sys.crash();
+                    sys.recover(sched.recoverThreads);
+                    for (auto &wl : wls)
+                        wl->dropPendingShadow();
+                }
+            }
             sys.maintenance();
         }
     };
@@ -205,7 +235,8 @@ runSchedule(const CrashSchedule &sched)
 }
 
 CrashSchedule
-shrink(const CrashSchedule &failing, std::string *detail)
+shrink(const CrashSchedule &failing, std::string *detail,
+       const std::function<void(const CrashSchedule &)> &progress)
 {
     CrashSchedule best = failing;
     int budget = 48;
@@ -214,6 +245,8 @@ shrink(const CrashSchedule &failing, std::string *detail)
         if (budget <= 0)
             return false;
         --budget;
+        if (progress)
+            progress(cand);
         const ScheduleResult r = runSchedule(cand);
         if (!r.violated)
             return false;
@@ -302,6 +335,7 @@ explore(const ExploreOptions &opt)
     // record can actually tear.
     base.tornWrites = opt.tornWrites || opt.breakCommitFence;
     base.mediaFaultProb = opt.mediaFaultProb;
+    base.runtimeFaultProb = opt.runtimeFaultProb;
     base.breakCommitFence = opt.breakCommitFence;
     base.ordering = opt.ordering;
 
@@ -331,6 +365,8 @@ explore(const ExploreOptions &opt)
         }
     };
 
+    if (opt.progress)
+        opt.progress(base);
     const ScheduleResult profile = runSchedule(base);
     rep.eventsProfiled = profile.events;
     absorbOrdering(profile);
@@ -370,6 +406,8 @@ explore(const ExploreOptions &opt)
             }
             sched.steps.push_back(step);
 
+            if (opt.progress)
+                opt.progress(sched);
             const ScheduleResult r = runSchedule(sched);
             absorbOrdering(r);
             ++rep.schedulesRun;
@@ -386,7 +424,7 @@ explore(const ExploreOptions &opt)
             if (r.violated) {
                 Violation v;
                 v.detail = r.detail;
-                v.reproducer = shrink(sched, &v.detail);
+                v.reproducer = shrink(sched, &v.detail, opt.progress);
                 rep.violations.push_back(std::move(v));
             }
         }

@@ -28,6 +28,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,13 @@ struct ExploreOptions
     bool tornWrites = false;
     double mediaFaultProb = 0.0;
 
+    /**
+     * Runtime media-fault regime (see CrashSchedule::runtimeFaultProb):
+     * fault tolerance enabled, seeded wear-out + transient faults, and
+     * the oracles stay strict.
+     */
+    double runtimeFaultProb = 0.0;
+
     /** Debug knob: commit acks before the record is durable. */
     bool breakCommitFence = false;
 
@@ -68,6 +76,13 @@ struct ExploreOptions
 
     /** Boundary classes to explore; empty = all five. */
     std::vector<CrashPointKind> kinds;
+
+    /**
+     * Invoked immediately before each schedule executes (profiling and
+     * shrink runs included). Drives external progress tracking — the
+     * CLI beats its per-schedule watchdog here.
+     */
+    std::function<void(const CrashSchedule &)> progress;
 };
 
 /** Outcome of executing one schedule. */
@@ -142,10 +157,12 @@ ScheduleResult runSchedule(const CrashSchedule &schedule);
 /**
  * Greedily shrink @p failing toward a minimal schedule that still
  * violates: drop steps, shrink warmup/window, reduce countdowns.
+ * @p progress (optional) is invoked before each shrink attempt runs.
  * @return the smallest still-violating schedule found.
  */
-CrashSchedule shrink(const CrashSchedule &failing,
-                     std::string *detail = nullptr);
+CrashSchedule
+shrink(const CrashSchedule &failing, std::string *detail = nullptr,
+       const std::function<void(const CrashSchedule &)> &progress = {});
 
 /** Run a full budget-bounded sweep for one scheme x workload. */
 ExploreReport explore(const ExploreOptions &opt);

@@ -190,6 +190,7 @@ CrashSchedule::toJson() const
     os << "  \"torn_writes\": " << (tornWrites ? "true" : "false")
        << ",\n";
     os << "  \"media_fault_prob\": " << mediaFaultProb << ",\n";
+    os << "  \"runtime_fault_prob\": " << runtimeFaultProb << ",\n";
     os << "  \"break_commit_fence\": "
        << (breakCommitFence ? "true" : "false") << ",\n";
     os << "  \"ordering\": " << (ordering ? "true" : "false") << ",\n";
@@ -257,6 +258,8 @@ CrashSchedule::fromJson(const std::string &text, CrashSchedule *out,
             return p.parseBool(&out->tornWrites);
         if (key == "media_fault_prob")
             return p.parseNumber(&out->mediaFaultProb);
+        if (key == "runtime_fault_prob")
+            return p.parseNumber(&out->runtimeFaultProb);
         if (key == "break_commit_fence")
             return p.parseBool(&out->breakCommitFence);
         if (key == "ordering")

@@ -50,6 +50,18 @@ struct CrashSchedule
     unsigned recoverThreads = 2;
     bool tornWrites = false;
     double mediaFaultProb = 0.0;
+
+    /**
+     * Runtime media-fault regime: enables the fault-tolerance config
+     * (ECC, bounded retry, scrubbing, retirement) and schedules seeded
+     * wear-out faults over then-free capacity plus transient read
+     * disturbs over the home region after warmup. Unlike
+     * mediaFaultProb's damage-at-rest, this regime guarantees no data
+     * loss (program-verify keeps data off bad cells), so the oracles
+     * stay strict.
+     */
+    double runtimeFaultProb = 0.0;
+
     bool breakCommitFence = false;
 
     /** Arm the persistency-ordering analyzer for the whole run. */

@@ -1,0 +1,417 @@
+#include "check/soak.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <memory>
+
+#include "analysis/order_harness.hh"
+#include "common/errors.hh"
+#include "sim/system.hh"
+#include "workloads/registry.hh"
+
+namespace hoopnvm
+{
+
+void
+installRuntimeFaults(System &sys, const SystemConfig &cfg, double prob,
+                     unsigned salt)
+{
+    // Escalation ramps multiply without bound; a saturated phase just
+    // means every free word is faulty.
+    prob = std::min(prob, 1.0);
+    FaultModel &fm = sys.nvm().faults();
+    std::size_t i = salt;
+    for (const auto &range : sys.controller().freeMediaRanges()) {
+        const MediaFaultKind kind = (i & 1)
+                                        ? MediaFaultKind::StuckAtOne
+                                        : MediaFaultKind::StuckAtZero;
+        // Stripe the extent, never more than a handful of fault ranges
+        // per extent (classifying a word walks the range list), and
+        // lead with the uncorrectable stripe: allocators and the
+        // scrubber consume extents front-first, so damage at the front
+        // is what short check windows actually reach.
+        const Addr len = range.second - range.first;
+        const Addr stripe =
+            std::max<Addr>(8192, (len / 8 + 7) / 8 * 8);
+        unsigned s = 0;
+        for (Addr lo = range.first; lo < range.second;
+             lo += stripe, ++s) {
+            const Addr hi = std::min(range.second, lo + stripe);
+            fm.addMediaFault(lo, hi, kind, prob,
+                             (s & 1) ? 1 : 3);
+        }
+        ++i;
+    }
+    fm.addMediaFault(0, cfg.homeBytes, MediaFaultKind::BitFlip,
+                     prob * 0.5, 2);
+}
+
+namespace
+{
+
+/** Flat-object JSON reader for the soak-spec grammar. */
+class SpecParser
+{
+  public:
+    explicit SpecParser(const std::string &text) : s_(text) {}
+
+    bool fail(const std::string &msg)
+    {
+        if (err_.empty())
+            err_ = msg + " near offset " + std::to_string(pos_);
+        return false;
+    }
+
+    const std::string &error() const { return err_; }
+
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        skipWs();
+        if (pos_ >= s_.size() || s_[pos_] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos_;
+        return true;
+    }
+
+    bool peekIs(char c)
+    {
+        skipWs();
+        return pos_ < s_.size() && s_[pos_] == c;
+    }
+
+    bool parseString(std::string *out)
+    {
+        if (!consume('"'))
+            return false;
+        out->clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\' && pos_ + 1 < s_.size())
+                ++pos_;
+            out->push_back(s_[pos_++]);
+        }
+        if (pos_ >= s_.size())
+            return fail("unterminated string");
+        ++pos_;
+        return true;
+    }
+
+    bool parseNumber(double *out)
+    {
+        skipWs();
+        const char *start = s_.c_str() + pos_;
+        char *end = nullptr;
+        *out = std::strtod(start, &end);
+        if (end == start)
+            return fail("expected number");
+        pos_ += static_cast<std::size_t>(end - start);
+        return true;
+    }
+
+    template <typename Fn>
+    bool parseObject(Fn member)
+    {
+        if (!consume('{'))
+            return false;
+        if (peekIs('}'))
+            return consume('}');
+        while (true) {
+            std::string key;
+            if (!parseString(&key) || !consume(':'))
+                return false;
+            if (!member(key))
+                return fail("bad value for key \"" + key + "\"");
+            if (peekIs(',')) {
+                consume(',');
+                continue;
+            }
+            return consume('}');
+        }
+    }
+
+  private:
+    const std::string &s_;
+    std::size_t pos_ = 0;
+    std::string err_;
+};
+
+} // namespace
+
+std::string
+SoakSpec::toJson() const
+{
+    std::string out = "{\n";
+    auto field = [&out](const char *key, const std::string &val,
+                        bool last = false) {
+        out += std::string("  \"") + key + "\": " + val +
+               (last ? "\n" : ",\n");
+    };
+    field("scheme", std::string("\"") + schemeToken(scheme) + "\"");
+    field("workload", "\"" + workload + "\"");
+    field("seed", std::to_string(seed));
+    field("num_cores", std::to_string(numCores));
+    field("warmup_tx", std::to_string(warmupTx));
+    field("phases", std::to_string(phases));
+    field("tx_per_phase", std::to_string(txPerPhase));
+    field("fault_prob", std::to_string(faultProb));
+    field("escalation", std::to_string(escalation));
+    field("recover_threads", std::to_string(recoverThreads), true);
+    out += "}\n";
+    return out;
+}
+
+bool
+SoakSpec::fromJson(const std::string &text, SoakSpec *out,
+                   std::string *err)
+{
+    *out = SoakSpec{};
+    SpecParser p(text);
+    std::string str;
+    double num = 0;
+
+    auto u64 = [&](std::uint64_t *dst) {
+        if (!p.parseNumber(&num))
+            return false;
+        *dst = static_cast<std::uint64_t>(num);
+        return true;
+    };
+    auto u32 = [&](unsigned *dst) {
+        if (!p.parseNumber(&num))
+            return false;
+        *dst = static_cast<unsigned>(num);
+        return true;
+    };
+
+    const bool ok = p.parseObject([&](const std::string &key) {
+        if (key == "scheme") {
+            return p.parseString(&str) &&
+                   (schemeFromToken(str, &out->scheme) ||
+                    p.fail("unknown scheme \"" + str + "\""));
+        }
+        if (key == "workload")
+            return p.parseString(&out->workload);
+        if (key == "seed")
+            return u64(&out->seed);
+        if (key == "num_cores")
+            return u32(&out->numCores);
+        if (key == "warmup_tx")
+            return u64(&out->warmupTx);
+        if (key == "phases")
+            return u32(&out->phases);
+        if (key == "tx_per_phase")
+            return u64(&out->txPerPhase);
+        if (key == "fault_prob")
+            return p.parseNumber(&out->faultProb);
+        if (key == "escalation")
+            return p.parseNumber(&out->escalation);
+        if (key == "recover_threads")
+            return u32(&out->recoverThreads);
+        return p.fail("unknown key \"" + key + "\"");
+    });
+
+    if (!ok && err)
+        *err = p.error();
+    return ok;
+}
+
+SoakResult
+runSoak(const SoakSpec &spec, const SoakProgress &progress)
+{
+    SoakResult res;
+
+    SystemConfig cfg = smallCheckConfig(spec.numCores, spec.seed);
+    cfg.ft.enabled = true;
+    System sys(cfg, spec.scheme);
+    sys.nvm().faults().setSeed(spec.seed ^ 0x7ea55eedULL);
+
+    WorkloadParams params;
+    params.valueBytes = 64;
+    params.scale = 128;
+    auto factory = makeWorkload(spec.workload, params);
+    std::vector<std::unique_ptr<Workload>> wls;
+    for (unsigned c = 0; c < cfg.numCores; ++c) {
+        wls.push_back(factory(sys, c));
+        wls.back()->setup();
+    }
+
+    const std::string cell =
+        std::string(schemeToken(spec.scheme)) + "/" + spec.workload;
+
+    // Same post-recovery oracle as the crash explorer: strict verify
+    // with the pending-shadow ambiguity resolved both ways, then the
+    // workload's structural invariants. Runtime faults never touch
+    // occupied cells, so committed data must always survive.
+    auto oracle = [&](const std::string &when) -> bool {
+        for (unsigned c = 0; c < cfg.numCores; ++c) {
+            bool ok = wls[c]->verify();
+            if (!ok && wls[c]->hasPendingShadow()) {
+                wls[c]->applyPendingShadow();
+                ok = wls[c]->verify();
+            } else {
+                wls[c]->dropPendingShadow();
+            }
+            if (!ok) {
+                res.violated = true;
+                res.detail = cell + " core " + std::to_string(c) +
+                             ": committed state lost or phantom data "
+                             "surfaced (" + when + ")";
+                return false;
+            }
+            std::string why;
+            if (!wls[c]->verifyStructure(&why)) {
+                res.violated = true;
+                res.detail = cell + " core " + std::to_string(c) +
+                             ": structural invariant broken (" + when +
+                             "): " + why;
+                return false;
+            }
+        }
+        return true;
+    };
+
+    auto sampleGauges = [&]() {
+        const ControllerGauges g = sys.controller().sampleGauges();
+        res.retiredUnits = g.retiredUnits;
+        res.correctedWords = g.correctedWords;
+        res.degradedFraction = g.degradedFraction;
+        res.readRetries = sys.nvm().readRetries();
+        res.uncorrectableReads = sys.nvm().uncorrectableReads();
+    };
+
+    std::uint64_t txi = 0;
+    for (; txi < spec.warmupTx; ++txi) {
+        for (unsigned c = 0; c < cfg.numCores; ++c)
+            wls[c]->runTransaction(txi);
+        sys.maintenance();
+    }
+
+    double prob = spec.faultProb;
+    for (unsigned phase = 0; phase < spec.phases;
+         ++phase, prob *= spec.escalation) {
+        if (progress)
+            progress(cell + " phase " + std::to_string(phase) +
+                     "/" + std::to_string(spec.phases));
+
+        SoakPhaseStats ph;
+        ph.faultProb = prob;
+        installRuntimeFaults(sys, cfg, prob, phase);
+
+        for (std::uint64_t n = 0; n < spec.txPerPhase; ++n, ++txi) {
+            for (unsigned c = 0; c < cfg.numCores; ++c) {
+                try {
+                    wls[c]->runTransaction(txi);
+                } catch (const TxRejected &rj) {
+                    if (rj.cause == RejectCause::CapacityDegraded) {
+                        // Admission reject: txBegin refused before any
+                        // state was touched — skip the transaction.
+                        ++ph.rejectedAdmission;
+                        wls[c]->dropPendingShadow();
+                    } else {
+                        // Mid-transaction unwind: the rejected tx has
+                        // no commit record, so crash + recovery
+                        // discards its partial effects and the stream
+                        // continues on the survivor state.
+                        ++ph.rejectedMidTx;
+                        ++ph.recoveries;
+                        sys.crash();
+                        sys.recover(spec.recoverThreads);
+                        for (auto &wl : wls)
+                            wl->dropPendingShadow();
+                    }
+                }
+            }
+            sys.maintenance();
+        }
+
+        res.rejectedAdmission += ph.rejectedAdmission;
+        res.rejectedMidTx += ph.rejectedMidTx;
+        res.recoveries += ph.recoveries;
+        res.phases.push_back(ph);
+
+        if (!oracle("end of phase " + std::to_string(phase))) {
+            sampleGauges();
+            return res;
+        }
+    }
+
+    // Final endurance check: power-cycle on the fully accumulated
+    // damage and make sure recovery (retired units skipped, retirement
+    // bitmap reloaded) still restores every committed transaction.
+    sys.crash();
+    sys.recover(spec.recoverThreads);
+    ++res.recoveries;
+    for (auto &wl : wls)
+        wl->dropPendingShadow();
+    oracle("after final crash + recovery");
+    sampleGauges();
+    return res;
+}
+
+SoakSpec
+shrinkSoak(const SoakSpec &failing, std::string *detail,
+           const SoakProgress &progress)
+{
+    SoakSpec best = failing;
+    int budget = 32;
+
+    auto attempt = [&](const SoakSpec &cand) -> bool {
+        if (budget <= 0)
+            return false;
+        --budget;
+        const SoakResult r = runSoak(cand, progress);
+        if (!r.violated)
+            return false;
+        best = cand;
+        if (detail)
+            *detail = r.detail;
+        return true;
+    };
+
+    bool improved = true;
+    while (improved && budget > 0) {
+        improved = false;
+
+        if (best.phases > 1) {
+            SoakSpec cand = best;
+            cand.phases = std::max(1u, cand.phases / 2);
+            // Dropping early phases changes which faults exist; keep
+            // the ramp's tail by raising the base probability to where
+            // the removed phases would have escalated it.
+            for (unsigned p = cand.phases; p < best.phases; ++p)
+                cand.faultProb *= cand.escalation;
+            if (attempt(cand)) {
+                improved = true;
+                continue;
+            }
+        }
+
+        if (best.txPerPhase > 1) {
+            SoakSpec cand = best;
+            cand.txPerPhase = std::max<std::uint64_t>(
+                1, cand.txPerPhase / 2);
+            if (attempt(cand)) {
+                improved = true;
+                continue;
+            }
+        }
+
+        if (best.warmupTx > 0) {
+            SoakSpec cand = best;
+            cand.warmupTx /= 2;
+            if (attempt(cand)) {
+                improved = true;
+                continue;
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace hoopnvm

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Wall-clock stall detector for the checking harnesses.
+ *
+ * The crash explorer and the soak harness run long deterministic
+ * schedule matrices; a scheduling bug (e.g. a backpressure wedge that
+ * should have degraded into TxRejected) shows up as one cell spinning
+ * forever. The watchdog bounds that: the driver calls beat() as each
+ * unit of work (schedule, soak phase) starts, and a background thread
+ * aborts the process with a diagnostic naming the stuck unit if no
+ * beat arrives within the per-unit budget.
+ *
+ * The watchdog never influences simulation results — simulated time is
+ * untouched and a run that stays inside its budget is bit-identical
+ * with the watchdog on or off. It only converts "hangs forever" into
+ * "exits with code 3 and says where".
+ */
+
+#ifndef HOOPNVM_CHECK_WATCHDOG_HH
+#define HOOPNVM_CHECK_WATCHDOG_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace hoopnvm
+{
+
+/** Per-unit wall-clock budget enforcer. A budget of 0 disables it. */
+class Watchdog
+{
+  public:
+    /** Process exit code used when the budget is exceeded. */
+    static constexpr int kExitCode = 3;
+
+    explicit Watchdog(std::uint64_t budget_ms) : budgetMs_(budget_ms)
+    {
+        if (budgetMs_ > 0)
+            thread_ = std::thread([this] { run(); });
+    }
+
+    ~Watchdog()
+    {
+        if (!thread_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> g(m_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /**
+     * Record progress and (re)name the unit now running; the budget
+     * clock restarts. @p label appears in the stall diagnostic.
+     */
+    void
+    beat(std::string label)
+    {
+        if (budgetMs_ == 0)
+            return;
+        std::lock_guard<std::mutex> g(m_);
+        label_ = std::move(label);
+        ++beats_;
+        cv_.notify_all();
+    }
+
+  private:
+    void
+    run()
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        std::uint64_t seen = beats_;
+        while (!stop_) {
+            const auto deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(budgetMs_);
+            cv_.wait_until(lk, deadline, [&] {
+                return stop_ || beats_ != seen;
+            });
+            if (stop_)
+                return;
+            if (beats_ != seen) {
+                seen = beats_;
+                continue;
+            }
+            std::fprintf(stderr,
+                         "watchdog: no progress for %llu ms, giving up"
+                         " (stuck in: %s)\n",
+                         static_cast<unsigned long long>(budgetMs_),
+                         label_.empty() ? "<startup>" : label_.c_str());
+            std::fflush(stderr);
+            std::_Exit(kExitCode);
+        }
+    }
+
+    const std::uint64_t budgetMs_;
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::uint64_t beats_ = 0;
+    bool stop_ = false;
+    std::string label_;
+    std::thread thread_;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_CHECK_WATCHDOG_HH

@@ -5,6 +5,31 @@
  * panic() is for conditions that indicate a bug in the simulator itself;
  * fatal() is for conditions caused by invalid user configuration. Both
  * terminate the process; panic() aborts so a core dump is produced.
+ *
+ * Fatal-vs-structured split (runtime fault-tolerance audit)
+ * ---------------------------------------------------------
+ * A runtime-reachable exhaustion or media-fault path must never
+ * terminate the process: a production controller degrades to a typed
+ * rejection the caller can observe (common/errors.hh, TxRejected).
+ * HOOP_FATAL is reserved for conditions a correctly-sized, correctly-
+ * invoked simulation cannot reach at runtime. The audited sites:
+ *
+ *  Converted to `throw TxRejected{...}` (runtime exhaustion, reachable
+ *  under heavy traffic or retired-capacity loss):
+ *   - hoop/hoop_controller.cc  OOP region wedged by open transactions
+ *     (RejectCause::OopExhausted), and admission rejection once retired
+ *     capacity crosses ft.rejectCapacityFraction (CapacityDegraded).
+ *   - baselines/redo_controller.cc, undo_controller.cc,
+ *     lsm_controller.cc, osp_controller.cc  log ring wedged by open
+ *     transactions or fully retired (RejectCause::LogExhausted /
+ *     CapacityDegraded).
+ *
+ *  Kept HOOP_FATAL (setup/configuration errors, not fault paths):
+ *   - txn/sim_allocator.cc      arena sized too small for the workload.
+ *   - workloads/registry.cc     unknown workload name (CLI input).
+ *   - workloads/hashmap_wl.cc   table sized too small for the key space.
+ *   - bench/ *.cc               driver-level verification assertions
+ *     (a failed bench verification is a test failure, not service).
  */
 
 #ifndef HOOPNVM_COMMON_LOGGING_HH

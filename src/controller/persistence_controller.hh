@@ -58,6 +58,20 @@ struct ControllerGauges
 
     /** Cumulative allocation backpressure stalls (monotonic). */
     std::uint64_t backpressureStalls = 0;
+
+    // ---- Runtime fault tolerance (zero unless cfg.ft.enabled) ----
+
+    /** Blocks/slots durably retired as bad (monotonic). */
+    std::uint64_t retiredUnits = 0;
+
+    /** Words the ECC delivered clean (monotonic). */
+    std::uint64_t correctedWords = 0;
+
+    /** Fraction of this scheme's capacity lost to retirement, [0,1]. */
+    double degradedFraction = 0.0;
+
+    /** Transactions rejected with a structured error (monotonic). */
+    std::uint64_t txRejected = 0;
 };
 
 /** Result of servicing an LLC miss. */
@@ -159,9 +173,38 @@ class PersistenceController
         (void)now;
     }
 
+    /**
+     * One background scrub pass (runtime fault tolerance): proactively
+     * read a few blocks/slots of this scheme's persistent structure,
+     * count ECC corrections, and retire units that degraded past the
+     * configured threshold. Driven by the System on the cfg.ft
+     * scrubPeriod cadence; never called unless cfg.ft.enabled.
+     * @return Completion tick of the pass's modelled traffic (>= now).
+     */
+    virtual Tick
+    scrub(Tick now)
+    {
+        return now;
+    }
+
     /** Snapshot this scheme's occupancy gauges (epoch sampler). */
     virtual ControllerGauges
     sampleGauges() const
+    {
+        return {};
+    }
+
+    /**
+     * Address ranges of this scheme's persistent structure that hold
+     * no live data right now — safe targets for wear-out (stuck-at)
+     * fault injection. Under the program-verify contract, data only
+     * lands on cells that were readable at write time, so scheduling
+     * permanent faults over these ranges degrades capacity without
+     * ever damaging committed state. Schemes without spare capacity
+     * (in-place home region only) return nothing.
+     */
+    virtual std::vector<std::pair<Addr, Addr>>
+    freeMediaRanges() const
     {
         return {};
     }
@@ -207,8 +250,13 @@ class PersistenceController
 
     // ---- Persistency-ordering analysis ----
 
-    /** Attach the ordering analyzer (nullptr detaches). */
-    void setOrderingTracker(OrderingTracker *t) { ordering_ = t; }
+    /**
+     * Attach the ordering analyzer (nullptr detaches). Virtual so
+     * controllers that delegate rule tagging to sub-components (the
+     * OOP region's / log ring's retirement machinery) can forward the
+     * tracker; overrides must call the base.
+     */
+    virtual void setOrderingTracker(OrderingTracker *t) { ordering_ = t; }
 
     /** The attached analyzer, or nullptr when not armed. */
     OrderingTracker *ordering() const { return ordering_; }

@@ -55,7 +55,10 @@ GarbageCollector::run(Tick now)
     // first block that is still in use or holds an open transaction.
     std::vector<std::uint32_t> live;
     for (std::uint32_t b = 0; b < n_blocks; ++b) {
-        if (region.block(b).state != BlockState::Unused)
+        // Bad blocks are retired capacity: nothing to collect, never
+        // recycled — including them would wedge the prefix forever.
+        if (region.block(b).state != BlockState::Unused &&
+            region.block(b).state != BlockState::Bad)
             live.push_back(b);
     }
     std::sort(live.begin(), live.end(),
@@ -279,7 +282,14 @@ GarbageCollector::run(Tick now)
         // already-recycled block's data is durably home; a not-yet-
         // recycled one is rescanned and re-migrated idempotently.
         ctrl.crashStep(CrashPointKind::GcStep);
-        region.setBlockState(b, BlockState::Unused, now);
+        // A block that degraded past the retirement threshold while in
+        // service is retired here instead of recycled: its survivors
+        // were just migrated home, so this is the one point where
+        // losing the block costs nothing.
+        if (region.block(b).retirePending)
+            last = std::max(last, region.retireBlock(b, now));
+        else
+            region.setBlockState(b, BlockState::Unused, now);
     }
     blocksRecycledC_ += cand.size();
 

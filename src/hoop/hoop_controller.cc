@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "analysis/ordering_tracker.hh"
+#include "common/errors.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -36,7 +37,11 @@ HoopController::HoopController(NvmDevice &nvm, const SystemConfig &cfg_)
       gcPressureC_(stats_.counter("gc_pressure")),
       oopBackpressureStallsC_(stats_.counter("oop_backpressure_stalls")),
       oopBackpressureStallTicksC_(
-          stats_.counter("oop_backpressure_stall_ticks"))
+          stats_.counter("oop_backpressure_stall_ticks")),
+      txRejectedC_(stats_.counter("tx_rejected")),
+      scrubPassesC_(stats_.counter("scrub_passes")),
+      scrubCorrectedC_(stats_.counter("scrub_corrected_words")),
+      scrubPauseH_(stats_.histogram("scrub_pause_ticks"))
 {
     gc_ = std::make_unique<GarbageCollector>(*this);
     recovery = std::make_unique<RecoveryManager>(*this);
@@ -56,11 +61,28 @@ HoopController::declareOrderingRules(OrderingTracker &t)
     t.rule("hoop-gc-recycle")
         .requiresSettled("the GC watermark before any collected block "
                          "is recycled");
+    // Declared only when the subsystem can fire it: a rule that cannot
+    // fire would (correctly) be reported dead by clean-run sweeps.
+    if (cfg.ft.enabled) {
+        t.rule("hoop-retire-bitmap")
+            .requiresSettled("the durable retirement bitmap before the "
+                             "retirement is acted upon");
+    }
 }
 
 TxId
 HoopController::txBeginAs(CoreId core, Tick now, TxId forced)
 {
+    // Graceful degradation: once retirement has eaten past the
+    // configured fraction of the OOP region, stop admitting new
+    // transactions (ENOSPC-style) instead of wedging mid-transaction.
+    if (cfg.ft.enabled &&
+        region_.degradedFraction() >= cfg.ft.rejectCapacityFraction) {
+        ++txRejectedC_;
+        throw TxRejected{RejectCause::CapacityDegraded,
+                         "OOP region degraded past the admission "
+                         "threshold by bad-block retirement"};
+    }
     const TxId tx = PersistenceController::txBeginAs(core, now, forced);
     chains[core] = CoreChain{};
     return tx;
@@ -87,10 +109,16 @@ HoopController::allocSliceOrGc(Tick &now)
     // GC freed nothing: the oldest live block is pinned by a
     // transaction that has not committed, and no other core can commit
     // while this store blocks (the simulation is cooperative), so
-    // waiting longer cannot help. A single transaction outgrew the OOP
-    // region — a configuration error, not a transient stall.
-    HOOP_FATAL("OOP region wedged: every block pinned by open "
-               "transactions; increase oopBytes or shorten transactions");
+    // waiting longer cannot help. A single transaction outgrew the
+    // (possibly retirement-degraded) OOP region. Degrade, don't die:
+    // reject the offending transaction with a structured error the
+    // caller can observe; its chain carries no commit record, so a
+    // crash+recovery discards it like any uncommitted transaction.
+    ++txRejectedC_;
+    throw TxRejected{RejectCause::OopExhausted,
+                     "OOP region wedged: every block pinned by open "
+                     "transactions; increase oopBytes or shorten "
+                     "transactions"};
 }
 
 Tick
@@ -404,6 +432,89 @@ HoopController::maintenance(Tick now)
     }
 }
 
+Tick
+HoopController::scrub(Tick now)
+{
+    if (!region_.faultToleranceEnabled())
+        return now;
+    const std::uint32_t n = region_.numBlocks();
+    const std::uint32_t slots = region_.slicesPerBlock() + 1;
+    Tick last = now;
+    std::uint32_t scanned = 0;
+    std::vector<std::uint8_t> buf(
+        static_cast<std::size_t>(slots) * MemorySlice::kSliceBytes);
+    for (std::uint32_t step = 0; step < n && scanned < cfg.ft.scrubChunks;
+         ++step) {
+        const std::uint32_t b = scrubCursor_;
+        scrubCursor_ = (scrubCursor_ + 1) % n;
+        OopBlockInfo &blk = region_.block(b);
+        if (blk.state == BlockState::Bad)
+            continue;
+        ++scanned;
+
+        // Patrol read: the header always, the slice area only when the
+        // block has been written in this life (an Unused block's slots
+        // are program-verified again at allocation time anyway). The
+        // device's read path counts and charges every ECC correction.
+        const std::size_t scan_bytes =
+            blk.state == BlockState::Unused
+                ? MemorySlice::kSliceBytes
+                : static_cast<std::size_t>(slots) *
+                      MemorySlice::kSliceBytes;
+        ReadFaultInfo rf;
+        last = std::max(last, nvm_.read(now, region_.blockBase(b),
+                                        buf.data(), scan_bytes, &rf));
+        scrubCorrectedC_ += rf.correctedWords;
+
+        // Program-verify sweep: how much of the block sits on
+        // uncorrectable cells right now?
+        std::uint32_t bad = 0;
+        for (std::uint32_t slot = 1; slot < slots; ++slot) {
+            if (region_.slotUncorrectable(b * slots + slot))
+                ++bad;
+        }
+        const bool header_bad = nvm_.faults().uncorrectableInRange(
+            region_.blockBase(b), kCacheLineSize);
+        const bool degraded =
+            header_bad ||
+            static_cast<double>(bad) /
+                    static_cast<double>(region_.slicesPerBlock()) >=
+                cfg.ft.retireBadSlotFraction;
+        if (!degraded)
+            continue;
+        if (blk.state == BlockState::Unused) {
+            // Free block: nothing to migrate, retire on the spot.
+            last = std::max(last, region_.retireBlock(b, now));
+        } else {
+            // Live block: GC must migrate the survivors first; it
+            // retires the block at the recycle step.
+            blk.retirePending = true;
+        }
+    }
+    ++scrubPassesC_;
+    scrubPauseH_.record(last - now);
+    return last;
+}
+
+std::vector<std::pair<Addr, Addr>>
+HoopController::freeMediaRanges() const
+{
+    std::vector<std::pair<Addr, Addr>> out;
+    const std::uint32_t slots = region_.slicesPerBlock() + 1;
+    const Addr block_bytes =
+        static_cast<Addr>(slots) * MemorySlice::kSliceBytes;
+    for (std::uint32_t b = 0; b < region_.numBlocks(); ++b) {
+        if (region_.block(b).state != BlockState::Unused)
+            continue;
+        const Addr lo = region_.blockBase(b);
+        if (!out.empty() && out.back().second == lo)
+            out.back().second = lo + block_bytes;
+        else
+            out.emplace_back(lo, lo + block_bytes);
+    }
+    return out;
+}
+
 ControllerGauges
 HoopController::sampleGauges() const
 {
@@ -413,6 +524,12 @@ HoopController::sampleGauges() const
                                                region_.freeBlocks()) *
                     cfg.oopBlockBytes;
     g.backpressureStalls = oopBackpressureStallsC_.value();
+    if (region_.faultToleranceEnabled()) {
+        g.retiredUnits = region_.retiredBlocks();
+        g.correctedWords = nvm_.faults().wordsEccCorrected();
+        g.degradedFraction = region_.degradedFraction();
+    }
+    g.txRejected = txRejectedC_.value();
     return g;
 }
 
@@ -472,6 +589,11 @@ Tick
 HoopController::recoverWithFilter(unsigned threads,
                                   const std::unordered_set<TxId> *allow)
 {
+    // Adopt the durable retirement bitmap before scanning anything:
+    // retired blocks' cells are untrustworthy and must never be read,
+    // replayed, or reallocated.
+    if (region_.faultToleranceEnabled())
+        region_.loadRetirement();
     const RecoveryResult r = recovery->run(threads, allow);
     lastRecovery_ = r;
 

@@ -73,12 +73,24 @@ class HoopController : public PersistenceController
                    bool persistent, TxId tx, std::uint8_t word_mask,
                    Tick now) override;
     void maintenance(Tick now) override;
+    Tick scrub(Tick now) override;
     ControllerGauges sampleGauges() const override;
     Tick drain(Tick now) override;
     void crash() override;
     Tick recover(unsigned threads) override;
     void debugReadLine(Addr line, std::uint8_t *buf) const override;
     void declareOrderingRules(OrderingTracker &t) override;
+
+    /** Forward the tracker to the OOP region's retirement machinery. */
+    void
+    setOrderingTracker(OrderingTracker *t) override
+    {
+        PersistenceController::setOrderingTracker(t);
+        region_.setOrdering(t);
+    }
+
+    /** Unused OOP blocks: wear-out fault-injection targets. */
+    std::vector<std::pair<Addr, Addr>> freeMediaRanges() const override;
 
     // ---- Component access (tests, benches, GC) ----
 
@@ -173,6 +185,9 @@ class HoopController : public PersistenceController
     Tick lastGc = 0;
     std::uint64_t txModifiedBytes_ = 0;
 
+    /** Round-robin block cursor of the background scrubber. */
+    std::uint32_t scrubCursor_ = 0;
+
     /**
      * Per-line freshness watermark of the home region: the slice
      * sequence number up to which the home copy is known current.
@@ -204,6 +219,10 @@ class HoopController : public PersistenceController
     Counter &gcPressureC_;
     Counter &oopBackpressureStallsC_;
     Counter &oopBackpressureStallTicksC_;
+    Counter &txRejectedC_;
+    Counter &scrubPassesC_;
+    Counter &scrubCorrectedC_;
+    Histogram &scrubPauseH_;
 };
 
 } // namespace hoopnvm

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "analysis/ordering_tracker.hh"
 #include "common/crc32.hh"
 #include "common/logging.hh"
 
@@ -63,7 +64,9 @@ OopRegion::OopRegion(NvmDevice &nvm_, const SystemConfig &cfg_)
       headerWritesC_(stats_.counter("header_writes")),
       blocksOpenedC_(stats_.counter("blocks_opened")),
       sliceWritesC_(stats_.counter("slice_writes")),
-      sliceReadsC_(stats_.counter("slice_reads"))
+      sliceReadsC_(stats_.counter("slice_reads")),
+      slotsSkippedBadC_(stats_.counter("slots_skipped_bad")),
+      blocksRetiredC_(stats_.counter("blocks_retired"))
 {
     HOOP_ASSERT(cfg.oopBlockBytes % MemorySlice::kSliceBytes == 0,
                 "OOP block size must be a multiple of the slice size");
@@ -75,6 +78,15 @@ OopRegion::OopRegion(NvmDevice &nvm_, const SystemConfig &cfg_)
         cfg.oopBlockBytes / MemorySlice::kSliceBytes - 1);
     HOOP_ASSERT(numBlocks_ >= 2, "need at least two OOP blocks");
     blocks.resize(numBlocks_);
+    if (cfg.ft.enabled) {
+        // The bitmap shares the (HOOP-private) aux region with the GC
+        // watermark word: watermark at auxBase, map one line above it.
+        const Addr map_base = cfg.auxBase() + kCacheLineSize;
+        HOOP_ASSERT(kCacheLineSize + RetirementMap::areaBytes(
+                                         numBlocks_) <= cfg.auxBytes,
+                    "aux region too small for the retirement map");
+        retireMap_.attach(nvm, map_base, numBlocks_);
+    }
 }
 
 std::uint32_t
@@ -118,7 +130,10 @@ OopRegion::writeHeader(std::uint32_t b, Tick now)
     h.magic = kHeaderMagic;
     h.index = b;
     h.state = static_cast<std::uint8_t>(blocks[b].state);
-    h.openSeq = blocks[b].state == BlockState::Unused
+    // Bad joins Unused under kSealedSeq: a retired block holds no
+    // recoverable data, so every slice in it must read as stale.
+    h.openSeq = blocks[b].state == BlockState::Unused ||
+                        blocks[b].state == BlockState::Bad
                     ? kSealedSeq
                     : blocks[b].openSeq;
     h.crc = headerCrc(h);
@@ -134,6 +149,15 @@ OopRegion::openNextBlock(Tick now)
     for (std::uint32_t i = 0; i < numBlocks_; ++i) {
         const std::uint32_t b = (allocCursor + i) % numBlocks_;
         if (blocks[b].state == BlockState::Unused) {
+            // Program-verify the header line before trusting the block:
+            // a header on uncorrectable cells can never be re-read, so
+            // the (free) block is retired on the spot.
+            if (retireMap_.attached() &&
+                nvm.faults().uncorrectableInRange(blockBase(b),
+                                                  kCacheLineSize)) {
+                retireBlock(b, now);
+                continue;
+            }
             // Round-robin advance gives uniform block aging (§III-D).
             allocCursor = (b + 1) % numBlocks_;
             blocks[b].state = BlockState::InUse;
@@ -152,20 +176,34 @@ OopRegion::openNextBlock(Tick now)
 bool
 OopRegion::allocSlice(std::uint32_t &idx, Tick now)
 {
-    if (currentBlock == kNoBlock ||
-        blocks[currentBlock].writePtr > slicesPerBlock_) {
-        if (currentBlock != kNoBlock &&
+    for (;;) {
+        if (currentBlock == kNoBlock ||
             blocks[currentBlock].writePtr > slicesPerBlock_) {
-            setBlockState(currentBlock, BlockState::Full, now);
-            currentBlock = kNoBlock;
+            if (currentBlock != kNoBlock &&
+                blocks[currentBlock].writePtr > slicesPerBlock_) {
+                setBlockState(currentBlock, BlockState::Full, now);
+                currentBlock = kNoBlock;
+            }
+            if (!openNextBlock(now))
+                return false;
         }
-        if (!openNextBlock(now))
-            return false;
+        OopBlockInfo &blk = blocks[currentBlock];
+        idx = currentBlock * (slicesPerBlock_ + 1) + blk.writePtr;
+        ++blk.writePtr;
+        if (!retireMap_.attached() || !slotUncorrectable(idx))
+            return true;
+        // Program-verify failure: the slot sits on permanently
+        // uncorrectable cells, so data written there would be lost.
+        // Skip it (the capacity loss is the cost of not corrupting)
+        // and flag the block for retirement once enough slots died.
+        ++blk.badSlots;
+        ++slotsSkippedBadC_;
+        const double bad_fraction =
+            static_cast<double>(blk.badSlots) /
+            static_cast<double>(slicesPerBlock_);
+        if (bad_fraction >= cfg.ft.retireBadSlotFraction)
+            blk.retirePending = true;
     }
-    OopBlockInfo &blk = blocks[currentBlock];
-    idx = currentBlock * (slicesPerBlock_ + 1) + blk.writePtr;
-    ++blk.writePtr;
-    return true;
 }
 
 Tick
@@ -265,6 +303,8 @@ OopRegion::setBlockState(std::uint32_t b, BlockState state, Tick now)
     blocks[b].state = state;
     if (state == BlockState::Unused) {
         blocks[b].writePtr = 1;
+        blocks[b].badSlots = 0; // re-counted on reopen (cells stay bad)
+        blocks[b].retirePending = false;
         for (TxId tx : blocks[b].txs) {
             auto it = txBlocks_.find(tx);
             if (it != txBlocks_.end()) {
@@ -299,19 +339,84 @@ void
 OopRegion::reset()
 {
     for (std::uint32_t b = 0; b < numBlocks_; ++b) {
+        // Retirement is permanent: a Bad block stays Bad across
+        // recovery resets (its bitmap bit is durable).
+        const bool bad = blocks[b].state == BlockState::Bad;
         blocks[b] = OopBlockInfo{};
+        if (bad)
+            blocks[b].state = BlockState::Bad;
         // Recovery has drained the region; persist the cleared headers
         // untimed (recovery time is modelled separately).
         BlockHeader h{};
         h.magic = kHeaderMagic;
         h.index = b;
-        h.state = static_cast<std::uint8_t>(BlockState::Unused);
+        h.state = static_cast<std::uint8_t>(blocks[b].state);
         h.openSeq = kSealedSeq;
         h.crc = headerCrc(h);
         nvm.poke(blockBase(b), &h, sizeof(h));
     }
     txBlocks_.clear();
     currentBlock = kNoBlock;
+    if (retireMap_.attached())
+        retireMap_.persistUntimed();
+}
+
+bool
+OopRegion::slotUncorrectable(std::uint32_t idx) const
+{
+    return nvm.faults().uncorrectableInRange(sliceAddr(idx),
+                                             MemorySlice::kSliceBytes);
+}
+
+Tick
+OopRegion::retireBlock(std::uint32_t b, Tick now)
+{
+    HOOP_ASSERT(retireMap_.attached(),
+                "retireBlock without fault tolerance enabled");
+    HOOP_ASSERT(blocks[b].state != BlockState::Bad,
+                "double retirement of block %u", b);
+    if (currentBlock == b)
+        currentBlock = kNoBlock;
+    // The caller (GC, scrubber, allocator) migrated survivors already:
+    // drop the bookkeeping exactly like a recycle, but land on Bad.
+    blocks[b].writePtr = 1;
+    blocks[b].badSlots = 0;
+    blocks[b].retirePending = false;
+    for (TxId tx : blocks[b].txs) {
+        auto it = txBlocks_.find(tx);
+        if (it != txBlocks_.end()) {
+            it->second.erase(b);
+            if (it->second.empty())
+                txBlocks_.erase(it);
+        }
+    }
+    blocks[b].txs.clear();
+    blocks[b].state = BlockState::Bad;
+    writeHeader(b, now);
+    // Persist the retirement bit and fence it before returning: acting
+    // on a retirement that could still tear would let recovery scan
+    // (and trip over) the bad block. Declared as "hoop-retire-bitmap".
+    const Tick done = retireMap_.persistRetire(b, now);
+    if (ordering_)
+        ordering_->addDep("hoop-retire-bitmap", 0);
+    if (!cfg.debugSkipSettleFences)
+        nvm.faults().settleUpTo(done);
+    if (ordering_)
+        ordering_->trigger("hoop-retire-bitmap", 0, done, 1, true);
+    ++blocksRetiredC_;
+    return done;
+}
+
+void
+OopRegion::loadRetirement()
+{
+    if (!retireMap_.attached())
+        return;
+    retireMap_.loadDurable();
+    for (std::uint32_t b = 0; b < numBlocks_; ++b) {
+        if (retireMap_.isRetired(b))
+            blocks[b].state = BlockState::Bad;
+    }
 }
 
 } // namespace hoopnvm

@@ -26,19 +26,30 @@
 #include "common/types.hh"
 #include "hoop/memory_slice.hh"
 #include "nvm/nvm_device.hh"
+#include "nvm/retirement_map.hh"
 #include "sim/system_config.hh"
 #include "stats/stat_set.hh"
 
 namespace hoopnvm
 {
 
-/** State of an OOP block (paper's BLK_* states). */
+class OrderingTracker;
+
+/** State of an OOP block (paper's BLK_* states + runtime retirement). */
 enum class BlockState : std::uint8_t
 {
     Unused = 0,
     InUse = 1,
     Full = 2,
     Gc = 3,
+
+    /**
+     * Retired: the block's cells exhausted the media-tolerance budget
+     * (program-verify failures / uncorrectable reads past the
+     * configured fraction). Never allocated again; recovery skips it
+     * via the persisted retirement bitmap.
+     */
+    Bad = 4,
 };
 
 /** Host-side mirror of one OOP block's bookkeeping. */
@@ -51,6 +62,15 @@ struct OopBlockInfo
 
     /** Sequence number when the block was last opened. */
     std::uint64_t openSeq = 0;
+
+    /** Slice slots that failed program-verify in this life of the block. */
+    std::uint32_t badSlots = 0;
+
+    /**
+     * Degraded past the retirement threshold: GC migrates survivors
+     * out and retires the block instead of recycling it.
+     */
+    bool retirePending = false;
 
     /** Transactions owning slices (incl. commit records) in the block. */
     std::unordered_set<TxId> txs;
@@ -158,6 +178,54 @@ class OopRegion
     /** Base NVM address of block @p b. */
     Addr blockBase(std::uint32_t b) const;
 
+    // ---- Runtime fault tolerance (inert unless cfg.ft.enabled) ----
+
+    /** Attach the ordering analyzer for retirement-rule tagging. */
+    void setOrdering(OrderingTracker *t) { ordering_ = t; }
+
+    /** True when the retirement machinery is active. */
+    bool faultToleranceEnabled() const { return retireMap_.attached(); }
+
+    /** Program-verify: slice slot @p idx sits on uncorrectable cells. */
+    bool slotUncorrectable(std::uint32_t idx) const;
+
+    /** Blocks retired so far (durably recorded). */
+    std::uint64_t retiredBlocks() const { return retireMap_.retiredCount(); }
+
+    /** Blocks still usable (total minus retired). */
+    std::uint32_t
+    usableBlocks() const
+    {
+        return numBlocks_ -
+               static_cast<std::uint32_t>(retireMap_.retiredCount());
+    }
+
+    /** Fraction of OOP capacity lost to retirement, in [0, 1]. */
+    double
+    degradedFraction() const
+    {
+        return static_cast<double>(retireMap_.retiredCount()) /
+               static_cast<double>(numBlocks_);
+    }
+
+    /**
+     * Retire block @p b: mark it Bad (persisted header), set its bit in
+     * the durable retirement bitmap, and fence the bitmap write before
+     * returning — callers may act on the retirement (reuse the capacity
+     * accounting, ack transactions) only after the fence, a contract
+     * declared to the analyzer as the "hoop-retire-bitmap" rule. The
+     * caller must already have migrated any live data out (GC).
+     * @return The fenced completion tick.
+     */
+    Tick retireBlock(std::uint32_t b, Tick now);
+
+    /**
+     * Adopt the durable retirement bitmap into the host mirror (start
+     * of recovery): retired blocks become Bad and are never scanned,
+     * allocated, or collected again.
+     */
+    void loadRetirement();
+
     StatSet &stats() { return stats_; }
 
   private:
@@ -177,6 +245,8 @@ class OopRegion
     Counter &blocksOpenedC_;
     Counter &sliceWritesC_;
     Counter &sliceReadsC_;
+    Counter &slotsSkippedBadC_;
+    Counter &blocksRetiredC_;
 
     std::uint32_t numBlocks_;
     std::uint32_t slicesPerBlock_;
@@ -192,6 +262,11 @@ class OopRegion
     std::uint32_t allocCursor = 0;
 
     std::uint64_t nextSeq_ = 1;
+
+    /** Durable bad-block bitmap (attached only when cfg.ft.enabled). */
+    RetirementMap retireMap_;
+
+    OrderingTracker *ordering_ = nullptr;
 };
 
 } // namespace hoopnvm

@@ -79,6 +79,14 @@ RecoveryManager::run(unsigned threads,
         // written nothing yet, so re-entering recovery after a crash
         // here sees the untouched post-crash image.
         ctrl.crashStep(CrashPointKind::RecoveryStep);
+        if (region.faultToleranceEnabled() &&
+            region.block(b).state == BlockState::Bad) {
+            // Durably retired (the bitmap was adopted before this scan):
+            // the cells are untrustworthy and the retirement contract
+            // guarantees every live word was migrated home first.
+            ++res.blocksSkippedRetired;
+            continue;
+        }
         const BlockHeaderView h = region.peekHeader(b);
         if (h.crcFailed) {
             ++res.headersRejected;
@@ -98,8 +106,17 @@ RecoveryManager::run(unsigned threads,
             // the GC boundary.
             if (faults.mediaFaultyRange(region.blockBase(b),
                                         kCacheLineSize)) {
-                corruptionFloor =
-                    std::min(corruptionFloor, gc_watermark);
+                // One refinement under runtime fault tolerance: a block
+                // is only ever *opened* on a header that passed
+                // program-verify, so a header on uncorrectable cells
+                // means the block was never opened in this life — it
+                // can hide nothing and must not depress the floor.
+                if (!region.faultToleranceEnabled() ||
+                    !faults.uncorrectableInRange(region.blockBase(b),
+                                                 kCacheLineSize)) {
+                    corruptionFloor =
+                        std::min(corruptionFloor, gc_watermark);
+                }
             }
         }
         if (!h.valid || h.state == BlockState::Unused)
@@ -125,6 +142,17 @@ RecoveryManager::run(unsigned threads,
              ++slot) {
             const std::uint32_t idx =
                 b * (region.slicesPerBlock() + 1) + slot;
+            if (region.faultToleranceEnabled() &&
+                region.slotUncorrectable(idx)) {
+                // Program-verify skipped this slot at allocation time
+                // (a slice never lands on uncorrectable cells), so it
+                // hides no data. It must be stepped over BEFORE the
+                // Invalid-type / CRC checks: its garbage bytes would
+                // otherwise read as a cut and lose the good slices
+                // written around it.
+                ++res.slicesSkippedBad;
+                continue;
+            }
             const MemorySlice s = region.peekSlice(idx);
             if (s.type == SliceType::Invalid)
                 break;
@@ -325,6 +353,8 @@ RecoveryManager::run(unsigned threads,
         res.blocksSkippedByWatermark;
     stats_.counter("incomplete_tx_vetoed") += res.incompleteTxVetoed;
     stats_.counter("gc_trimmed_tx_replayed") += res.gcTrimmedTxReplayed;
+    stats_.counter("blocks_skipped_retired") += res.blocksSkippedRetired;
+    stats_.counter("slices_skipped_bad") += res.slicesSkippedBad;
     return res;
 }
 

@@ -97,6 +97,20 @@ struct RecoveryResult
     /** Total CPU ticks charged for CRC verification (before dividing
      *  across recovery threads); part of `time`. */
     Tick crcVerifyCost = 0;
+
+    // ---- Runtime fault tolerance (zero unless cfg.ft.enabled) ----
+
+    /** Blocks skipped whole because the durable retirement bitmap marks
+     *  them bad: their cells are untrustworthy and, by the retirement
+     *  contract, held no live data when they were retired. */
+    std::uint64_t blocksSkippedRetired = 0;
+
+    /** Uncorrectable slice slots stepped over without ending the
+     *  block's live area. Program-verify never lets a slice land on
+     *  uncorrectable cells, so such a slot hides no data — cutting the
+     *  scan there (as a CRC failure would) would instead lose the good
+     *  slices written around it. */
+    std::uint64_t slicesSkippedBad = 0;
 };
 
 /** Parallel replay of committed transactions from the OOP region. */

@@ -17,9 +17,28 @@
  *  2. **Media faults.** Worn or disturbed cells corrupt data at rest.
  *     Faults are *scheduled* over address ranges and applied on the
  *     read path: a seeded hash of each word address decides whether the
- *     word is faulty and which bit is affected, so a faulty cell reads
- *     back the same wrong value every time — like real stuck-at or
- *     retention failures, and reproducible run-to-run.
+ *     word is faulty and which bits are affected, so a faulty cell
+ *     reads back the same wrong value every time — like real stuck-at
+ *     or retention failures, and reproducible run-to-run. When ranges
+ *     overlap, the first scheduled range covering a faulty word wins
+ *     (its kind and bit budget apply; later ranges are ignored for
+ *     that word), so precedence is deterministic and order-declared.
+ *
+ * On top of the raw injector sits the *media-tolerance* model used by
+ * the runtime fault-tolerance subsystem (all knobs default off):
+ *
+ *  - **ECC.** A k-bit-correcting code per 8-byte word: faulty words
+ *    with at most k affected bits are delivered clean and counted as
+ *    corrected (the device charges a latency surcharge per correction).
+ *  - **Transient faults.** BitFlip-kind faults can be declared
+ *    transient (read disturb): a seeded per-word attempt count decides
+ *    after how many re-reads the word reads clean, enabling a bounded,
+ *    deterministic read-retry policy. Stuck-at faults never clear.
+ *  - **Severity classification.** classifySeverity()/
+ *    uncorrectableInRange() expose the pure-function verdict so write
+ *    paths can program-verify a target slot *before* committing data
+ *    to it, and recovery can distinguish a never-written bad slot from
+ *    a torn write.
  *
  * Everything is a pure function of the seed, the write sequence and the
  * addresses involved: two simulations with the same seed and the same
@@ -43,9 +62,9 @@ namespace hoopnvm
 /** How a scheduled media fault corrupts an affected word. */
 enum class MediaFaultKind : std::uint8_t
 {
-    BitFlip = 0,     ///< XOR one bit on every read of the word.
-    StuckAtZero = 1, ///< One bit always reads as 0.
-    StuckAtOne = 2,  ///< One bit always reads as 1.
+    BitFlip = 0,     ///< XOR the selected bits on every read.
+    StuckAtZero = 1, ///< Selected bits always read as 0.
+    StuckAtOne = 2,  ///< Selected bits always read as 1.
 };
 
 /** One scheduled media-fault region. */
@@ -57,6 +76,43 @@ struct MediaFaultRange
 
     /** Per-word probability that the word is faulty (seeded hash). */
     double wordProbability = 0.0;
+
+    /**
+     * Upper bound on affected bits per faulty word (seeded, in
+     * [1, maxBitsPerWord]). 1 reproduces the classic single-bit model;
+     * larger values exercise the ECC correctable/uncorrectable split.
+     */
+    unsigned maxBitsPerWord = 1;
+};
+
+/** Severity of the media fault affecting one 8-byte word. */
+enum class FaultSeverity : std::uint8_t
+{
+    Clean = 0,     ///< No scheduled fault hits the word.
+    Correctable,   ///< Affected bits within the ECC budget.
+    Transient,     ///< BitFlip beyond ECC, but clears under retry.
+    Uncorrectable, ///< Permanent (stuck-at) beyond the ECC budget.
+};
+
+/** Per-read fault report filled by the ECC/retry-aware read path. */
+struct ReadFaultInfo
+{
+    /** Words delivered clean by in-line ECC correction. */
+    std::uint32_t correctedWords = 0;
+
+    /** Transient words that read corrupt at this attempt. */
+    std::uint32_t transientWords = 0;
+
+    /** Words delivered corrupt beyond ECC and retry. */
+    std::uint32_t uncorrectableWords = 0;
+
+    /** First uncorrectable word address (kInvalidAddr when none). */
+    Addr firstUncorrectable = kInvalidAddr;
+
+    /** Retry attempts the device spent on this read. */
+    std::uint32_t retries = 0;
+
+    bool uncorrectable() const { return uncorrectableWords > 0; }
 };
 
 /** Seeded torn-write and media-fault injector for one NvmDevice. */
@@ -76,12 +132,20 @@ class FaultModel
 
     /** Schedule media faults over [begin, end). */
     void addMediaFault(Addr begin, Addr end, MediaFaultKind kind,
-                       double word_probability);
+                       double word_probability,
+                       unsigned max_bits_per_word = 1);
 
     /** Drop all scheduled media faults (torn-write state persists). */
     void clearMediaFaults() { ranges_.clear(); }
 
-    /** Back to a pristine, fault-free injector (counters included). */
+    /** True when any media-fault range is scheduled. */
+    bool hasMediaFaults() const { return !ranges_.empty(); }
+
+    /**
+     * Back to a pristine, fault-free injector: clears the in-flight
+     * write set, every scheduled media-fault range, and all tallies.
+     * Wiring (observer attachment, ECC/retry policy) survives.
+     */
     void reset();
 
     /**
@@ -94,6 +158,9 @@ class FaultModel
         writesTorn_ = 0;
         wordsTorn_ = 0;
         wordsCorrupted_ = 0;
+        wordsEccCorrected_ = 0;
+        wordsTransientCleared_ = 0;
+        wordsUncorrectable_ = 0;
     }
 
     /**
@@ -103,6 +170,24 @@ class FaultModel
      * reset(): attachment is wiring, not fault state.
      */
     void setObserver(NvmWriteObserver *obs) { observer_ = obs; }
+
+    // ---- Media-tolerance policy (wiring; survives reset()) ----
+
+    /** Model a @p correct_bits-correcting per-word ECC (0 disables). */
+    void setEcc(unsigned correct_bits) { eccBits_ = correct_bits; }
+    unsigned eccBits() const { return eccBits_; }
+
+    /**
+     * Declare BitFlip-kind faults transient: a seeded per-word count
+     * in [1, @p max_attempts] decides after how many re-reads the word
+     * reads clean (0 = BitFlips are permanent, the default).
+     */
+    void
+    setTransientFaults(unsigned max_attempts)
+    {
+        transientAttempts_ = max_attempts;
+    }
+    unsigned transientAttempts() const { return transientAttempts_; }
 
     // ---- Device hooks ----
 
@@ -156,11 +241,48 @@ class FaultModel
 
     /**
      * Corrupt @p len bytes read from @p addr in place per the scheduled
-     * media faults. Deterministic in (seed, address). Const because the
-     * read path is const; only mutable counters change.
+     * media faults, as read attempt 0 with no fault report (the legacy
+     * single-attempt read path). Deterministic in (seed, address).
      */
-    void corruptRead(Addr addr, std::uint8_t *buf,
-                     std::size_t len) const;
+    void
+    corruptRead(Addr addr, std::uint8_t *buf, std::size_t len) const
+    {
+        filterRead(addr, buf, len, 0, nullptr);
+    }
+
+    /**
+     * ECC/retry-aware read filter: apply the scheduled media faults to
+     * @p buf for read attempt @p attempt, honouring the ECC budget
+     * (correctable words are delivered clean) and transient clearing
+     * (a transient word reads clean from its seeded attempt onwards).
+     * Fills @p rf (when non-null) with the per-severity word counts.
+     * Const because the read path is const; only mutable tallies
+     * change.
+     */
+    void filterRead(Addr addr, std::uint8_t *buf, std::size_t len,
+                    unsigned attempt, ReadFaultInfo *rf) const;
+
+    /**
+     * The attempt number from which every transient word reads clean;
+     * peek()-style functional reads use it to model a controller that
+     * always retries to completion.
+     */
+    unsigned
+    settledAttempt() const
+    {
+        return transientAttempts_;
+    }
+
+    /** Severity of the fault (if any) affecting @p word's 8 bytes. */
+    FaultSeverity classifySeverity(Addr word) const;
+
+    /**
+     * True when any word in [addr, addr+len) is permanently
+     * uncorrectable (stuck-at beyond the ECC budget). This is the
+     * program-verify predicate: a write path must not commit data to
+     * such a range, and recovery may treat it as never-written.
+     */
+    bool uncorrectableInRange(Addr addr, std::size_t len) const;
 
     /** True when any scheduled fault range overlaps [addr, addr+len). */
     bool mediaFaultyRange(Addr addr, std::size_t len) const;
@@ -170,6 +292,19 @@ class FaultModel
     std::uint64_t writesTorn() const { return writesTorn_; }
     std::uint64_t wordsTorn() const { return wordsTorn_; }
     std::uint64_t wordsCorrupted() const { return wordsCorrupted_; }
+    std::uint64_t wordsEccCorrected() const { return wordsEccCorrected_; }
+
+    std::uint64_t
+    wordsTransientCleared() const
+    {
+        return wordsTransientCleared_;
+    }
+
+    std::uint64_t
+    wordsUncorrectable() const
+    {
+        return wordsUncorrectable_;
+    }
 
     /** Timed writes still in flight (tracked, not yet settled). */
     std::size_t inflight() const { return pending_.size(); }
@@ -182,6 +317,29 @@ class FaultModel
         std::uint64_t serial; ///< Monotonic; seeds the per-word coin.
         std::vector<std::uint8_t> preimage;
     };
+
+    /** Decoded fault affecting one word (first covering range wins). */
+    struct WordFault
+    {
+        bool faulty = false;
+        MediaFaultKind kind = MediaFaultKind::BitFlip;
+        unsigned nbits = 0;
+        const MediaFaultRange *range = nullptr;
+    };
+
+    /** Seeded per-word fault under first-covering-range precedence. */
+    WordFault classifyWord(Addr word) const;
+
+    /** Seeded attempt from which transient word @p word reads clean. */
+    unsigned transientClearAttempt(Addr word) const;
+
+    /**
+     * Apply @p f's bits to @p word's bytes, clamped to the read window
+     * and the fault range; returns the number of bits that landed.
+     * A null @p buf is a dry run (count applicable bits only).
+     */
+    unsigned corruptWord(Addr word, const WordFault &f, Addr read_begin,
+                         Addr read_end, std::uint8_t *buf) const;
 
     /** Seeded coin: does word @p w of write @p serial persist? */
     bool wordPersists(std::uint64_t serial, std::uint64_t w) const;
@@ -215,9 +373,16 @@ class FaultModel
     std::uint64_t nextSerial_ = 0;
     std::vector<MediaFaultRange> ranges_;
 
+    // Media-tolerance policy (wiring; survives reset()).
+    unsigned eccBits_ = 0;
+    unsigned transientAttempts_ = 0;
+
     std::uint64_t writesTorn_ = 0;
     std::uint64_t wordsTorn_ = 0;
     mutable std::uint64_t wordsCorrupted_ = 0;
+    mutable std::uint64_t wordsEccCorrected_ = 0;
+    mutable std::uint64_t wordsTransientCleared_ = 0;
+    mutable std::uint64_t wordsUncorrectable_ = 0;
 };
 
 } // namespace hoopnvm

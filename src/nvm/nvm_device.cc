@@ -82,10 +82,49 @@ NvmDevice::reserve(Tick now, std::size_t len, bool is_write)
 }
 
 Tick
-NvmDevice::read(Tick now, Addr addr, void *buf, std::size_t len)
+NvmDevice::read(Tick now, Addr addr, void *buf, std::size_t len,
+                ReadFaultInfo *rf)
 {
-    peek(addr, buf, len);
-    return reserve(now, len, false);
+    if (rf)
+        *rf = ReadFaultInfo{};
+    if (!faults_.hasMediaFaults()) {
+        peekRaw(addr, buf, len);
+        return reserve(now, len, false);
+    }
+    auto *out = static_cast<std::uint8_t *>(buf);
+    peekRaw(addr, out, len);
+    Tick done = reserve(now, len, false);
+    ReadFaultInfo info;
+    faults_.filterRead(addr, out, len, 0, &info);
+    // Bounded, seeded retry: transient (read-disturb) faults clear
+    // after a per-word seeded attempt count, stuck-at faults never do,
+    // so the loop is short in practice and bounded always. Each retry
+    // backs off and re-occupies the channel like a fresh read. Any
+    // corrupt delivery retries — transient words especially, since a
+    // re-read is exactly what clears them; delivering them would leak
+    // silent corruption into cache fills and later write-backs.
+    unsigned attempt = 0;
+    while ((info.uncorrectableWords > 0 || info.transientWords > 0) &&
+           attempt < readRetryMax_) {
+        ++attempt;
+        ++readRetries_;
+        done = reserve(done + readRetryBackoff_, len, false);
+        peekRaw(addr, out, len);
+        info = ReadFaultInfo{};
+        faults_.filterRead(addr, out, len, attempt, &info);
+    }
+    info.retries = attempt;
+    if (info.uncorrectable())
+        ++uncorrectableReads_;
+    // In-line correction is not free: latency surcharge per corrected
+    // word, plus the word's re-read energy for the correction pipeline.
+    if (info.correctedWords > 0) {
+        done += eccCorrectCost_ * info.correctedWords;
+        energy_.charge(info.correctedWords * kWordSize, false);
+    }
+    if (rf)
+        *rf = info;
+    return done;
 }
 
 Tick
@@ -128,7 +167,13 @@ void
 NvmDevice::peek(Addr addr, void *buf, std::size_t len) const
 {
     peekRaw(addr, buf, len);
-    faults_.corruptRead(addr, static_cast<std::uint8_t *>(buf), len);
+    // Functional reads model a controller that retries to completion:
+    // transient faults are past their clearing attempt, ECC-correctable
+    // words are delivered clean. Only permanently uncorrectable damage
+    // survives into the returned bytes (upstream CRCs detect it).
+    // With no ECC/retry configured this is exactly corruptRead().
+    faults_.filterRead(addr, static_cast<std::uint8_t *>(buf), len,
+                       faults_.settledAttempt(), nullptr);
 }
 
 void
@@ -185,6 +230,8 @@ NvmDevice::resetCounters()
     bytesWritten_ = 0;
     readAccesses_ = 0;
     writeAccesses_ = 0;
+    readRetries_ = 0;
+    uncorrectableReads_ = 0;
     energy_.reset();
 }
 

@@ -57,8 +57,21 @@ class NvmDevice
     NvmDevice(std::uint64_t capacity, NvmTiming timing,
               EnergyParams energy = EnergyParams{});
 
-    /** Timed read: copies bytes out and returns the completion tick. */
-    Tick read(Tick now, Addr addr, void *buf, std::size_t len);
+    /**
+     * Timed read: copies bytes out and returns the completion tick.
+     *
+     * When a read-retry policy is configured (setReadRetryPolicy) and
+     * media faults are scheduled, the read is ECC-filtered: correctable
+     * words are delivered clean (charging the per-word correction
+     * surcharge), an uncorrectable first attempt is retried up to the
+     * bounded attempt budget with modelled backoff (each retry
+     * re-occupies the channel), and a read that stays uncorrectable
+     * is delivered as-is with @p rf reporting the damage — the caller's
+     * CRC machinery sees a structured ReadFault instead of silent
+     * corruption. A null @p rf discards the report.
+     */
+    Tick read(Tick now, Addr addr, void *buf, std::size_t len,
+              ReadFaultInfo *rf = nullptr);
 
     /** Timed write: copies bytes in and returns the completion tick. */
     Tick write(Tick now, Addr addr, const void *buf, std::size_t len);
@@ -135,6 +148,30 @@ class NvmDevice
      */
     void setWriteObserver(NvmWriteObserver *obs);
 
+    // ---- Media tolerance (runtime fault-tolerance subsystem) ----
+
+    /**
+     * Configure the timed-read retry policy: up to @p max_retries
+     * re-reads after an uncorrectable attempt, each adding
+     * @p backoff of modelled delay before re-occupying the channel,
+     * plus @p ecc_cost of latency surcharge per ECC-corrected word.
+     * All zero by default (reads never retry, corrections are free) —
+     * the pre-subsystem behaviour.
+     */
+    void
+    setReadRetryPolicy(unsigned max_retries, Tick backoff, Tick ecc_cost)
+    {
+        readRetryMax_ = max_retries;
+        readRetryBackoff_ = backoff;
+        eccCorrectCost_ = ecc_cost;
+    }
+
+    /** Retry attempts spent by timed reads since the last reset. */
+    std::uint64_t readRetries() const { return readRetries_; }
+
+    /** Timed reads that stayed uncorrectable after the retry budget. */
+    std::uint64_t uncorrectableReads() const { return uncorrectableReads_; }
+
   private:
     static constexpr std::uint64_t kPageBytes = 4096;
     using Page = std::array<std::uint8_t, kPageBytes>;
@@ -182,6 +219,12 @@ class NvmDevice
     std::uint64_t bytesWritten_ = 0;
     std::uint64_t readAccesses_ = 0;
     std::uint64_t writeAccesses_ = 0;
+
+    unsigned readRetryMax_ = 0;
+    Tick readRetryBackoff_ = 0;
+    Tick eccCorrectCost_ = 0;
+    std::uint64_t readRetries_ = 0;
+    std::uint64_t uncorrectableReads_ = 0;
 };
 
 } // namespace hoopnvm

@@ -1,0 +1,150 @@
+#include "nvm/retirement_map.hh"
+
+#include <cstring>
+
+#include "common/crc32.hh"
+#include "common/logging.hh"
+#include "nvm/nvm_device.hh"
+
+namespace hoopnvm
+{
+
+namespace
+{
+
+/** Fixed slot header preceding the bitmap words. */
+struct SlotHeader
+{
+    std::uint64_t magic;
+    std::uint32_t crc;
+    std::uint32_t pad;
+    std::uint64_t seq;
+};
+static_assert(sizeof(SlotHeader) == 24, "retirement slot header ABI");
+
+} // namespace
+
+std::uint64_t
+RetirementMap::areaBytes(std::uint64_t entries)
+{
+    const std::uint64_t words = (entries + 63) / 64;
+    const std::uint64_t slot =
+        alignUp(sizeof(SlotHeader) + words * sizeof(std::uint64_t),
+                kCacheLineSize);
+    return 2 * slot;
+}
+
+void
+RetirementMap::attach(NvmDevice &nvm, Addr base, std::uint64_t entries)
+{
+    HOOP_ASSERT(entries > 0, "empty retirement map");
+    nvm_ = &nvm;
+    base_ = base;
+    entries_ = entries;
+    seq_ = 0;
+    nextSlot_ = 0;
+    retired_ = 0;
+    bits_.assign((entries + 63) / 64, 0);
+}
+
+Addr
+RetirementMap::slotAddr(unsigned which) const
+{
+    return base_ + which * (areaBytes(entries_) / 2);
+}
+
+bool
+RetirementMap::isRetired(std::uint64_t idx) const
+{
+    HOOP_ASSERT(idx < entries_, "retirement index out of range");
+    return (bits_[idx / 64] >> (idx % 64)) & 1;
+}
+
+void
+RetirementMap::encode(std::vector<std::uint8_t> &out) const
+{
+    const std::uint64_t payload = bits_.size() * sizeof(std::uint64_t);
+    out.assign(sizeof(SlotHeader) + payload, 0);
+    SlotHeader h;
+    h.magic = kMagic;
+    h.crc = 0;
+    h.pad = 0;
+    h.seq = seq_;
+    std::memcpy(out.data() + sizeof(SlotHeader), bits_.data(), payload);
+    h.crc = crc32c(&h.seq, sizeof(h.seq));
+    h.crc = crc32c(out.data() + sizeof(SlotHeader), payload, h.crc);
+    std::memcpy(out.data(), &h, sizeof(h));
+}
+
+Tick
+RetirementMap::persistRetire(std::uint64_t idx, Tick now)
+{
+    HOOP_ASSERT(attached(), "retirement map not attached");
+    HOOP_ASSERT(idx < entries_, "retirement index out of range");
+    if (isRetired(idx))
+        return now;
+    bits_[idx / 64] |= 1ULL << (idx % 64);
+    ++retired_;
+    ++seq_;
+    std::vector<std::uint8_t> img;
+    encode(img);
+    const Tick done =
+        nvm_->write(now, slotAddr(nextSlot_), img.data(), img.size());
+    nextSlot_ ^= 1;
+    return done;
+}
+
+std::uint64_t
+RetirementMap::loadDurable()
+{
+    HOOP_ASSERT(attached(), "retirement map not attached");
+    const std::uint64_t payload = bits_.size() * sizeof(std::uint64_t);
+    std::vector<std::uint8_t> img(sizeof(SlotHeader) + payload);
+    bool any = false;
+    unsigned best_slot = 0;
+    std::uint64_t best_seq = 0;
+    std::vector<std::uint64_t> best(bits_.size(), 0);
+    for (unsigned s = 0; s < 2; ++s) {
+        nvm_->peek(slotAddr(s), img.data(), img.size());
+        SlotHeader h;
+        std::memcpy(&h, img.data(), sizeof(h));
+        if (h.magic != kMagic)
+            continue;
+        std::uint32_t crc = crc32c(&h.seq, sizeof(h.seq));
+        crc = crc32c(img.data() + sizeof(SlotHeader), payload, crc);
+        if (crc != h.crc)
+            continue; // torn or corrupt slot: the other one stands
+        if (!any || h.seq > best_seq) {
+            any = true;
+            best_slot = s;
+            best_seq = h.seq;
+            std::memcpy(best.data(), img.data() + sizeof(SlotHeader),
+                        payload);
+        }
+    }
+    bits_ = best;
+    seq_ = any ? best_seq : 0;
+    // Resume alternation away from the adopted slot so the next update
+    // overwrites the stale (or torn) buffer, never the good one.
+    nextSlot_ = any ? (best_slot ^ 1u) : 0;
+    retired_ = 0;
+    for (std::uint64_t w : bits_)
+        retired_ += static_cast<std::uint64_t>(__builtin_popcountll(w));
+    return retired_;
+}
+
+void
+RetirementMap::persistUntimed()
+{
+    HOOP_ASSERT(attached(), "retirement map not attached");
+    std::vector<std::uint8_t> img;
+    for (unsigned s = 0; s < 2; ++s) {
+        ++seq_;
+        encode(img);
+        nvm_->poke(slotAddr(s), img.data(), img.size());
+    }
+    nextSlot_ = 0; // slot 1 holds the newest image; overwrite 0 next
+
+}
+
+} // namespace hoopnvm

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Persisted bad-block/bad-slot retirement bitmap.
+ *
+ * When the runtime fault-tolerance subsystem retires an OOP block or a
+ * log-ring slot (its cells fail program-verify or exhaust the read-retry
+ * budget), the retirement decision itself must survive crashes: recovery
+ * has to skip retired units without re-reading their broken cells, and
+ * must never "un-retire" a unit because the bitmap write tore.
+ *
+ * The map is double-buffered: two fixed slots on NVM, each holding
+ *
+ *     [magic | crc | seq | bitmap words ...]
+ *
+ * with the CRC-32C covering seq + bitmap. Updates alternate slots and
+ * bump seq, so at any crash point at least one slot is intact and the
+ * higher-valid-seq slot is authoritative. Retirement is monotonic
+ * (bits are only ever set at runtime), so falling back to the older
+ * slot after a torn update merely forgets the *latest* retirement —
+ * and the caller re-fences and re-persists before acting on it (the
+ * "<name>-retire-bitmap" ordering rules declare exactly that contract
+ * to the persistency-ordering analyzer).
+ *
+ * The writer side is volatile state owned by the region that embeds it;
+ * loadDurable() rebuilds it from NVM after a crash.
+ */
+
+#ifndef HOOPNVM_NVM_RETIREMENT_MAP_HH
+#define HOOPNVM_NVM_RETIREMENT_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hoopnvm
+{
+
+class NvmDevice;
+
+/** Double-buffered, CRC-protected persisted retirement bitmap. */
+class RetirementMap
+{
+  public:
+    /** On-NVM bytes needed for a map of @p entries units. */
+    static std::uint64_t areaBytes(std::uint64_t entries);
+
+    RetirementMap() = default;
+
+    /**
+     * Bind to @p entries units persisted at [@p base, @p base +
+     * areaBytes(entries)) of @p nvm. Volatile state starts all-clear;
+     * call loadDurable() to adopt what NVM already holds.
+     */
+    void attach(NvmDevice &nvm, Addr base, std::uint64_t entries);
+
+    /** True when attach() has been called. */
+    bool attached() const { return nvm_ != nullptr; }
+
+    std::uint64_t entries() const { return entries_; }
+
+    /** Retired units in the volatile view. */
+    std::uint64_t retiredCount() const { return retired_; }
+
+    bool isRetired(std::uint64_t idx) const;
+
+    /**
+     * Retire unit @p idx and persist the updated bitmap into the next
+     * slot with a timed write at @p now; returns the completion tick
+     * of that write. The caller is responsible for fencing (settling)
+     * the returned write before acting on the retirement — see the
+     * ordering contract in the file header. No-op (returns @p now)
+     * when the bit is already set.
+     */
+    Tick persistRetire(std::uint64_t idx, Tick now);
+
+    /**
+     * Rebuild the volatile view from the higher-valid-seq NVM slot
+     * (functional peek; recovery-time). All-clear when neither slot
+     * decodes. Returns the number of retired units adopted.
+     */
+    std::uint64_t loadDurable();
+
+    /**
+     * Untimed re-persist of the current volatile view into both slots
+     * (pre-simulation reset paths that survive retirement).
+     */
+    void persistUntimed();
+
+  private:
+    static constexpr std::uint64_t kMagic = 0x52455449524d4150ULL;
+
+    /** Byte address of buffer slot @p which (0 or 1). */
+    Addr slotAddr(unsigned which) const;
+
+    /** Serialize the volatile view (header + bitmap) into @p out. */
+    void encode(std::vector<std::uint8_t> &out) const;
+
+    NvmDevice *nvm_ = nullptr;
+    Addr base_ = 0;
+    std::uint64_t entries_ = 0;
+    std::uint64_t seq_ = 0;
+    unsigned nextSlot_ = 0;
+    std::uint64_t retired_ = 0;
+    std::vector<std::uint64_t> bits_;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_NVM_RETIREMENT_MAP_HH

@@ -66,6 +66,15 @@ System::System(const SystemConfig &cfg, Scheme scheme)
 {
     nvm_ = std::make_unique<NvmDevice>(cfg_.nvmCapacity(), cfg_.nvm,
                                        cfg_.energy);
+    if (cfg_.ft.enabled) {
+        // Configure media tolerance before the controller exists: its
+        // constructor may program-verify regions against the ECC view.
+        nvm_->faults().setEcc(cfg_.ft.eccCorrectBits);
+        nvm_->faults().setTransientFaults(cfg_.ft.readRetryMax);
+        nvm_->setReadRetryPolicy(cfg_.ft.readRetryMax,
+                                 cfg_.ft.readRetryBackoff,
+                                 cfg_.ft.eccCorrectCost);
+    }
     ctrl_ = makeController(scheme, *nvm_, cfg_);
     ctrl_->setCrashHook(&crashHook_);
     caches_ = std::make_unique<CacheHierarchy>(cfg_);
@@ -77,6 +86,7 @@ System::System(const SystemConfig &cfg, Scheme scheme)
     for (unsigned c = 0; c < cfg_.numCores; ++c)
         cores_.emplace_back(c);
     nextEpoch_ = cfg_.epochSamplePeriod;
+    nextScrub_ = cfg_.ft.scrubPeriod;
     if (Trace::enabled()) {
         trace_ = std::make_unique<TraceBuffer>(schemeName(scheme_));
         ctrl_->setTrace(trace_.get());
@@ -236,6 +246,11 @@ System::maintenance()
 {
     const Tick now = minClock();
     ctrl_->maintenance(now);
+    if (cfg_.ft.enabled && cfg_.ft.scrubPeriod > 0 &&
+        now >= nextScrub_) {
+        ctrl_->scrub(now);
+        nextScrub_ = now + cfg_.ft.scrubPeriod;
+    }
     sampleEpoch(now);
 }
 
@@ -252,6 +267,10 @@ System::sampleEpoch(Tick now)
     s.structBytes = g.structBytes;
     s.backpressureStalls = g.backpressureStalls;
     s.inflightWrites = nvm_->faults().inflight();
+    s.retiredUnits = g.retiredUnits;
+    s.correctedWords = g.correctedWords;
+    s.degradedFraction = g.degradedFraction;
+    s.txRejected = g.txRejected;
     if (epochRing_.size() < cfg_.epochRingCapacity) {
         epochRing_.push_back(s);
     } else {
@@ -332,6 +351,15 @@ System::metrics() const
         caches_->stats().findHistogram("llc_miss_latency_ticks"));
     m.gcPause = summarizeTicks(
         ctrl_->stats().findHistogram("maint_pause_ticks"));
+    m.scrubPause = summarizeTicks(
+        ctrl_->stats().findHistogram("scrub_pause_ticks"));
+    m.eccCorrectedWords = nvm_->faults().wordsEccCorrected();
+    m.uncorrectableReads = nvm_->uncorrectableReads();
+    m.readRetries = nvm_->readRetries();
+    const ControllerGauges g = ctrl_->sampleGauges();
+    m.retiredUnits = g.retiredUnits;
+    m.txRejected = g.txRejected;
+    m.degradedFraction = g.degradedFraction;
     m.epochs = epochSamples();
     return m;
 }

@@ -58,6 +58,20 @@ struct EpochSample
 
     /** NVM writes issued but not yet settled (fault-model tracked). */
     std::uint64_t inflightWrites = 0;
+
+    // ---- Media-fault tolerance gauges (zero unless cfg.ft.enabled) --
+
+    /** Blocks (HOOP) or log slots (baselines) durably retired. */
+    std::uint64_t retiredUnits = 0;
+
+    /** Cumulative words repaired by the modelled ECC on reads. */
+    std::uint64_t correctedWords = 0;
+
+    /** Fraction of scheme capacity lost to retirement, in [0, 1]. */
+    double degradedFraction = 0.0;
+
+    /** Transactions rejected (admission or capacity exhaustion). */
+    std::uint64_t txRejected = 0;
 };
 
 /** Measurement snapshot of one run. */
@@ -91,6 +105,29 @@ struct RunMetrics
 
     /** GC / maintenance pause distribution (Fig. 10). */
     LatencySummary gcPause;
+
+    /** Background scrub pause distribution (media tolerance). */
+    LatencySummary scrubPause;
+
+    // ---- Media-fault tolerance (zero unless cfg.ft.enabled) ----
+
+    /** Words repaired by the modelled ECC during the run. */
+    std::uint64_t eccCorrectedWords = 0;
+
+    /** Reads still uncorrectable after ECC and bounded retry. */
+    std::uint64_t uncorrectableReads = 0;
+
+    /** Read retries issued by the device's bounded-retry policy. */
+    std::uint64_t readRetries = 0;
+
+    /** Capacity units (blocks / log slots) durably retired. */
+    std::uint64_t retiredUnits = 0;
+
+    /** Transactions rejected instead of aborting the process. */
+    std::uint64_t txRejected = 0;
+
+    /** Fraction of scheme capacity lost to retirement, in [0, 1]. */
+    double degradedFraction = 0.0;
 
     /** Epoch gauge samples, oldest first (ring-buffer bounded). */
     std::vector<EpochSample> epochs;
@@ -251,6 +288,9 @@ class System
     std::vector<EpochSample> epochRing_;
     std::size_t epochHead_ = 0;
     Tick nextEpoch_ = 0;
+
+    /** Next background-scrub tick (cfg.ft.scrubPeriod cadence). */
+    Tick nextScrub_ = 0;
 
     /** Present only when tracing is armed (HOOP_TRACE). */
     std::unique_ptr<TraceBuffer> trace_;

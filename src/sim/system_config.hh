@@ -64,6 +64,64 @@ struct CacheParams
     Tick llcLatency = nsToTicks(16); // 40 cycles
 };
 
+/**
+ * Runtime media-fault tolerance: k-bit-correcting ECC on the read
+ * path, seeded read retries for transient faults, a background
+ * scrubber, and bad-block/slot retirement with graceful capacity
+ * degradation. Disabled by default — every knob below is inert until
+ * `enabled` is set, so fault-free runs are bit-identical to builds
+ * without the subsystem.
+ */
+struct FaultToleranceConfig
+{
+    /** Master switch for ECC, retries, scrub and retirement. */
+    bool enabled = false;
+
+    /**
+     * Bits per 8-byte word the modelled ECC corrects in-line. Faulty
+     * words with at most this many affected bits are delivered clean
+     * (counted, and charged the correction surcharge below); words
+     * beyond it surface as uncorrectable unless a retry clears them.
+     */
+    unsigned eccCorrectBits = 1;
+
+    /** Latency surcharge per ECC-corrected word on a timed read. */
+    Tick eccCorrectCost = nsToTicks(20);
+
+    /**
+     * Maximum read retries after an uncorrectable first attempt.
+     * Transient (read-disturb) faults clear after a seeded number of
+     * attempts; stuck-at faults never do, so retries are bounded.
+     */
+    unsigned readRetryMax = 4;
+
+    /** Modelled backoff added to the completion tick per retry. */
+    Tick readRetryBackoff = nsToTicks(100);
+
+    /**
+     * Simulated-time cadence of the background scrubber (0 disables).
+     * Each pass proactively reads a few blocks/slots, counts corrected
+     * words, and retires blocks whose free slots fail program-verify.
+     */
+    Tick scrubPeriod = nsToTicks(2e6);
+
+    /** OOP blocks (or log-slot stripes) examined per scrub pass. */
+    std::uint32_t scrubChunks = 4;
+
+    /**
+     * Retire a block once this fraction of its slice slots failed
+     * program-verify (skipped at write time as uncorrectable).
+     */
+    double retireBadSlotFraction = 0.25;
+
+    /**
+     * Reject new transactions (TxRejected, ENOSPC-style) once the
+     * retired fraction of the OOP region / log ring reaches this —
+     * graceful degradation instead of a backpressure wedge.
+     */
+    double rejectCapacityFraction = 0.5;
+};
+
 /** Complete configuration of one simulated system. */
 struct SystemConfig
 {
@@ -186,6 +244,11 @@ struct SystemConfig
      * are dropped so a long run keeps its most recent history.
      */
     std::size_t epochRingCapacity = 256;
+
+    // ---- Runtime fault tolerance ----
+
+    /** Media-fault tolerance subsystem (off by default). */
+    FaultToleranceConfig ft;
 
     /** RNG seed for workloads. */
     std::uint64_t seed = 42;

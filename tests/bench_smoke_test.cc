@@ -262,8 +262,8 @@ main(int argc, char **argv)
 
     CHECK(root.kind == Json::Obj, "root is not an object");
     const Json *ver = root.find("schema_version");
-    CHECK(ver && ver->kind == Json::Num && ver->num == 2.0,
-          "schema_version != 2");
+    CHECK(ver && ver->kind == Json::Num && ver->num == 3.0,
+          "schema_version != 3");
     const Json *name = root.find("bench");
     CHECK(name && name->kind == Json::Str && !name->str.empty(),
           "missing bench name");
@@ -313,8 +313,11 @@ main(int argc, char **argv)
                       "nvm_bytes_written", "nvm_bytes_read"})
                     requireNum(*metrics, k, "metrics");
                 // Schema v2: latency quantile summaries + epoch ring.
+                // Schema v3 adds the scrub pause summary and the
+                // media-tolerance tallies below.
                 for (const char *k :
-                     {"crit_path", "llc_miss_lat", "gc_pause"}) {
+                     {"crit_path", "llc_miss_lat", "gc_pause",
+                      "scrub_pause"}) {
                     const Json *sum = metrics->find(k);
                     CHECK(sum && sum->kind == Json::Obj,
                           "cell %zu metrics missing summary \"%s\"",
@@ -326,6 +329,11 @@ main(int argc, char **argv)
                             requireNum(*sum, q, k);
                     }
                 }
+                for (const char *k :
+                     {"ecc_corrected_words", "uncorrectable_reads",
+                      "read_retries", "retired_units", "tx_rejected",
+                      "degraded_fraction"})
+                    requireNum(*metrics, k, "metrics");
                 const Json *epochs = metrics->find("epochs");
                 CHECK(epochs && epochs->kind == Json::Arr,
                       "cell %zu metrics missing epochs array", i);
@@ -336,7 +344,9 @@ main(int argc, char **argv)
                         for (const char *k :
                              {"at_ticks", "mapping_entries",
                               "struct_bytes", "backpressure_stalls",
-                              "inflight_writes"})
+                              "inflight_writes", "retired_units",
+                              "corrected_words", "degraded_fraction",
+                              "tx_rejected"})
                             requireNum(e, k, "epoch");
                     }
                 }

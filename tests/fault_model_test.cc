@@ -239,5 +239,129 @@ TEST(MediaFaults, ZeroProbabilityIsClean)
     EXPECT_FALSE(dev.faults().mediaFaultyRange(kBase, kLen));
 }
 
+TEST(MediaFaults, StuckAtFaultsReadTheSameAtEveryAttempt)
+{
+    // Stuck-at damage is permanent: even with transient clearing
+    // configured (which only applies to BitFlip faults), the corrupted
+    // value must be identical at every retry attempt, and each kind
+    // must drive the affected bits toward its named polarity.
+    NvmDevice dev = makeDevice(77, false);
+    FaultModel &fm = dev.faults();
+    fm.setTransientFaults(4);
+    fm.addMediaFault(kBase, kBase + kLen / 2,
+                     MediaFaultKind::StuckAtZero, 1.0, 2);
+    fm.addMediaFault(kBase + kLen / 2, kBase + kLen,
+                     MediaFaultKind::StuckAtOne, 1.0, 2);
+
+    std::uint8_t data[kLen];
+    fillPattern(data, kLen, 0xa5);
+    std::uint8_t first[kLen];
+    std::memcpy(first, data, kLen);
+    fm.filterRead(kBase, first, kLen, 0, nullptr);
+    EXPECT_NE(std::memcmp(first, data, kLen), 0);
+
+    for (unsigned attempt = 1; attempt <= 6; ++attempt) {
+        std::uint8_t got[kLen];
+        std::memcpy(got, data, kLen);
+        fm.filterRead(kBase, got, kLen, attempt, nullptr);
+        EXPECT_EQ(std::memcmp(got, first, kLen), 0)
+            << "stuck-at corruption changed at attempt " << attempt;
+    }
+
+    for (std::size_t w = 0; w < kLen; w += kWordSize) {
+        std::uint64_t stored, seen;
+        std::memcpy(&stored, data + w, kWordSize);
+        std::memcpy(&seen, first + w, kWordSize);
+        const std::uint64_t diff = stored ^ seen;
+        if (w < kLen / 2)
+            EXPECT_EQ(seen & diff, 0u) << "stuck-at-zero bit read as 1";
+        else
+            EXPECT_EQ(seen & diff, diff)
+                << "stuck-at-one bit read as 0";
+    }
+}
+
+TEST(MediaFaults, FirstScheduledRangeWinsOnOverlap)
+{
+    // Two devices, same seed: one with a single scheduled range, one
+    // with the same range plus a later overlapping range of different
+    // kind and a much larger bit budget. First-covering-range
+    // precedence means the overlap contributes nothing.
+    NvmDevice a = makeDevice(13, false);
+    NvmDevice b = makeDevice(13, false);
+    std::uint8_t data[kLen];
+    fillPattern(data, kLen, 0x66);
+    a.poke(kBase, data, kLen);
+    b.poke(kBase, data, kLen);
+    a.faults().addMediaFault(kBase, kBase + kLen,
+                             MediaFaultKind::StuckAtOne, 1.0, 1);
+    b.faults().addMediaFault(kBase, kBase + kLen,
+                             MediaFaultKind::StuckAtOne, 1.0, 1);
+    b.faults().addMediaFault(kBase, kBase + kLen,
+                             MediaFaultKind::StuckAtZero, 1.0, 8);
+
+    std::uint8_t ga[kLen], gb[kLen];
+    a.peek(kBase, ga, kLen);
+    b.peek(kBase, gb, kLen);
+    EXPECT_EQ(std::memcmp(ga, gb, kLen), 0)
+        << "a later overlapping range changed first-range corruption";
+
+    // The precedence also governs severity: the winning range's 1-bit
+    // budget keeps every faulty word within a 1-bit ECC, even though
+    // the shadowed range would have made most words uncorrectable.
+    b.faults().setEcc(1);
+    EXPECT_FALSE(b.faults().uncorrectableInRange(kBase, kLen));
+    for (std::size_t w = 0; w < kLen; w += kWordSize) {
+        const FaultSeverity sev = b.faults().classifySeverity(kBase + w);
+        EXPECT_NE(sev, FaultSeverity::Uncorrectable)
+            << "shadowed range's bit budget leaked into word " << w;
+    }
+}
+
+TEST(MediaFaults, ResetRestoresPristineMediaButKeepsWiring)
+{
+    NvmDevice dev = makeDevice(21, false);
+    FaultModel &fm = dev.faults();
+    fm.setEcc(1);
+    fm.setTransientFaults(3);
+    fm.addMediaFault(kBase, kBase + kLen, MediaFaultKind::StuckAtOne,
+                     1.0, 3);
+
+    std::uint8_t data[kLen], got[kLen];
+    fillPattern(data, kLen, 0x0f);
+    dev.poke(kBase, data, kLen);
+    dev.peek(kBase, got, kLen);
+    EXPECT_NE(std::memcmp(got, data, kLen), 0);
+    EXPECT_GT(fm.wordsCorrupted() + fm.wordsEccCorrected() +
+                  fm.wordsUncorrectable(),
+              0u);
+
+    fm.reset();
+
+    // Fault state and tallies are gone ...
+    EXPECT_FALSE(fm.hasMediaFaults());
+    EXPECT_EQ(fm.wordsCorrupted(), 0u);
+    EXPECT_EQ(fm.wordsEccCorrected(), 0u);
+    EXPECT_EQ(fm.wordsTransientCleared(), 0u);
+    EXPECT_EQ(fm.wordsUncorrectable(), 0u);
+    EXPECT_EQ(fm.inflight(), 0u);
+    dev.peek(kBase, got, kLen);
+    EXPECT_EQ(std::memcmp(got, data, kLen), 0)
+        << "reset() must leave a fault-free injector";
+
+    // ... but the media-tolerance policy is wiring and survives.
+    EXPECT_EQ(fm.eccBits(), 1u);
+    EXPECT_EQ(fm.transientAttempts(), 3u);
+
+    // The injector is reusable: a re-scheduled single-bit fault is
+    // corrected by the surviving ECC config and counted again.
+    fm.addMediaFault(kBase, kBase + kLen, MediaFaultKind::StuckAtOne,
+                     1.0, 1);
+    dev.peek(kBase, got, kLen);
+    EXPECT_EQ(std::memcmp(got, data, kLen), 0)
+        << "1-bit faults within a 1-bit ECC must be delivered clean";
+    EXPECT_GT(fm.wordsEccCorrected(), 0u);
+}
+
 } // namespace
 } // namespace hoopnvm

@@ -7,7 +7,8 @@
  * violations to minimal reproducers and writes them as replayable
  * JSON. `--replay <file>` re-executes a reproducer deterministically.
  *
- * Exit codes: 0 = clean sweep, 1 = violations found, 2 = usage error.
+ * Exit codes: 0 = clean sweep, 1 = violations found, 2 = usage error,
+ * 3 = per-schedule watchdog budget exceeded.
  */
 
 #include <algorithm>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "check/crash_explorer.hh"
+#include "check/watchdog.hh"
 #include "stats/trace.hh"
 
 namespace
@@ -35,7 +37,14 @@ constexpr const char *kUsage =
     "  --budget N      max schedules per scheme x workload (default 50)\n"
     "  --seed N        deterministic seed (default 42)\n"
     "  --threads N     recovery threads (default 2)\n"
-    "  --faults F      none|torn                        (default none)\n"
+    "  --faults F      none|torn|media                  (default none)\n"
+    "                  media: runtime media-fault regime — fault\n"
+    "                  tolerance on, seeded wear-out faults over free\n"
+    "                  capacity plus transient read disturbs, strict\n"
+    "                  oracles (committed data must survive)\n"
+    "  --budget-ms N   per-schedule wall-clock watchdog: abort with\n"
+    "                  exit code 3 if any single schedule runs longer\n"
+    "                  than N ms (default 0 = off)\n"
     "  --break-commit-fence   debug: ack commits before the record is\n"
     "                         durable (implies torn writes; HOOP only\n"
     "                         knob, used to validate the checker)\n"
@@ -138,6 +147,7 @@ main(int argc, char **argv)
     std::string out_dir = ".";
     std::string replay_path;
     std::uint64_t budget = 50;
+    std::uint64_t budget_ms = 0;
     std::uint64_t seed = 42;
     unsigned threads = 2;
     bool break_fence = false;
@@ -163,6 +173,11 @@ main(int argc, char **argv)
             if (!v)
                 return usageError("--budget needs a value");
             budget = std::strtoull(v, nullptr, 10);
+        } else if (a == "--budget-ms") {
+            const char *v = next();
+            if (!v)
+                return usageError("--budget-ms needs a value");
+            budget_ms = std::strtoull(v, nullptr, 10);
         } else if (a == "--seed") {
             const char *v = next();
             if (!v)
@@ -177,8 +192,10 @@ main(int argc, char **argv)
         } else if (a == "--faults") {
             const char *v = next();
             if (!v || (std::strcmp(v, "none") != 0 &&
-                       std::strcmp(v, "torn") != 0))
-                return usageError("--faults must be none or torn");
+                       std::strcmp(v, "torn") != 0 &&
+                       std::strcmp(v, "media") != 0))
+                return usageError(
+                    "--faults must be none, torn or media");
             faults_arg = v;
         } else if (a == "--break-commit-fence") {
             break_fence = true;
@@ -241,6 +258,8 @@ main(int argc, char **argv)
     else
         workloads.push_back(workload_arg);
 
+    Watchdog watchdog(budget_ms);
+
     std::size_t violation_files = 0;
     std::uint64_t total_schedules = 0;
     std::uint64_t total_violations = 0;
@@ -261,8 +280,16 @@ main(int argc, char **argv)
             opt.budget = budget;
             opt.recoverThreads = threads;
             opt.tornWrites = faults_arg == "torn";
+            if (faults_arg == "media")
+                opt.runtimeFaultProb = 0.02;
             opt.breakCommitFence = break_fence;
             opt.ordering = ordering;
+            opt.progress = [&watchdog](const CrashSchedule &s) {
+                watchdog.beat(std::string(schemeToken(s.scheme)) + "/" +
+                              s.workload + " schedule (" +
+                              std::to_string(s.steps.size()) +
+                              " steps)");
+            };
 
             const ExploreReport rep = explore(opt);
             total_schedules += rep.schedulesRun;

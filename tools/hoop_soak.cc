@@ -1,0 +1,302 @@
+/**
+ * @file
+ * hoop_soak: media-fault endurance harness CLI.
+ *
+ * Runs every requested scheme x workload cell through an escalating
+ * media-fault ramp (see check/soak.hh), asserting that committed data
+ * survives and that capacity exhaustion degrades gracefully into
+ * structured TxRejected outcomes instead of aborts or wedges. A
+ * violating cell is shrunk to a minimal spec and written as replayable
+ * JSON; `--replay <file>` re-executes it deterministically. `--json`
+ * writes the per-cell counters for CI artifact diffing.
+ *
+ * Exit codes: 0 = clean matrix, 1 = violations found, 2 = usage
+ * error, 3 = per-phase watchdog budget exceeded.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/soak.hh"
+#include "check/watchdog.hh"
+
+namespace
+{
+
+using namespace hoopnvm;
+
+constexpr const char *kUsage =
+    "usage: hoop_soak [options]\n"
+    "  --scheme S      hoop|redo|undo|osp|lsm|lad|all   (default all)\n"
+    "  --workload W    vector|hashmap|queue|rbtree|btree|ycsb|tpcc|all\n"
+    "                  (default all)\n"
+    "  --seed N        deterministic seed (default 42)\n"
+    "  --phases N      escalation steps per cell (default 4)\n"
+    "  --tx N          transactions per core per phase (default 60)\n"
+    "  --warmup N      fault-free warmup transactions (default 10)\n"
+    "  --fault-prob P  per-word fault probability of phase 0\n"
+    "                  (default 0.01)\n"
+    "  --escalation X  per-phase probability multiplier (default 2)\n"
+    "  --threads N     recovery threads (default 2)\n"
+    "  --budget-ms N   per-phase wall-clock watchdog: abort with exit\n"
+    "                  code 3 if any single phase runs longer than\n"
+    "                  N ms (default 0 = off)\n"
+    "  --out DIR       write reproducer JSON files here (default .)\n"
+    "  --json FILE     write per-cell counters as JSON to FILE\n"
+    "  --replay FILE   re-execute one soak spec JSON and exit\n";
+
+const char *kAllWorkloads[] = {"vector", "hashmap", "queue", "rbtree",
+                               "btree",  "ycsb",    "tpcc"};
+
+const Scheme kPersistentSchemes[] = {Scheme::Hoop, Scheme::OptRedo,
+                                     Scheme::OptUndo, Scheme::Osp,
+                                     Scheme::Lsm, Scheme::Lad};
+
+int
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "hoop_soak: %s\n%s", msg.c_str(), kUsage);
+    return 2;
+}
+
+void
+printResult(const SoakResult &r)
+{
+    std::printf("  admission rejects %llu  mid-tx unwinds %llu  "
+                "recoveries %llu\n",
+                static_cast<unsigned long long>(r.rejectedAdmission),
+                static_cast<unsigned long long>(r.rejectedMidTx),
+                static_cast<unsigned long long>(r.recoveries));
+    std::printf("  retired units %llu  corrected words %llu  "
+                "read retries %llu  uncorrectable reads %llu  "
+                "degraded %.3f\n",
+                static_cast<unsigned long long>(r.retiredUnits),
+                static_cast<unsigned long long>(r.correctedWords),
+                static_cast<unsigned long long>(r.readRetries),
+                static_cast<unsigned long long>(r.uncorrectableReads),
+                r.degradedFraction);
+}
+
+int
+replay(const std::string &path, std::uint64_t budget_ms)
+{
+    std::ifstream in(path);
+    if (!in)
+        return usageError("cannot open replay file " + path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+
+    SoakSpec spec;
+    std::string err;
+    if (!SoakSpec::fromJson(ss.str(), &spec, &err))
+        return usageError("malformed soak spec: " + err);
+
+    std::printf("replaying %s (%s/%s, seed %llu, %u phases)\n",
+                path.c_str(), schemeToken(spec.scheme),
+                spec.workload.c_str(),
+                static_cast<unsigned long long>(spec.seed),
+                spec.phases);
+    Watchdog watchdog(budget_ms);
+    const SoakResult r = runSoak(spec, [&watchdog](
+                                           const std::string &label) {
+        watchdog.beat(label);
+    });
+    printResult(r);
+    if (r.violated) {
+        std::printf("  VIOLATION: %s\n", r.detail.c_str());
+        return 1;
+    }
+    std::printf("  no violation\n");
+    return 0;
+}
+
+void
+appendCellJson(std::string &doc, const SoakSpec &spec,
+               const SoakResult &r, bool first)
+{
+    std::ostringstream os;
+    os << (first ? "" : ",") << "\n    {\"scheme\": \""
+       << schemeToken(spec.scheme) << "\", \"workload\": \""
+       << spec.workload << "\", \"violated\": "
+       << (r.violated ? "true" : "false")
+       << ", \"rejected_admission\": " << r.rejectedAdmission
+       << ", \"rejected_mid_tx\": " << r.rejectedMidTx
+       << ", \"recoveries\": " << r.recoveries
+       << ", \"retired_units\": " << r.retiredUnits
+       << ", \"corrected_words\": " << r.correctedWords
+       << ", \"read_retries\": " << r.readRetries
+       << ", \"uncorrectable_reads\": " << r.uncorrectableReads
+       << ", \"degraded_fraction\": " << r.degradedFraction << "}";
+    doc += os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hoopnvm;
+
+    std::string scheme_arg = "all";
+    std::string workload_arg = "all";
+    std::string out_dir = ".";
+    std::string json_path;
+    std::string replay_path;
+    SoakSpec base;
+    std::uint64_t budget_ms = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        const char *v = nullptr;
+        if (a == "--scheme") {
+            if (!(v = next()))
+                return usageError("--scheme needs a value");
+            scheme_arg = v;
+        } else if (a == "--workload") {
+            if (!(v = next()))
+                return usageError("--workload needs a value");
+            workload_arg = v;
+        } else if (a == "--seed") {
+            if (!(v = next()))
+                return usageError("--seed needs a value");
+            base.seed = std::strtoull(v, nullptr, 10);
+        } else if (a == "--phases") {
+            if (!(v = next()))
+                return usageError("--phases needs a value");
+            base.phases = static_cast<unsigned>(
+                std::strtoul(v, nullptr, 10));
+        } else if (a == "--tx") {
+            if (!(v = next()))
+                return usageError("--tx needs a value");
+            base.txPerPhase = std::strtoull(v, nullptr, 10);
+        } else if (a == "--warmup") {
+            if (!(v = next()))
+                return usageError("--warmup needs a value");
+            base.warmupTx = std::strtoull(v, nullptr, 10);
+        } else if (a == "--fault-prob") {
+            if (!(v = next()))
+                return usageError("--fault-prob needs a value");
+            base.faultProb = std::strtod(v, nullptr);
+        } else if (a == "--escalation") {
+            if (!(v = next()))
+                return usageError("--escalation needs a value");
+            base.escalation = std::strtod(v, nullptr);
+        } else if (a == "--threads") {
+            if (!(v = next()))
+                return usageError("--threads needs a value");
+            base.recoverThreads = static_cast<unsigned>(
+                std::strtoul(v, nullptr, 10));
+        } else if (a == "--budget-ms") {
+            if (!(v = next()))
+                return usageError("--budget-ms needs a value");
+            budget_ms = std::strtoull(v, nullptr, 10);
+        } else if (a == "--out") {
+            if (!(v = next()))
+                return usageError("--out needs a value");
+            out_dir = v;
+        } else if (a == "--json") {
+            if (!(v = next()))
+                return usageError("--json needs a value");
+            json_path = v;
+        } else if (a == "--replay") {
+            if (!(v = next()))
+                return usageError("--replay needs a value");
+            replay_path = v;
+        } else if (a == "--help" || a == "-h") {
+            std::fputs(kUsage, stdout);
+            return 0;
+        } else {
+            return usageError("unknown option " + a);
+        }
+    }
+
+    if (base.phases == 0 || base.txPerPhase == 0)
+        return usageError("--phases and --tx must be positive");
+
+    if (!replay_path.empty())
+        return replay(replay_path, budget_ms);
+
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "hoop_soak: cannot create --out %s: %s\n",
+                     out_dir.c_str(), ec.message().c_str());
+        return 2;
+    }
+
+    std::vector<Scheme> schemes;
+    if (scheme_arg == "all") {
+        for (Scheme s : kPersistentSchemes)
+            schemes.push_back(s);
+    } else {
+        Scheme s;
+        if (!schemeFromToken(scheme_arg, &s) || s == Scheme::Native)
+            return usageError("unknown scheme " + scheme_arg);
+        schemes.push_back(s);
+    }
+
+    std::vector<std::string> workloads;
+    if (workload_arg == "all")
+        workloads.assign(std::begin(kAllWorkloads),
+                         std::end(kAllWorkloads));
+    else
+        workloads.push_back(workload_arg);
+
+    Watchdog watchdog(budget_ms);
+    const SoakProgress progress = [&watchdog](
+                                      const std::string &label) {
+        watchdog.beat(label);
+    };
+
+    std::string cells_json;
+    std::size_t violation_files = 0;
+    std::size_t total_violations = 0;
+    bool first_cell = true;
+
+    for (Scheme scheme : schemes) {
+        for (const std::string &wl : workloads) {
+            SoakSpec spec = base;
+            spec.scheme = scheme;
+            spec.workload = wl;
+
+            const SoakResult r = runSoak(spec, progress);
+            std::printf("%-6s %-8s %s\n", schemeToken(scheme),
+                        wl.c_str(),
+                        r.violated ? "VIOLATED" : "clean");
+            printResult(r);
+            appendCellJson(cells_json, spec, r, first_cell);
+            first_cell = false;
+
+            if (r.violated) {
+                ++total_violations;
+                std::string detail = r.detail;
+                const SoakSpec repro =
+                    shrinkSoak(spec, &detail, progress);
+                const std::string path =
+                    out_dir + "/soak_violation_" +
+                    schemeToken(scheme) + "_" + wl + "_" +
+                    std::to_string(violation_files++) + ".json";
+                std::ofstream f(path);
+                f << repro.toJson();
+                std::printf("  VIOLATION: %s\n  reproducer: %s\n",
+                            detail.c_str(), path.c_str());
+            }
+        }
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream f(json_path);
+        f << "{\n  \"cells\": [" << cells_json << "\n  ]\n}\n";
+    }
+
+    std::printf("total: %zu cell(s) violated\n", total_violations);
+    return total_violations == 0 ? 0 : 1;
+}
