@@ -19,6 +19,8 @@
 #include <cstring>
 #include <thread>
 
+#include "common/host_profiler.hh"
+
 namespace hoopnvm
 {
 namespace bench
@@ -194,6 +196,10 @@ unsigned
 benchJobs(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--profile") == 0) {
+            HostProfiler::enable();
+            continue;
+        }
         if (std::strncmp(argv[i], "-j", 2) != 0)
             continue;
         const char *num = argv[i] + 2;
@@ -377,6 +383,22 @@ BenchReport::write() const
         std::fprintf(f, ": %.17g", v);
     }
 
+    // Host-side per-component wall-time breakdown (--profile only, so
+    // the JSON layout is unchanged for unprofiled runs).
+    if (HostProfiler::enabled()) {
+        std::fputs(",\n  \"host_profile\": {", f);
+        for (int c = 0; c < HostProfiler::kNumComponents; ++c) {
+            if (c > 0)
+                std::fputs(", ", f);
+            const std::string key =
+                std::string(HostProfiler::name(c)) + "_seconds";
+            fputNum(f, key.c_str(),
+                    static_cast<double>(HostProfiler::totalNs(c)) *
+                        1e-9);
+        }
+        std::fputs("}", f);
+    }
+
     std::fputs(",\n  \"cells\": [", f);
     bool first_cell = true;
     for (const CellRecord &rec : cells_) {
@@ -445,6 +467,15 @@ BenchReport::write() const
                  "(%.2f cells/s, %.3g sim ticks/s) -> %s\n",
                  name_.c_str(), cells_.size(), jobs_, wallSeconds_,
                  cells_per_sec, ticks_per_sec, path.c_str());
+    if (HostProfiler::enabled()) {
+        std::fprintf(stderr, "[bench %s] host profile:", name_.c_str());
+        for (int c = 0; c < HostProfiler::kNumComponents; ++c) {
+            std::fprintf(
+                stderr, " %s=%.2fs", HostProfiler::name(c),
+                static_cast<double>(HostProfiler::totalNs(c)) * 1e-9);
+        }
+        std::fputc('\n', stderr);
+    }
 }
 
 } // namespace bench

@@ -11,6 +11,9 @@
 
 #include "bench_common.hh"
 
+#include <memory>
+#include <mutex>
+
 #include "hoop/hoop_controller.hh"
 
 using namespace hoopnvm;
@@ -73,6 +76,27 @@ main(int argc, char **argv)
         std::size(bandwidths),
         std::vector<Result>(std::size(threads)));
 
+    // The filled, crashed image depends only on the bandwidth — the
+    // thread count enters nothing but the recovery-time formula. Each
+    // bandwidth therefore fills ONE system (the expensive part: ~1 M
+    // transactions plus the pressure-triggered GC runs they provoke)
+    // and every thread-count cell models recovery against that shared
+    // image via HoopController::modelRecovery(), which is repeatable
+    // by contract: the scan reads only durable state and the replay
+    // is an idempotent overlay, so each cell's modelled time is
+    // bit-identical to the one a private fill would have produced.
+    // The mutex serializes same-bandwidth cells under -jN; results
+    // are order-independent, so parallel determinism is preserved.
+    struct SharedFill
+    {
+        std::mutex mu;
+        std::unique_ptr<System> sys;
+        unsigned remaining = 0;
+    };
+    std::vector<SharedFill> fills(std::size(bandwidths));
+    for (SharedFill &f : fills)
+        f.remaining = static_cast<unsigned>(std::size(threads));
+
     CellRunner runner(benchJobs(argc, argv));
     for (std::size_t b = 0; b < std::size(bandwidths); ++b) {
         for (std::size_t t = 0; t < std::size(threads); ++t) {
@@ -83,16 +107,24 @@ main(int argc, char **argv)
                 std::to_string(thr) + "thr";
             const std::size_t idx = runner.add(label, [&, b, t, bw,
                                                        thr] {
-                SystemConfig c = cfg;
-                c.nvm.bandwidthBytesPerSec = bw;
-                System sys(c, Scheme::Hoop);
-                fillOopRegion(sys, target_slices);
-                const Tick time = sys.recover(thr);
-                auto &ctrl =
-                    static_cast<HoopController &>(sys.controller());
+                SharedFill &fill = fills[b];
+                std::lock_guard<std::mutex> lk(fill.mu);
+                if (!fill.sys) {
+                    SystemConfig c = cfg;
+                    c.nvm.bandwidthBytesPerSec = bw;
+                    fill.sys = std::make_unique<System>(c, Scheme::Hoop);
+                    fillOopRegion(*fill.sys, target_slices);
+                }
+                auto &ctrl = static_cast<HoopController &>(
+                    fill.sys->controller());
+                const Tick time = ctrl.modelRecovery(thr);
                 res[b][t].metrics.simTicks = time;
                 res[b][t].recoveryMs = ticksToMs(time);
                 res[b][t].integrity = ctrl.lastRecovery();
+                // Free the ~hundreds of MB of functional NVM pages as
+                // soon as the last thread-count cell has used them.
+                if (--fill.remaining == 0)
+                    fill.sys.reset();
             });
             runner.noteMetrics(idx, &res[b][t].metrics);
         }

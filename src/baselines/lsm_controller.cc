@@ -148,6 +148,7 @@ LsmController::txEnd(CoreId core, Tick now)
     writes.clear();
     coreTx[core] = CoreTxState{};
     ++txCommittedC_;
+    markLogPressure();
     return ack;
 }
 
@@ -281,10 +282,16 @@ LsmController::scrub(Tick now)
 void
 LsmController::maintenance(Tick now)
 {
+    maintDirty_ = false;
     if (now - lastGc >= cfg.gcPeriod ||
         log_.size() * 4 >= log_.capacity() * 3) {
+        // Stay armed while GC runs (a SimCrash unwinding out of it
+        // must leave the poll re-armed), then settle to the exact
+        // post-GC occupancy predicate.
+        maintDirty_ = true;
         lastGc = now;
         gc(now);
+        maintDirty_ = log_.size() * 4 >= log_.capacity() * 3;
     }
 }
 

@@ -48,6 +48,13 @@ class LsmController : public PersistenceController
                    bool persistent, TxId tx, std::uint8_t word_mask,
                    Tick now) override;
     void maintenance(Tick now) override;
+
+    /** Next periodic trigger tick of the maintenance hook. */
+    Tick
+    nextMaintenanceDue() const override
+    {
+        return lastGc + cfg.gcPeriod;
+    }
     Tick scrub(Tick now) override;
     ControllerGauges sampleGauges() const override;
     Tick drain(Tick now) override;
@@ -94,6 +101,19 @@ class LsmController : public PersistenceController
     std::vector<std::unordered_map<Addr, LineImage>> txWrites;
 
     Tick lastGc = 0;
+
+    /**
+     * Arm maintenancePressure() when log occupancy crosses the
+     * maintenance threshold; called after every append burst so the
+     * engine's event-driven poll skip never misses pressure onset.
+     */
+    void
+    markLogPressure()
+    {
+        if (log_.size() * 4 >= log_.capacity() * 3)
+            maintDirty_ = true;
+    }
+
     std::uint64_t logicalEntryIdx = 0;
 
     // Hot-path counters resolved once against the inherited stats_.

@@ -242,6 +242,14 @@ OspController::txEnd(CoreId core, Tick now)
     writes.clear();
     coreTx[core] = CoreTxState{};
     ++txCommittedC_;
+    // The flip records appended above become dead the moment no region
+    // is open — exactly the condition maintenance() truncates on, and
+    // closing a region is the only way it can newly become true.
+    bool any_open = false;
+    for (const auto &s : coreTx)
+        any_open |= s.active;
+    if (!any_open && log_.size() > 0)
+        maintDirty_ = true;
     return done;
 }
 
@@ -303,15 +311,18 @@ OspController::maintenance(Tick now)
 {
     // Flip records are applied synchronously at commit; between
     // transactions the whole record log is dead.
+    maintDirty_ = false;
     bool any_open = false;
     for (const auto &t : coreTx)
         any_open |= t.active;
     if (!any_open && log_.size() > 0) {
+        maintDirty_ = true; // re-armed if the crash point fires
         // Crash point: before the flip-log tail moves. Every live
         // record was already applied to the durable selector table and
         // re-applying is idempotent.
         crashStep(CrashPointKind::GcStep);
         log_.truncate(now, log_.size());
+        maintDirty_ = false; // the whole log was just truncated
     }
 }
 

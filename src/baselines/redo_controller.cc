@@ -165,6 +165,7 @@ RedoController::txEnd(CoreId core, Tick now)
     txWrites[core].clear();
     coreTx[core] = CoreTxState{};
     ++txCommittedC_;
+    markLogPressure();
     return ack;
 }
 
@@ -273,10 +274,13 @@ RedoController::scrub(Tick now)
 void
 RedoController::maintenance(Tick now)
 {
+    maintDirty_ = false;
     if (now - lastCkpt >= cfg.gcPeriod ||
         log_.size() * 4 >= log_.capacity() * 3) {
+        maintDirty_ = true; // re-armed if truncation unwinds on crash
         lastCkpt = now;
         truncateRetired(now);
+        maintDirty_ = log_.size() * 4 >= log_.capacity() * 3;
     }
 }
 

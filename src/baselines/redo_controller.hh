@@ -65,6 +65,13 @@ class RedoController : public PersistenceController
                    bool persistent, TxId tx, std::uint8_t word_mask,
                    Tick now) override;
     void maintenance(Tick now) override;
+
+    /** Next periodic trigger tick of the maintenance hook. */
+    Tick
+    nextMaintenanceDue() const override
+    {
+        return lastCkpt + cfg.gcPeriod;
+    }
     Tick scrub(Tick now) override;
     ControllerGauges sampleGauges() const override;
     Tick drain(Tick now) override;
@@ -110,6 +117,19 @@ class RedoController : public PersistenceController
     std::uint64_t truncatableEntries = 0;
 
     Tick lastCkpt = 0;
+
+    /**
+     * Arm maintenancePressure() when log occupancy crosses the
+     * maintenance threshold; called after every append burst so the
+     * engine's event-driven poll skip never misses pressure onset.
+     */
+    void
+    markLogPressure()
+    {
+        if (log_.size() * 4 >= log_.capacity() * 3)
+            maintDirty_ = true;
+    }
+
     Tick logLookupCost;
 
     // Hot-path counters resolved once against the inherited stats_.

@@ -97,6 +97,7 @@ UndoController::storeWord(CoreId core, Addr addr,
     }
     it->second.setWord(
         static_cast<unsigned>((addr - line) / kWordSize), value);
+    markLogPressure();
     return cfg.cycle();
 }
 
@@ -147,6 +148,7 @@ UndoController::txEnd(CoreId core, Tick now)
     txWrites[core].clear();
     coreTx[core] = CoreTxState{};
     ++txCommittedC_;
+    markLogPressure();
     return ack;
 }
 
@@ -233,10 +235,13 @@ UndoController::scrub(Tick now)
 void
 UndoController::maintenance(Tick now)
 {
+    maintDirty_ = false;
     if (now - lastTruncate >= cfg.gcPeriod ||
         log_.size() * 4 >= log_.capacity() * 3) {
+        maintDirty_ = true; // re-armed if truncation unwinds on crash
         lastTruncate = now;
         truncateCommitted(now);
+        maintDirty_ = log_.size() * 4 >= log_.capacity() * 3;
     }
 }
 

@@ -44,6 +44,13 @@ class UndoController : public PersistenceController
                    bool persistent, TxId tx, std::uint8_t word_mask,
                    Tick now) override;
     void maintenance(Tick now) override;
+
+    /** Next periodic trigger tick of the maintenance hook. */
+    Tick
+    nextMaintenanceDue() const override
+    {
+        return lastTruncate + cfg.gcPeriod;
+    }
     Tick scrub(Tick now) override;
     ControllerGauges sampleGauges() const override;
     void crash() override;
@@ -89,6 +96,19 @@ class UndoController : public PersistenceController
     std::uint64_t openEntries = 0;
 
     Tick lastTruncate = 0;
+
+    /**
+     * Arm maintenancePressure() when log occupancy crosses the
+     * maintenance threshold; called after every append burst so the
+     * engine's event-driven poll skip never misses pressure onset.
+     */
+    void
+    markLogPressure()
+    {
+        if (log_.size() * 4 >= log_.capacity() * 3)
+            maintDirty_ = true;
+    }
+
 
     // Hot-path counters resolved once against the inherited stats_.
     Counter &logEntriesC_;

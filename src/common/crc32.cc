@@ -1,0 +1,68 @@
+/**
+ * @file
+ * CRC-32C implementation dispatch.
+ *
+ * The x86 SSE4.2 `crc32` instruction evaluates the same reflected
+ * Castagnoli polynomial as the byte-table loop, including the ~seed
+ * in / ~crc out chaining convention, so picking the hardware form is
+ * purely an execution-speed decision — results are bit-identical.
+ * Selection happens once during static initialization; callers go
+ * through a function pointer with no per-call CPUID cost.
+ */
+
+#include "common/crc32.hh"
+
+namespace hoopnvm
+{
+namespace detail
+{
+namespace
+{
+
+#if defined(__x86_64__) || defined(__i386__)
+
+__attribute__((target("sse4.2"))) std::uint32_t
+crc32cHw(const void *data, std::size_t len, std::uint32_t seed)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint64_t crc = ~seed;
+    while (len >= 8) {
+        std::uint64_t v;
+        __builtin_memcpy(&v, p, 8);
+        crc = __builtin_ia32_crc32di(crc, v);
+        p += 8;
+        len -= 8;
+    }
+    auto c = static_cast<std::uint32_t>(crc);
+    while (len--)
+        c = __builtin_ia32_crc32qi(c, *p++);
+    return ~c;
+}
+
+#endif
+
+std::uint32_t
+crc32cDispatch(const void *data, std::size_t len, std::uint32_t seed)
+{
+    return crc32cSoft(data, len, seed);
+}
+
+using CrcFn = std::uint32_t (*)(const void *, std::size_t, std::uint32_t);
+
+CrcFn
+resolveCrc32c()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    if (__builtin_cpu_supports("sse4.2"))
+        return crc32cHw;
+#endif
+    return crc32cDispatch;
+}
+
+} // namespace
+
+std::uint32_t (*const crc32cImpl)(const void *, std::size_t, std::uint32_t) =
+    resolveCrc32c();
+
+} // namespace detail
+} // namespace hoopnvm

@@ -1,17 +1,24 @@
 /**
  * @file
- * Software CRC-32C (Castagnoli polynomial, reflected 0x82f63b78).
+ * CRC-32C (Castagnoli polynomial, reflected 0x82f63b78).
  *
  * Used as the integrity check carried in the reserved bytes of HOOP
  * memory slices and OOP block headers: real NVM controllers carve ECC
  * or CRC metadata into their line formats for exactly this purpose
  * (cf. in-cache-line logging systems), and CRC-32C is what such
  * hardware typically implements (it has dedicated x86/ARM instructions;
- * the table-driven form here models the same function).
+ * both forms here compute the same function).
  *
  * The guarantee the recovery path relies on: any torn 128-byte slice
  * (a mix of old and new 8-byte words) or any single flipped bit fails
  * the check, so recovery never trusts a partially-persisted record.
+ *
+ * Slice encode/decode dominates large simulations (every OOP write,
+ * GC scan and recovery scan checksums a 128-byte slice), so crc32c()
+ * dispatches once at load time to the SSE4.2 `crc32` instruction when
+ * the host has it. The instruction implements the identical reflected
+ * CRC-32C polynomial, so the two paths are bit-for-bit interchangeable
+ * (asserted by crc32_test).
  */
 
 #ifndef HOOPNVM_COMMON_CRC32_HH
@@ -44,11 +51,15 @@ crc32cTable()
     return table;
 }
 
+/** Active implementation, resolved once before main() by host CPUID. */
+extern std::uint32_t (*const crc32cImpl)(const void *, std::size_t,
+                                         std::uint32_t);
+
 } // namespace detail
 
-/** CRC-32C of @p len bytes at @p data, chainable via @p seed. */
+/** Table-driven CRC-32C; the portable reference implementation. */
 inline std::uint32_t
-crc32c(const void *data, std::size_t len, std::uint32_t seed = 0)
+crc32cSoft(const void *data, std::size_t len, std::uint32_t seed = 0)
 {
     const auto &table = detail::crc32cTable();
     const auto *p = static_cast<const std::uint8_t *>(data);
@@ -56,6 +67,13 @@ crc32c(const void *data, std::size_t len, std::uint32_t seed = 0)
     for (std::size_t i = 0; i < len; ++i)
         crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
     return ~crc;
+}
+
+/** CRC-32C of @p len bytes at @p data, chainable via @p seed. */
+inline std::uint32_t
+crc32c(const void *data, std::size_t len, std::uint32_t seed = 0)
+{
+    return detail::crc32cImpl(data, len, seed);
 }
 
 } // namespace hoopnvm

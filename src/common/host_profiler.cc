@@ -1,0 +1,30 @@
+#include "common/host_profiler.hh"
+
+namespace hoopnvm
+{
+
+bool HostProfiler::enabled_ = false;
+std::atomic<std::uint64_t> HostProfiler::ns_[kNumComponents] = {};
+
+const char *
+HostProfiler::name(int c)
+{
+    switch (c) {
+      case kExecute:
+        return "execute";
+      case kMaintenance:
+        return "maintenance";
+      case kGc:
+        return "gc";
+      case kRecovery:
+        return "recovery";
+      case kDrain:
+        return "drain";
+      case kVerify:
+        return "verify";
+      default:
+        return "unknown";
+    }
+}
+
+} // namespace hoopnvm

@@ -36,6 +36,9 @@ constexpr Addr kInvalidAddr = ~static_cast<Addr>(0);
 /** Transaction id meaning "no transaction". */
 constexpr TxId kInvalidTxId = ~static_cast<TxId>(0);
 
+/** A tick later than any the simulation can reach ("never"). */
+constexpr Tick kNeverTick = ~static_cast<Tick>(0);
+
 /** Cache line size used throughout the memory hierarchy (bytes). */
 constexpr std::size_t kCacheLineSize = 64;
 

@@ -174,6 +174,32 @@ class PersistenceController
     }
 
     /**
+     * Earliest tick at which this scheme's *time-triggered* maintenance
+     * could next fire (kNeverTick when it has none). The engine's fast
+     * path skips maintenance() polls while now is before this tick and
+     * maintenancePressure() is clear — a combination under which the
+     * call is provably a no-op, so skipping it is bit-identical to the
+     * polled reference engine. The returned tick may only move later
+     * between maintenance() calls (the period anchors lastGc/lastCkpt/
+     * lastTruncate never move backwards); a conservatively early value
+     * merely costs a no-op call.
+     */
+    virtual Tick
+    nextMaintenanceDue() const
+    {
+        return kNeverTick;
+    }
+
+    /**
+     * True when a *state-triggered* maintenance condition (allocation
+     * pressure, pending dead log) may hold. Derived controllers arm
+     * the flag at every site where their condition can newly become
+     * true and recompute it exactly on each maintenance() call, so a
+     * clear flag proves the next poll would observe no pressure.
+     */
+    bool maintenancePressure() const { return maintDirty_; }
+
+    /**
      * One background scrub pass (runtime fault tolerance): proactively
      * read a few blocks/slots of this scheme's persistent structure,
      * count ECC corrections, and retire units that degraded past the
@@ -350,6 +376,9 @@ class PersistenceController
     Counter &txBegunC_;
 
     std::vector<CoreTxState> coreTx;
+
+    /** See maintenancePressure(). */
+    bool maintDirty_ = false;
 
   private:
     TxId nextTxId = 1;

@@ -1,11 +1,13 @@
 #include "hoop/garbage_collector.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
-#include <map>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/flat_map.hh"
+#include "common/host_profiler.hh"
 #include "common/logging.hh"
 #include "hoop/hoop_controller.hh"
 #include "stats/trace.hh"
@@ -42,6 +44,7 @@ GarbageCollector::dataReductionRatio() const
 Tick
 GarbageCollector::run(Tick now)
 {
+    HostTimer host_timer(HostProfiler::kGc);
     OopRegion &region = ctrl.region_;
     const std::uint32_t n_blocks = region.numBlocks();
 
@@ -96,12 +99,26 @@ GarbageCollector::run(Tick now)
     const unsigned gc_tid = ctrl.cfg.numCores;
 
     // ---- Step 2: scan committed slices and coalesce (Algorithm 1) ----
-    struct WordVal
+    // Coalesce at line granularity: one open-addressed probe per word
+    // into a per-line accumulator (8 seq/value pairs plus a presence
+    // mask) instead of a hash-map node per word plus a second
+    // tree-of-lines grouping pass. Slice seqs start at 1, so the
+    // value-initialized seqs[] == 0 means "no update yet" and the
+    // original per-word max-seq-wins rule carries over unchanged.
+    struct LineAcc
     {
-        std::uint64_t seq = 0;
-        std::uint64_t value = 0;
+        std::uint64_t seqs[kWordsPerLine];
+        std::uint64_t vals[kWordsPerLine];
+        std::uint8_t mask;
     };
-    std::unordered_map<Addr, WordVal> coalesced;
+    FlatMap<LineAcc> coalesced;
+    // Packing fills slices with spatially adjacent words, so
+    // consecutive words usually hit the same line: memoize the last
+    // accumulator to skip the probe. The pointer stays valid between
+    // reassignments — the table can only grow on a new-line insert,
+    // which is exactly when the memo is refreshed.
+    Addr memo_line = kInvalidAddr;
+    LineAcc *memo_acc = nullptr;
     struct RawWord
     {
         std::uint64_t seq;
@@ -135,16 +152,27 @@ GarbageCollector::run(Tick now)
             }
             if (!s.carriesWords())
                 continue;
-            HOOP_ASSERT(ctrl.isCommitted(s.txId),
-                        "uncommitted slice in a collectable block");
+            // Every tx in a candidate block was verified committed by
+            // the all_committed check in step 1 (noteSliceTx records
+            // each slice's tx in its block), so no per-slice
+            // isCommitted probe is needed here.
             scannedWordBytes_ +=
                 static_cast<std::uint64_t>(s.count) * kWordSize;
             for (unsigned i = 0; i < s.count; ++i) {
                 if (ctrl.cfg.gcCoalescing) {
-                    WordVal &v = coalesced[s.homeAddrs[i]];
-                    if (s.seq >= v.seq) {
-                        v.seq = s.seq;
-                        v.value = s.words[i];
+                    const Addr a = s.homeAddrs[i];
+                    const Addr la = lineAddr(a);
+                    if (la != memo_line) {
+                        memo_acc = &coalesced[la];
+                        memo_line = la;
+                    }
+                    LineAcc &g = *memo_acc;
+                    const unsigned w =
+                        static_cast<unsigned>((a - la) / kWordSize);
+                    if (s.seq >= g.seqs[w]) {
+                        g.seqs[w] = s.seq;
+                        g.vals[w] = s.words[i];
+                        g.mask |= static_cast<std::uint8_t>(1u << w);
                     }
                 } else {
                     raw.push_back({s.seq, s.homeAddrs[i], s.words[i]});
@@ -159,20 +187,30 @@ GarbageCollector::run(Tick now)
 
     // ---- Step 3: migrate to the home region ----
     if (ctrl.cfg.gcCoalescing) {
-        // Group words into lines so each home line is written once.
-        struct LineGroup
-        {
-            std::uint64_t maxSeq = 0;
-            std::vector<std::pair<std::size_t, std::uint64_t>> words;
-        };
-        std::map<Addr, LineGroup> by_line;
-        for (const auto &kv : coalesced) {
-            LineGroup &g = by_line[lineAddr(kv.first)];
-            g.maxSeq = std::max(g.maxSeq, kv.second.seq);
-            g.words.emplace_back(kv.first - lineAddr(kv.first),
-                                 kv.second.value);
-        }
-        for (const auto &kv : by_line) {
+        // Each accumulated line is written home once, in ascending
+        // line-address order — the same order the previous tree-of-
+        // lines pass produced, so write timing, crash points and the
+        // eviction-buffer contents are bit-identical.
+        // Copy the accumulators out alongside their line addresses:
+        // the migration loop then streams through a sorted array
+        // instead of re-probing the hash table once per line (each
+        // probe is a dependent random access into a table far larger
+        // than the host LLC).
+        std::vector<std::pair<Addr, LineAcc>> lines;
+        lines.reserve(coalesced.size());
+        coalesced.forEach([&](Addr line, const LineAcc &g) {
+            lines.emplace_back(line, g);
+        });
+        std::sort(lines.begin(), lines.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        for (const auto &[line, g] : lines) {
+            std::uint64_t max_seq = 0;
+            for (std::size_t w = 0; w < kWordsPerLine; ++w) {
+                if (g.mask & (1u << w))
+                    max_seq = std::max(max_seq, g.seqs[w]);
+            }
             // Crash point: between home-line migration writes. The
             // source blocks are not recycled until after the fence
             // below, so recovery can always redo a torn migration.
@@ -180,26 +218,30 @@ GarbageCollector::run(Tick now)
             // Skip lines whose home copy is already newer (a committed
             // eviction wrote the full line in place after these slices
             // were produced) — GC must never regress the home region.
-            if (!ctrl.homeFresherThan(kv.first, kv.second.maxSeq)) {
+            if (!ctrl.homeFresherThan(line, max_seq)) {
                 std::uint8_t buf[kCacheLineSize];
-                last = std::max(last, ctrl.nvm_.read(now, kv.first, buf,
+                last = std::max(last, ctrl.nvm_.read(now, line, buf,
                                                      kCacheLineSize));
-                for (const auto &w : kv.second.words)
-                    std::memcpy(buf + w.first, &w.second, kWordSize);
+                for (std::size_t w = 0; w < kWordsPerLine; ++w) {
+                    if (g.mask & (1u << w)) {
+                        std::memcpy(buf + w * kWordSize, &g.vals[w],
+                                    kWordSize);
+                    }
+                }
                 last = std::max(last,
-                                ctrl.writeHomeLine(now, kv.first, buf));
+                                ctrl.writeHomeLine(now, line, buf));
                 ctrl.orderDep("hoop-gc-watermark", 0);
-                ctrl.noteHomeSeq(kv.first, kv.second.maxSeq);
+                ctrl.noteHomeSeq(line, max_seq);
                 // Recently migrated lines stay visible in the eviction
                 // buffer so racing misses never read a stale home copy.
-                ctrl.evictBuf.put(kv.first, buf);
+                ctrl.evictBuf.put(line, buf);
                 ++homeLinesWrittenC_;
             } else {
                 ++homeLinesSkippedFresherC_;
             }
             migratedWordBytes_ +=
-                kv.second.words.size() *
-                static_cast<std::uint64_t>(kWordSize);
+                static_cast<std::uint64_t>(std::popcount(g.mask)) *
+                kWordSize;
         }
     } else {
         // Ablation: apply every update individually in age order —

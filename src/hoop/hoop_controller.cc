@@ -4,6 +4,7 @@
 
 #include "analysis/ordering_tracker.hh"
 #include "common/errors.hh"
+#include "common/host_profiler.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -172,6 +173,10 @@ HoopController::emitSlice(CoreId core, const PendingSlice &p,
             }
         }
     }
+    // Slice emission is the only place mapping occupancy grows and
+    // (outside GC itself) blocks are consumed, so re-deriving the GC
+    // pressure flag here keeps maintenancePressure() exact.
+    refreshMaintPressure();
     return done;
 }
 
@@ -419,6 +424,7 @@ HoopController::writeHomeLine(Tick now, Addr line,
 void
 HoopController::maintenance(Tick now)
 {
+    maintDirty_ = false;
     if (!cfg.gcEnabled)
         return;
     const bool period_due = now - lastGc >= cfg.gcPeriod;
@@ -427,8 +433,13 @@ HoopController::maintenance(Tick now)
     if (period_due || pressure) {
         if (pressure && !period_due)
             ++gcPressureC_;
+        // Keep the pressure flag armed while GC runs so a SimCrash
+        // unwinding out of it leaves the poll re-armed, then settle it
+        // to the exact post-GC predicate.
+        maintDirty_ = true;
         lastGc = now;
         gc_->run(now);
+        refreshMaintPressure();
     }
 }
 
@@ -537,7 +548,9 @@ Tick
 HoopController::runGcNow(Tick now)
 {
     lastGc = now;
-    return gc_->run(now);
+    const Tick done = gc_->run(now);
+    refreshMaintPressure();
+    return done;
 }
 
 Tick
@@ -552,8 +565,8 @@ HoopController::drain(Tick now)
 bool
 HoopController::homeFresherThan(Addr line, std::uint64_t seq) const
 {
-    auto it = homeSeq.find(line);
-    return it != homeSeq.end() && it->second > seq;
+    const std::uint64_t *s = homeSeq.find(line);
+    return s && *s > seq;
 }
 
 void
@@ -586,6 +599,17 @@ HoopController::recover(unsigned threads)
 }
 
 Tick
+HoopController::modelRecovery(unsigned threads)
+{
+    HostTimer ht(HostProfiler::kRecovery);
+    if (region_.faultToleranceEnabled())
+        region_.loadRetirement();
+    const RecoveryResult r = recovery->run(threads, nullptr);
+    lastRecovery_ = r;
+    return r.time;
+}
+
+Tick
 HoopController::recoverWithFilter(unsigned threads,
                                   const std::unordered_set<TxId> *allow)
 {
@@ -614,14 +638,14 @@ HoopController::recoverWithFilter(unsigned threads,
 bool
 HoopController::isCommitted(TxId tx) const
 {
-    return committed.find(tx) != committed.end();
+    return committed.contains(tx);
 }
 
 std::uint64_t
 HoopController::commitIdOf(TxId tx) const
 {
-    auto it = committed.find(tx);
-    return it == committed.end() ? 0 : it->second;
+    const std::uint64_t *cid = committed.find(tx);
+    return cid ? *cid : 0;
 }
 
 void

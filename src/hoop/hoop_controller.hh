@@ -25,10 +25,10 @@
 #define HOOPNVM_HOOP_HOOP_CONTROLLER_HH
 
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "controller/persistence_controller.hh"
 #include "hoop/eviction_buffer.hh"
 #include "hoop/garbage_collector.hh"
@@ -65,6 +65,20 @@ class HoopController : public PersistenceController
     /** Recovery restricted to @p allow (multi-controller consensus). */
     Tick recoverWithFilter(unsigned threads,
                            const std::unordered_set<TxId> *allow);
+
+    /**
+     * Model recovery on the current crash image WITHOUT the
+     * post-recovery reset that recover() performs: the scan replays
+     * the winners home (idempotently) and returns the modelled
+     * recovery time, but the OOP region, mapping table and tx-id
+     * state are left untouched, so the call is repeatable — running
+     * it N times on one crashed system yields N identical results,
+     * because the scan phases read only durable state the replay
+     * never modifies. Benches sweeping a recovery parameter (e.g.
+     * Fig. 11's thread count) use this to share one expensive fill
+     * across the sweep. lastRecovery() reflects the run.
+     */
+    Tick modelRecovery(unsigned threads);
     Tick storeWord(CoreId core, Addr addr, const std::uint8_t *data,
                    Tick now) override;
     FillResult fillLine(CoreId core, Addr line, std::uint8_t *buf,
@@ -73,6 +87,14 @@ class HoopController : public PersistenceController
                    bool persistent, TxId tx, std::uint8_t word_mask,
                    Tick now) override;
     void maintenance(Tick now) override;
+
+    /** Next periodic-GC trigger tick (kNeverTick when GC is off). */
+    Tick
+    nextMaintenanceDue() const override
+    {
+        return cfg.gcEnabled ? lastGc + cfg.gcPeriod : kNeverTick;
+    }
+
     Tick scrub(Tick now) override;
     ControllerGauges sampleGauges() const override;
     Tick drain(Tick now) override;
@@ -175,15 +197,32 @@ class HoopController : public PersistenceController
     std::vector<CoreChain> chains;
 
     /**
-     * Commit ids of all committed transactions. Entries persist for the
-     * simulation's lifetime: LLC evictions may carry the TxId of a
-     * long-committed transaction, and GC must still classify those
-     * slices as committed.
+     * Commit ids of all committed transactions, keyed by TxId.
+     * Entries persist for the simulation's lifetime: LLC evictions may
+     * carry the TxId of a long-committed transaction, and GC must
+     * still classify those slices as committed. Open-addressed — GC's
+     * candidate scan and the eviction path probe this per slice. (Not
+     * a dense vector: the multi-controller forces global TxIds
+     * starting at 2^31, which would make a by-id array 17 GB.)
      */
-    std::unordered_map<TxId, std::uint64_t> committed;
+    FlatMap<std::uint64_t> committed;
 
     Tick lastGc = 0;
     std::uint64_t txModifiedBytes_ = 0;
+
+    /**
+     * Recompute maintenancePressure() from the exact GC pressure
+     * predicate (block exhaustion / mapping-table occupancy). Called
+     * wherever the predicate's inputs change outside maintenance():
+     * slice emission and on-demand GC.
+     */
+    void
+    refreshMaintPressure()
+    {
+        maintDirty_ = cfg.gcEnabled &&
+                      (region_.freeBlocks() <= 1 ||
+                       mapping.size() * 10 >= mapping.capacity() * 9);
+    }
 
     /** Round-robin block cursor of the background scrubber. */
     std::uint32_t scrubCursor_ = 0;
@@ -193,7 +232,7 @@ class HoopController : public PersistenceController
      * sequence number up to which the home copy is known current.
      * Volatile (host-side); recovery does not depend on it.
      */
-    std::unordered_map<Addr, std::uint64_t> homeSeq;
+    FlatMap<std::uint64_t> homeSeq;
 
     /** Controller-internal latencies. */
     Tick bufferInsertCost;

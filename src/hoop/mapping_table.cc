@@ -35,23 +35,25 @@ MappingTable::MappingTable(std::uint64_t bytes)
     // Full table at <= 3/4 probe load: 4/3 * capacity slots, rounded up
     // to a power of two so the probe mask is a single AND.
     maxSlots_ = ceilPow2((capacity_ * 4 + 2) / 3);
-    slots.resize(std::min(kInitialSlots, maxSlots_));
+    const std::size_t n = std::min(kInitialSlots, maxSlots_);
+    lines_.assign(n, kEmptyLine);
+    slices_.assign(n, 0);
 }
 
 std::size_t
 MappingTable::homeSlot(Addr line) const
 {
     return static_cast<std::size_t>(mixHash(line / kCacheLineSize)) &
-           (slots.size() - 1);
+           (lines_.size() - 1);
 }
 
 std::size_t
 MappingTable::findSlot(Addr line) const
 {
-    const std::size_t mask = slots.size() - 1;
+    const std::size_t mask = lines_.size() - 1;
     std::size_t i = homeSlot(line);
-    while (slots[i].line != kEmptyLine) {
-        if (slots[i].line == line)
+    while (lines_[i] != kEmptyLine) {
+        if (lines_[i] == line)
             return i;
         i = (i + 1) & mask;
     }
@@ -61,16 +63,19 @@ MappingTable::findSlot(Addr line) const
 void
 MappingTable::grow()
 {
-    std::vector<Slot> old = std::move(slots);
-    slots.assign(old.size() * 2, Slot{});
-    const std::size_t mask = slots.size() - 1;
-    for (const Slot &s : old) {
-        if (s.line == kEmptyLine)
+    std::vector<Addr> old_lines = std::move(lines_);
+    std::vector<std::uint32_t> old_slices = std::move(slices_);
+    lines_.assign(old_lines.size() * 2, kEmptyLine);
+    slices_.assign(old_slices.size() * 2, 0);
+    const std::size_t mask = lines_.size() - 1;
+    for (std::size_t s = 0; s < old_lines.size(); ++s) {
+        if (old_lines[s] == kEmptyLine)
             continue;
-        std::size_t i = homeSlot(s.line);
-        while (slots[i].line != kEmptyLine)
+        std::size_t i = homeSlot(old_lines[s]);
+        while (lines_[i] != kEmptyLine)
             i = (i + 1) & mask;
-        slots[i] = s;
+        lines_[i] = old_lines[s];
+        slices_[i] = old_slices[s];
     }
 }
 
@@ -81,20 +86,21 @@ MappingTable::insert(Addr line, std::uint32_t slice_idx)
                 "mapping table keys are line addresses");
     const std::size_t existing = findSlot(line);
     if (existing != kNoSlot) {
-        slots[existing].slice = slice_idx; // update-in-place, even full
+        slices_[existing] = slice_idx; // update-in-place, even full
         return true;
     }
     if (size_ >= capacity_)
         return false;
     // Grow before the probe load factor crosses 3/4 (maxSlots_ keeps
     // even a completely full table at or below that bound).
-    if (slots.size() < maxSlots_ && (size_ + 1) * 4 > slots.size() * 3)
+    if (lines_.size() < maxSlots_ && (size_ + 1) * 4 > lines_.size() * 3)
         grow();
-    const std::size_t mask = slots.size() - 1;
+    const std::size_t mask = lines_.size() - 1;
     std::size_t i = homeSlot(line);
-    while (slots[i].line != kEmptyLine)
+    while (lines_[i] != kEmptyLine)
         i = (i + 1) & mask;
-    slots[i] = Slot{line, slice_idx};
+    lines_[i] = line;
+    slices_[i] = slice_idx;
     ++size_;
     return true;
 }
@@ -105,7 +111,7 @@ MappingTable::lookup(Addr line) const
     const std::size_t i = findSlot(line);
     if (i == kNoSlot)
         return std::nullopt;
-    return slots[i].slice;
+    return slices_[i];
 }
 
 void
@@ -117,30 +123,34 @@ MappingTable::remove(Addr line)
     --size_;
     // Backward-shift deletion: pull displaced entries over the hole so
     // no tombstones accumulate and probe chains stay short.
-    const std::size_t mask = slots.size() - 1;
+    const std::size_t mask = lines_.size() - 1;
     std::size_t j = i;
     for (;;) {
         j = (j + 1) & mask;
-        if (slots[j].line == kEmptyLine)
+        if (lines_[j] == kEmptyLine)
             break;
-        const std::size_t home = homeSlot(slots[j].line);
-        // slots[j] can fill the hole unless its home slot lies
+        const std::size_t home = homeSlot(lines_[j]);
+        // lines_[j] can fill the hole unless its home slot lies
         // (cyclically) strictly after the hole — then it is already
         // reachable from its home and must stay put.
         const bool keep = (i <= j) ? (i < home && home <= j)
                                    : (i < home || home <= j);
         if (!keep) {
-            slots[i] = slots[j];
+            lines_[i] = lines_[j];
+            slices_[i] = slices_[j];
             i = j;
         }
     }
-    slots[i] = Slot{};
+    lines_[i] = kEmptyLine;
+    slices_[i] = 0;
 }
 
 void
 MappingTable::clear()
 {
-    slots.assign(std::min(kInitialSlots, maxSlots_), Slot{});
+    const std::size_t n = std::min(kInitialSlots, maxSlots_);
+    lines_.assign(n, kEmptyLine);
+    slices_.assign(n, 0);
     size_ = 0;
 }
 

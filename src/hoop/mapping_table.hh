@@ -11,10 +11,13 @@
  * The software model mirrors the hardware: a flat open-addressed array
  * (linear probing, backward-shift deletion) rather than a node-based
  * hash map — controller SRAM is a fixed array of entry slots, and the
- * flat layout is also the fastest thing the host can probe. The host
- * allocation grows lazily from a few slots up to the modelled capacity,
- * so a Fig. 13 8 MB sweep whose run touches a few thousand lines does
- * not pay for half a million buckets per System.
+ * flat layout is also the fastest thing the host can probe. Keys and
+ * values live in separate parallel arrays so the probe loop scans only
+ * packed 8-byte keys (eight per host cache line); the slice value is
+ * touched on a hit alone. The host allocation grows lazily from a few
+ * slots up to the modelled capacity, so a Fig. 13 8 MB sweep whose run
+ * touches a few thousand lines does not pay for half a million buckets
+ * per System.
  */
 
 #ifndef HOOPNVM_HOOP_MAPPING_TABLE_HH
@@ -57,9 +60,9 @@ class MappingTable
     void
     forEach(Fn &&fn) const
     {
-        for (const Slot &s : slots) {
-            if (s.line != kEmptyLine)
-                fn(s.line, s.slice);
+        for (std::size_t i = 0; i < lines_.size(); ++i) {
+            if (lines_[i] != kEmptyLine)
+                fn(lines_[i], slices_[i]);
         }
     }
 
@@ -79,7 +82,8 @@ class MappingTable
     std::size_t
     hostAllocatedBytes() const
     {
-        return slots.size() * sizeof(Slot);
+        return lines_.size() * sizeof(Addr) +
+               slices_.size() * sizeof(std::uint32_t);
     }
 
   private:
@@ -89,19 +93,13 @@ class MappingTable
      */
     static constexpr Addr kEmptyLine = kInvalidAddr;
 
-    struct Slot
-    {
-        Addr line = kEmptyLine;
-        std::uint32_t slice = 0;
-    };
-
-    /** Preferred slot of @p line in a table of slots.size() entries. */
+    /** Preferred slot of @p line in a table of lines_.size() entries. */
     std::size_t homeSlot(Addr line) const;
 
     /** Slot holding @p line, or SIZE_MAX when absent. */
     std::size_t findSlot(Addr line) const;
 
-    /** Double the slot array (bounded by maxSlots_) and rehash. */
+    /** Double the slot arrays (bounded by maxSlots_) and rehash. */
     void grow();
 
     std::size_t capacity_;
@@ -114,7 +112,9 @@ class MappingTable
      */
     std::size_t maxSlots_;
 
-    std::vector<Slot> slots;
+    // Parallel slot arrays: probe keys apart from values.
+    std::vector<Addr> lines_;
+    std::vector<std::uint32_t> slices_;
 };
 
 } // namespace hoopnvm

@@ -18,11 +18,13 @@
 #ifndef HOOPNVM_HOOP_OOP_REGION_HH
 #define HOOPNVM_HOOP_OOP_REGION_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "hoop/memory_slice.hh"
 #include "nvm/nvm_device.hh"
@@ -72,8 +74,13 @@ struct OopBlockInfo
      */
     bool retirePending = false;
 
-    /** Transactions owning slices (incl. commit records) in the block. */
-    std::unordered_set<TxId> txs;
+    /**
+     * Distinct transactions owning slices (incl. commit records) in
+     * the block, in first-noted order. Uniqueness is enforced by
+     * noteSliceTx via the per-tx block list, so this is a plain
+     * append-only vector rather than a hash set.
+     */
+    std::vector<TxId> txs;
 };
 
 /** Decoded view of an on-NVM block header (used by recovery). */
@@ -115,7 +122,11 @@ class OopRegion
     Addr sliceAddr(std::uint32_t idx) const;
 
     /** Block containing slice @p idx. */
-    std::uint32_t blockOfSlice(std::uint32_t idx) const;
+    std::uint32_t
+    blockOfSlice(std::uint32_t idx) const
+    {
+        return idx / (slicesPerBlock_ + 1);
+    }
 
     /** Encode and write @p slice to slot @p idx; returns completion. */
     Tick writeSlice(Tick now, std::uint32_t idx, const MemorySlice &s);
@@ -133,14 +144,28 @@ class OopRegion
     /** Close the currently open block, marking it Full (drain/GC). */
     void closeCurrentBlock(Tick now);
 
-    /** Record that @p tx owns a slice in @p idx's block. */
-    void noteSliceTx(std::uint32_t idx, TxId tx);
+    /**
+     * Record that @p tx owns a slice in @p idx's block. Inline fast
+     * path: emitSlice calls this once per slice, and almost every call
+     * repeats a (block, tx) pair the memo already holds.
+     */
+    void
+    noteSliceTx(std::uint32_t idx, TxId tx)
+    {
+        const std::uint32_t b = blockOfSlice(idx);
+        const std::size_t h = static_cast<std::size_t>(tx) % kNoteWays;
+        if (noteBlock_[h] == b && noteTx_[h] == tx)
+            return;
+        noteSliceTxSlow(b, tx);
+        noteBlock_[h] = b;
+        noteTx_[h] = tx;
+    }
 
     OopBlockInfo &block(std::uint32_t b) { return blocks[b]; }
     const OopBlockInfo &block(std::uint32_t b) const { return blocks[b]; }
 
     /** Blocks that still hold slices of transaction @p tx. */
-    const std::unordered_set<std::uint32_t> *txBlocks(TxId tx) const;
+    std::vector<std::uint32_t> txBlocks(TxId tx) const;
 
     /** Forget transaction @p tx in all block bookkeeping (GC retire). */
     void retireTx(TxId tx);
@@ -251,8 +276,45 @@ class OopRegion
     std::uint32_t numBlocks_;
     std::uint32_t slicesPerBlock_;
     std::vector<OopBlockInfo> blocks;
+
+    /**
+     * Blocks holding slices of one transaction. Nearly every
+     * transaction's chain spans one or two blocks, so the list is
+     * inline in the map value (no per-node allocation, one probe to
+     * test membership); the rare transaction that outgrows it — and
+     * any tx id that cannot be a FlatMap key — spills to txSpill_,
+     * marked by n == kSpilled.
+     */
+    struct TxBlockList
+    {
+        static constexpr std::uint8_t kInlineBlocks = 8;
+        static constexpr std::uint8_t kSpilled = 0xff;
+        std::array<std::uint32_t, kInlineBlocks> b;
+        std::uint8_t n;
+    };
+    FlatMap<TxBlockList> txBlocks_;
     std::unordered_map<TxId, std::unordered_set<std::uint32_t>>
-        txBlocks_;
+        txSpill_;
+
+    /** Record a (block, tx) pair the memo does not hold. */
+    void noteSliceTxSlow(std::uint32_t b, TxId tx);
+
+    /** Drop block @p b from @p tx's block list (block recycle). */
+    void dropTxBlock(TxId tx, std::uint32_t b);
+
+    /**
+     * Direct-mapped memo of recently recorded (block, tx) pairs,
+     * indexed by tx. Concurrent cores interleave their transactions'
+     * slices in the open block, so a single-entry memo thrashes on
+     * the alternation; one way per active transaction (mod kNoteWays)
+     * catches nearly every repeat. A tx can only sit in its own way,
+     * and kInvalidTxId marks a way empty (no real transaction carries
+     * that id). Invalidated wherever a pair can be removed (retireTx,
+     * block recycle/retire, reset).
+     */
+    static constexpr std::size_t kNoteWays = 8;
+    std::array<std::uint32_t, kNoteWays> noteBlock_{};
+    std::array<TxId, kNoteWays> noteTx_{};
 
     /** Block currently accepting slices; kNoBlock when none open. */
     static constexpr std::uint32_t kNoBlock = 0xffffffffu;

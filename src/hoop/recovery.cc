@@ -1,13 +1,13 @@
 #include "hoop/recovery.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
-#include <map>
-#include <thread>
-#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/logging.hh"
 #include "hoop/hoop_controller.hh"
 #include "stats/trace.hh"
@@ -18,14 +18,26 @@ namespace hoopnvm
 namespace
 {
 
-/** The winning version of one home word during replay. */
-struct WordVersion
+/** Per-transaction replay bookkeeping accumulated by the phase-1
+ *  scan: commit-record contents plus the Data-slice census the chain-
+ *  completeness check compares against. */
+struct TxInfo
 {
-    std::uint64_t seq = 0;
-    std::uint64_t value = 0;
+    std::uint32_t expected = 0;
+    std::uint32_t found = 0;
+    std::uint64_t commitSeq = 0;
+    bool committed = false;
 };
 
-using LocalMap = std::unordered_map<Addr, WordVersion>;
+/** The winning versions of one home line during replay: per-word
+ *  max-seq-wins accumulators plus a presence mask. Slice seqs start
+ *  at 1, so seqs[] == 0 means "no update". */
+struct LineAcc
+{
+    std::uint64_t seqs[kWordsPerLine];
+    std::uint64_t vals[kWordsPerLine];
+    std::uint8_t mask;
+};
 
 } // namespace
 
@@ -50,16 +62,22 @@ RecoveryManager::run(unsigned threads,
     // and a committed transaction that may have lost chain slices to
     // corruption is dropped whole — recovery must never surface a
     // partial transaction. ----
-    struct LiveBlock
-    {
-        std::uint32_t block;
-        std::uint32_t usedSlots;
-    };
-    std::vector<LiveBlock> live;
-    std::unordered_set<TxId> committed;
-    std::unordered_map<TxId, std::uint32_t> chainExpected;
-    std::unordered_map<TxId, std::uint32_t> chainFound;
-    std::unordered_map<TxId, std::uint64_t> commitSeq;
+    // Word-carrying slices the phase-1 scan accepted, in scan order.
+    // Phase 2 replays straight from this cache instead of re-reading
+    // and re-CRC-checking every slice off the device: acceptance
+    // already proved crcOk, and the slots phase 2 used to re-scan but
+    // phase 1 did not accept (program-verify-skipped bad slots) fail
+    // their CRC there too, so the cached set IS phase 2's working set.
+    std::vector<MemorySlice> replayable;
+    // Reserve up to the region's slot count (the hard upper bound on
+    // accepted slices), capped so a huge sparsely-filled region does
+    // not commit gigabytes up front — beyond the cap growth falls
+    // back to the usual geometric schedule.
+    replayable.reserve(std::min<std::size_t>(
+        static_cast<std::size_t>(region.numBlocks()) *
+            region.slicesPerBlock(),
+        std::size_t{1} << 19));
+    FlatMap<TxInfo> txs;
     std::uint64_t max_commit = 0;
     // Lowest slice sequence number a corruption cut could have
     // swallowed. A CRC failure that ends a block's live area can only
@@ -131,7 +149,6 @@ RecoveryManager::run(unsigned threads,
             ++res.blocksSkippedByWatermark;
             continue;
         }
-        std::uint32_t used = 0;
         // Lowest sequence number a corruption cut in THIS block could
         // swallow. Slices are appended in strictly increasing global
         // sequence order, so a cut after a good slice with seq S can
@@ -178,27 +195,28 @@ RecoveryManager::run(unsigned threads,
             }
             if (s.seq < h.openSeq)
                 break; // stale slice from the block's previous life
-            used = slot;
             block_floor = s.seq + 1;
             ++res.slicesScanned;
             res.bytesScanned += MemorySlice::kSliceBytes;
             res.maxSeq = std::max(res.maxSeq, s.seq);
             if (s.txId != kInvalidTxId)
                 res.maxTxId = std::max(res.maxTxId, s.txId);
+            if (s.carriesWords())
+                replayable.push_back(s);
             if (s.type == SliceType::Data) {
-                ++chainFound[s.txId];
+                if (s.txId != kInvalidTxId)
+                    ++txs[s.txId].found;
             } else if (s.type == SliceType::AddrRec) {
                 if (allow && !allow->count(s.record.txId))
                     continue; // vetoed by cross-controller consensus
-                committed.insert(s.record.txId);
-                chainExpected[s.record.txId] = s.record.sliceCount;
-                commitSeq[s.record.txId] = s.seq;
+                TxInfo &ti = txs[s.record.txId];
+                ti.committed = true;
+                ti.expected = s.record.sliceCount;
+                ti.commitSeq = s.seq;
                 max_commit = std::max(max_commit, s.record.commitId);
                 res.maxTxId = std::max(res.maxTxId, s.record.txId);
             }
         }
-        if (used > 0)
-            live.push_back({b, used});
     }
 
     // Chain completeness: a committed transaction must present every
@@ -213,90 +231,96 @@ RecoveryManager::run(unsigned threads,
     // the survivors overlay that migrated baseline and replaying them
     // completes the transaction (vetoing would leave it
     // half-applied).
-    for (auto it = committed.begin(); it != committed.end();) {
-        const auto found = chainFound.find(*it);
-        const std::uint32_t have =
-            found == chainFound.end() ? 0 : found->second;
-        if (have >= chainExpected[*it]) {
-            ++it;
-        } else if (corruptionFloor <= commitSeq[*it]) {
+    std::uint64_t replayed = 0;
+    std::vector<TxId> committed_txs;
+    txs.forEach([&](TxId tx, const TxInfo &ti) {
+        if (ti.committed)
+            committed_txs.push_back(tx);
+    });
+    for (TxId tx : committed_txs) {
+        TxInfo &ti = *txs.find(tx);
+        if (ti.found >= ti.expected) {
+            ++replayed;
+        } else if (corruptionFloor <= ti.commitSeq) {
             ++res.incompleteTxVetoed;
-            it = committed.erase(it);
+            ti.committed = false;
         } else {
             ++res.gcTrimmedTxReplayed;
-            ++it;
+            ++replayed;
         }
     }
-    res.committedTxReplayed = committed.size();
+    res.committedTxReplayed = replayed;
 
-    // ---- Phase 2: parallel slice scan into thread-local maps.
-    // Blocks are dealt to workers round-robin; every committed Data or
-    // Evict slice contributes its words, and the highest sequence
-    // number wins. GC only ever recycles sequence-order prefixes of the
-    // log, so every surviving slice is newer than the home baseline and
-    // straight overlay is safe. ----
-    std::vector<LocalMap> locals(threads);
-    auto worker = [&](unsigned id) {
-        LocalMap &local = locals[id];
-        for (std::size_t i = id; i < live.size(); i += threads) {
-            const LiveBlock &lb = live[i];
-            for (std::uint32_t slot = 1; slot <= lb.usedSlots; ++slot) {
-                const std::uint32_t idx =
-                    lb.block * (region.slicesPerBlock() + 1) + slot;
-                const MemorySlice s = region.peekSlice(idx);
-                if (!s.crcOk || !s.carriesWords() ||
-                    !committed.contains(s.txId))
-                    continue;
-                for (unsigned w = 0; w < s.count; ++w) {
-                    WordVersion &v = local[s.homeAddrs[w]];
-                    if (s.seq >= v.seq) {
-                        v.seq = s.seq;
-                        v.value = s.words[w];
-                    }
-                }
+    // ---- Phase 2: scan committed slices into a line-keyed
+    // accumulator. Every committed Data or Evict slice contributes its
+    // words, and the highest sequence number wins. GC only ever
+    // recycles sequence-order prefixes of the log, so every surviving
+    // slice is newer than the home baseline and straight overlay is
+    // safe. The `threads` parameter models the recovery engine's
+    // parallelism and enters only the phase-4 time formula: the merge
+    // rule is associative and commutative, so one host-side pass
+    // computes the identical winner set the previous per-thread
+    // maps-then-merge arrangement did, without the rendezvous cost. ----
+    FlatMap<LineAcc> winners;
+    // Last-line memo: slices pack consecutive words of one store burst,
+    // so successive words usually land on the same home line. The
+    // cached pointer can only be invalidated by table growth, which
+    // only happens on a new-line insert — exactly when the memo
+    // refreshes.
+    Addr memo_line = kInvalidAddr;
+    LineAcc *memo_acc = nullptr;
+    for (const MemorySlice &s : replayable) {
+        const TxInfo *ti = txs.find(s.txId);
+        if (!ti || !ti->committed)
+            continue;
+        for (unsigned w = 0; w < s.count; ++w) {
+            const Addr a = s.homeAddrs[w];
+            const Addr la = lineAddr(a);
+            if (la != memo_line) {
+                memo_acc = &winners[la];
+                memo_line = la;
+            }
+            LineAcc &g = *memo_acc;
+            const unsigned wi =
+                static_cast<unsigned>((a - la) / kWordSize);
+            if (s.seq >= g.seqs[wi]) {
+                g.seqs[wi] = s.seq;
+                g.vals[wi] = s.words[w];
+                g.mask |= static_cast<std::uint8_t>(1u << wi);
             }
         }
-    };
-
-    if (threads == 1) {
-        worker(0);
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (unsigned i = 0; i < threads; ++i)
-            pool.emplace_back(worker, i);
-        for (auto &t : pool)
-            t.join();
     }
 
-    // ---- Phase 3: merge local maps and write the winners home ----
-    LocalMap global;
-    for (const LocalMap &local : locals) {
-        for (const auto &kv : local) {
-            WordVersion &v = global[kv.first];
-            if (kv.second.seq >= v.seq)
-                v = kv.second;
-        }
-    }
-
-    std::map<Addr, std::vector<std::pair<std::size_t, std::uint64_t>>>
-        by_line;
-    for (const auto &kv : global) {
-        by_line[lineAddr(kv.first)].emplace_back(
-            kv.first - lineAddr(kv.first), kv.second.value);
-    }
-    for (const auto &kv : by_line) {
+    // ---- Phase 3: write the winners home, in ascending line-address
+    // order (the order the previous tree-of-lines pass produced, so
+    // the crash-point schedule is unchanged) ----
+    // Copy the accumulators out alongside their line addresses so the
+    // write-back loop streams through a sorted array instead of
+    // re-probing the hash table once per line.
+    std::uint64_t distinct_words = 0;
+    std::vector<std::pair<Addr, LineAcc>> lines;
+    lines.reserve(winners.size());
+    winners.forEach([&](Addr line, const LineAcc &g) {
+        lines.emplace_back(line, g);
+        distinct_words += std::popcount(g.mask);
+    });
+    std::sort(lines.begin(), lines.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    for (const auto &[line, g] : lines) {
         // Crash point: between home-line replay writes. The OOP region
         // is untouched until recoverWithFilter() resets it after run()
         // returns, so a second recovery redoes the overlay idempotently
-        // (winning words depend only on the durable slices). Serial
-        // code: phase-2 workers must never fire crash points.
+        // (winning words depend only on the durable slices).
         ctrl.crashStep(CrashPointKind::RecoveryStep);
         std::uint8_t buf[kCacheLineSize];
-        ctrl.nvm_.peek(kv.first, buf, kCacheLineSize);
-        for (const auto &w : kv.second)
-            std::memcpy(buf + w.first, &w.second, kWordSize);
-        ctrl.nvm_.poke(kv.first, buf, kCacheLineSize);
+        ctrl.nvm_.peek(line, buf, kCacheLineSize);
+        for (std::size_t w = 0; w < kWordsPerLine; ++w) {
+            if (g.mask & (1u << w))
+                std::memcpy(buf + w * kWordSize, &g.vals[w], kWordSize);
+        }
+        ctrl.nvm_.poke(line, buf, kCacheLineSize);
         ++res.homeLinesWritten;
     }
 
@@ -318,7 +342,7 @@ RecoveryManager::run(unsigned threads,
     const Tick cpu_time =
         (total_slices + threads - 1) / threads *
             (kPerSliceCpuCost + kCrcVerifyCpuCost) +
-        static_cast<Tick>(global.size()) * nsToTicks(5);
+        static_cast<Tick>(distinct_words) * nsToTicks(5);
     res.time = std::max(channel_time, cpu_time) +
                ctrl.nvm_.timing().readLatency +
                ctrl.nvm_.timing().writeLatency;

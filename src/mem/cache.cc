@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/hash.hh"
@@ -23,7 +24,11 @@ Cache::Cache(const std::string &name, std::uint64_t size_bytes,
     numSets_ = static_cast<unsigned>(
         size_bytes / (assoc * kCacheLineSize));
     HOOP_ASSERT(numSets_ > 0, "cache must have at least one set");
-    lines.resize(static_cast<std::size_t>(numSets_) * assoc);
+    const std::size_t ways = static_cast<std::size_t>(numSets_) * assoc;
+    tags_.assign(ways, kInvalidAddr);
+    lastUse_.assign(ways, 0);
+    meta_.resize(ways);
+    data_.resize(ways * kCacheLineSize);
 }
 
 unsigned
@@ -34,103 +39,85 @@ Cache::setIndex(Addr line_addr) const
         mixHash(line_addr / kCacheLineSize) % numSets_);
 }
 
-CacheLine *
+CacheLine
 Cache::probe(Addr line_addr, bool touch)
 {
     HOOP_ASSERT(isAligned(line_addr, kCacheLineSize),
                 "probe of unaligned line address");
-    const unsigned set = setIndex(line_addr);
+    const std::size_t base =
+        static_cast<std::size_t>(setIndex(line_addr)) * assoc;
     for (unsigned w = 0; w < assoc; ++w) {
-        CacheLine &line = lines[static_cast<std::size_t>(set) * assoc + w];
-        if (line.valid && line.addr == line_addr) {
+        if (tags_[base + w] == line_addr) {
             if (touch)
-                line.lastUse = ++useClock;
+                lastUse_[base + w] = ++useClock;
             ++hitsC_;
-            return &line;
+            return viewOf(base + w);
         }
     }
     ++missesC_;
-    return nullptr;
+    return {};
 }
 
-CacheLine *
-Cache::findLine(Addr line_addr)
-{
-    const unsigned set = setIndex(line_addr);
-    for (unsigned w = 0; w < assoc; ++w) {
-        CacheLine &line =
-            lines[static_cast<std::size_t>(set) * assoc + w];
-        if (line.valid && line.addr == line_addr)
-            return &line;
-    }
-    return nullptr;
-}
-
-const CacheLine *
+CacheLine
 Cache::peekLine(Addr line_addr) const
 {
-    const unsigned set = setIndex(line_addr);
+    const std::size_t base =
+        static_cast<std::size_t>(setIndex(line_addr)) * assoc;
     for (unsigned w = 0; w < assoc; ++w) {
-        const CacheLine &line =
-            lines[static_cast<std::size_t>(set) * assoc + w];
-        if (line.valid && line.addr == line_addr)
-            return &line;
+        if (tags_[base + w] == line_addr)
+            return viewOf(base + w);
     }
-    return nullptr;
+    return {};
 }
 
-CacheLine *
+std::size_t
 Cache::findVictim(Addr line_addr)
 {
     HOOP_ASSERT(isAligned(line_addr, kCacheLineSize),
                 "insert of unaligned line address");
-    const unsigned set = setIndex(line_addr);
-    CacheLine *slot = nullptr;
+    const std::size_t base =
+        static_cast<std::size_t>(setIndex(line_addr)) * assoc;
 
-    // Reuse an existing copy or an invalid way before evicting.
+    // One fused scan finds an existing copy, a free way, or the LRU
+    // victim. Invalidation zeroes lastUse and valid lines always carry
+    // lastUse >= 1 (fillSlot/touch assign ++useClock), so the min-
+    // lastUse way IS the first invalid way whenever one exists — the
+    // same choice the previous separate invalid-scan + LRU-scan pair
+    // made (strict < keeps the lowest index on ties, exactly like the
+    // old first-invalid preference).
+    std::size_t victim = base;
     for (unsigned w = 0; w < assoc; ++w) {
-        CacheLine &line = lines[static_cast<std::size_t>(set) * assoc + w];
-        if (line.valid && line.addr == line_addr)
-            return &line;
-        if (!line.valid && !slot)
-            slot = &line;
+        if (tags_[base + w] == line_addr)
+            return base + w;
+        if (lastUse_[base + w] < lastUse_[victim])
+            victim = base + w;
     }
-    if (slot)
-        return slot;
-
-    // Evict the LRU way.
-    CacheLine *lru = nullptr;
-    for (unsigned w = 0; w < assoc; ++w) {
-        CacheLine &line =
-            lines[static_cast<std::size_t>(set) * assoc + w];
-        if (!lru || line.lastUse < lru->lastUse)
-            lru = &line;
+    if (tags_[victim] != kInvalidAddr) {
+        if (meta_[victim].dirty)
+            ++dirtyEvictionsC_;
+        else
+            ++cleanEvictionsC_;
     }
-    if (lru->dirty)
-        ++dirtyEvictionsC_;
-    else
-        ++cleanEvictionsC_;
-    return lru;
+    return victim;
 }
 
 void
-Cache::fillSlot(CacheLine &slot, Addr line_addr, const std::uint8_t *data,
+Cache::fillSlot(std::size_t i, Addr line_addr, const std::uint8_t *data,
                 bool dirty, bool persistent, CoreId writer, TxId tx_id,
                 std::uint8_t word_mask)
 {
-    const bool reinsert = slot.valid && slot.addr == line_addr;
-    slot.addr = line_addr;
-    slot.valid = true;
-    slot.dirty = reinsert ? (slot.dirty || dirty) : dirty;
-    slot.persistent =
-        reinsert ? (slot.persistent || persistent) : persistent;
-    slot.wordMask = reinsert ? (slot.wordMask | word_mask) : word_mask;
+    CacheLineMeta &m = meta_[i];
+    const bool reinsert = tags_[i] == line_addr;
+    tags_[i] = line_addr;
+    m.dirty = reinsert ? (m.dirty || dirty) : dirty;
+    m.persistent = reinsert ? (m.persistent || persistent) : persistent;
+    m.wordMask = reinsert ? (m.wordMask | word_mask) : word_mask;
     if (!reinsert || dirty) {
-        slot.lastWriter = writer;
-        slot.txId = tx_id;
+        m.lastWriter = writer;
+        m.txId = tx_id;
     }
-    std::memcpy(slot.data.data(), data, kCacheLineSize);
-    slot.lastUse = ++useClock;
+    std::memcpy(&data_[i * kCacheLineSize], data, kCacheLineSize);
+    lastUse_[i] = ++useClock;
     ++insertionsC_;
 }
 
@@ -143,13 +130,14 @@ Cache::insert(Addr line_addr, const std::uint8_t *data, bool dirty,
     insert(line_addr, data, dirty, persistent, writer, tx_id, word_mask,
            [&victim](const CacheLine &lru) {
                victim.valid = true;
-               victim.addr = lru.addr;
-               victim.dirty = lru.dirty;
-               victim.persistent = lru.persistent;
-               victim.lastWriter = lru.lastWriter;
-               victim.txId = lru.txId;
-               victim.wordMask = lru.wordMask;
-               victim.data = lru.data;
+               victim.addr = lru.addr();
+               victim.dirty = lru.dirty();
+               victim.persistent = lru.persistent();
+               victim.lastWriter = lru.lastWriter();
+               victim.txId = lru.txId();
+               victim.wordMask = lru.wordMask();
+               std::memcpy(victim.data.data(), lru.data(),
+                           kCacheLineSize);
            });
     return victim;
 }
@@ -157,15 +145,18 @@ Cache::insert(Addr line_addr, const std::uint8_t *data, bool dirty,
 void
 Cache::invalidate(Addr line_addr)
 {
-    const unsigned set = setIndex(line_addr);
+    const std::size_t base =
+        static_cast<std::size_t>(setIndex(line_addr)) * assoc;
     for (unsigned w = 0; w < assoc; ++w) {
-        CacheLine &line = lines[static_cast<std::size_t>(set) * assoc + w];
-        if (line.valid && line.addr == line_addr) {
-            line.valid = false;
-            line.dirty = false;
-            line.persistent = false;
-            line.txId = kInvalidTxId;
-            line.wordMask = 0;
+        if (tags_[base + w] == line_addr) {
+            tags_[base + w] = kInvalidAddr;
+            CacheLineMeta &m = meta_[base + w];
+            m.dirty = false;
+            m.persistent = false;
+            m.txId = kInvalidTxId;
+            m.wordMask = 0;
+            // Zero stamp ranks invalid ways first in findVictim.
+            lastUse_[base + w] = 0;
             return;
         }
     }
@@ -174,13 +165,14 @@ Cache::invalidate(Addr line_addr)
 void
 Cache::invalidateAll()
 {
-    for (auto &line : lines) {
-        line.valid = false;
-        line.dirty = false;
-        line.persistent = false;
-        line.txId = kInvalidTxId;
-        line.wordMask = 0;
+    std::fill(tags_.begin(), tags_.end(), kInvalidAddr);
+    for (auto &m : meta_) {
+        m.dirty = false;
+        m.persistent = false;
+        m.txId = kInvalidTxId;
+        m.wordMask = 0;
     }
+    std::fill(lastUse_.begin(), lastUse_.end(), 0);
 }
 
 } // namespace hoopnvm

@@ -8,6 +8,14 @@
  * the OOP region instead of the home region. Lines also remember the
  * last writing core and the transaction that last modified them, which
  * the memory-controller models need to stamp out-of-place slices.
+ *
+ * Storage is structure-of-arrays: the set-lookup scan walks a packed
+ * tag array (one 8-byte tag per way, so an 8-way set is a single host
+ * cache line), while per-line metadata and the 64-byte payloads live in
+ * separate arrays touched only on a hit. CacheLine is a non-owning
+ * *view* into those arrays, not the storage itself; views are cheap to
+ * copy and remain valid until the way they reference is re-filled or
+ * invalidated.
  */
 
 #ifndef HOOPNVM_MEM_CACHE_HH
@@ -24,23 +32,19 @@
 namespace hoopnvm
 {
 
-/** One cache line: tag state plus the full data payload. */
-struct CacheLine
+/**
+ * Per-line bookkeeping kept out of the tag scan array. The LRU stamp
+ * is not here either: victim selection scans every way's stamp, so the
+ * stamps live in their own packed array (like the tags) and this
+ * struct holds only state touched on a hit.
+ */
+struct CacheLineMeta
 {
-    /** Line-aligned address; only meaningful when valid. */
-    Addr addr = kInvalidAddr;
-
-    bool valid = false;
-    bool dirty = false;
-
-    /** Set when the line was modified inside a transaction (§III-G). */
-    bool persistent = false;
+    /** Transaction that last modified this line (kInvalidTxId if none). */
+    TxId txId = kInvalidTxId;
 
     /** Core that performed the last store to this line. */
     CoreId lastWriter = 0;
-
-    /** Transaction that last modified this line (kInvalidTxId if none). */
-    TxId txId = kInvalidTxId;
 
     /**
      * Which of the line's eight words hold data newer than the home
@@ -49,10 +53,50 @@ struct CacheLine
      */
     std::uint8_t wordMask = 0;
 
-    /** LRU timestamp (bigger = more recently used). */
-    std::uint64_t lastUse = 0;
+    bool dirty = false;
 
-    std::array<std::uint8_t, kCacheLineSize> data{};
+    /** Set when the line was modified inside a transaction (§III-G). */
+    bool persistent = false;
+};
+
+/**
+ * View of one resident cache line: the line address plus pointers to
+ * its metadata slot and 64-byte payload. A default-constructed view is
+ * "no line" and tests false. Mutations through the accessors write the
+ * cache's backing arrays directly.
+ */
+class CacheLine
+{
+  public:
+    CacheLine() = default;
+
+    explicit operator bool() const { return meta_ != nullptr; }
+
+    /** Line-aligned address of the viewed line. */
+    Addr addr() const { return addr_; }
+
+    /** The 64-byte payload. */
+    std::uint8_t *data() const { return data_; }
+
+    bool &dirty() const { return meta_->dirty; }
+    bool &persistent() const { return meta_->persistent; }
+    CoreId &lastWriter() const { return meta_->lastWriter; }
+    TxId &txId() const { return meta_->txId; }
+    std::uint8_t &wordMask() const { return meta_->wordMask; }
+    std::uint64_t lastUse() const { return *lastUse_; }
+
+  private:
+    friend class Cache;
+    CacheLine(Addr addr, CacheLineMeta *meta, std::uint64_t *last_use,
+              std::uint8_t *data)
+        : addr_(addr), meta_(meta), lastUse_(last_use), data_(data)
+    {
+    }
+
+    Addr addr_ = kInvalidAddr;
+    CacheLineMeta *meta_ = nullptr;
+    std::uint64_t *lastUse_ = nullptr;
+    std::uint8_t *data_ = nullptr;
 };
 
 /**
@@ -88,31 +132,50 @@ class Cache
 
     /**
      * Look up @p line_addr. On a hit the LRU state is refreshed (unless
-     * @p touch is false) and the line is returned; nullptr on miss.
+     * @p touch is false) and a view of the line is returned; an empty
+     * view on miss.
      */
-    CacheLine *probe(Addr line_addr, bool touch = true);
-
-    /** Const lookup without LRU update. */
-    const CacheLine *peekLine(Addr line_addr) const;
+    CacheLine probe(Addr line_addr, bool touch = true);
 
     /**
-     * Mutable lookup that updates neither LRU state nor hit/miss
-     * statistics. For internal coherence bookkeeping, so protocol
-     * probes do not distort the measured hit ratios.
+     * Lookup without LRU update. Declared const because it does not
+     * change cache or statistics state, but the returned view allows
+     * mutation like any other — callers holding a const Cache must
+     * treat it as read-only.
      */
-    CacheLine *findLine(Addr line_addr);
+    CacheLine peekLine(Addr line_addr) const;
+
+    /**
+     * Lookup that updates neither LRU state nor hit/miss statistics.
+     * For internal coherence bookkeeping, so protocol probes do not
+     * distort the measured hit ratios.
+     */
+    CacheLine findLine(Addr line_addr) { return peekLine(line_addr); }
+
+    /**
+     * Refresh LRU and count a hit for @p line without re-scanning its
+     * set. The batched range paths use this for the second and later
+     * words of a line whose residency is already established; the stat
+     * and LRU effects are exactly those of a touching probe() hit.
+     */
+    void
+    touchHit(const CacheLine &line)
+    {
+        *line.lastUse_ = ++useClock;
+        ++hitsC_;
+    }
 
     /**
      * Insert a line, evicting the LRU way of the set if necessary.
      *
      * When a valid line with a different address is displaced,
-     * @p retire is invoked with the victim *in place* — the callback
-     * borrows the slot's storage for its duration, so the common case
-     * (no writeback, or a writeback that only reads the data once)
-     * never copies the 64-byte payload. The referenced line is
+     * @p retire is invoked with a view of the victim *in place* — the
+     * callback borrows the slot's storage for its duration, so the
+     * common case (no writeback, or a writeback that only reads the
+     * data once) never copies the 64-byte payload. The slot is
      * overwritten as soon as the callback returns; callers must not
-     * retain the reference. The callback may mutate the victim (e.g.
-     * fold dirtier upper-level copies into it) but must not touch this
+     * retain the view. The callback may mutate the victim (e.g. fold
+     * dirtier upper-level copies into it) but must not touch this
      * cache.
      */
     template <typename RetireFn>
@@ -121,10 +184,10 @@ class Cache
            bool persistent, CoreId writer, TxId tx_id,
            std::uint8_t word_mask, RetireFn &&retire)
     {
-        CacheLine *slot = findVictim(line_addr);
-        if (slot->valid && slot->addr != line_addr)
-            retire(*slot);
-        fillSlot(*slot, line_addr, data, dirty, persistent, writer,
+        const std::size_t slot = findVictim(line_addr);
+        if (tags_[slot] != kInvalidAddr && tags_[slot] != line_addr)
+            retire(viewOf(slot));
+        fillSlot(slot, line_addr, data, dirty, persistent, writer,
                  tx_id, word_mask);
     }
 
@@ -148,9 +211,11 @@ class Cache
     void
     forEachLine(Fn &&fn)
     {
-        for (auto &line : lines) {
-            if (line.valid)
-                fn(line);
+        for (std::size_t i = 0; i < tags_.size(); ++i) {
+            if (tags_[i] != kInvalidAddr) {
+                CacheLine view = viewOf(i);
+                fn(view);
+            }
         }
     }
 
@@ -165,16 +230,27 @@ class Cache
     /** Index of the set holding @p line_addr. */
     unsigned setIndex(Addr line_addr) const;
 
-    /**
-     * Slot that will hold @p line_addr: an existing copy, an invalid
-     * way, or the LRU way of the set (whose previous occupant the
-     * caller must retire). Updates the eviction statistics when the
-     * returned slot holds a valid line with a different address.
-     */
-    CacheLine *findVictim(Addr line_addr);
+    /** View of way-slot @p i (caller guarantees it is valid). */
+    CacheLine
+    viewOf(std::size_t i) const
+    {
+        return CacheLine(tags_[i],
+                         const_cast<CacheLineMeta *>(&meta_[i]),
+                         const_cast<std::uint64_t *>(&lastUse_[i]),
+                         const_cast<std::uint8_t *>(
+                             &data_[i * kCacheLineSize]));
+    }
 
-    /** Overwrite @p slot with the inserted line's state. */
-    void fillSlot(CacheLine &slot, Addr line_addr,
+    /**
+     * Slot index that will hold @p line_addr: an existing copy, an
+     * invalid way, or the LRU way of the set (whose previous occupant
+     * the caller must retire). Updates the eviction statistics when
+     * the returned slot holds a valid line with a different address.
+     */
+    std::size_t findVictim(Addr line_addr);
+
+    /** Overwrite slot @p i with the inserted line's state. */
+    void fillSlot(std::size_t i, Addr line_addr,
                   const std::uint8_t *data, bool dirty, bool persistent,
                   CoreId writer, TxId tx_id, std::uint8_t word_mask);
 
@@ -182,7 +258,17 @@ class Cache
     unsigned numSets_;
     Tick latency_;
     std::uint64_t useClock = 0;
-    std::vector<CacheLine> lines;
+
+    // Parallel arrays indexed by set * assoc + way. A tag of
+    // kInvalidAddr marks an invalid way, so the lookup scan needs no
+    // separate valid flag. LRU stamps are packed like the tags: victim
+    // selection reads every way's stamp, so an 8-way set's stamps fit
+    // one host cache line instead of spanning eight meta structs.
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> lastUse_;
+    std::vector<CacheLineMeta> meta_;
+    std::vector<std::uint8_t> data_;
+
     StatSet stats_;
 
     // Hot-path counters resolved once; StatSet references stay valid

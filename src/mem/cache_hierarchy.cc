@@ -20,14 +20,14 @@ inline void
 captureVictim(const CacheLine &lru, CacheVictim &v)
 {
     v.valid = true;
-    v.addr = lru.addr;
-    v.dirty = lru.dirty;
-    v.persistent = lru.persistent;
-    v.lastWriter = lru.lastWriter;
-    v.txId = lru.txId;
-    v.wordMask = lru.wordMask;
-    if (lru.dirty)
-        v.data = lru.data;
+    v.addr = lru.addr();
+    v.dirty = lru.dirty();
+    v.persistent = lru.persistent();
+    v.lastWriter = lru.lastWriter();
+    v.txId = lru.txId();
+    v.wordMask = lru.wordMask();
+    if (lru.dirty())
+        std::memcpy(v.data.data(), lru.data(), kCacheLineSize);
 }
 
 } // namespace
@@ -56,19 +56,22 @@ CacheHierarchy::CacheHierarchy(const SystemConfig &cfg_)
     llc_ = std::make_unique<Cache>("llc", cfg.cache.llcSize,
                                    cfg.cache.llcAssoc,
                                    cfg.cache.llcLatency);
+    memo_.resize(cfg.numCores);
 }
 
 void
 CacheHierarchy::reconcileSharers(CoreId core, Addr line,
-                                 CacheLine &llc_line, bool exclusive)
+                                 CacheLine llc_line, bool exclusive)
 {
-    auto it = sharers.find(line);
-    if (it == sharers.end())
+    std::uint32_t *mask = sharers.find(line);
+    if (!mask)
         return;
-    const std::uint32_t others =
-        it->second & ~(std::uint32_t{1} << core);
+    const std::uint32_t others = *mask & ~(std::uint32_t{1} << core);
     if (others == 0)
         return;
+    // Another core's copy is about to be merged, downgraded or
+    // invalidated: no memo taken before this point may survive.
+    ++structGen_;
 
     for (unsigned c = 0; c < cfg.numCores; ++c) {
         if (!(others & (std::uint32_t{1} << c)))
@@ -76,21 +79,23 @@ CacheHierarchy::reconcileSharers(CoreId core, Addr line,
         // L2 first, then L1: when both hold the line, the L1 copy is
         // the newer one and must win the merge.
         for (Cache *cache : {l2s[c].get(), l1s[c].get()}) {
-            CacheLine *upper = cache->findLine(line);
+            CacheLine upper = cache->findLine(line);
             if (!upper)
                 continue;
-            if (upper->dirty) {
-                llc_line.data = upper->data;
-                llc_line.dirty = true;
-                llc_line.persistent |= upper->persistent;
-                llc_line.lastWriter = upper->lastWriter;
-                llc_line.txId = upper->txId;
-                llc_line.wordMask |= upper->wordMask;
+            const bool upper_dirty = upper.dirty();
+            if (upper_dirty) {
+                std::memcpy(llc_line.data(), upper.data(),
+                            kCacheLineSize);
+                llc_line.dirty() = true;
+                llc_line.persistent() |= upper.persistent();
+                llc_line.lastWriter() = upper.lastWriter();
+                llc_line.txId() = upper.txId();
+                llc_line.wordMask() |= upper.wordMask();
             }
             if (exclusive) {
                 cache->invalidate(line);
                 ++invalidationsC_;
-            } else if (upper->dirty) {
+            } else if (upper_dirty) {
                 // Downgrade: LLC now has the data; drop the dirty copy
                 // so a single up-to-date copy exists below.
                 cache->invalidate(line);
@@ -98,13 +103,13 @@ CacheHierarchy::reconcileSharers(CoreId core, Addr line,
             }
         }
         if (exclusive)
-            it->second &= ~(std::uint32_t{1} << c);
+            *mask &= ~(std::uint32_t{1} << c);
     }
-    if (it->second == 0)
-        sharers.erase(it);
+    if (*mask == 0)
+        sharers.erase(line);
 }
 
-CacheLine *
+CacheLine
 CacheHierarchy::ensureInL1(CoreId core, Addr line, bool for_store,
                            Tick &t)
 {
@@ -112,35 +117,35 @@ CacheHierarchy::ensureInL1(CoreId core, Addr line, bool for_store,
     Cache &l2 = *l2s[core];
 
     t += l1.latency();
-    if (CacheLine *l = l1.probe(line)) {
+    if (CacheLine l = l1.probe(line)) {
         if (for_store) {
             // Another core may hold a stale copy; invalidate it.
-            CacheLine *llcl = llc_->findLine(line);
+            CacheLine llcl = llc_->findLine(line);
             if (llcl)
-                reconcileSharers(core, line, *llcl, /*exclusive=*/true);
+                reconcileSharers(core, line, llcl, /*exclusive=*/true);
             sharers[line] |= std::uint32_t{1} << core;
         }
         return l;
     }
 
     t += l2.latency();
-    if (CacheLine *l = l2.probe(line)) {
+    if (CacheLine l = l2.probe(line)) {
         // Promote a clean copy into L1; dirtiness stays in L2.
-        insertL1(core, line, l->data.data(), false, false, core,
+        insertL1(core, line, l.data(), false, false, core,
                  kInvalidTxId, 0, t);
-        CacheLine *l1l = l1.findLine(line);
+        CacheLine l1l = l1.findLine(line);
         HOOP_ASSERT(l1l, "L1 insert must succeed");
         if (for_store) {
-            CacheLine *llcl = llc_->findLine(line);
+            CacheLine llcl = llc_->findLine(line);
             if (llcl)
-                reconcileSharers(core, line, *llcl, /*exclusive=*/true);
+                reconcileSharers(core, line, llcl, /*exclusive=*/true);
             sharers[line] |= std::uint32_t{1} << core;
         }
         return l1l;
     }
 
     t += llc_->latency();
-    CacheLine *llcl = llc_->probe(line);
+    CacheLine llcl = llc_->probe(line);
     if (!llcl) {
         // LLC miss: ask the persistence controller for the line.
         ++llcFillsC_;
@@ -154,15 +159,15 @@ CacheHierarchy::ensureInL1(CoreId core, Addr line, bool for_store,
         HOOP_ASSERT(llcl, "LLC insert must succeed");
     }
 
-    reconcileSharers(core, line, *llcl, for_store);
+    reconcileSharers(core, line, llcl, for_store);
     sharers[line] |= std::uint32_t{1} << core;
 
     // Promote clean copies upward; the LLC keeps dirty ownership.
-    insertL2(core, line, llcl->data.data(), false, false, core,
+    insertL2(core, line, llcl.data(), false, false, core,
              kInvalidTxId, 0, t);
-    insertL1(core, line, llcl->data.data(), false, false, core,
+    insertL1(core, line, llcl.data(), false, false, core,
              kInvalidTxId, 0, t);
-    CacheLine *l1l = l1.findLine(line);
+    CacheLine l1l = l1.findLine(line);
     HOOP_ASSERT(l1l, "L1 fill must succeed");
     return l1l;
 }
@@ -170,6 +175,24 @@ CacheHierarchy::ensureInL1(CoreId core, Addr line, bool for_store,
 Tick
 CacheHierarchy::loadWord(CoreId core, Addr addr, std::uint64_t &out,
                          Tick now)
+{
+    if (cfg.fastPath) {
+        WordMemo &m = memo_[core];
+        if (m.gen == structGen_ && m.line == lineAddr(addr))
+            return loadWordHit(core, m.view, addr, out, now);
+        CacheLine line;
+        const Tick t = loadWordResolved(core, addr, out, now, line);
+        m = WordMemo{lineAddr(addr), structGen_, false, line};
+        return t;
+    }
+    CacheLine line;
+    return loadWordResolved(core, addr, out, now, line);
+}
+
+Tick
+CacheHierarchy::loadWordResolved(CoreId core, Addr addr,
+                                 std::uint64_t &out, Tick now,
+                                 CacheLine &line)
 {
     HOOP_ASSERT(isAligned(addr, kWordSize), "unaligned word load");
     ++loadsC_;
@@ -179,9 +202,23 @@ CacheHierarchy::loadWord(CoreId core, Addr addr, std::uint64_t &out,
     // alongside their hot data.
     if (!l1s[core]->peekLine(lineAddr(addr)))
         t += ctrl->loadOverhead(core, addr, t);
-    CacheLine *line = ensureInL1(core, lineAddr(addr), false, t);
-    std::memcpy(&out, line->data.data() + (addr - lineAddr(addr)),
-                kWordSize);
+    line = ensureInL1(core, lineAddr(addr), false, t);
+    std::memcpy(&out, line.data() + (addr - lineAddr(addr)), kWordSize);
+    return t;
+}
+
+Tick
+CacheHierarchy::loadWordHit(CoreId core, CacheLine line, Addr addr,
+                            std::uint64_t &out, Tick now)
+{
+    // The word-at-a-time path for a second word of a resident line:
+    // opCost, an L1 probe hit (latency, hit counter, LRU touch), no
+    // load overhead (the line is in L1), no controller involvement.
+    ++loadsC_;
+    Tick t = now + cfg.opCost();
+    t += l1s[core]->latency();
+    l1s[core]->touchHit(line);
+    std::memcpy(&out, line.data() + (addr - line.addr()), kWordSize);
     return t;
 }
 
@@ -189,21 +226,71 @@ Tick
 CacheHierarchy::storeWord(CoreId core, Addr addr, std::uint64_t value,
                           Tick now)
 {
+    if (cfg.fastPath) {
+        WordMemo &m = memo_[core];
+        if (m.gen == structGen_ && m.line == lineAddr(addr) &&
+            m.exclusive)
+            return storeWordHit(core, m.view, addr, value, now);
+        CacheLine line;
+        const Tick t = storeWordResolved(core, addr, value, now, line);
+        m = WordMemo{lineAddr(addr), structGen_, true, line};
+        return t;
+    }
+    CacheLine line;
+    return storeWordResolved(core, addr, value, now, line);
+}
+
+Tick
+CacheHierarchy::storeWordResolved(CoreId core, Addr addr,
+                                  std::uint64_t value, Tick now,
+                                  CacheLine &line)
+{
     HOOP_ASSERT(isAligned(addr, kWordSize), "unaligned word store");
     ++storesC_;
     Tick t = now + cfg.opCost();
-    CacheLine *line = ensureInL1(core, lineAddr(addr), true, t);
-    std::memcpy(line->data.data() + (addr - lineAddr(addr)), &value,
+    line = ensureInL1(core, lineAddr(addr), true, t);
+    std::memcpy(line.data() + (addr - lineAddr(addr)), &value,
                 kWordSize);
-    line->dirty = true;
-    line->lastWriter = core;
-    line->wordMask |= static_cast<std::uint8_t>(
+    line.dirty() = true;
+    line.lastWriter() = core;
+    line.wordMask() |= static_cast<std::uint8_t>(
         1u << ((addr - lineAddr(addr)) / kWordSize));
 
     const bool in_tx = ctrl->inTx(core);
     if (in_tx) {
-        line->persistent = true;
-        line->txId = ctrl->currentTx(core);
+        line.persistent() = true;
+        line.txId() = ctrl->currentTx(core);
+        std::uint8_t bytes[kWordSize];
+        std::memcpy(bytes, &value, kWordSize);
+        t += ctrl->storeWord(core, addr, bytes, t);
+    }
+    return t;
+}
+
+Tick
+CacheHierarchy::storeWordHit(CoreId core, CacheLine line, Addr addr,
+                             std::uint64_t value, Tick now)
+{
+    // The word-at-a-time path for a second store to a line this core
+    // already holds exclusive: the L1 probe hits (latency, hit
+    // counter, LRU touch) and the coherence work — LLC lookup, sharer
+    // reconciliation, sharer-mask OR — is a structural no-op (the
+    // first store stripped every other sharer and set this core's
+    // bit), so it is skipped rather than re-executed.
+    ++storesC_;
+    Tick t = now + cfg.opCost();
+    t += l1s[core]->latency();
+    l1s[core]->touchHit(line);
+    std::memcpy(line.data() + (addr - line.addr()), &value, kWordSize);
+    line.dirty() = true;
+    line.lastWriter() = core;
+    line.wordMask() |= static_cast<std::uint8_t>(
+        1u << ((addr - line.addr()) / kWordSize));
+
+    const bool in_tx = ctrl->inTx(core);
+    if (in_tx) {
+        line.persistent() = true;
+        line.txId() = ctrl->currentTx(core);
         std::uint8_t bytes[kWordSize];
         std::memcpy(bytes, &value, kWordSize);
         t += ctrl->storeWord(core, addr, bytes, t);
@@ -216,6 +303,7 @@ CacheHierarchy::insertL1(CoreId core, Addr line, const std::uint8_t *data,
                          bool dirty, bool persistent, CoreId writer,
                          TxId tx, std::uint8_t mask, Tick now)
 {
+    ++structGen_;
     // The victim is captured inside the insert but processed only
     // after it completes, so nested evictions (which may back-
     // invalidate the line being inserted) observe the same hierarchy
@@ -240,6 +328,7 @@ CacheHierarchy::insertL2(CoreId core, Addr line, const std::uint8_t *data,
                          bool dirty, bool persistent, CoreId writer,
                          TxId tx, std::uint8_t mask, Tick now)
 {
+    ++structGen_;
     CacheVictim v;
     l2s[core]->insert(line, data, dirty, persistent, writer, tx, mask,
                       [&v](const CacheLine &lru) {
@@ -249,14 +338,14 @@ CacheHierarchy::insertL2(CoreId core, Addr line, const std::uint8_t *data,
         return;
 
     // Maintain L2 inclusion of L1: merge and drop any L1 copy.
-    if (CacheLine *l1l = l1s[core]->findLine(v.addr)) {
-        if (l1l->dirty) {
-            v.data = l1l->data;
+    if (CacheLine l1l = l1s[core]->findLine(v.addr)) {
+        if (l1l.dirty()) {
+            std::memcpy(v.data.data(), l1l.data(), kCacheLineSize);
             v.dirty = true;
-            v.persistent |= l1l->persistent;
-            v.lastWriter = l1l->lastWriter;
-            v.txId = l1l->txId;
-            v.wordMask |= l1l->wordMask;
+            v.persistent |= l1l.persistent();
+            v.lastWriter = l1l.lastWriter();
+            v.txId = l1l.txId();
+            v.wordMask |= l1l.wordMask();
         }
         l1s[core]->invalidate(v.addr);
     }
@@ -274,6 +363,7 @@ CacheHierarchy::insertLlc(CoreId core, Addr line, const std::uint8_t *data,
                           TxId tx, std::uint8_t mask, Tick now)
 {
     (void)core;
+    ++structGen_;
     CacheVictim v;
     llc_->insert(line, data, dirty, persistent, writer, tx, mask,
                  [&v](const CacheLine &lru) {
@@ -288,29 +378,30 @@ CacheHierarchy::retireLlcVictim(CacheVictim &victim, Tick now)
 {
     // Inclusive LLC: back-invalidate every upper-level copy, folding
     // any dirty data into the victim before it leaves the hierarchy.
-    auto it = sharers.find(victim.addr);
-    if (it != sharers.end()) {
+    std::uint32_t *mask = sharers.find(victim.addr);
+    if (mask) {
+        const std::uint32_t bits = *mask;
         for (unsigned c = 0; c < cfg.numCores; ++c) {
-            if (!(it->second & (std::uint32_t{1} << c)))
+            if (!(bits & (std::uint32_t{1} << c)))
                 continue;
             // L2 before L1: the L1 copy is newer when both exist.
             for (Cache *cache : {l2s[c].get(), l1s[c].get()}) {
-                CacheLine *upper =
-                    cache->findLine(victim.addr);
+                CacheLine upper = cache->findLine(victim.addr);
                 if (!upper)
                     continue;
-                if (upper->dirty) {
-                    victim.data = upper->data;
+                if (upper.dirty()) {
+                    std::memcpy(victim.data.data(), upper.data(),
+                                kCacheLineSize);
                     victim.dirty = true;
-                    victim.persistent |= upper->persistent;
-                    victim.lastWriter = upper->lastWriter;
-                    victim.txId = upper->txId;
-                    victim.wordMask |= upper->wordMask;
+                    victim.persistent |= upper.persistent();
+                    victim.lastWriter = upper.lastWriter();
+                    victim.txId = upper.txId();
+                    victim.wordMask |= upper.wordMask();
                 }
                 cache->invalidate(victim.addr);
             }
         }
-        sharers.erase(it);
+        sharers.erase(victim.addr);
         ++backInvalidationsC_;
     }
 
@@ -330,12 +421,12 @@ CacheHierarchy::updateSharerOnDrop(CoreId core, Addr line)
 {
     if (l1s[core]->peekLine(line) || l2s[core]->peekLine(line))
         return;
-    auto it = sharers.find(line);
-    if (it == sharers.end())
+    std::uint32_t *mask = sharers.find(line);
+    if (!mask)
         return;
-    it->second &= ~(std::uint32_t{1} << core);
-    if (it->second == 0)
-        sharers.erase(it);
+    *mask &= ~(std::uint32_t{1} << core);
+    if (*mask == 0)
+        sharers.erase(line);
 }
 
 void
@@ -348,7 +439,34 @@ CacheHierarchy::debugRead(Addr addr, void *buf, std::size_t len) const
         const std::size_t chunk =
             std::min<std::size_t>(len, kCacheLineSize - off);
 
-        const CacheLine *found = nullptr;
+        if (debugBatch_) {
+            // Verification batch: resolve the line once and serve the
+            // remaining words of it from the memo (nothing can mutate
+            // while the batch is open).
+            if (line != debugMemoLine_) {
+                CacheLine hit;
+                for (unsigned c = 0; c < cfg.numCores && !hit; ++c) {
+                    hit = l1s[c]->peekLine(line);
+                    if (!hit)
+                        hit = l2s[c]->peekLine(line);
+                }
+                if (!hit)
+                    hit = llc_->peekLine(line);
+                if (hit)
+                    std::memcpy(debugMemoData_, hit.data(),
+                                kCacheLineSize);
+                else
+                    ctrl->debugReadLine(line, debugMemoData_);
+                debugMemoLine_ = line;
+            }
+            std::memcpy(out, debugMemoData_ + off, chunk);
+            addr += chunk;
+            out += chunk;
+            len -= chunk;
+            continue;
+        }
+
+        CacheLine found;
         for (unsigned c = 0; c < cfg.numCores && !found; ++c) {
             found = l1s[c]->peekLine(line);
             if (!found)
@@ -358,7 +476,7 @@ CacheHierarchy::debugRead(Addr addr, void *buf, std::size_t len) const
             found = llc_->peekLine(line);
 
         if (found) {
-            std::memcpy(out, found->data.data() + off, chunk);
+            std::memcpy(out, found.data() + off, chunk);
         } else {
             std::uint8_t tmp[kCacheLineSize];
             ctrl->debugReadLine(line, tmp);
@@ -373,6 +491,7 @@ CacheHierarchy::debugRead(Addr addr, void *buf, std::size_t len) const
 void
 CacheHierarchy::dropAll()
 {
+    ++structGen_;
     for (auto &c : l1s)
         c->invalidateAll();
     for (auto &c : l2s)
@@ -384,34 +503,36 @@ CacheHierarchy::dropAll()
 void
 CacheHierarchy::writebackAll(Tick now)
 {
+    ++structGen_;
     // Drain strictly top-down: L1 dirt folds into L2 first (an L2 copy
     // of the same line may be dirty but stale), then L2 into the LLC.
     for (unsigned c = 0; c < cfg.numCores; ++c) {
         l1s[c]->forEachLine([&](CacheLine &line) {
-            if (!line.dirty)
+            if (!line.dirty())
                 return;
-            insertL2(c, line.addr, line.data.data(), true,
-                     line.persistent, line.lastWriter, line.txId,
-                     line.wordMask, now);
-            line.dirty = false;
+            insertL2(c, line.addr(), line.data(), true,
+                     line.persistent(), line.lastWriter(), line.txId(),
+                     line.wordMask(), now);
+            line.dirty() = false;
         });
         l1s[c]->invalidateAll();
         l2s[c]->forEachLine([&](CacheLine &line) {
-            if (!line.dirty)
+            if (!line.dirty())
                 return;
-            insertLlc(c, line.addr, line.data.data(), true,
-                      line.persistent, line.lastWriter, line.txId,
-                      line.wordMask, now);
-            line.dirty = false;
+            insertLlc(c, line.addr(), line.data(), true,
+                      line.persistent(), line.lastWriter(), line.txId(),
+                      line.wordMask(), now);
+            line.dirty() = false;
         });
         l2s[c]->invalidateAll();
     }
     llc_->forEachLine([&](CacheLine &line) {
-        if (!line.dirty)
+        if (!line.dirty())
             return;
-        ctrl->evictLine(line.lastWriter, line.addr, line.data.data(),
-                        line.persistent, line.txId, line.wordMask, now);
-        line.dirty = false;
+        ctrl->evictLine(line.lastWriter(), line.addr(), line.data(),
+                        line.persistent(), line.txId(), line.wordMask(),
+                        now);
+        line.dirty() = false;
     });
     llc_->invalidateAll();
     sharers.clear();

@@ -20,10 +20,11 @@
 #define HOOPNVM_MEM_CACHE_HIERARCHY_HH
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "controller/persistence_controller.hh"
 #include "mem/cache.hh"
@@ -55,8 +56,98 @@ class CacheHierarchy
      */
     Tick storeWord(CoreId core, Addr addr, std::uint64_t value, Tick now);
 
+    /**
+     * Timed load of @p len bytes (word-aligned) starting at @p addr,
+     * batched at line granularity: the first word of each 64 B line
+     * resolves the line through the hierarchy exactly like loadWord();
+     * the remaining words of that line are guaranteed L1 hits (nothing
+     * between consecutive words of a batch can displace the line — the
+     * persistence controllers never touch the cache hierarchy) and
+     * skip re-resolution while applying the identical stat, LRU and
+     * latency effects. @p advance is called with each word's
+     * completion tick and must return the core clock to use as the
+     * next word's start tick, so per-word clock progress — and
+     * therefore the state seen by a mid-range exception — matches the
+     * word-at-a-time path bit for bit.
+     */
+    template <typename AdvanceFn>
+    void
+    loadRange(CoreId core, Addr addr, std::uint8_t *out,
+              std::size_t len, Tick now, AdvanceFn &&advance)
+    {
+        std::size_t off = 0;
+        while (off < len) {
+            const Addr line_addr = lineAddr(addr + off);
+            std::uint64_t v = 0;
+            CacheLine line;
+            now = advance(loadWordResolved(core, addr + off, v, now,
+                                           line));
+            std::memcpy(out + off, &v, kWordSize);
+            off += kWordSize;
+            while (off < len && lineAddr(addr + off) == line_addr) {
+                now = advance(loadWordHit(core, line, addr + off, v,
+                                          now));
+                std::memcpy(out + off, &v, kWordSize);
+                off += kWordSize;
+            }
+        }
+    }
+
+    /**
+     * Timed store of @p len bytes (word-aligned) starting at @p addr,
+     * batched at line granularity like loadRange(). @p pre_word runs
+     * before each word (the caller's per-store crash-point hook) and
+     * @p advance after it, so crash injection, controller hooks and
+     * clock progress stay word-granular and bit-identical to a loop
+     * of storeWord() calls.
+     */
+    template <typename PreWordFn, typename AdvanceFn>
+    void
+    storeRange(CoreId core, Addr addr, const std::uint8_t *in,
+               std::size_t len, Tick now, PreWordFn &&pre_word,
+               AdvanceFn &&advance)
+    {
+        std::size_t off = 0;
+        while (off < len) {
+            const Addr line_addr = lineAddr(addr + off);
+            pre_word();
+            std::uint64_t v;
+            std::memcpy(&v, in + off, kWordSize);
+            CacheLine line;
+            now = advance(storeWordResolved(core, addr + off, v, now,
+                                            line));
+            off += kWordSize;
+            while (off < len && lineAddr(addr + off) == line_addr) {
+                pre_word();
+                std::memcpy(&v, in + off, kWordSize);
+                now = advance(storeWordHit(core, line, addr + off, v,
+                                           now));
+                off += kWordSize;
+            }
+        }
+    }
+
     /** Untimed coherent read for verification (caches beat NVM). */
     void debugRead(Addr addr, void *buf, std::size_t len) const;
+
+    /**
+     * Enter/leave debug-batch mode: between the calls, debugRead
+     * memoizes the last reconstructed line, so word-by-word
+     * verification loops resolve each 64-byte line once instead of
+     * once per word (each resolution scans every cache level and may
+     * rebuild the line from controller metadata). The caller promises
+     * no simulated mutation — no stores, maintenance, or controller
+     * activity — happens while the batch is open; the verify phase
+     * after finalize() is exactly that window.
+     */
+    void
+    beginDebugBatch()
+    {
+        debugBatch_ = true;
+        debugMemoLine_ = kInvalidAddr;
+    }
+
+    void endDebugBatch() { debugBatch_ = false; }
 
     /** Power failure: all cached state vanishes, nothing written back. */
     void dropAll();
@@ -83,8 +174,36 @@ class CacheHierarchy
 
   private:
     /** Returns the L1 line for @p line, fetching through the levels. */
-    CacheLine *ensureInL1(CoreId core, Addr line, bool for_store,
-                          Tick &t);
+    CacheLine ensureInL1(CoreId core, Addr line, bool for_store,
+                         Tick &t);
+
+    /** loadWord that also hands back the resolved L1 line view. */
+    Tick loadWordResolved(CoreId core, Addr addr, std::uint64_t &out,
+                          Tick now, CacheLine &line);
+
+    /** storeWord that also hands back the resolved L1 line view. */
+    Tick storeWordResolved(CoreId core, Addr addr, std::uint64_t value,
+                           Tick now, CacheLine &line);
+
+    /**
+     * Load continuation for a word of a line already resolved in this
+     * core's L1 by a preceding loadWordResolved in the same range
+     * batch: identical stat/LRU/latency effects, no set re-scan.
+     */
+    Tick loadWordHit(CoreId core, CacheLine line, Addr addr,
+                     std::uint64_t &out, Tick now);
+
+    /**
+     * Store continuation for a word of a line already resolved
+     * exclusive in this core's L1 by a preceding storeWordResolved in
+     * the same range batch. Skips the redundant L1 set scan, LLC
+     * lookup and sharer reconciliation (the line is already exclusive,
+     * so those are no-ops on the word-at-a-time path too) while
+     * applying the identical stat, LRU, latency and controller-hook
+     * effects.
+     */
+    Tick storeWordHit(CoreId core, CacheLine line, Addr addr,
+                      std::uint64_t value, Tick now);
 
     /** Insert into L1; dirty victims merge into L2. */
     void insertL1(CoreId core, Addr line, const std::uint8_t *data,
@@ -108,7 +227,7 @@ class CacheHierarchy
      * Pull the freshest copy of @p line from other cores' private
      * caches into @p llc_line, invalidating them if @p exclusive.
      */
-    void reconcileSharers(CoreId core, Addr line, CacheLine &llc_line,
+    void reconcileSharers(CoreId core, Addr line, CacheLine llc_line,
                           bool exclusive);
 
     /** Drop @p core from the sharer mask if its L1/L2 no longer hold
@@ -122,7 +241,44 @@ class CacheHierarchy
     std::unique_ptr<Cache> llc_;
 
     /** Which cores may hold each LLC-resident line in L1/L2. */
-    std::unordered_map<Addr, std::uint32_t> sharers;
+    FlatMap<std::uint32_t> sharers;
+
+    /**
+     * Cross-call line memo (fast path only): the line resolved by this
+     * core's most recent load/store, remembered so a consecutive
+     * word-at-a-time access to the same line can take the
+     * loadWordHit/storeWordHit continuation without re-running the L1
+     * set scan, LLC lookup and sharer reconciliation — all provably
+     * no-ops while the memo holds. Validity is guarded by structGen_:
+     * any insertion, invalidation or sharer-stripping anywhere in the
+     * hierarchy bumps the generation and kills every memo, so a memo
+     * hit guarantees the line still sits in the same L1 way with the
+     * same coherence state the resolution established. `exclusive` is
+     * set only by store resolutions (which strip every other sharer);
+     * loads may reuse any memo, stores require an exclusive one.
+     */
+    struct WordMemo
+    {
+        Addr line = kInvalidAddr;
+        std::uint64_t gen = 0;
+        bool exclusive = false;
+        CacheLine view;
+    };
+    std::vector<WordMemo> memo_;
+
+    /** Bumped on every structural mutation; see WordMemo. */
+    std::uint64_t structGen_ = 0;
+
+    /**
+     * Debug-batch line memo (see beginDebugBatch): one fully
+     * reconstructed line, valid only while a batch is open — the
+     * caller guarantees nothing mutates between batched reads.
+     * Mutable because debugRead is const and the memo is pure
+     * host-side acceleration.
+     */
+    bool debugBatch_ = false;
+    mutable Addr debugMemoLine_ = kInvalidAddr;
+    mutable std::uint8_t debugMemoData_[kCacheLineSize];
 
     StatSet stats_;
 

@@ -9,6 +9,7 @@
 #include "baselines/osp_controller.hh"
 #include "baselines/redo_controller.hh"
 #include "baselines/undo_controller.hh"
+#include "common/host_profiler.hh"
 #include "common/logging.hh"
 #include "controller/native_controller.hh"
 #include "hoop/hoop_controller.hh"
@@ -61,7 +62,8 @@ makeController(Scheme scheme, NvmDevice &nvm, const SystemConfig &cfg)
 }
 
 System::System(const SystemConfig &cfg, Scheme scheme)
-    : cfg_(cfg), scheme_(scheme), stats_("system"),
+    : cfg_(cfg), scheme_(scheme), clockTracker_(cfg.numCores),
+      stats_("system"),
       critPathH_(stats_.histogram("tx_critical_path_ticks"))
 {
     nvm_ = std::make_unique<NvmDevice>(cfg_.nvmCapacity(), cfg_.nvm,
@@ -83,8 +85,10 @@ System::System(const SystemConfig &cfg, Scheme scheme)
                                             cfg_.homeBytes,
                                             cfg_.numCores);
     cores_.reserve(cfg_.numCores);
-    for (unsigned c = 0; c < cfg_.numCores; ++c)
+    for (unsigned c = 0; c < cfg_.numCores; ++c) {
         cores_.emplace_back(c);
+        cores_.back().setTracker(&clockTracker_);
+    }
     nextEpoch_ = cfg_.epochSamplePeriod;
     nextScrub_ = cfg_.ft.scrubPeriod;
     if (Trace::enabled()) {
@@ -148,11 +152,20 @@ System::readBytes(CoreId core, Addr addr, void *buf, std::size_t len)
 {
     HOOP_ASSERT(isAligned(addr, kWordSize) && len % kWordSize == 0,
                 "readBytes requires word alignment");
-    auto *out = static_cast<std::uint8_t *>(buf);
-    for (std::size_t off = 0; off < len; off += kWordSize) {
-        const std::uint64_t v = loadWord(core, addr + off);
-        std::memcpy(out + off, &v, kWordSize);
+    if (!cfg_.fastPath) {
+        auto *out = static_cast<std::uint8_t *>(buf);
+        for (std::size_t off = 0; off < len; off += kWordSize) {
+            const std::uint64_t v = loadWord(core, addr + off);
+            std::memcpy(out + off, &v, kWordSize);
+        }
+        return;
     }
+    Core &c = cores_[core];
+    caches_->loadRange(core, addr, static_cast<std::uint8_t *>(buf),
+                       len, c.clock(), [&c](Tick t) {
+                           c.advanceTo(t);
+                           return c.clock();
+                       });
 }
 
 void
@@ -161,12 +174,24 @@ System::writeBytes(CoreId core, Addr addr, const void *buf,
 {
     HOOP_ASSERT(isAligned(addr, kWordSize) && len % kWordSize == 0,
                 "writeBytes requires word alignment");
-    const auto *in = static_cast<const std::uint8_t *>(buf);
-    for (std::size_t off = 0; off < len; off += kWordSize) {
-        std::uint64_t v;
-        std::memcpy(&v, in + off, kWordSize);
-        storeWord(core, addr + off, v);
+    if (!cfg_.fastPath) {
+        const auto *in = static_cast<const std::uint8_t *>(buf);
+        for (std::size_t off = 0; off < len; off += kWordSize) {
+            std::uint64_t v;
+            std::memcpy(&v, in + off, kWordSize);
+            storeWord(core, addr + off, v);
+        }
+        return;
     }
+    Core &c = cores_[core];
+    caches_->storeRange(
+        core, addr, static_cast<const std::uint8_t *>(buf), len,
+        c.clock(),
+        [this] { crashHook_.step(CrashPointKind::Store); },
+        [&c](Tick t) {
+            c.advanceTo(t);
+            return c.clock();
+        });
 }
 
 Addr
@@ -229,6 +254,7 @@ System::crash()
 Tick
 System::recover(unsigned threads)
 {
+    HostTimer ht(HostProfiler::kRecovery);
     return ctrl_->recover(threads);
 }
 
@@ -245,6 +271,22 @@ void
 System::maintenance()
 {
     const Tick now = minClock();
+    // Event-driven fast path: skip the poll entirely when every
+    // maintenance source is provably idle at `now` — the controller's
+    // next time trigger lies in the future and no state trigger is
+    // armed (controller maintenance would be a no-op), the scrubber is
+    // not due, and the epoch sampler is not due. Each due tick is
+    // checked against the same guard the corresponding body uses, so
+    // the set of *firing* polls — and therefore every metric,
+    // histogram, epoch sample and crash-point schedule — is
+    // bit-identical to polling on every transaction.
+    if (cfg_.fastPath && !ctrl_->maintenancePressure() &&
+        now < ctrl_->nextMaintenanceDue() &&
+        !(cfg_.ft.enabled && cfg_.ft.scrubPeriod > 0 &&
+          now >= nextScrub_) &&
+        !(cfg_.epochSamplePeriod != 0 && cfg_.epochRingCapacity != 0 &&
+          now >= nextEpoch_))
+        return;
     ctrl_->maintenance(now);
     if (cfg_.ft.enabled && cfg_.ft.scrubPeriod > 0 &&
         now >= nextScrub_) {
@@ -367,6 +409,8 @@ System::metrics() const
 Tick
 System::minClock() const
 {
+    if (cfg_.fastPath)
+        return clockTracker_.min();
     Tick t = cores_[0].clock();
     for (const Core &c : cores_)
         t = std::min(t, c.clock());
@@ -376,6 +420,8 @@ System::minClock() const
 Tick
 System::maxClock() const
 {
+    if (cfg_.fastPath)
+        return clockTracker_.max();
     Tick t = 0;
     for (const Core &c : cores_)
         t = std::max(t, c.clock());

@@ -276,6 +276,15 @@ class System
     std::unique_ptr<SimAllocator> alloc_;
     std::vector<Core> cores_;
 
+    /**
+     * Incremental min/max over the core clocks; each Core mirrors its
+     * clock into the tracker so minClock()/maxClock() are O(1) instead
+     * of scans. Exact regardless of cfg.fastPath (the tracker holds
+     * the same values a scan would see); the reference engine still
+     * scans so the differential harness covers the tracker.
+     */
+    ClockTracker clockTracker_;
+
     std::uint64_t committedTx_ = 0;
     Tick criticalPathSum_ = 0;
     CrashHook crashHook_;

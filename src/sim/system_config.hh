@@ -245,6 +245,19 @@ struct SystemConfig
      */
     std::size_t epochRingCapacity = 256;
 
+    // ---- Simulation engine ----
+
+    /**
+     * Use the batched fast paths (line-granularity range access and
+     * event-driven maintenance scheduling). The fast paths are an
+     * execution-strategy change only — every metric, histogram, epoch
+     * sample and crash schedule is bit-identical to the reference
+     * word-at-a-time/polled engine (fastpath_equiv_test asserts this
+     * over the scheme × workload matrix). Off = reference engine, kept
+     * for differential verification.
+     */
+    bool fastPath = true;
+
     // ---- Runtime fault tolerance ----
 
     /** Media-fault tolerance subsystem (off by default). */

@@ -1,6 +1,8 @@
 #include "workloads/registry.hh"
 
+#include "common/host_profiler.hh"
 #include "common/logging.hh"
+#include "sim/clock_tracker.hh"
 #include "workloads/btree_wl.hh"
 #include "workloads/hashmap_wl.hh"
 #include "workloads/queue_wl.hh"
@@ -108,31 +110,73 @@ runWorkload(System &sys, const WorkloadFactory &factory,
     sys.beginMeasurement();
     std::vector<std::uint64_t> done(n_cores, 0);
     std::uint64_t remaining = tx_per_core * n_cores;
+
+    // Next-core selection. The fast path keeps the runnable cores'
+    // clocks in an incremental min-tracker (finished cores drop out
+    // via disable()); its argMin() returns the lowest-indexed minimum,
+    // matching the reference scan's tie-break exactly, so both paths
+    // execute transactions in the identical order
+    // (clock_tracker_test.cc asserts the equivalence on randomized
+    // sequences). A transaction only advances the clock of the core it
+    // runs on, so re-arming just that slot keeps the tracker exact.
+    const bool fast = sys.config().fastPath;
+    ClockTracker runnable(fast ? n_cores : 0);
+    if (fast) {
+        for (unsigned c = 0; c < n_cores; ++c)
+            runnable.set(c, sys.core(c).clock());
+    }
+
     while (remaining > 0) {
         // Advance the core that is furthest behind in simulated time.
         unsigned next = n_cores;
-        Tick best = ~Tick{0};
-        for (unsigned c = 0; c < n_cores; ++c) {
-            if (done[c] >= tx_per_core)
-                continue;
-            if (sys.core(c).clock() < best) {
-                best = sys.core(c).clock();
-                next = c;
+        if (fast) {
+            next = static_cast<unsigned>(runnable.argMin());
+        } else {
+            Tick best = ~Tick{0};
+            for (unsigned c = 0; c < n_cores; ++c) {
+                if (done[c] >= tx_per_core)
+                    continue;
+                if (sys.core(c).clock() < best) {
+                    best = sys.core(c).clock();
+                    next = c;
+                }
             }
         }
         HOOP_ASSERT(next < n_cores, "no runnable core");
-        workloads[next]->runTransaction(done[next]);
+        {
+            HostTimer ht(HostProfiler::kExecute);
+            workloads[next]->runTransaction(done[next]);
+        }
         ++done[next];
         --remaining;
-        sys.maintenance();
+        if (fast) {
+            if (done[next] >= tx_per_core)
+                runnable.disable(next);
+            else
+                runnable.set(next, sys.core(next).clock());
+        }
+        {
+            HostTimer ht(HostProfiler::kMaintenance);
+            sys.maintenance();
+        }
     }
-    sys.finalize();
+    {
+        HostTimer ht(HostProfiler::kDrain);
+        sys.finalize();
+    }
 
     RunOutcome out;
     out.metrics = sys.metrics();
     out.verified = true;
-    for (const auto &wl : workloads)
-        out.verified = out.verified && wl->verify();
+    {
+        HostTimer ht(HostProfiler::kVerify);
+        // The run is finalized: nothing mutates simulated state during
+        // verification, so batched debug reads are safe.
+        sys.caches().beginDebugBatch();
+        for (const auto &wl : workloads)
+            out.verified = out.verified && wl->verify();
+        sys.caches().endDebugBatch();
+    }
     return out;
 }
 

@@ -128,7 +128,7 @@ TEST_F(HierarchyFixture, WritebackAllDrainsDirtyLines)
     for (Addr a = 0; a < kiB(2); a += kCacheLineSize)
         ASSERT_EQ(nvm.peekWord(a), a ^ 0x55);
     // Caches are empty afterwards.
-    EXPECT_EQ(hier.llc().peekLine(0), nullptr);
+    EXPECT_FALSE(hier.llc().peekLine(0));
 }
 
 TEST_F(HierarchyFixture, DropAllLosesDirtyData)
@@ -145,21 +145,21 @@ TEST_F(HierarchyFixture, PersistentBitSetInTx)
 {
     ctrl.txBegin(0, 0);
     hier.storeWord(0, 0x700, 5, 0);
-    const CacheLine *l = hier.l1(0).peekLine(lineAddr(0x700));
-    ASSERT_NE(l, nullptr);
-    EXPECT_TRUE(l->persistent);
-    EXPECT_EQ(l->txId, ctrl.currentTx(0));
-    EXPECT_EQ(l->wordMask, 1u << ((0x700 % 64) / 8));
+    const CacheLine l = hier.l1(0).peekLine(lineAddr(0x700));
+    ASSERT_TRUE(l);
+    EXPECT_TRUE(l.persistent());
+    EXPECT_EQ(l.txId(), ctrl.currentTx(0));
+    EXPECT_EQ(l.wordMask(), 1u << ((0x700 % 64) / 8));
     ctrl.txEnd(0, 1);
 }
 
 TEST_F(HierarchyFixture, NonTxStoreIsNotPersistent)
 {
     hier.storeWord(0, 0x800, 5, 0);
-    const CacheLine *l = hier.l1(0).peekLine(lineAddr(0x800));
-    ASSERT_NE(l, nullptr);
-    EXPECT_FALSE(l->persistent);
-    EXPECT_TRUE(l->dirty);
+    const CacheLine l = hier.l1(0).peekLine(lineAddr(0x800));
+    ASSERT_TRUE(l);
+    EXPECT_FALSE(l.persistent());
+    EXPECT_TRUE(l.dirty());
 }
 
 TEST_F(HierarchyFixture, LlcMissRatioTracked)

@@ -26,12 +26,12 @@ lineData(std::uint8_t fill)
 TEST(Cache, MissThenHit)
 {
     Cache c("t", kiB(4), 4, nsToTicks(2));
-    EXPECT_EQ(c.probe(0), nullptr);
+    EXPECT_FALSE(c.probe(0));
     auto d = lineData(1);
     c.insert(0, d.data(), false, false, 0, kInvalidTxId);
-    CacheLine *l = c.probe(0);
-    ASSERT_NE(l, nullptr);
-    EXPECT_EQ(l->data[0], 1);
+    CacheLine l = c.probe(0);
+    ASSERT_TRUE(l);
+    EXPECT_EQ(l.data()[0], 1);
     EXPECT_EQ(c.stats().value("hits"), 1u);
     EXPECT_EQ(c.stats().value("misses"), 1u);
 }
@@ -55,9 +55,9 @@ TEST(Cache, LruEvictsOldest)
         c.insert(128, d.data(), false, false, 0, kInvalidTxId);
     ASSERT_TRUE(v.valid);
     EXPECT_EQ(v.addr, 64u);
-    EXPECT_NE(c.probe(0), nullptr);
-    EXPECT_NE(c.probe(128), nullptr);
-    EXPECT_EQ(c.probe(64), nullptr);
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_TRUE(c.probe(128));
+    EXPECT_FALSE(c.probe(64));
 }
 
 TEST(Cache, VictimCarriesState)
@@ -86,12 +86,12 @@ TEST(Cache, ReinsertMergesFlags)
     c.insert(0, d.data(), true, false, 1, 5, 0x01);
     auto d2 = lineData(2);
     c.insert(0, d2.data(), false, true, 2, 6, 0x02);
-    CacheLine *l = c.probe(0);
-    ASSERT_NE(l, nullptr);
-    EXPECT_TRUE(l->dirty);      // sticky
-    EXPECT_TRUE(l->persistent); // sticky
-    EXPECT_EQ(l->wordMask, 0x03);
-    EXPECT_EQ(l->data[0], 2); // newest data wins
+    CacheLine l = c.probe(0);
+    ASSERT_TRUE(l);
+    EXPECT_TRUE(l.dirty());      // sticky
+    EXPECT_TRUE(l.persistent()); // sticky
+    EXPECT_EQ(l.wordMask(), 0x03);
+    EXPECT_EQ(l.data()[0], 2); // newest data wins
 }
 
 TEST(Cache, InvalidateRemovesLine)
@@ -100,7 +100,7 @@ TEST(Cache, InvalidateRemovesLine)
     auto d = lineData(1);
     c.insert(0, d.data(), true, true, 0, 1, 0xff);
     c.invalidate(0);
-    EXPECT_EQ(c.probe(0), nullptr);
+    EXPECT_FALSE(c.probe(0));
     c.invalidate(64); // no-op on absent lines
 }
 
@@ -112,7 +112,7 @@ TEST(Cache, InvalidateAll)
         c.insert(a, d.data(), true, false, 0, kInvalidTxId);
     c.invalidateAll();
     for (Addr a = 0; a < kiB(2); a += kCacheLineSize)
-        EXPECT_EQ(c.peekLine(a), nullptr);
+        EXPECT_FALSE(c.peekLine(a));
 }
 
 TEST(Cache, PeekDoesNotTouchLru)
@@ -122,7 +122,7 @@ TEST(Cache, PeekDoesNotTouchLru)
     c.insert(0, d.data(), false, false, 0, kInvalidTxId);
     c.insert(64, d.data(), false, false, 0, kInvalidTxId);
     // peek must not refresh line 0's LRU position.
-    EXPECT_NE(c.peekLine(0), nullptr);
+    EXPECT_TRUE(c.peekLine(0));
     CacheVictim v =
         c.insert(128, d.data(), false, false, 0, kInvalidTxId);
     EXPECT_EQ(v.addr, 0u);
@@ -137,7 +137,7 @@ TEST(Cache, ForEachLineVisitsValidOnly)
     unsigned count = 0, dirty = 0;
     c.forEachLine([&](CacheLine &l) {
         ++count;
-        dirty += l.dirty ? 1 : 0;
+        dirty += l.dirty() ? 1 : 0;
     });
     EXPECT_EQ(count, 2u);
     EXPECT_EQ(dirty, 1u);

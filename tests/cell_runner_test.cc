@@ -40,9 +40,10 @@ matrix()
 }
 
 std::vector<Cell>
-runMatrix(unsigned jobs)
+runMatrix(unsigned jobs, bool fast_path = true)
 {
     SystemConfig cfg = bench::paperConfig();
+    cfg.fastPath = fast_path;
     WorkloadParams params = bench::paperParams(64);
     params.scale = 256;
 
@@ -120,6 +121,27 @@ TEST(CellRunner, ParallelMatchesSerialExactly)
                   serial[i].metrics.transactions);
         EXPECT_GT(serial[i].metrics.critPath.count, 0u);
         expectIdenticalMetrics(serial[i].metrics, parallel[i].metrics);
+    }
+}
+
+// The same property must hold on both simulation engines: the batched
+// fast path (the default every bench runs on) and the word-at-a-time
+// reference engine. Cross-engine equality is fastpath_equiv_test's
+// job; here each engine must merely be deterministic under the pool.
+TEST(CellRunner, ParallelMatchesSerialOnBothEngines)
+{
+    for (const bool fast : {true, false}) {
+        SCOPED_TRACE(fast ? "fastPath" : "reference");
+        const std::vector<Cell> serial = runMatrix(1, fast);
+        const std::vector<Cell> parallel = runMatrix(4, fast);
+        ASSERT_EQ(serial.size(), parallel.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            SCOPED_TRACE("cell " + std::to_string(i));
+            EXPECT_TRUE(serial[i].verified);
+            EXPECT_TRUE(parallel[i].verified);
+            expectIdenticalMetrics(serial[i].metrics,
+                                   parallel[i].metrics);
+        }
     }
 }
 

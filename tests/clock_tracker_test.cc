@@ -1,0 +1,160 @@
+/**
+ * @file
+ * ClockTracker differential tests: the incremental min/max tournament
+ * trees must agree with a scan-based reference on randomized clock
+ * sequences — values, and crucially argMin()'s lowest-index tie-break,
+ * which the workload driver relies on to pick the same next core as
+ * the scan it replaced.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sim/clock_tracker.hh"
+
+using namespace hoopnvm;
+
+namespace
+{
+
+/** Scan reference over the mirrored slot values. */
+struct Reference
+{
+    std::vector<Tick> clocks;
+    std::vector<bool> enabled;
+
+    explicit Reference(std::size_t n) : clocks(n, 0), enabled(n, true)
+    {
+    }
+
+    Tick
+    min() const
+    {
+        Tick best = kNeverTick;
+        for (std::size_t i = 0; i < clocks.size(); ++i) {
+            if (enabled[i] && clocks[i] < best)
+                best = clocks[i];
+        }
+        return best;
+    }
+
+    Tick
+    max() const
+    {
+        Tick best = 0;
+        for (std::size_t i = 0; i < clocks.size(); ++i) {
+            if (enabled[i] && clocks[i] > best)
+                best = clocks[i];
+        }
+        return best;
+    }
+
+    /** First slot with a strictly smaller clock wins — the workload
+     *  driver's historical selection rule. */
+    std::size_t
+    argMin() const
+    {
+        std::size_t arg = clocks.size();
+        Tick best = kNeverTick;
+        for (std::size_t i = 0; i < clocks.size(); ++i) {
+            if (enabled[i] && clocks[i] < best) {
+                best = clocks[i];
+                arg = i;
+            }
+        }
+        return arg;
+    }
+};
+
+} // namespace
+
+TEST(ClockTracker, MatchesScanOnRandomizedSequences)
+{
+    // Deliberately includes non-power-of-two sizes (padding leaves must
+    // never win) and size 1.
+    for (const std::size_t n : {1u, 2u, 5u, 8u, 13u, 32u}) {
+        Rng rng(1234 + n);
+        ClockTracker t(n);
+        Reference ref(n);
+        for (int step = 0; step < 4000; ++step) {
+            const std::size_t i = rng.nextBounded(n);
+            if (rng.nextBool(0.05)) {
+                t.disable(i);
+                ref.enabled[i] = false;
+            } else {
+                // Mostly monotone advances (the engine's pattern) with
+                // occasional decreases to exercise general updates, and
+                // frequent exact ties to stress the tie-break.
+                Tick v;
+                if (rng.nextBool(0.3)) {
+                    v = ref.clocks[rng.nextBounded(n)]; // force a tie
+                } else if (rng.nextBool(0.1)) {
+                    v = rng.nextBounded(1000); // decrease
+                } else {
+                    v = ref.clocks[i] + rng.nextRange(1, 50);
+                }
+                t.set(i, v);
+                ref.clocks[i] = v;
+                ref.enabled[i] = true;
+            }
+            ASSERT_EQ(t.min(), ref.min()) << "n=" << n << " @" << step;
+            ASSERT_EQ(t.max(), ref.max()) << "n=" << n << " @" << step;
+            if (ref.argMin() < n) {
+                ASSERT_EQ(t.argMin(), ref.argMin())
+                    << "n=" << n << " @" << step;
+            }
+        }
+    }
+}
+
+TEST(ClockTracker, NextCoreSelectionMatchesScan)
+{
+    // Simulate the workload driver's loop: repeatedly pick the core
+    // with the smallest clock (scan reference vs tracker), advance it
+    // by a random amount, retire cores after a quota. The chosen
+    // sequence must be identical — including ties, which occur
+    // constantly at the start when every clock is 0.
+    const std::size_t n = 8;
+    const std::uint64_t quota = 200;
+    Rng rng(42);
+    ClockTracker t(n);
+    Reference ref(n);
+    std::vector<std::uint64_t> done(n, 0);
+    std::uint64_t remaining = quota * n;
+    while (remaining > 0) {
+        const std::size_t want = ref.argMin();
+        ASSERT_EQ(t.argMin(), want);
+        // Random advance; ~10% of steps leave the clock unchanged so
+        // the same slot must win again.
+        const Tick d = rng.nextBool(0.1) ? 0 : rng.nextRange(1, 1000);
+        ref.clocks[want] += d;
+        ++done[want];
+        --remaining;
+        if (done[want] >= quota) {
+            t.disable(want);
+            ref.enabled[want] = false;
+        } else {
+            t.set(want, ref.clocks[want]);
+        }
+    }
+    EXPECT_EQ(t.min(), kNeverTick); // all slots retired
+    EXPECT_EQ(t.max(), 0u);
+}
+
+TEST(ClockTracker, InitialStateAndSingleSlot)
+{
+    ClockTracker t(3);
+    EXPECT_EQ(t.min(), 0u);
+    EXPECT_EQ(t.max(), 0u);
+    EXPECT_EQ(t.argMin(), 0u); // leftmost among the all-zero tie
+
+    ClockTracker one(1);
+    one.set(0, 77);
+    EXPECT_EQ(one.min(), 77u);
+    EXPECT_EQ(one.max(), 77u);
+    EXPECT_EQ(one.argMin(), 0u);
+}

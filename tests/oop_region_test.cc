@@ -152,12 +152,11 @@ TEST_F(RegionFixture, TxBlockBookkeeping)
     region.noteSliceTx(idx, 8);
 
     EXPECT_EQ(region.block(0).txs.size(), 2u);
-    const auto *blocks = region.txBlocks(7);
-    ASSERT_NE(blocks, nullptr);
-    EXPECT_EQ(blocks->size(), 1u);
+    const auto blocks = region.txBlocks(7);
+    EXPECT_EQ(blocks.size(), 1u);
 
     region.retireTx(7);
-    EXPECT_EQ(region.txBlocks(7), nullptr);
+    EXPECT_TRUE(region.txBlocks(7).empty());
     EXPECT_EQ(region.block(0).txs.size(), 1u);
 }
 
@@ -167,7 +166,7 @@ TEST_F(RegionFixture, UnusedTransitionClearsBookkeeping)
     ASSERT_TRUE(region.allocSlice(idx, 0));
     region.noteSliceTx(idx, 9);
     region.setBlockState(0, BlockState::Unused, 0);
-    EXPECT_EQ(region.txBlocks(9), nullptr);
+    EXPECT_TRUE(region.txBlocks(9).empty());
     EXPECT_TRUE(region.block(0).txs.empty());
     EXPECT_EQ(region.peekHeader(0).state, BlockState::Unused);
 }
@@ -205,7 +204,7 @@ TEST_F(RegionFixture, ResetClearsEverything)
     region.noteSliceTx(idx, 3);
     region.reset();
     EXPECT_EQ(region.freeBlocks(), region.numBlocks());
-    EXPECT_EQ(region.txBlocks(3), nullptr);
+    EXPECT_TRUE(region.txBlocks(3).empty());
     for (std::uint32_t b = 0; b < region.numBlocks(); ++b)
         EXPECT_EQ(region.peekHeader(b).state, BlockState::Unused);
 }
