@@ -100,6 +100,8 @@ fputSummary(std::FILE *f, const char *key, const LatencySummary &s)
     std::fputs(", ", f);
     fputNum(f, "p99_ns", s.p99Ns);
     std::fputs(", ", f);
+    fputNum(f, "p999_ns", s.p999Ns);
+    std::fputs(", ", f);
     fputNum(f, "max_ns", s.maxNs);
     std::fputs(", ", f);
     fputNum(f, "mean_ns", s.meanNs);
@@ -132,6 +134,14 @@ fputEpochs(std::FILE *f, const std::vector<EpochSample> &epochs)
         fputNum(f, "degraded_fraction", e.degradedFraction);
         std::fputs(", ", f);
         fputNum(f, "tx_rejected", e.txRejected);
+        std::fputs(", ", f);
+        fputNum(f, "client_retry_attempts", e.clientRetryAttempts);
+        std::fputs(", ", f);
+        fputNum(f, "client_backoff_ticks", e.clientBackoffTicks);
+        std::fputs(", ", f);
+        fputNum(f, "client_deadline_misses", e.clientDeadlineMisses);
+        std::fputs(", ", f);
+        fputNum(f, "client_shed_admissions", e.clientShedAdmissions);
         std::fputc('}', f);
     }
     std::fputc(']', f);
@@ -334,7 +344,7 @@ BenchReport::write() const
     const double ticks_per_sec = sim_ticks / wall;
 
     std::fputs("{\n  ", f);
-    fputNum(f, "schema_version", std::uint64_t{3});
+    fputNum(f, "schema_version", std::uint64_t{4});
     std::fputs(",\n  ", f);
     fputKey(f, "bench");
     fputJsonString(f, name_);

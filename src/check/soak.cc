@@ -1,12 +1,12 @@
 #include "check/soak.hh"
 
 #include <algorithm>
-#include <cctype>
-#include <cstdlib>
 #include <memory>
 
 #include "analysis/order_harness.hh"
+#include "check/spec_json.hh"
 #include "common/errors.hh"
+#include "fleet/client_policy.hh"
 #include "sim/system.hh"
 #include "workloads/registry.hh"
 
@@ -46,103 +46,6 @@ installRuntimeFaults(System &sys, const SystemConfig &cfg, double prob,
     fm.addMediaFault(0, cfg.homeBytes, MediaFaultKind::BitFlip,
                      prob * 0.5, 2);
 }
-
-namespace
-{
-
-/** Flat-object JSON reader for the soak-spec grammar. */
-class SpecParser
-{
-  public:
-    explicit SpecParser(const std::string &text) : s_(text) {}
-
-    bool fail(const std::string &msg)
-    {
-        if (err_.empty())
-            err_ = msg + " near offset " + std::to_string(pos_);
-        return false;
-    }
-
-    const std::string &error() const { return err_; }
-
-    void skipWs()
-    {
-        while (pos_ < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-
-    bool consume(char c)
-    {
-        skipWs();
-        if (pos_ >= s_.size() || s_[pos_] != c)
-            return fail(std::string("expected '") + c + "'");
-        ++pos_;
-        return true;
-    }
-
-    bool peekIs(char c)
-    {
-        skipWs();
-        return pos_ < s_.size() && s_[pos_] == c;
-    }
-
-    bool parseString(std::string *out)
-    {
-        if (!consume('"'))
-            return false;
-        out->clear();
-        while (pos_ < s_.size() && s_[pos_] != '"') {
-            if (s_[pos_] == '\\' && pos_ + 1 < s_.size())
-                ++pos_;
-            out->push_back(s_[pos_++]);
-        }
-        if (pos_ >= s_.size())
-            return fail("unterminated string");
-        ++pos_;
-        return true;
-    }
-
-    bool parseNumber(double *out)
-    {
-        skipWs();
-        const char *start = s_.c_str() + pos_;
-        char *end = nullptr;
-        *out = std::strtod(start, &end);
-        if (end == start)
-            return fail("expected number");
-        pos_ += static_cast<std::size_t>(end - start);
-        return true;
-    }
-
-    template <typename Fn>
-    bool parseObject(Fn member)
-    {
-        if (!consume('{'))
-            return false;
-        if (peekIs('}'))
-            return consume('}');
-        while (true) {
-            std::string key;
-            if (!parseString(&key) || !consume(':'))
-                return false;
-            if (!member(key))
-                return fail("bad value for key \"" + key + "\"");
-            if (peekIs(',')) {
-                consume(',');
-                continue;
-            }
-            return consume('}');
-        }
-    }
-
-  private:
-    const std::string &s_;
-    std::size_t pos_ = 0;
-    std::string err_;
-};
-
-} // namespace
 
 std::string
 SoakSpec::toJson() const
@@ -277,7 +180,7 @@ runSoak(const SoakSpec &spec, const SoakProgress &progress)
     };
 
     auto sampleGauges = [&]() {
-        const ControllerGauges g = sys.controller().sampleGauges();
+        const ControllerGauges g = sys.controller().gauges();
         res.retiredUnits = g.retiredUnits;
         res.correctedWords = g.correctedWords;
         res.degradedFraction = g.degradedFraction;
@@ -308,22 +211,16 @@ runSoak(const SoakSpec &spec, const SoakProgress &progress)
                 try {
                     wls[c]->runTransaction(txi);
                 } catch (const TxRejected &rj) {
-                    if (rj.cause == RejectCause::CapacityDegraded) {
-                        // Admission reject: txBegin refused before any
-                        // state was touched — skip the transaction.
-                        ++ph.rejectedAdmission;
-                        wls[c]->dropPendingShadow();
-                    } else {
-                        // Mid-transaction unwind: the rejected tx has
-                        // no commit record, so crash + recovery
-                        // discards its partial effects and the stream
-                        // continues on the survivor state.
+                    // Shared client policy: admission rejects skip the
+                    // transaction, mid-transaction rejects crash +
+                    // recover onto the survivor state.
+                    const RejectResolution rr = handleClientReject(
+                        rj, sys, wls, c, spec.recoverThreads);
+                    if (rr.action == RejectAction::CrashRecover) {
                         ++ph.rejectedMidTx;
                         ++ph.recoveries;
-                        sys.crash();
-                        sys.recover(spec.recoverThreads);
-                        for (auto &wl : wls)
-                            wl->dropPendingShadow();
+                    } else {
+                        ++ph.rejectedAdmission;
                     }
                 }
             }

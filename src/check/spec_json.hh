@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Minimal flat-object JSON reader shared by the replayable-spec
+ * grammars (soak specs, fleet specs).
+ *
+ * Every checking harness serializes its violating experiment to a
+ * small JSON object of scalar members so a failure can be re-executed
+ * bit-for-bit (`--replay`). The reader here is deliberately tiny: one
+ * object, string/number/bool members, no nesting beyond what the
+ * specs need — and it reports the byte offset of the first syntax
+ * error so a hand-edited reproducer fails loudly instead of silently
+ * defaulting fields.
+ */
+
+#ifndef HOOPNVM_CHECK_SPEC_JSON_HH
+#define HOOPNVM_CHECK_SPEC_JSON_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace hoopnvm
+{
+
+/** Flat-object JSON reader for the replayable-spec grammars. */
+class SpecParser
+{
+  public:
+    explicit SpecParser(const std::string &text) : s_(text) {}
+
+    bool fail(const std::string &msg)
+    {
+        if (err_.empty())
+            err_ = msg + " near offset " + std::to_string(pos_);
+        return false;
+    }
+
+    const std::string &error() const { return err_; }
+
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        skipWs();
+        if (pos_ >= s_.size() || s_[pos_] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos_;
+        return true;
+    }
+
+    bool peekIs(char c)
+    {
+        skipWs();
+        return pos_ < s_.size() && s_[pos_] == c;
+    }
+
+    bool parseString(std::string *out)
+    {
+        if (!consume('"'))
+            return false;
+        out->clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\' && pos_ + 1 < s_.size())
+                ++pos_;
+            out->push_back(s_[pos_++]);
+        }
+        if (pos_ >= s_.size())
+            return fail("unterminated string");
+        ++pos_;
+        return true;
+    }
+
+    bool parseNumber(double *out)
+    {
+        skipWs();
+        const char *start = s_.c_str() + pos_;
+        char *end = nullptr;
+        *out = std::strtod(start, &end);
+        if (end == start)
+            return fail("expected number");
+        pos_ += static_cast<std::size_t>(end - start);
+        return true;
+    }
+
+    bool parseBool(bool *out)
+    {
+        skipWs();
+        if (s_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            *out = true;
+            return true;
+        }
+        if (s_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            *out = false;
+            return true;
+        }
+        return fail("expected true/false");
+    }
+
+    template <typename Fn>
+    bool parseObject(Fn member)
+    {
+        if (!consume('{'))
+            return false;
+        if (peekIs('}'))
+            return consume('}');
+        while (true) {
+            std::string key;
+            if (!parseString(&key) || !consume(':'))
+                return false;
+            if (!member(key))
+                return fail("bad value for key \"" + key + "\"");
+            if (peekIs(',')) {
+                consume(',');
+                continue;
+            }
+            return consume('}');
+        }
+    }
+
+  private:
+    const std::string &s_;
+    std::size_t pos_ = 0;
+    std::string err_;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_CHECK_SPEC_JSON_HH

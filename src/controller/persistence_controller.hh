@@ -72,6 +72,38 @@ struct ControllerGauges
 
     /** Transactions rejected with a structured error (monotonic). */
     std::uint64_t txRejected = 0;
+
+    // ---- Client-side degradation (zero unless a fleet/soak driver
+    // ---- feeds ClientActivity via noteClientActivity) ----
+
+    /** Client retry attempts against this controller (monotonic). */
+    std::uint64_t clientRetryAttempts = 0;
+
+    /** Simulated ticks clients spent backing off (monotonic). */
+    std::uint64_t clientBackoffTicks = 0;
+
+    /** Client requests whose deadline expired (monotonic). */
+    std::uint64_t clientDeadlineMisses = 0;
+
+    /** Client requests refused by admission control (monotonic). */
+    std::uint64_t clientShedAdmissions = 0;
+};
+
+/**
+ * Client-observed pressure against one controller, maintained by an
+ * external serving layer (the fleet front-end, the soak harness).
+ * Controllers have no visibility into retries and shedding — those
+ * happen on the client side of the admission boundary — so the driver
+ * pushes cumulative totals in and the epoch sampler snapshots them
+ * alongside the controller's own gauges, giving one merged degradation
+ * timeline per shard.
+ */
+struct ClientActivity
+{
+    std::uint64_t retryAttempts = 0;
+    std::uint64_t backoffTicks = 0;
+    std::uint64_t deadlineMisses = 0;
+    std::uint64_t shedAdmissions = 0;
 };
 
 /** Result of servicing an LLC miss. */
@@ -219,6 +251,30 @@ class PersistenceController
     {
         return {};
     }
+
+    /**
+     * sampleGauges() plus the client-activity overlay: the complete
+     * gauge set the epoch sampler and serving layers should read.
+     */
+    ControllerGauges
+    gauges() const
+    {
+        ControllerGauges g = sampleGauges();
+        g.clientRetryAttempts = client_.retryAttempts;
+        g.clientBackoffTicks = client_.backoffTicks;
+        g.clientDeadlineMisses = client_.deadlineMisses;
+        g.clientShedAdmissions = client_.shedAdmissions;
+        return g;
+    }
+
+    /**
+     * Update the client-activity overlay with fresh cumulative totals
+     * (see ClientActivity). Values must be monotonic per driver.
+     */
+    void noteClientActivity(const ClientActivity &a) { client_ = a; }
+
+    /** The most recent client-activity overlay. */
+    const ClientActivity &clientActivity() const { return client_; }
 
     /**
      * Address ranges of this scheme's persistent structure that hold
@@ -386,6 +442,9 @@ class PersistenceController
     CrashHook *crashHook_ = nullptr;
     OrderingTracker *ordering_ = nullptr;
     TraceBuffer *trace_ = nullptr;
+
+    /** Client-side pressure overlay (see noteClientActivity()). */
+    ClientActivity client_;
 };
 
 } // namespace hoopnvm

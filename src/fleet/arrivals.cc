@@ -1,0 +1,57 @@
+#include "fleet/arrivals.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hoopnvm
+{
+
+ArrivalGenerator::ArrivalGenerator(const ArrivalConfig &cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed ^ 0xa11cafe5ULL),
+      tenantZipf_(std::max(1u, cfg.tenants), cfg.tenantTheta,
+                  cfg.seed ^ 0x7e9a97ULL)
+{
+    HOOP_ASSERT(cfg_.connections > 0, "arrival config needs >= 1 "
+                "connection");
+    HOOP_ASSERT(cfg_.meanInterarrival > 0, "arrival config needs a "
+                "non-zero mean interarrival");
+    connId_.resize(cfg_.connections);
+    connReadyAt_.assign(cfg_.connections, 0);
+    for (unsigned s = 0; s < cfg_.connections; ++s)
+        connId_[s] = nextConnId_++;
+}
+
+Arrival
+ArrivalGenerator::next()
+{
+    // Exponential interarrival: -ln(1 - U) * mean, floored at one tick
+    // so the clock strictly advances and the stream cannot stall.
+    const double u = rng_.nextDouble();
+    const double dt =
+        -std::log(1.0 - u) * static_cast<double>(cfg_.meanInterarrival);
+    clock_ += std::max<Tick>(1, static_cast<Tick>(dt));
+
+    const unsigned slot =
+        static_cast<unsigned>(rng_.nextBounded(cfg_.connections));
+    if (rng_.nextBool(cfg_.churnProb)) {
+        // The connection in this slot dropped; its replacement starts
+        // fresh with no think-time debt from the predecessor.
+        connId_[slot] = nextConnId_++;
+        connReadyAt_[slot] = clock_;
+    }
+
+    Arrival a;
+    // Think time: the connection cannot issue before its window ends,
+    // even if the Poisson process already ticked.
+    a.at = std::max(clock_, connReadyAt_[slot]);
+    a.tenant = tenantZipf_.next();
+    a.connection = connId_[slot];
+    a.seq = seq_++;
+    connReadyAt_[slot] = a.at + cfg_.thinkTicks;
+    return a;
+}
+
+} // namespace hoopnvm

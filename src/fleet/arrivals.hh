@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Open-loop client arrival generator for the fleet harness.
+ *
+ * The fleet front-end is driven the way a real service is: requests
+ * arrive on their own schedule (seeded Poisson process), not when the
+ * server happens to be free — so a stalled or recovering shard builds
+ * a real queue instead of silently slowing the generator down. On top
+ * of the Poisson base rate sit the client-realism knobs: a skewed
+ * tenant population (Zipfian, so a few hot tenants dominate exactly
+ * like YCSB key popularity), per-connection think times (a connection
+ * cannot issue its next request until its think window elapses), and
+ * connection churn (connections occasionally die and are replaced by
+ * fresh ones with no think-time debt).
+ *
+ * Everything is drawn from one explicitly seeded xorshift64* stream,
+ * so the arrival schedule is a pure function of ArrivalConfig — the
+ * determinism tests demand bit-identical streams whether generated
+ * serially or from worker threads.
+ */
+
+#ifndef HOOPNVM_FLEET_ARRIVALS_HH
+#define HOOPNVM_FLEET_ARRIVALS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "common/zipfian.hh"
+
+namespace hoopnvm
+{
+
+/** Knobs of the open-loop arrival process. */
+struct ArrivalConfig
+{
+    std::uint64_t seed = 1;
+
+    /** Mean Poisson interarrival time across the whole client set. */
+    Tick meanInterarrival = nsToTicks(500);
+
+    /** Per-connection think time between consecutive requests. */
+    Tick thinkTicks = nsToTicks(2'000);
+
+    /** Tenant population size (requests are skewed across it). */
+    unsigned tenants = 16;
+
+    /** Zipfian skew of tenant popularity (YCSB-style). */
+    double tenantTheta = 0.99;
+
+    /** Concurrent client connections (think-time slots). */
+    unsigned connections = 16;
+
+    /** Per-arrival probability that the drawn connection churned. */
+    double churnProb = 0.02;
+};
+
+/** One generated request arrival. */
+struct Arrival
+{
+    /**
+     * Fleet-clock tick the request arrives at. The Poisson base clock
+     * is monotone, but think time can push an individual connection's
+     * arrival past later base ticks, so the emitted stream is not
+     * globally time-sorted — consumers sort by (at, seq) before
+     * dispatching.
+     */
+    Tick at = 0;
+
+    /** Issuing tenant (drives shard routing). */
+    std::uint64_t tenant = 0;
+
+    /** Issuing connection id (monotone across churn). */
+    std::uint64_t connection = 0;
+
+    /** Zero-based request sequence number. */
+    std::uint64_t seq = 0;
+};
+
+/** Seeded open-loop arrival stream (Poisson + think + churn). */
+class ArrivalGenerator
+{
+  public:
+    explicit ArrivalGenerator(const ArrivalConfig &cfg);
+
+    /** Generate the next arrival (issue order; see Arrival::at). */
+    Arrival next();
+
+    /** Base-process clock after the last next() (excludes think). */
+    Tick clock() const { return clock_; }
+
+  private:
+    ArrivalConfig cfg_;
+    Rng rng_;
+    ZipfianGenerator tenantZipf_;
+
+    /** Poisson base-process clock. */
+    Tick clock_ = 0;
+
+    std::uint64_t seq_ = 0;
+
+    /** Next fresh connection id handed out on churn. */
+    std::uint64_t nextConnId_ = 0;
+
+    /** Slot -> live connection id. */
+    std::vector<std::uint64_t> connId_;
+
+    /** Slot -> earliest tick its next request may be issued. */
+    std::vector<Tick> connReadyAt_;
+};
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_FLEET_ARRIVALS_HH

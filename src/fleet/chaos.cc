@@ -1,0 +1,107 @@
+#include "fleet/chaos.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace hoopnvm
+{
+
+const char *
+chaosKindName(ChaosKind k)
+{
+    switch (k) {
+      case ChaosKind::Crash:
+        return "crash";
+      case ChaosKind::Stall:
+        return "stall";
+      case ChaosKind::FaultRamp:
+        return "fault_ramp";
+    }
+    return "?";
+}
+
+bool
+chaosProfileKnown(const std::string &profile)
+{
+    return profile == "none" || profile == "crashes" ||
+           profile == "stalls" || profile == "faults" ||
+           profile == "mixed";
+}
+
+std::vector<ChaosEvent>
+expandChaosProfile(const std::string &profile, unsigned shards,
+                   Tick horizon, std::uint64_t seed,
+                   const ChaosTuning &tuning)
+{
+    HOOP_ASSERT(chaosProfileKnown(profile),
+                "unknown chaos profile \"%s\"", profile.c_str());
+    std::vector<ChaosEvent> events;
+    if (profile == "none" || shards == 0 || horizon == 0 ||
+        tuning.eventsPerShard == 0)
+        return events;
+
+    // Keep the first and last eighth of the horizon quiet: warmup
+    // settles before the first adversity, and the final drain + probe
+    // phase runs on a chaos-free fleet so "every shard re-admitted"
+    // is a fair end-of-run oracle.
+    const Tick lo = horizon / 8;
+    const Tick hi = horizon - horizon / 8;
+    Rng rng(seed ^ 0xc4a05c4edULL);
+
+    unsigned salt = 0;
+    for (unsigned s = 0; s < shards; ++s) {
+        for (unsigned e = 0; e < tuning.eventsPerShard; ++e, ++salt) {
+            ChaosEvent ev;
+            ev.shard = s;
+            ev.at = lo + rng.nextBounded(std::max<Tick>(1, hi - lo));
+            ev.salt = salt;
+            if (profile == "crashes") {
+                ev.kind = ChaosKind::Crash;
+            } else if (profile == "stalls") {
+                ev.kind = ChaosKind::Stall;
+            } else if (profile == "faults") {
+                ev.kind = ChaosKind::FaultRamp;
+            } else { // mixed: rotate kinds across (shard, event)
+                switch (salt % 3) {
+                  case 0:
+                    ev.kind = ChaosKind::Crash;
+                    break;
+                  case 1:
+                    ev.kind = ChaosKind::Stall;
+                    break;
+                  default:
+                    ev.kind = ChaosKind::FaultRamp;
+                    break;
+                }
+            }
+            if (ev.kind == ChaosKind::Stall) {
+                // Windows between 1/64 and 1/16 of the horizon: long
+                // enough to force queueing and retries, short enough
+                // that the run always outlives the stall.
+                const Tick base = std::max<Tick>(1, horizon / 64);
+                ev.durationTicks = base + rng.nextBounded(3 * base + 1);
+            }
+            if (ev.kind == ChaosKind::FaultRamp) {
+                // Escalate later ramps on the same shard so repeated
+                // events push the shard toward capacity degradation.
+                ev.faultProb =
+                    tuning.faultProb * static_cast<double>(e + 1);
+            }
+            events.push_back(ev);
+        }
+    }
+
+    std::sort(events.begin(), events.end(),
+              [](const ChaosEvent &a, const ChaosEvent &b) {
+                  if (a.at != b.at)
+                      return a.at < b.at;
+                  if (a.shard != b.shard)
+                      return a.shard < b.shard;
+                  return a.salt < b.salt;
+              });
+    return events;
+}
+
+} // namespace hoopnvm

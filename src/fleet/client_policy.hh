@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Client-side transaction-outcome policy shared by the soak harness
+ * and the fleet front-end.
+ *
+ * Both drivers face the same question when a shard throws TxRejected:
+ * was this an admission-time refusal (no transactional state exists —
+ * the client may simply retry later), or a mid-transaction unwind (the
+ * rejected transaction has partial out-of-place/logged effects with no
+ * commit record, so the shard power-cycles and recovers onto the
+ * survivor state before serving again)? The classification and the
+ * crash+recover dance used to live inline in src/check/soak.cc; the
+ * fleet client needs exactly the same behaviour, so it lives here once.
+ *
+ * On top sits the fleet's retry policy: bounded attempts, exponential
+ * backoff with seeded jitter, and a per-request deadline that converts
+ * an exhausted budget into a structured ClientOutcome::TxTimeout —
+ * never an abort, never an unbounded spin.
+ */
+
+#ifndef HOOPNVM_FLEET_CLIENT_POLICY_HH
+#define HOOPNVM_FLEET_CLIENT_POLICY_HH
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/errors.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+namespace hoopnvm
+{
+
+/** What a client stack does about one TxRejected. */
+enum class RejectAction
+{
+    /**
+     * Admission-time refusal: txBegin was rejected before any
+     * transactional state existed. The transaction was simply not
+     * admitted — skip it (soak) or retry it after backoff (fleet).
+     */
+    AdmissionSkip,
+
+    /**
+     * Mid-transaction unwind: the transaction has partial effects but
+     * no commit record. Power-cycle + recovery discards them exactly
+     * like any other uncommitted transaction; the shard then serves
+     * again from the survivor state.
+     */
+    CrashRecover,
+};
+
+/** Classify @p rj per the admission/mid-tx contract above. */
+inline RejectAction
+classifyReject(const TxRejected &rj)
+{
+    return rj.cause == RejectCause::CapacityDegraded
+               ? RejectAction::AdmissionSkip
+               : RejectAction::CrashRecover;
+}
+
+/** What handleClientReject() actually did. */
+struct RejectResolution
+{
+    RejectAction action = RejectAction::AdmissionSkip;
+
+    /** Modelled recovery duration (CrashRecover only); the fleet
+     *  front-end turns it into an unavailability window. */
+    Tick recoveryTicks = 0;
+};
+
+/**
+ * Handle @p rj against @p sys the way a real client stack does:
+ * admission rejects drop only the rejected core's staged shadow
+ * (nothing was admitted), mid-transaction rejects crash + recover and
+ * drop every core's staged shadow (the unwind discarded any commit
+ * that had not yet become durable — there is none, but the staging
+ * must not leak into the next verify()). Callers count the resolution
+ * and, after a CrashRecover, re-check their oracles.
+ */
+inline RejectResolution
+handleClientReject(const TxRejected &rj, System &sys,
+                   std::vector<std::unique_ptr<Workload>> &wls,
+                   CoreId rejectingCore, unsigned recoverThreads)
+{
+    RejectResolution res;
+    res.action = classifyReject(rj);
+    if (res.action == RejectAction::AdmissionSkip) {
+        wls[rejectingCore]->dropPendingShadow();
+        return res;
+    }
+    sys.crash();
+    res.recoveryTicks = sys.recover(recoverThreads);
+    for (auto &wl : wls)
+        wl->dropPendingShadow();
+    return res;
+}
+
+/**
+ * Bounded client retry policy: exponential backoff with seeded jitter
+ * under a per-request deadline. All times are simulated ticks.
+ */
+struct RetryPolicy
+{
+    /** Total tries per request, including the first. */
+    unsigned maxAttempts = 6;
+
+    /** Backoff before the first retry. */
+    Tick backoffBase = nsToTicks(2'000);
+
+    /** Per-retry backoff growth factor. */
+    double backoffMultiplier = 2.0;
+
+    /**
+     * Uniform jitter amplitude as a fraction of the nominal backoff:
+     * the drawn backoff is nominal * (1 + U[-j, +j)). Decorrelates
+     * retry storms across clients while staying fully seeded.
+     */
+    double jitterFraction = 0.5;
+
+    /**
+     * Per-request deadline measured from first arrival; a request
+     * still unacknowledged past it resolves to ClientOutcome::
+     * TxTimeout. Zero disables the deadline.
+     */
+    Tick deadlineTicks = nsToTicks(20'000'000);
+};
+
+/**
+ * Backoff before retry number @p retry (0 = first retry), jittered
+ * from @p rng. Deterministic for a given RNG stream position.
+ */
+inline Tick
+retryBackoffTicks(const RetryPolicy &p, unsigned retry, Rng &rng)
+{
+    // Cap the exponent so a pathological retry count cannot overflow
+    // the double; the deadline bounds real waits long before this.
+    double nominal = static_cast<double>(p.backoffBase);
+    nominal *= std::pow(p.backoffMultiplier,
+                        static_cast<double>(std::min(retry, 24u)));
+    const double jitter =
+        1.0 + p.jitterFraction * (2.0 * rng.nextDouble() - 1.0);
+    const double ticks = std::max(1.0, nominal * jitter);
+    return static_cast<Tick>(ticks);
+}
+
+/** True when @p now has passed @p p's deadline for @p arrival. */
+inline bool
+pastDeadline(const RetryPolicy &p, Tick arrival, Tick now)
+{
+    return p.deadlineTicks != 0 && now > arrival + p.deadlineTicks;
+}
+
+} // namespace hoopnvm
+
+#endif // HOOPNVM_FLEET_CLIENT_POLICY_HH

@@ -32,6 +32,7 @@ summarizeTicks(const Histogram *h)
     s.p50Ns = h->quantile(0.50) / static_cast<double>(kTicksPerNs);
     s.p95Ns = h->quantile(0.95) / static_cast<double>(kTicksPerNs);
     s.p99Ns = h->quantile(0.99) / static_cast<double>(kTicksPerNs);
+    s.p999Ns = h->quantile(0.999) / static_cast<double>(kTicksPerNs);
     s.maxNs = ticksToNs(h->max());
     s.meanNs = h->mean() / static_cast<double>(kTicksPerNs);
     return s;
@@ -302,7 +303,7 @@ System::sampleEpoch(Tick now)
     if (cfg_.epochSamplePeriod == 0 || cfg_.epochRingCapacity == 0 ||
         now < nextEpoch_)
         return;
-    const ControllerGauges g = ctrl_->sampleGauges();
+    const ControllerGauges g = ctrl_->gauges();
     EpochSample s;
     s.at = now;
     s.mappingEntries = g.mappingEntries;
@@ -313,6 +314,10 @@ System::sampleEpoch(Tick now)
     s.correctedWords = g.correctedWords;
     s.degradedFraction = g.degradedFraction;
     s.txRejected = g.txRejected;
+    s.clientRetryAttempts = g.clientRetryAttempts;
+    s.clientBackoffTicks = g.clientBackoffTicks;
+    s.clientDeadlineMisses = g.clientDeadlineMisses;
+    s.clientShedAdmissions = g.clientShedAdmissions;
     if (epochRing_.size() < cfg_.epochRingCapacity) {
         epochRing_.push_back(s);
     } else {

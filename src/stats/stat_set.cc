@@ -62,7 +62,8 @@ StatSet::dump() const
         const Histogram &h = kv.second;
         os << prefix_ << '.' << kv.first << " count " << h.count()
            << " p50 " << h.quantile(0.50) << " p95 " << h.quantile(0.95)
-           << " p99 " << h.quantile(0.99) << " max " << h.max() << '\n';
+           << " p99 " << h.quantile(0.99) << " p999 "
+           << h.quantile(0.999) << " max " << h.max() << '\n';
     }
     return os.str();
 }

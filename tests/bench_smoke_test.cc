@@ -262,8 +262,8 @@ main(int argc, char **argv)
 
     CHECK(root.kind == Json::Obj, "root is not an object");
     const Json *ver = root.find("schema_version");
-    CHECK(ver && ver->kind == Json::Num && ver->num == 3.0,
-          "schema_version != 3");
+    CHECK(ver && ver->kind == Json::Num && ver->num == 4.0,
+          "schema_version != 4");
     const Json *name = root.find("bench");
     CHECK(name && name->kind == Json::Str && !name->str.empty(),
           "missing bench name");
@@ -314,7 +314,9 @@ main(int argc, char **argv)
                     requireNum(*metrics, k, "metrics");
                 // Schema v2: latency quantile summaries + epoch ring.
                 // Schema v3 adds the scrub pause summary and the
-                // media-tolerance tallies below.
+                // media-tolerance tallies below. Schema v4 adds the
+                // p999 tail quantile and the client-activity epoch
+                // gauges (fleet degradation timelines).
                 for (const char *k :
                      {"crit_path", "llc_miss_lat", "gc_pause",
                       "scrub_pause"}) {
@@ -325,7 +327,7 @@ main(int argc, char **argv)
                     if (sum && sum->kind == Json::Obj) {
                         for (const char *q :
                              {"count", "p50_ns", "p95_ns", "p99_ns",
-                              "max_ns", "mean_ns"})
+                              "p999_ns", "max_ns", "mean_ns"})
                             requireNum(*sum, q, k);
                     }
                 }
@@ -346,7 +348,10 @@ main(int argc, char **argv)
                               "struct_bytes", "backpressure_stalls",
                               "inflight_writes", "retired_units",
                               "corrected_words", "degraded_fraction",
-                              "tx_rejected"})
+                              "tx_rejected", "client_retry_attempts",
+                              "client_backoff_ticks",
+                              "client_deadline_misses",
+                              "client_shed_admissions"})
                             requireNum(e, k, "epoch");
                     }
                 }

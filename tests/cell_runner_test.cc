@@ -70,6 +70,7 @@ expectIdenticalSummary(const LatencySummary &a, const LatencySummary &b,
     EXPECT_EQ(a.p50Ns, b.p50Ns);
     EXPECT_EQ(a.p95Ns, b.p95Ns);
     EXPECT_EQ(a.p99Ns, b.p99Ns);
+    EXPECT_EQ(a.p999Ns, b.p999Ns);
     EXPECT_EQ(a.maxNs, b.maxNs);
     EXPECT_EQ(a.meanNs, b.meanNs);
 }

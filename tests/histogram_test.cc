@@ -146,7 +146,7 @@ expectIdentical(const Histogram &a, const Histogram &b)
     EXPECT_EQ(a.max(), b.max());
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
         ASSERT_EQ(a.bucketCount(i), b.bucketCount(i)) << "bucket " << i;
-    for (double q : {0.5, 0.95, 0.99})
+    for (double q : {0.5, 0.95, 0.99, 0.999})
         EXPECT_EQ(a.quantile(q), b.quantile(q)) << "q " << q;
 }
 
@@ -214,6 +214,42 @@ TEST(HistogramMerge, EqualsSingleStreamRecording)
     merged.merge(shard_a);
     merged.merge(shard_b);
     expectIdentical(merged, whole);
+}
+
+TEST(HistogramMerge, P999IsMergeOrderDeterministic)
+{
+    // The fleet harness merges per-shard latency histograms into a
+    // fleet-wide tail report; p999 must be exactly the same number
+    // regardless of how many shards the samples were recorded in and
+    // in which order the shards merge. 10k samples put ~10 of them
+    // past the p999 rank, so the extreme tail is actually exercised.
+    constexpr int kShards = 5;
+    Histogram whole, shards[kShards];
+    std::uint64_t state = 0xfee1f1ee7ull;
+    for (int i = 0; i < 10000; ++i) {
+        // Long-tailed stream: mostly small values, occasional spikes.
+        std::uint64_t v = nextSample(state) % 4096;
+        if (i % 997 == 0)
+            v += 1u << 22;
+        whole.record(v);
+        shards[i % kShards].record(v);
+    }
+
+    Histogram forward, backward;
+    for (int s = 0; s < kShards; ++s)
+        forward.merge(shards[s]);
+    for (int s = kShards - 1; s >= 0; --s)
+        backward.merge(shards[s]);
+
+    expectIdentical(forward, whole);
+    expectIdentical(backward, whole);
+    EXPECT_EQ(forward.quantile(0.999), whole.quantile(0.999));
+    // And the tail ordering is sane: p999 sits between p99 and max.
+    EXPECT_GE(whole.quantile(0.999), whole.quantile(0.99));
+    EXPECT_LE(whole.quantile(0.999),
+              static_cast<double>(whole.max()));
+    // The spikes actually moved p999 away from the body.
+    EXPECT_GT(whole.quantile(0.999), whole.quantile(0.5));
 }
 
 TEST(Histogram, ResetForgetsEverything)
