@@ -33,6 +33,7 @@ double
 secondsSince(std::chrono::steady_clock::time_point t0)
 {
     return std::chrono::duration<double>(
+               // lint: nondet-api-ok (host wall-clock for bench wall-time reporting; never feeds simulated state)
                std::chrono::steady_clock::now() - t0)
         .count();
 }
@@ -40,6 +41,7 @@ secondsSince(std::chrono::steady_clock::time_point t0)
 unsigned
 envJobs()
 {
+    // lint: nondet-api-ok (HOOP_BENCH_JOBS picks host worker-thread count; cells stay deterministic)
     if (const char *env = std::getenv("HOOP_BENCH_JOBS")) {
         const long v = std::strtol(env, nullptr, 10);
         if (v >= 1)
@@ -55,6 +57,7 @@ resolveJobs(unsigned requested)
         return requested;
     if (const unsigned env = envJobs())
         return env;
+    // lint: nondet-api-ok (host parallelism default; affects scheduling only, not simulated results)
     const unsigned hw = std::thread::hardware_concurrency();
     return hw >= 1 ? hw : 1;
 }
@@ -70,6 +73,7 @@ fputJsonString(std::FILE *f, const std::string &s)
 void
 fputKey(std::FILE *f, const char *key)
 {
+    // lint: raw-json-ok (keys are compile-time identifiers; runtime values go through fputJsonString)
     std::fprintf(f, "\"%s\": ", key);
 }
 
@@ -149,51 +153,10 @@ fputEpochs(std::FILE *f, const std::vector<EpochSample> &epochs)
 
 } // namespace
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        const unsigned char u = static_cast<unsigned char>(c);
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\b':
-            out += "\\b";
-            break;
-          case '\f':
-            out += "\\f";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (u < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", u);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
 std::uint64_t
 benchTxPerCore()
 {
+    // lint: nondet-api-ok (HOOP_BENCH_TX scales the run length explicitly; the value is recorded in the report)
     if (const char *env = std::getenv("HOOP_BENCH_TX")) {
         const long long v = std::strtoll(env, nullptr, 10);
         if (v >= 1)
@@ -241,6 +204,7 @@ CellRunner::noteMetrics(std::size_t idx, const RunMetrics *m)
 double
 CellRunner::run()
 {
+    // lint: nondet-api-ok (host wall-clock for bench wall-time reporting; never feeds simulated state)
     const auto t0 = std::chrono::steady_clock::now();
     const unsigned workers = static_cast<unsigned>(
         std::min<std::size_t>(jobs_, slots.size()));
@@ -250,6 +214,7 @@ CellRunner::run()
             const std::size_t i = next.fetch_add(1);
             if (i >= slots.size())
                 return;
+            // lint: nondet-api-ok (host wall-clock for per-cell wall-time reporting; never feeds simulated state)
             const auto c0 = std::chrono::steady_clock::now();
             slots[i].task();
             slots[i].seconds = secondsSince(c0);
@@ -324,6 +289,7 @@ void
 BenchReport::write() const
 {
     std::string dir = ".";
+    // lint: nondet-api-ok (HOOP_BENCH_JSON_DIR selects the report output directory only)
     if (const char *env = std::getenv("HOOP_BENCH_JSON_DIR"))
         dir = env;
     const std::string path = dir + "/BENCH_" + name_ + ".json";

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "stats/table.hh"
 #include "workloads/registry.hh"
@@ -72,11 +73,12 @@ std::uint64_t benchTxPerCore();
 unsigned benchJobs(int argc, char **argv);
 
 /**
- * Escape @p s for embedding in a JSON string literal: backslash,
- * double quote, and every control character below 0x20 (RFC 8259
- * requires all of them, not just newline).
+ * Escape @p s for embedding in a JSON string literal. The
+ * implementation moved to common/json.hh so library emitters
+ * (fleet/soak/trace) share it; re-exported here for bench callers.
  */
-std::string jsonEscape(const std::string &s);
+using ::hoopnvm::jsonEscape;
+using ::hoopnvm::jsonQuote;
 
 /** One measured cell. */
 struct Cell

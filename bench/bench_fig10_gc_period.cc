@@ -35,6 +35,7 @@ main(int argc, char **argv)
     const std::vector<const char *> workloads = {
         "vector", "hashmap", "queue", "rbtree", "btree"};
     const std::uint64_t tx_per_core =
+        // lint: nondet-api-ok (presence probe for the explicit HOOP_BENCH_TX scale knob; recorded in the report)
         std::getenv("HOOP_BENCH_TX") ? benchTxPerCore() : 250;
 
     // cells[workload][period]

@@ -58,6 +58,7 @@ main(int argc, char **argv)
     double base = 0.0;
     for (std::size_t i = 0; i < std::size(read_ns); ++i) {
         const Cell &cell = read_cells[i];
+        // lint: float-eq-ok (0.0 is a first-iteration "unset" sentinel, never a computed value)
         if (base == 0.0)
             base = cell.metrics.txPerSecond;
         reads.addRow({TablePrinter::num(read_ns[i], 0) + "ns",
@@ -74,6 +75,7 @@ main(int argc, char **argv)
     base = 0.0;
     for (std::size_t i = 0; i < std::size(write_ns); ++i) {
         const Cell &cell = write_cells[i];
+        // lint: float-eq-ok (0.0 is a first-iteration "unset" sentinel, never a computed value)
         if (base == 0.0)
             base = cell.metrics.txPerSecond;
         writes.addRow({TablePrinter::num(write_ns[i], 0) + "ns",

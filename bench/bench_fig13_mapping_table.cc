@@ -74,6 +74,7 @@ main(int argc, char **argv)
                      "gc runs (pressure)"});
     double base = 0.0;
     for (std::size_t i = 0; i < std::size(sizes); ++i) {
+        // lint: float-eq-ok (0.0 is a first-iteration "unset" sentinel, never a computed value)
         if (base == 0.0)
             base = res[i].metrics.txPerSecond;
         table.addRow({sizeLabel(sizes[i]),

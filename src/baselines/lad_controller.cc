@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "analysis/ordering_tracker.hh"
+#include "common/flat_map.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -15,7 +16,8 @@ LadController::LadController(NvmDevice &nvm, const SystemConfig &cfg_)
       queueDrainsC_(stats_.counter("queue_drains")),
       txCommittedC_(stats_.counter("tx_committed")),
       evictionsAbsorbedC_(stats_.counter("evictions_absorbed")),
-      homeWritebacksC_(stats_.counter("home_writebacks"))
+      homeWritebacksC_(stats_.counter("home_writebacks")),
+      recoveriesC_(stats_.counter("recoveries"))
 {
 }
 
@@ -61,12 +63,13 @@ LadController::txEnd(CoreId core, Tick now)
     // Prepare/commit handshake with the controller (the two-phase
     // protocol LAD uses to make queue contents the durability point).
     Tick t = now + (writes.empty() ? 0 : cfg.ladCommitOverhead);
-    for (const auto &kv : writes) {
+    // Address order: queue drain order is observable durable state.
+    for (const Addr line : sortedKeys(writes)) {
         t += queueInsertCost;
         std::uint8_t buf[kCacheLineSize];
-        nvm_.peek(kv.first, buf, kCacheLineSize);
-        kv.second.overlay(buf);
-        t = std::max(t, nvm_.write(now, kv.first, buf, kCacheLineSize));
+        nvm_.peek(line, buf, kCacheLineSize);
+        writes.at(line).overlay(buf);
+        t = std::max(t, nvm_.write(now, line, buf, kCacheLineSize));
         orderDep("lad-commit-drain", coreTx[core].txId);
         ++queueDrainsC_;
     }
@@ -144,6 +147,7 @@ LadController::sampleGauges() const
     // LAD's only persistence structure is the staged write set of each
     // open transaction (the controller's persistent queues).
     ControllerGauges g;
+    // lint: unordered-iter-ok (outer std::vector of per-core maps; commutative size sum)
     for (const auto &w : txWrites) {
         g.mappingEntries += w.size();
         g.structBytes += w.size() * kCacheLineSize;
@@ -156,6 +160,7 @@ LadController::crash()
 {
     // Uncommitted staging buffers vanish; the persistent queue already
     // drained its committed lines to the home region.
+    // lint: unordered-iter-ok (outer std::vector of per-core maps; clearing is order-insensitive)
     for (auto &w : txWrites)
         w.clear();
     for (auto &t : coreTx)
@@ -168,7 +173,7 @@ LadController::recover(unsigned)
     // Nothing to replay: the ADR drain left the home region consistent.
     // Crash point: trivially idempotent (recovery is a no-op).
     crashStep(CrashPointKind::RecoveryStep);
-    stats_.counter("recoveries") += 1;
+    recoveriesC_ += 1;
     return nsToTicks(100);
 }
 

@@ -62,6 +62,7 @@ class LadController : public PersistenceController
     Counter &txCommittedC_;
     Counter &evictionsAbsorbedC_;
     Counter &homeWritebacksC_;
+    Counter &recoveriesC_;
 };
 
 } // namespace hoopnvm

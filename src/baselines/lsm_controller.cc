@@ -6,6 +6,7 @@
 
 #include "analysis/ordering_tracker.hh"
 #include "common/errors.hh"
+#include "common/flat_map.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -25,7 +26,12 @@ LsmController::LsmController(NvmDevice &nvm, const SystemConfig &cfg_)
       gcRunsC_(stats_.counter("gc_runs")),
       migratedLinesC_(stats_.counter("migrated_lines")),
       logBackpressureStallsC_(
-          stats_.counter("log_backpressure_stalls"))
+          stats_.counter("log_backpressure_stalls")),
+      txRejectedC_(stats_.counter("tx_rejected")),
+      scrubCorrectedC_(stats_.counter("scrub_corrected_words")),
+      scrubPassesC_(stats_.counter("scrub_passes")),
+      scrubPauseH_(stats_.histogram("scrub_pause_ticks")),
+      recoveriesC_(stats_.counter("recoveries"))
 {
 }
 
@@ -60,7 +66,7 @@ LsmController::txBegin(CoreId core, Tick now)
 {
     if (cfg.ft.enabled &&
         log_.degradedFraction() >= cfg.ft.rejectCapacityFraction) {
-        stats_.counter("tx_rejected") += 1;
+        txRejectedC_ += 1;
         throw TxRejected{RejectCause::CapacityDegraded,
                          "lsm log degraded past the admission "
                          "threshold by bad-slot retirement"};
@@ -107,24 +113,25 @@ LsmController::txEnd(CoreId core, Tick now)
     auto &writes = txWrites[core];
 
     Tick t = now;
-    for (const auto &kv : writes) {
+    // Address order: log append order is observable durable state.
+    for (const Addr line : sortedKeys(writes)) {
         if (log_.full())
             t = std::max(t, stallForLogSpace(t));
         // Fold into the cumulative live image so one entry per line is
         // always sufficient to reconstruct the newest data.
-        LineImage &img = liveImage[kv.first];
-        img.merge(kv.second);
+        LineImage &img = liveImage[line];
+        img.merge(writes.at(line));
 
         LogEntry e;
         e.type = LogEntryType::LsmData;
         e.txId = tx;
         e.commitId = cid;
-        e.line = kv.first;
+        e.line = line;
         e.mask = img.mask;
         e.words = img.words;
         t = std::max(t, log_.append(now, e));
         orderDep("lsm-commit-record", tx);
-        index_.insert(kv.first, logicalEntryIdx++);
+        index_.insert(line, logicalEntryIdx++);
         ++logEntriesC_;
     }
 
@@ -215,18 +222,18 @@ LsmController::gc(Tick now)
     ++gcRunsC_;
 
     Tick last = now;
-    for (const auto &kv : liveImage) {
+    for (const Addr line : sortedKeys(liveImage)) {
         // Crash point: between home-migration writes. The log keeps
         // every migrated image until the truncate below, so recovery
         // redoes torn migrations from the log.
         crashStep(CrashPointKind::GcStep);
         std::uint8_t buf[kCacheLineSize];
-        nvm_.read(now, kv.first, buf, kCacheLineSize);
-        kv.second.overlay(buf);
+        nvm_.read(now, line, buf, kCacheLineSize);
+        liveImage.at(line).overlay(buf);
         last = std::max(last,
-                        nvm_.write(now, kv.first, buf, kCacheLineSize));
+                        nvm_.write(now, line, buf, kCacheLineSize));
         orderDep("lsm-log-truncate", 0);
-        index_.erase(kv.first);
+        index_.erase(line);
         ++migratedLinesC_;
     }
     liveImage.clear();
@@ -259,7 +266,7 @@ LsmController::stallForLogSpace(Tick now)
     if (log_.full()) {
         // Degrade, don't die: the offending transaction carries no
         // commit record, so crash+recovery discards it whole.
-        stats_.counter("tx_rejected") += 1;
+        txRejectedC_ += 1;
         throw TxRejected{RejectCause::LogExhausted,
                          "lsm log wedged: all entries belong to open "
                          "transactions; increase auxBytes"};
@@ -273,9 +280,9 @@ LsmController::scrub(Tick now)
     std::uint64_t corrected = 0;
     const Tick done =
         log_.scrubSlots(now, cfg.ft.scrubChunks, &corrected);
-    stats_.counter("scrub_corrected_words") += corrected;
-    stats_.counter("scrub_passes") += 1;
-    stats_.histogram("scrub_pause_ticks").record(done - now);
+    scrubCorrectedC_ += corrected;
+    scrubPassesC_ += 1;
+    scrubPauseH_.record(done - now);
     return done;
 }
 
@@ -320,6 +327,7 @@ LsmController::drain(Tick now)
 void
 LsmController::crash()
 {
+    // lint: unordered-iter-ok (outer std::vector of per-core maps; clearing is order-insensitive)
     for (auto &w : txWrites)
         w.clear();
     for (auto &t : coreTx)
@@ -369,7 +377,7 @@ LsmController::recover(unsigned)
     log_.clear(0);
     liveImage.clear();
     index_.clear();
-    stats_.counter("recoveries") += 1;
+    recoveriesC_ += 1;
 
     const Tick channel = nvm_.timing().transferTicks(
         entries * LogEntry::kEntryBytes + lines * kCacheLineSize);

@@ -127,6 +127,11 @@ class LsmController : public PersistenceController
     Counter &gcRunsC_;
     Counter &migratedLinesC_;
     Counter &logBackpressureStallsC_;
+    Counter &txRejectedC_;
+    Counter &scrubCorrectedC_;
+    Counter &scrubPassesC_;
+    Histogram &scrubPauseH_;
+    Counter &recoveriesC_;
 };
 
 } // namespace hoopnvm

@@ -5,6 +5,7 @@
 
 #include "analysis/ordering_tracker.hh"
 #include "common/errors.hh"
+#include "common/flat_map.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -50,7 +51,12 @@ OspController::OspController(NvmDevice &nvm, const SystemConfig &cfg_)
       inactiveWritebacksC_(stats_.counter("inactive_writebacks")),
       homeWritebacksC_(stats_.counter("home_writebacks")),
       logBackpressureStallsC_(
-          stats_.counter("log_backpressure_stalls"))
+          stats_.counter("log_backpressure_stalls")),
+      txRejectedC_(stats_.counter("tx_rejected")),
+      scrubCorrectedC_(stats_.counter("scrub_corrected_words")),
+      scrubPassesC_(stats_.counter("scrub_passes")),
+      scrubPauseH_(stats_.histogram("scrub_pause_ticks")),
+      recoveriesC_(stats_.counter("recoveries"))
 {
 }
 
@@ -96,7 +102,7 @@ OspController::txBegin(CoreId core, Tick now)
 {
     if (cfg.ft.enabled &&
         log_.degradedFraction() >= cfg.ft.rejectCapacityFraction) {
-        stats_.counter("tx_rejected") += 1;
+        txRejectedC_ += 1;
         throw TxRejected{RejectCause::CapacityDegraded,
                          "osp flip log degraded past the admission "
                          "threshold by bad-slot retirement"};
@@ -130,6 +136,7 @@ OspController::applyFlips(Tick now, const std::vector<Addr> &lines)
         nvm_.poke(selectorAddr(line), &v, 1);
         selector_lines.insert(lineAddr(selectorAddr(line)));
     }
+    // lint: unordered-iter-ok (commutative max-fold and count; the element value is unused)
     for (Addr sl : selector_lines) {
         last = std::max(last, nvm_.writeAccounting(now, kCacheLineSize));
         ++selectorWritesC_;
@@ -150,11 +157,12 @@ OspController::txEnd(CoreId core, Tick now)
     Tick data_done = now;
     std::vector<Addr> flipped;
     flipped.reserve(writes.size());
-    for (const auto &kv : writes) {
-        const Addr line = kv.first;
+    // Address order: shadow writes and the flip-record line order
+    // derived from `flipped` are observable durable state.
+    for (const Addr line : sortedKeys(writes)) {
         std::uint8_t buf[kCacheLineSize];
         nvm_.peek(currentCopy(line), buf, kCacheLineSize);
-        kv.second.overlay(buf);
+        writes.at(line).overlay(buf);
         const Addr target =
             shadowIsCurrent(line) ? line : shadowOf(line);
         data_done = std::max(
@@ -181,7 +189,7 @@ OspController::txEnd(CoreId core, Tick now)
         ++logBackpressureStallsC_;
         // Degrade, don't die: no flip record was appended, so the old
         // copies stay live and the commit vanishes atomically.
-        stats_.counter("tx_rejected") += 1;
+        txRejectedC_ += 1;
         throw TxRejected{RejectCause::LogExhausted,
                          "osp flip log wedged by open transactions; "
                          "increase auxBytes"};
@@ -332,9 +340,9 @@ OspController::scrub(Tick now)
     std::uint64_t corrected = 0;
     const Tick done =
         log_.scrubSlots(now, cfg.ft.scrubChunks, &corrected);
-    stats_.counter("scrub_corrected_words") += corrected;
-    stats_.counter("scrub_passes") += 1;
-    stats_.histogram("scrub_pause_ticks").record(done - now);
+    scrubCorrectedC_ += corrected;
+    scrubPassesC_ += 1;
+    scrubPauseH_.record(done - now);
     return done;
 }
 
@@ -357,6 +365,7 @@ OspController::sampleGauges() const
 void
 OspController::crash()
 {
+    // lint: unordered-iter-ok (outer std::vector of per-core maps; clearing is order-insensitive)
     for (auto &w : txWrites)
         w.clear();
     for (auto &t : coreTx)
@@ -415,7 +424,7 @@ OspController::recover(unsigned)
     // Crash point: flips re-applied, log not yet cleared.
     crashStep(CrashPointKind::RecoveryStep);
     log_.clear(0);
-    stats_.counter("recoveries") += 1;
+    recoveriesC_ += 1;
 
     const Tick channel = nvm_.timing().transferTicks(
         n_lines + entries * LogEntry::kEntryBytes);

@@ -104,6 +104,11 @@ class OspController : public PersistenceController
     Counter &inactiveWritebacksC_;
     Counter &homeWritebacksC_;
     Counter &logBackpressureStallsC_;
+    Counter &txRejectedC_;
+    Counter &scrubCorrectedC_;
+    Counter &scrubPassesC_;
+    Histogram &scrubPauseH_;
+    Counter &recoveriesC_;
 };
 
 } // namespace hoopnvm

@@ -6,6 +6,7 @@
 
 #include "analysis/ordering_tracker.hh"
 #include "common/errors.hh"
+#include "common/flat_map.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -43,7 +44,12 @@ RedoController::RedoController(NvmDevice &nvm, const SystemConfig &cfg_)
       homeWritebacksC_(stats_.counter("home_writebacks")),
       truncationsC_(stats_.counter("truncations")),
       logBackpressureStallsC_(
-          stats_.counter("log_backpressure_stalls"))
+          stats_.counter("log_backpressure_stalls")),
+      txRejectedC_(stats_.counter("tx_rejected")),
+      scrubCorrectedC_(stats_.counter("scrub_corrected_words")),
+      scrubPassesC_(stats_.counter("scrub_passes")),
+      scrubPauseH_(stats_.histogram("scrub_pause_ticks")),
+      recoveriesC_(stats_.counter("recoveries"))
 {
 }
 
@@ -73,7 +79,7 @@ RedoController::txBegin(CoreId core, Tick now)
     // (ENOSPC-style) instead of wedging mid-commit.
     if (cfg.ft.enabled &&
         log_.degradedFraction() >= cfg.ft.rejectCapacityFraction) {
-        stats_.counter("tx_rejected") += 1;
+        txRejectedC_ += 1;
         throw TxRejected{RejectCause::CapacityDegraded,
                          "redo log degraded past the admission "
                          "threshold by bad-slot retirement"};
@@ -106,17 +112,19 @@ RedoController::txEnd(CoreId core, Tick now)
     const std::uint64_t cid = allocCommitId();
     Tick t = now;
 
-    // Stream one redo entry per modified line (data + metadata line).
-    for (const auto &kv : txWrites[core]) {
+    // Stream one redo entry per modified line (data + metadata line),
+    // in address order: log append order is observable durable state.
+    for (const Addr line : sortedKeys(txWrites[core])) {
+        const LineImage &img = txWrites[core].at(line);
         if (log_.full())
             t = std::max(t, stallForLogSpace(t));
         LogEntry e;
         e.type = LogEntryType::RedoData;
         e.txId = tx;
         e.commitId = cid;
-        e.line = kv.first;
-        e.mask = kv.second.mask;
-        e.words = kv.second.words;
+        e.line = line;
+        e.mask = img.mask;
+        e.words = img.words;
         t = std::max(t, log_.append(now, e));
         orderDep("redo-commit-record", tx);
         // WrAP's per-update metadata occupies a second cache line.
@@ -141,15 +149,15 @@ RedoController::txEnd(CoreId core, Tick now)
         // retired to its home address in place. The commit does not
         // wait, but the double write consumes NVM bandwidth — the
         // scheme's fundamental cost (§II-B).
-        for (const auto &kv : txWrites[core]) {
+        for (const Addr line : sortedKeys(txWrites[core])) {
             // Crash point: between checkpoint (migration-home) writes.
             // The log still holds the full redo image, so recovery
             // redoes any torn checkpoint.
             crashStep(CrashPointKind::GcStep);
             std::uint8_t buf[kCacheLineSize];
-            nvm_.peek(kv.first, buf, kCacheLineSize);
-            kv.second.overlay(buf);
-            nvm_.write(t, kv.first, buf, kCacheLineSize);
+            nvm_.peek(line, buf, kCacheLineSize);
+            txWrites[core].at(line).overlay(buf);
+            nvm_.write(t, line, buf, kCacheLineSize);
             orderDep("redo-log-truncate", 0);
             ++checkpointWritesC_;
         }
@@ -251,7 +259,7 @@ RedoController::stallForLogSpace(Tick now)
     if (log_.full()) {
         // Degrade, don't die: the offending transaction carries no
         // commit record, so crash+recovery discards it whole.
-        stats_.counter("tx_rejected") += 1;
+        txRejectedC_ += 1;
         throw TxRejected{RejectCause::LogExhausted,
                          "redo log wedged: all entries belong to open "
                          "transactions; increase auxBytes"};
@@ -265,9 +273,9 @@ RedoController::scrub(Tick now)
     std::uint64_t corrected = 0;
     const Tick done =
         log_.scrubSlots(now, cfg.ft.scrubChunks, &corrected);
-    stats_.counter("scrub_corrected_words") += corrected;
-    stats_.counter("scrub_passes") += 1;
-    stats_.histogram("scrub_pause_ticks").record(done - now);
+    scrubCorrectedC_ += corrected;
+    scrubPassesC_ += 1;
+    scrubPauseH_.record(done - now);
     return done;
 }
 
@@ -309,6 +317,7 @@ RedoController::drain(Tick now)
 void
 RedoController::crash()
 {
+    // lint: unordered-iter-ok (outer std::vector of per-core maps; clearing is order-insensitive)
     for (auto &w : txWrites)
         w.clear();
     for (auto &t : coreTx)
@@ -357,7 +366,7 @@ RedoController::recover(unsigned)
     crashStep(CrashPointKind::RecoveryStep);
     log_.clear(0);
     truncatableEntries = 0;
-    stats_.counter("recoveries") += 1;
+    recoveriesC_ += 1;
 
     // Single-threaded log replay, channel-bound plus per-entry work.
     const Tick channel = nvm_.timing().transferTicks(

@@ -141,6 +141,11 @@ class RedoController : public PersistenceController
     Counter &homeWritebacksC_;
     Counter &truncationsC_;
     Counter &logBackpressureStallsC_;
+    Counter &txRejectedC_;
+    Counter &scrubCorrectedC_;
+    Counter &scrubPassesC_;
+    Histogram &scrubPauseH_;
+    Counter &recoveriesC_;
 };
 
 } // namespace hoopnvm

@@ -6,6 +6,7 @@
 
 #include "analysis/ordering_tracker.hh"
 #include "common/errors.hh"
+#include "common/flat_map.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -22,7 +23,12 @@ UndoController::UndoController(NvmDevice &nvm, const SystemConfig &cfg_)
       txCommittedC_(stats_.counter("tx_committed")),
       homeWritebacksC_(stats_.counter("home_writebacks")),
       logBackpressureStallsC_(
-          stats_.counter("log_backpressure_stalls"))
+          stats_.counter("log_backpressure_stalls")),
+      txRejectedC_(stats_.counter("tx_rejected")),
+      scrubCorrectedC_(stats_.counter("scrub_corrected_words")),
+      scrubPassesC_(stats_.counter("scrub_passes")),
+      scrubPauseH_(stats_.histogram("scrub_pause_ticks")),
+      recoveriesC_(stats_.counter("recoveries"))
 {
 }
 
@@ -47,7 +53,7 @@ UndoController::txBegin(CoreId core, Tick now)
 {
     if (cfg.ft.enabled &&
         log_.degradedFraction() >= cfg.ft.rejectCapacityFraction) {
-        stats_.counter("tx_rejected") += 1;
+        txRejectedC_ += 1;
         throw TxRejected{RejectCause::CapacityDegraded,
                          "undo log degraded past the admission "
                          "threshold by bad-slot retirement"};
@@ -113,14 +119,14 @@ UndoController::txEnd(CoreId core, Tick now)
     // that stretches the critical path (Fig. 4a).
     Tick t = std::max(now, outstanding[core]);
     Tick data_done = t;
-    for (const auto &kv : txWrites[core]) {
+    for (const Addr line : sortedKeys(txWrites[core])) {
         std::uint8_t buf[kCacheLineSize];
-        nvm_.peek(kv.first, buf, kCacheLineSize);
-        kv.second.overlay(buf);
+        nvm_.peek(line, buf, kCacheLineSize);
+        txWrites[core].at(line).overlay(buf);
         data_done = std::max(
-            data_done, nvm_.write(t, kv.first, buf, kCacheLineSize));
+            data_done, nvm_.write(t, line, buf, kCacheLineSize));
         orderDep("undo-commit-record", tx);
-        orderTrigger("undo-home-write", kv.first, 0, 1, false);
+        orderTrigger("undo-home-write", line, 0, 1, false);
         ++commitFlushesC_;
     }
 
@@ -213,7 +219,7 @@ UndoController::stallForLogSpace(Tick now)
     if (log_.full()) {
         // Degrade, don't die: the offending transaction's in-place
         // writes are rolled back by its logged pre-images on recovery.
-        stats_.counter("tx_rejected") += 1;
+        txRejectedC_ += 1;
         throw TxRejected{RejectCause::LogExhausted,
                          "undo log wedged: all entries belong to open "
                          "transactions; increase auxBytes"};
@@ -226,9 +232,9 @@ UndoController::scrub(Tick now)
     std::uint64_t corrected = 0;
     const Tick done =
         log_.scrubSlots(now, cfg.ft.scrubChunks, &corrected);
-    stats_.counter("scrub_corrected_words") += corrected;
-    stats_.counter("scrub_passes") += 1;
-    stats_.histogram("scrub_pause_ticks").record(done - now);
+    scrubCorrectedC_ += corrected;
+    scrubPassesC_ += 1;
+    scrubPauseH_.record(done - now);
     return done;
 }
 
@@ -264,6 +270,7 @@ UndoController::sampleGauges() const
 void
 UndoController::crash()
 {
+    // lint: unordered-iter-ok (outer std::vector of per-core maps; clearing is order-insensitive)
     for (auto &w : txWrites)
         w.clear();
     for (auto &t : coreTx)
@@ -305,7 +312,7 @@ UndoController::recover(unsigned)
     crashStep(CrashPointKind::RecoveryStep);
     log_.clear(0);
     committedEntries = 0;
-    stats_.counter("recoveries") += 1;
+    recoveriesC_ += 1;
 
     const Tick channel = nvm_.timing().transferTicks(
         entries * LogEntry::kEntryBytes + lines * kCacheLineSize);

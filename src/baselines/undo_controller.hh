@@ -117,6 +117,11 @@ class UndoController : public PersistenceController
     Counter &txCommittedC_;
     Counter &homeWritebacksC_;
     Counter &logBackpressureStallsC_;
+    Counter &txRejectedC_;
+    Counter &scrubCorrectedC_;
+    Counter &scrubPassesC_;
+    Histogram &scrubPauseH_;
+    Counter &recoveriesC_;
 };
 
 } // namespace hoopnvm

@@ -6,6 +6,7 @@
 #include "analysis/order_harness.hh"
 #include "check/spec_json.hh"
 #include "common/errors.hh"
+#include "common/json.hh"
 #include "fleet/client_policy.hh"
 #include "sim/system.hh"
 #include "workloads/registry.hh"
@@ -53,11 +54,12 @@ SoakSpec::toJson() const
     std::string out = "{\n";
     auto field = [&out](const char *key, const std::string &val,
                         bool last = false) {
+        // lint: raw-json-ok (keys are compile-time literals; string values arrive jsonQuote()d)
         out += std::string("  \"") + key + "\": " + val +
                (last ? "\n" : ",\n");
     };
-    field("scheme", std::string("\"") + schemeToken(scheme) + "\"");
-    field("workload", "\"" + workload + "\"");
+    field("scheme", jsonQuote(schemeToken(scheme)));
+    field("workload", jsonQuote(workload));
     field("seed", std::to_string(seed));
     field("num_cores", std::to_string(numCores));
     field("warmup_tx", std::to_string(warmupTx));

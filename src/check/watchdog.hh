@@ -83,6 +83,7 @@ class Watchdog
         std::uint64_t seen = beats_;
         while (!stop_) {
             const auto deadline =
+                // lint: nondet-api-ok (host liveness deadline for hang detection; never feeds simulated state)
                 std::chrono::steady_clock::now() +
                 std::chrono::milliseconds(budgetMs_);
             cv_.wait_until(lk, deadline, [&] {

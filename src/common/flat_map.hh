@@ -203,6 +203,39 @@ class FlatMap
     std::unique_ptr<V[]> vals_;
 };
 
+/**
+ * Keys of an associative container in ascending order — the
+ * deterministic way to iterate an unordered_map whose visit order is
+ * observable (NVM write sequencing, log streaming, trace emission).
+ * The harvest loop itself is order-insensitive; callers then index
+ * the container by sorted key.
+ */
+template <typename Set>
+std::vector<typename Set::key_type>
+sortedValues(const Set &s)
+{
+    std::vector<typename Set::key_type> vals;
+    vals.reserve(s.size());
+    // lint: unordered-iter-ok (order-insensitive harvest; callers iterate the sorted result)
+    for (const auto &v : s)
+        vals.push_back(v);
+    std::sort(vals.begin(), vals.end());
+    return vals;
+}
+
+template <typename Map>
+std::vector<typename Map::key_type>
+sortedKeys(const Map &m)
+{
+    std::vector<typename Map::key_type> keys;
+    keys.reserve(m.size());
+    // lint: unordered-iter-ok (order-insensitive key harvest; callers iterate the sorted result)
+    for (const auto &kv : m)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
 } // namespace hoopnvm
 
 #endif // HOOPNVM_COMMON_FLAT_MAP_HH

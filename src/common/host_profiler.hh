@@ -73,12 +73,14 @@ class HostTimer
         : c_(c), active_(HostProfiler::enabled())
     {
         if (active_)
+            // lint: nondet-api-ok (opt-in host profiling; ticks never reach the simulation)
             t0_ = std::chrono::steady_clock::now();
     }
 
     ~HostTimer()
     {
         if (active_) {
+            // lint: nondet-api-ok (opt-in host profiling; ticks never reach the simulation)
             const auto dt = std::chrono::steady_clock::now() - t0_;
             HostProfiler::add(
                 c_, static_cast<std::uint64_t>(

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "check/spec_json.hh"
+#include "common/json.hh"
 #include "common/rng.hh"
 #include "fleet/arrivals.hh"
 #include "fleet/chaos.hh"
@@ -52,12 +53,13 @@ FleetSpec::toJson() const
     std::string out = "{\n";
     auto field = [&out](const char *key, const std::string &val,
                         bool last = false) {
+        // lint: raw-json-ok (keys are compile-time literals; string values arrive jsonQuote()d)
         out += std::string("  \"") + key + "\": " + val +
                (last ? "\n" : ",\n");
     };
-    field("scheme", std::string("\"") + schemeToken(scheme) + "\"");
-    field("workload", "\"" + workload + "\"");
-    field("chaos_profile", "\"" + chaosProfile + "\"");
+    field("scheme", jsonQuote(schemeToken(scheme)));
+    field("workload", jsonQuote(workload));
+    field("chaos_profile", jsonQuote(chaosProfile));
     field("seed", std::to_string(seed));
     field("shards", std::to_string(shards));
     field("cores_per_shard", std::to_string(coresPerShard));

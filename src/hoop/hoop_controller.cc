@@ -42,7 +42,9 @@ HoopController::HoopController(NvmDevice &nvm, const SystemConfig &cfg_)
       txRejectedC_(stats_.counter("tx_rejected")),
       scrubPassesC_(stats_.counter("scrub_passes")),
       scrubCorrectedC_(stats_.counter("scrub_corrected_words")),
-      scrubPauseH_(stats_.histogram("scrub_pause_ticks"))
+      scrubPauseH_(stats_.histogram("scrub_pause_ticks")),
+      recoveriesC_(stats_.counter("recoveries")),
+      recoveryReplayH_(stats_.histogram("recovery_replay_ticks"))
 {
     gc_ = std::make_unique<GarbageCollector>(*this);
     recovery = std::make_unique<RecoveryManager>(*this);
@@ -630,8 +632,8 @@ HoopController::recoverWithFilter(unsigned threads,
     committed.clear();
     homeSeq.clear();
     restartIds(r.maxTxId + 1, r.committedTxReplayed + 1);
-    stats_.counter("recoveries") += 1;
-    stats_.histogram("recovery_replay_ticks").record(r.time);
+    recoveriesC_ += 1;
+    recoveryReplayH_.record(r.time);
     return r.time;
 }
 

@@ -262,6 +262,8 @@ class HoopController : public PersistenceController
     Counter &scrubPassesC_;
     Counter &scrubCorrectedC_;
     Histogram &scrubPauseH_;
+    Counter &recoveriesC_;
+    Histogram &recoveryReplayH_;
 };
 
 } // namespace hoopnvm

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/flat_map.hh"
 #include "common/logging.hh"
 
 namespace hoopnvm
@@ -70,13 +71,16 @@ MultiHoopSystem::txEnd(CoreId core)
 
     // Phase 1 — prepare: every participant flushes its outstanding
     // slices; the coordinator waits for all acknowledgements.
-    for (unsigned ch : touched[core])
+    // Channel order: commitCrashAfter cuts the phase-2 loop after a
+    // fixed count, so which participants hold commit records at the
+    // injected crash is observable — iterate both phases sorted.
+    for (unsigned ch : sortedValues(touched[core]))
         done = std::max(done, mcs[ch].ctrl->prepare(core, clocks[core]));
 
     // Phase 2 — commit: write each participant's commit record. A
     // crash inside this window leaves records on a strict subset of
     // the participants, which consensus recovery must resolve.
-    for (unsigned ch : touched[core]) {
+    for (unsigned ch : sortedValues(touched[core])) {
         if (commitCrashAfter == 0) {
             crashed = true;
             break;
@@ -98,6 +102,7 @@ MultiHoopSystem::crash()
 {
     for (auto &ch : mcs)
         ch.ctrl->crash();
+    // lint: unordered-iter-ok (outer std::vector of per-core sets; clearing is order-insensitive)
     for (auto &t : touched)
         t.clear();
     crashed = false;
@@ -135,16 +140,19 @@ MultiHoopSystem::recoverAll(unsigned threads)
                     has_record.insert(s.record.txId);
             }
         }
+        // lint: unordered-iter-ok (commutative fold: each tx's verdict is AND-ed in independently)
         for (TxId tx : has_slices) {
             auto it = eligible.emplace(tx, true).first;
             if (!has_record.contains(tx))
                 it->second = false; // prepared but never committed here
         }
+        // lint: unordered-iter-ok (emplace never overwrites; the result set is order-independent)
         for (TxId tx : has_record)
             eligible.emplace(tx, true);
     }
 
     std::unordered_set<TxId> allow;
+    // lint: unordered-iter-ok (building an unordered filter set; membership is order-independent)
     for (const auto &kv : eligible) {
         if (kv.second)
             allow.insert(kv.first);

@@ -42,7 +42,19 @@ struct LineAcc
 } // namespace
 
 RecoveryManager::RecoveryManager(HoopController &ctrl_)
-    : ctrl(ctrl_), stats_("recovery")
+    : ctrl(ctrl_), stats_("recovery"), runsC_(stats_.counter("runs")),
+      txReplayedC_(stats_.counter("tx_replayed")),
+      linesWrittenC_(stats_.counter("lines_written")),
+      slicesRejectedC_(stats_.counter("slices_rejected")),
+      tornCommitsC_(stats_.counter("torn_commits_detected")),
+      bitFlipsC_(stats_.counter("bit_flips_detected")),
+      headersRejectedC_(stats_.counter("headers_rejected")),
+      blocksSkippedWatermarkC_(
+          stats_.counter("blocks_skipped_by_watermark")),
+      incompleteTxVetoedC_(stats_.counter("incomplete_tx_vetoed")),
+      gcTrimmedTxReplayedC_(stats_.counter("gc_trimmed_tx_replayed")),
+      blocksSkippedRetiredC_(stats_.counter("blocks_skipped_retired")),
+      slicesSkippedBadC_(stats_.counter("slices_skipped_bad"))
 {
 }
 
@@ -366,19 +378,18 @@ RecoveryManager::run(unsigned threads,
     }
     res.bytesScanned = rw_bytes;
 
-    stats_.counter("runs") += 1;
-    stats_.counter("tx_replayed") += res.committedTxReplayed;
-    stats_.counter("lines_written") += res.homeLinesWritten;
-    stats_.counter("slices_rejected") += res.slicesRejected;
-    stats_.counter("torn_commits_detected") += res.tornCommitsDetected;
-    stats_.counter("bit_flips_detected") += res.bitFlipsDetected;
-    stats_.counter("headers_rejected") += res.headersRejected;
-    stats_.counter("blocks_skipped_by_watermark") +=
-        res.blocksSkippedByWatermark;
-    stats_.counter("incomplete_tx_vetoed") += res.incompleteTxVetoed;
-    stats_.counter("gc_trimmed_tx_replayed") += res.gcTrimmedTxReplayed;
-    stats_.counter("blocks_skipped_retired") += res.blocksSkippedRetired;
-    stats_.counter("slices_skipped_bad") += res.slicesSkippedBad;
+    runsC_ += 1;
+    txReplayedC_ += res.committedTxReplayed;
+    linesWrittenC_ += res.homeLinesWritten;
+    slicesRejectedC_ += res.slicesRejected;
+    tornCommitsC_ += res.tornCommitsDetected;
+    bitFlipsC_ += res.bitFlipsDetected;
+    headersRejectedC_ += res.headersRejected;
+    blocksSkippedWatermarkC_ += res.blocksSkippedByWatermark;
+    incompleteTxVetoedC_ += res.incompleteTxVetoed;
+    gcTrimmedTxReplayedC_ += res.gcTrimmedTxReplayed;
+    blocksSkippedRetiredC_ += res.blocksSkippedRetired;
+    slicesSkippedBadC_ += res.slicesSkippedBad;
     return res;
 }
 

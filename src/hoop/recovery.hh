@@ -147,6 +147,20 @@ class RecoveryManager
   private:
     HoopController &ctrl;
     StatSet stats_;
+    // Stats resolved once at construction: run() must never do
+    // string-keyed lookups (hoop_lint stats-lookup invariant).
+    Counter &runsC_;
+    Counter &txReplayedC_;
+    Counter &linesWrittenC_;
+    Counter &slicesRejectedC_;
+    Counter &tornCommitsC_;
+    Counter &bitFlipsC_;
+    Counter &headersRejectedC_;
+    Counter &blocksSkippedWatermarkC_;
+    Counter &incompleteTxVetoedC_;
+    Counter &gcTrimmedTxReplayedC_;
+    Counter &blocksSkippedRetiredC_;
+    Counter &slicesSkippedBadC_;
 };
 
 } // namespace hoopnvm

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <utility>
 
+#include "common/json.hh"
+
 namespace hoopnvm
 {
 
@@ -32,6 +34,7 @@ sink()
 std::string
 envPath()
 {
+    // lint: nondet-api-ok (HOOP_TRACE selects the trace output path; it never feeds simulated state)
     const char *p = std::getenv("HOOP_TRACE");
     return p ? std::string(p) : std::string();
 }
@@ -39,21 +42,7 @@ envPath()
 void
 appendJsonString(std::string &out, const std::string &s)
 {
-    out += '"';
-    for (char c : s) {
-        const unsigned char u = static_cast<unsigned char>(c);
-        if (c == '"' || c == '\\') {
-            out += '\\';
-            out += c;
-        } else if (u < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", u);
-            out += buf;
-        } else {
-            out += c;
-        }
-    }
-    out += '"';
+    out += jsonQuote(s);
 }
 
 void

@@ -25,6 +25,7 @@ SimAllocator::alloc(unsigned arena, std::uint64_t size,
     const Addr a = alignUp(cursor[arena], align);
     const Addr arena_end = base + (arena + 1) * arenaBytes_;
     if (a + size > arena_end) {
+        // lint: fatal-in-txpath-ok (boot-time layout sizing, not an admission path; see the logging.hh fatal audit)
         HOOP_FATAL("arena %u exhausted (%llu bytes requested); "
                    "increase homeBytes",
                    arena, static_cast<unsigned long long>(size));

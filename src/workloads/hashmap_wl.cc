@@ -50,6 +50,7 @@ HashmapWorkload::probe(std::uint64_t key, bool &found)
         }
         slot = (slot + 1) & (slots - 1);
     }
+    // lint: fatal-in-txpath-ok (workload sizing bug, not a controller admission path; see the logging.hh fatal audit)
     HOOP_FATAL("hash table full (key space too large for table)");
 }
 
@@ -93,6 +94,7 @@ HashmapWorkload::runTransaction(std::uint64_t)
 bool
 HashmapWorkload::verify() const
 {
+    // lint: unordered-iter-ok (read-only verification over untimed debug loads; all entries must pass)
     for (const auto &kv : shadow) {
         // Probe with untimed reads.
         std::uint64_t slot = mixHash(kv.first) & (slots - 1);

@@ -72,6 +72,7 @@ makeWorkload(const std::string &name, const WorkloadParams &p)
                 contextFor(sys, core), p.scale, p.scale);
         };
     }
+    // lint: fatal-in-txpath-ok (config-time lookup of a workload name, not an admission path; see the logging.hh fatal audit)
     HOOP_FATAL("unknown workload '%s'", name.c_str());
 }
 

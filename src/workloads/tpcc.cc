@@ -126,6 +126,7 @@ TpccWorkload::verify() const
 {
     if (ctx.debugLoad(district) != nextOid)
         return false;
+    // lint: unordered-iter-ok (read-only verification over untimed debug loads; all entries must pass)
     for (const auto &kv : stockQty) {
         if (ctx.debugLoad(stockAddr(kv.first)) != kv.second)
             return false;

@@ -71,6 +71,7 @@ bool
 YcsbWorkload::verify() const
 {
     const std::size_t item_words = store.recordBytes() / kWordSize;
+    // lint: unordered-iter-ok (read-only verification over untimed debug loads; all entries must pass)
     for (const auto &kv : shadow) {
         for (std::size_t w = 0; w < item_words; ++w) {
             if (store.debugWord(kv.first, w) !=

@@ -243,6 +243,7 @@ main(int argc, char **argv)
     ::setenv("HOOP_BENCH_JSON_DIR", ".", 1);
     std::remove(jsonName.c_str());
 
+    // lint: raw-json-ok (shell-command quoting for std::system, not JSON emission)
     const std::string cmd = "\"" + bench + "\" > bench_smoke_stdout.txt";
     const int rc = std::system(cmd.c_str());
     CHECK(rc == 0, "bench exited with status %d", rc);
