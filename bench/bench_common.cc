@@ -109,7 +109,43 @@ fputSummary(std::FILE *f, const char *key, const LatencySummary &s)
     fputNum(f, "max_ns", s.maxNs);
     std::fputs(", ", f);
     fputNum(f, "mean_ns", s.meanNs);
+    // Schema v5: saturation markers (0/1) — the matching quantile is
+    // the exact max under Histogram's small-population rule, not a
+    // resolved quantile.
+    std::fputs(", ", f);
+    fputNum(f, "p50_saturated", std::uint64_t{s.p50Saturated});
+    std::fputs(", ", f);
+    fputNum(f, "p95_saturated", std::uint64_t{s.p95Saturated});
+    std::fputs(", ", f);
+    fputNum(f, "p99_saturated", std::uint64_t{s.p99Saturated});
+    std::fputs(", ", f);
+    fputNum(f, "p999_saturated", std::uint64_t{s.p999Saturated});
     std::fputc('}', f);
+}
+
+void
+fputRoles(std::FILE *f, const std::vector<RoleMetrics> &roles)
+{
+    // Schema v5: per-role interference slices. Always emitted; empty
+    // for every workload outside the interference suite so the schema
+    // stays uniform across benches.
+    fputKey(f, "roles");
+    std::fputc('[', f);
+    bool first = true;
+    for (const RoleMetrics &r : roles) {
+        std::fputs(first ? "{" : ", {", f);
+        first = false;
+        fputKey(f, "role");
+        fputJsonString(f, r.name);
+        std::fputs(", ", f);
+        fputNum(f, "transactions", r.transactions);
+        std::fputs(", ", f);
+        fputNum(f, "tx_per_second", r.txPerSecond);
+        std::fputs(", ", f);
+        fputSummary(f, "latency", r.latency);
+        std::fputc('}', f);
+    }
+    std::fputc(']', f);
 }
 
 void
@@ -146,6 +182,10 @@ fputEpochs(std::FILE *f, const std::vector<EpochSample> &epochs)
         fputNum(f, "client_deadline_misses", e.clientDeadlineMisses);
         std::fputs(", ", f);
         fputNum(f, "client_shed_admissions", e.clientShedAdmissions);
+        std::fputs(", ", f);
+        fputNum(f, "channel_busy_ticks", e.channelBusyTicks);
+        std::fputs(", ", f);
+        fputNum(f, "channel_wait_ticks", e.channelWaitTicks);
         std::fputc('}', f);
     }
     std::fputc(']', f);
@@ -305,12 +345,23 @@ BenchReport::write() const
         if (rec.hasMetrics)
             sim_ticks += rec.metrics.simTicks;
     }
+    // HOOP_BENCH_DETERMINISTIC=1 zeroes every host-wall-clock field
+    // (jobs, wall seconds, per-cell seconds, derived rates) so the
+    // whole JSON is byte-comparable across runs and job counts — the
+    // simulated content already is; the host timings are the only
+    // nondeterministic bytes. CI's interference-smoke diffs -j1
+    // against -jN this way.
+    // lint: nondet-api-ok (HOOP_BENCH_DETERMINISTIC selects report normalization only; never feeds simulated state)
+    const char *det_env = std::getenv("HOOP_BENCH_DETERMINISTIC");
+    const bool deterministic =
+        det_env != nullptr && det_env[0] != '\0' && det_env[0] != '0';
     const double wall = wallSeconds_ > 0.0 ? wallSeconds_ : 1e-9;
-    const double cells_per_sec = cells_.size() / wall;
-    const double ticks_per_sec = sim_ticks / wall;
+    const double cells_per_sec =
+        deterministic ? 0.0 : cells_.size() / wall;
+    const double ticks_per_sec = deterministic ? 0.0 : sim_ticks / wall;
 
     std::fputs("{\n  ", f);
-    fputNum(f, "schema_version", std::uint64_t{4});
+    fputNum(f, "schema_version", std::uint64_t{5});
     std::fputs(",\n  ", f);
     fputKey(f, "bench");
     fputJsonString(f, name_);
@@ -340,9 +391,9 @@ BenchReport::write() const
     std::fputs("}", f);
 
     std::fputs(",\n  \"host\": {", f);
-    fputNum(f, "jobs", std::uint64_t{jobs_});
+    fputNum(f, "jobs", deterministic ? 0 : std::uint64_t{jobs_});
     std::fputs(", ", f);
-    fputNum(f, "wall_seconds", wallSeconds_);
+    fputNum(f, "wall_seconds", deterministic ? 0.0 : wallSeconds_);
     std::fputs(", ", f);
     fputNum(f, "cells", std::uint64_t{cells_.size()});
     std::fputs(", ", f);
@@ -383,7 +434,7 @@ BenchReport::write() const
         fputKey(f, "label");
         fputJsonString(f, rec.label);
         std::fputs(", ", f);
-        fputNum(f, "seconds", rec.seconds);
+        fputNum(f, "seconds", deterministic ? 0.0 : rec.seconds);
         if (rec.hasMetrics) {
             const RunMetrics &m = rec.metrics;
             std::fputs(",\n     \"metrics\": {", f);
@@ -424,6 +475,16 @@ BenchReport::write() const
             fputNum(f, "tx_rejected", m.txRejected);
             std::fputs(", ", f);
             fputNum(f, "degraded_fraction", m.degradedFraction);
+            std::fputs(",\n     ", f);
+            fputNum(f, "channel_busy_ticks", m.channelBusyTicks);
+            std::fputs(", ", f);
+            fputNum(f, "channel_wait_ticks", m.channelWaitTicks);
+            std::fputs(", ", f);
+            fputNum(f, "drain_fences", m.drainFences);
+            std::fputs(", ", f);
+            fputNum(f, "channel_utilization", m.channelUtilization);
+            std::fputs(",\n     ", f);
+            fputRoles(f, m.roles);
             std::fputs(",\n     ", f);
             fputEpochs(f, m.epochs);
             std::fputs("}", f);

@@ -80,8 +80,7 @@ LadController::txEnd(CoreId core, Tick now)
     // the fault model so a later crash can never tear a committed
     // drain — without this, LAD's whole durability argument is void.
     if (!writes.empty()) {
-        const Tick drained = std::max(
-            t, nvm_.channelFree() + nvm_.timing().writeLatency);
+        const Tick drained = nvm_.drainFence(t);
         if (!cfg.debugSkipSettleFences)
             nvm_.faults().settleUpTo(drained);
         orderTrigger("lad-commit-drain", coreTx[core].txId, drained);

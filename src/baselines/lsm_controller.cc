@@ -244,8 +244,7 @@ LsmController::gc(Tick now)
         // writes above: if a migration tears while the truncation
         // survives, the log no longer holds the only good copy. Drain
         // the channel and settle the migrations first.
-        const Tick drained = std::max(
-            last, nvm_.channelFree() + nvm_.timing().writeLatency);
+        const Tick drained = nvm_.drainFence(last);
         if (!cfg.debugSkipSettleFences)
             nvm_.faults().settleUpTo(drained);
         orderTrigger("lsm-log-truncate", 0, drained);

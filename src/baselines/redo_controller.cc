@@ -236,8 +236,7 @@ RedoController::truncateRetired(Tick now)
     // write is issued. Without the drain a crash could tear a
     // checkpoint while the later superblock write survives, losing
     // committed data with no log entry left to redo it.
-    const Tick drained = std::max(
-        now, nvm_.channelFree() + nvm_.timing().writeLatency);
+    const Tick drained = nvm_.drainFence(now);
     if (!cfg.debugSkipSettleFences)
         nvm_.faults().settleUpTo(drained);
     orderTrigger("redo-log-truncate", 0, drained);

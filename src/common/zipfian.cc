@@ -1,5 +1,6 @@
 #include "common/zipfian.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -21,20 +22,47 @@ ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta_,
     : items(n),
       theta(theta_),
       zetaN(zeta(n, theta_)),
-      zeta2(zeta(2, theta_)),
-      alpha(1.0 / (1.0 - theta_)),
-      eta((1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta_)) /
-          (1.0 - zeta2 / zetaN)),
+      zeta2(zeta(std::min<std::uint64_t>(n, 2), theta_)),
+      alpha(theta_ < 1.0 ? 1.0 / (1.0 - theta_) : 0.0),
+      eta(n >= 2 && theta_ < 1.0
+              ? (1.0 - std::pow(2.0 / static_cast<double>(n),
+                                1.0 - theta_)) /
+                    (1.0 - zeta2 / zetaN)
+              : 0.0),
       rng(seed)
 {
-    HOOP_ASSERT(n >= 2, "Zipfian needs at least two items");
-    HOOP_ASSERT(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+    HOOP_ASSERT(n >= 1, "Zipfian needs at least one item");
+    HOOP_ASSERT(theta >= 0.0 && theta <= 1.0,
+                "theta must be in [0, 1]");
+    if (items > 1 && theta > kGrayThetaMax) {
+        // Exact inverse-CDF path: Gray's closed form is numerically
+        // unusable this close to theta == 1 (see header). zetaN was
+        // just recomputed for this exact (n, theta), so the table is
+        // correctly normalized even when n differs from a previous
+        // generator's.
+        cdf_.resize(items);
+        double cum = 0.0;
+        for (std::uint64_t i = 0; i < items; ++i) {
+            cum += 1.0 /
+                   (std::pow(static_cast<double>(i + 1), theta) * zetaN);
+            cdf_[i] = cum;
+        }
+        cdf_.back() = 1.0; // absorb rounding in the final bin
+    }
 }
 
 std::uint64_t
 ZipfianGenerator::next()
 {
+    if (items <= 1)
+        return 0;
     const double u = rng.nextDouble();
+    if (!cdf_.empty()) {
+        const auto it =
+            std::lower_bound(cdf_.begin(), cdf_.end(), u);
+        const auto v = static_cast<std::uint64_t>(it - cdf_.begin());
+        return v >= items ? items - 1 : v;
+    }
     const double uz = u * zetaN;
     if (uz < 1.0)
         return 0;
@@ -44,6 +72,16 @@ ZipfianGenerator::next()
         static_cast<double>(items) *
         std::pow(eta * u - eta + 1.0, alpha));
     return v >= items ? items - 1 : v;
+}
+
+double
+ZipfianGenerator::itemProbability(std::uint64_t i) const
+{
+    if (items <= 1)
+        return i == 0 ? 1.0 : 0.0;
+    if (i >= items)
+        return 0.0;
+    return 1.0 / (std::pow(static_cast<double>(i + 1), theta) * zetaN);
 }
 
 } // namespace hoopnvm

@@ -7,12 +7,25 @@
  * which is also the algorithm the YCSB reference implementation uses.
  * The paper's YCSB workload draws keys from a Zipfian distribution
  * (theta = 0.99 by default) over the key space.
+ *
+ * Gray's closed form maps a uniform draw through pow(., 1/(1-theta)),
+ * which blows up as theta -> 1: the exponent alpha = 1/(1-theta)
+ * diverges and the pow underflows to 0 for most of the unit interval,
+ * collapsing nearly every draw onto item 0 long before theta reaches
+ * 1.0 (and the classic harmonic case theta == 1 divides by zero
+ * outright). Above kGrayThetaMax the generator therefore switches to
+ * an exact inverse-CDF table (one cumulative probability per item,
+ * binary-searched per draw) — slightly more memory, zero skew bias,
+ * and theta == 1.0 handled exactly. Both paths renormalize from a
+ * freshly computed zeta(n, theta) in the constructor, so changing the
+ * item count between runs cannot leak a stale normalization constant.
  */
 
 #ifndef HOOPNVM_COMMON_ZIPFIAN_HH
 #define HOOPNVM_COMMON_ZIPFIAN_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.hh"
 
@@ -24,8 +37,17 @@ class ZipfianGenerator
 {
   public:
     /**
-     * @param n      Size of the key space.
-     * @param theta  Skew parameter in (0, 1); YCSB default is 0.99.
+     * Largest theta served by Gray's closed form; skews above it use
+     * the exact inverse-CDF table. 0.995 keeps the YCSB default
+     * (0.99) on the historical fast path while cutting over well
+     * before the pow() underflow region.
+     */
+    static constexpr double kGrayThetaMax = 0.995;
+
+    /**
+     * @param n      Size of the key space (>= 1; n == 1 always draws 0).
+     * @param theta  Skew parameter in [0, 1]; 0 is uniform, 1 is the
+     *               classic harmonic Zipf. YCSB default is 0.99.
      * @param seed   RNG seed.
      */
     ZipfianGenerator(std::uint64_t n, double theta, std::uint64_t seed);
@@ -36,6 +58,9 @@ class ZipfianGenerator
     /** Key-space size. */
     std::uint64_t itemCount() const { return items; }
 
+    /** Exact probability of item @p i under this (n, theta) (tests). */
+    double itemProbability(std::uint64_t i) const;
+
   private:
     static double zeta(std::uint64_t n, double theta);
 
@@ -45,6 +70,9 @@ class ZipfianGenerator
     double zeta2;
     double alpha;
     double eta;
+    // Cumulative distribution, populated only on the exact-CDF path
+    // (theta > kGrayThetaMax and n > 1): cdf_[i] = P(key <= i).
+    std::vector<double> cdf_;
     Rng rng;
 };
 

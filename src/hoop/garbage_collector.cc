@@ -289,8 +289,7 @@ GarbageCollector::run(Tick now)
     // issued so far (the channel frees in issue order), and only
     // writes complete by that tick settle — writes issued afterwards,
     // including the recycle header writes below, can still tear.
-    last = std::max(last, ctrl.nvm_.channelFree() +
-                              ctrl.nvm_.timing().writeLatency);
+    last = std::max(last, ctrl.nvm_.drainFence(last));
     if (!ctrl.cfg.debugSkipSettleFences)
         ctrl.nvm_.faults().settleUpTo(last);
     ctrl.orderTrigger("hoop-gc-watermark", 0, last);
@@ -314,8 +313,7 @@ GarbageCollector::run(Tick now)
     last = std::max(last,
                     region.writeGcWatermark(batch_max_open + 1, now));
     ctrl.orderDep("hoop-gc-recycle", 0);
-    last = std::max(last, ctrl.nvm_.channelFree() +
-                              ctrl.nvm_.timing().writeLatency);
+    last = std::max(last, ctrl.nvm_.drainFence(last));
     if (!ctrl.cfg.debugSkipSettleFences)
         ctrl.nvm_.faults().settleUpTo(last);
     ctrl.orderTrigger("hoop-gc-recycle", 0, last, 1);

@@ -61,12 +61,16 @@ Tick
 NvmDevice::reserve(Tick now, std::size_t len, bool is_write)
 {
     const Tick start = std::max(now, channelFree_);
+    if (start > now)
+        channelWaitTicks_ += start - now;
     const Tick transfer = timing_.transferTicks(len);
     // The access holds the channel/bank for the transfer plus the
     // device-side busy time; its own completion additionally pays the
     // (pipelined) access latency.
-    channelFree_ = start + transfer +
-                   (is_write ? timing_.writeBusy : timing_.readBusy);
+    const Tick hold = transfer +
+                      (is_write ? timing_.writeBusy : timing_.readBusy);
+    channelBusyTicks_ += hold;
+    channelFree_ = start + hold;
     const Tick latency =
         is_write ? timing_.writeLatency : timing_.readLatency;
 
@@ -118,8 +122,14 @@ NvmDevice::read(Tick now, Addr addr, void *buf, std::size_t len,
         ++uncorrectableReads_;
     // In-line correction is not free: latency surcharge per corrected
     // word, plus the word's re-read energy for the correction pipeline.
+    // The correction pipeline sits on the device side of the channel,
+    // so the surcharge also extends the channel occupancy — other
+    // requesters queue behind it, not just this read's completion.
     if (info.correctedWords > 0) {
-        done += eccCorrectCost_ * info.correctedWords;
+        const Tick surcharge = eccCorrectCost_ * info.correctedWords;
+        done += surcharge;
+        channelFree_ += surcharge;
+        channelBusyTicks_ += surcharge;
         energy_.charge(info.correctedWords * kWordSize, false);
     }
     if (rf)
@@ -223,9 +233,29 @@ NvmDevice::pokeWord(Addr addr, std::uint64_t value)
     poke(addr, &value, sizeof(value));
 }
 
+Tick
+NvmDevice::drainFence(Tick now)
+{
+    // Every write already issued completes no later than its channel
+    // slot plus the array write latency (latency is pipelined, so the
+    // last slot's completion bounds them all). Holding the channel to
+    // the bound is the point of the fix: a read issued after the fence
+    // at an *earlier* core clock must queue behind the drain rather
+    // than be serviced inside the window it fences.
+    const Tick bound = std::max(now, channelFree_ + timing_.writeLatency);
+    if (bound > channelFree_)
+        channelBusyTicks_ += bound - channelFree_;
+    channelFree_ = bound;
+    ++drainFences_;
+    return bound;
+}
+
 void
 NvmDevice::resetCounters()
 {
+    channelBusyTicks_ = 0;
+    channelWaitTicks_ = 0;
+    drainFences_ = 0;
     bytesRead_ = 0;
     bytesWritten_ = 0;
     readAccesses_ = 0;

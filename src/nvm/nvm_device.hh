@@ -122,6 +122,27 @@ class NvmDevice
     /** First tick at which the channel is free. */
     Tick channelFree() const { return channelFree_; }
 
+    /**
+     * Drain fence: returns the earliest tick by which every write
+     * issued so far is durable on media — `max(now, channel_free +
+     * write_latency)` — and *holds the channel* until that bound, so
+     * accesses issued afterwards at earlier core clocks queue behind
+     * the drain instead of slipping into the window. Controllers use
+     * this for log truncation / GC watermark barriers; pair it with
+     * `faults().settleUpTo(bound)` to retire scheduled media faults
+     * up to the same point.
+     */
+    Tick drainFence(Tick now);
+
+    /** Ticks the channel spent occupied (transfer + bank busy). */
+    std::uint64_t channelBusyTicks() const { return channelBusyTicks_; }
+
+    /** Ticks accesses spent queued behind a busy channel. */
+    std::uint64_t channelWaitTicks() const { return channelWaitTicks_; }
+
+    /** Drain fences issued since the last counter reset. */
+    std::uint64_t drainFences() const { return drainFences_; }
+
     /** Reset traffic/energy counters (not the stored bytes). */
     void resetCounters();
 
@@ -215,6 +236,9 @@ class NvmDevice
 
     NvmWriteObserver *observer_ = nullptr;
     Tick channelFree_ = 0;
+    std::uint64_t channelBusyTicks_ = 0;
+    std::uint64_t channelWaitTicks_ = 0;
+    std::uint64_t drainFences_ = 0;
     std::uint64_t bytesRead_ = 0;
     std::uint64_t bytesWritten_ = 0;
     std::uint64_t readAccesses_ = 0;

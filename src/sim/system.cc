@@ -35,8 +35,25 @@ summarizeTicks(const Histogram *h)
     s.p999Ns = h->quantile(0.999) / static_cast<double>(kTicksPerNs);
     s.maxNs = ticksToNs(h->max());
     s.meanNs = h->mean() / static_cast<double>(kTicksPerNs);
+    // Mark tails the population cannot resolve: the value is the
+    // exact max under Histogram's saturation rule, not a quantile.
+    s.p50Saturated = Histogram::quantileSaturated(s.count, 0.50);
+    s.p95Saturated = Histogram::quantileSaturated(s.count, 0.95);
+    s.p99Saturated = Histogram::quantileSaturated(s.count, 0.99);
+    s.p999Saturated = Histogram::quantileSaturated(s.count, 0.999);
     return s;
 }
+
+/**
+ * Role-name table for the interference workload's per-role latency
+ * histograms ("role_<name>_ticks" in the system StatSet). metrics()
+ * scans this fixed list so RunMetrics.roles is deterministic in both
+ * content and order; workloads that never record them produce an
+ * empty roles vector.
+ */
+constexpr const char *kRoleNames[] = {"log_append", "point_read",
+                                      "seq_scan", "gc_pressure"};
+
 
 } // namespace
 
@@ -90,6 +107,8 @@ System::System(const SystemConfig &cfg, Scheme scheme)
         cores_.emplace_back(c);
         cores_.back().setTracker(&clockTracker_);
     }
+    if (cfg_.missOverlapDepth > 1)
+        overlapWin_.resize(cfg_.numCores);
     nextEpoch_ = cfg_.epochSamplePeriod;
     nextScrub_ = cfg_.ft.scrubPeriod;
     if (Trace::enabled()) {
@@ -115,6 +134,9 @@ System::txEnd(CoreId core)
 {
     Core &c = cores_[core];
     HOOP_ASSERT(c.inTx(), "txEnd without txBegin on core %u", core);
+    // A commit never overtakes its own reads: wait out every
+    // outstanding overlapped fill before the commit record is built.
+    drainOverlap(core);
     const Tick done = ctrl_->txEnd(core, c.clock() + cfg_.opCost());
     // Crash point between the commit record being issued and the
     // commit being acknowledged: the record is still in flight (the
@@ -136,8 +158,59 @@ System::loadWord(CoreId core, Addr addr)
 {
     Core &c = cores_[core];
     std::uint64_t v = 0;
-    c.advanceTo(caches_->loadWord(core, addr, v, c.clock()));
+    if (cfg_.missOverlapDepth <= 1) {
+        // Blocking core: the literal historical path, kept verbatim so
+        // depth 1 is bit-identical to the pre-knob engine
+        // (interference_test pins the differential).
+        c.advanceTo(caches_->loadWord(core, addr, v, c.clock()));
+        return v;
+    }
+    overlappedAdvance(core, caches_->loadWord(core, addr, v, c.clock()));
     return v;
+}
+
+void
+System::overlappedAdvance(CoreId core, Tick done)
+{
+    Core &c = cores_[core];
+    // Fast completions — cache hits and anything cheaper than one NVM
+    // array read — stall in place: there is no fill worth hiding, and
+    // letting them occupy window slots would evict real misses.
+    if (done <= c.clock() ||
+        done - c.clock() < cfg_.nvm.readLatency) {
+        c.advanceTo(done);
+        return;
+    }
+    auto &win = overlapWin_[core];
+    while (win.size() >= cfg_.missOverlapDepth) {
+        // Window full: the front-end stalls for the oldest fill.
+        c.advanceTo(win.front());
+        win.erase(win.begin());
+    }
+    win.push_back(done);
+    // The issue slot itself still costs one op: the core moves on to
+    // independent work while the fill is in flight.
+    c.advanceBy(cfg_.opCost());
+}
+
+void
+System::drainOverlap(CoreId core)
+{
+    if (overlapWin_.empty())
+        return;
+    auto &win = overlapWin_[core];
+    Core &c = cores_[core];
+    for (const Tick t : win)
+        c.advanceTo(t);
+    win.clear();
+}
+
+void
+System::idle(CoreId core, Tick d)
+{
+    Core &c = cores_[core];
+    HOOP_ASSERT(!c.inTx(), "idle() inside a failure-atomic region");
+    c.advanceBy(d);
 }
 
 void
@@ -242,6 +315,10 @@ System::crash()
     // beyond the power-failure instant loses its non-persisted words.
     // Only then does the volatile state vanish.
     nvm_->applyCrashFaults(maxClock());
+    // Outstanding overlapped fills die with the cores; dropping them
+    // without advancing models the power failure cutting them off.
+    for (auto &win : overlapWin_)
+        win.clear();
     caches_->dropAll();
     ctrl_->crash();
     for (auto &c : cores_)
@@ -318,6 +395,8 @@ System::sampleEpoch(Tick now)
     s.clientBackoffTicks = g.clientBackoffTicks;
     s.clientDeadlineMisses = g.clientDeadlineMisses;
     s.clientShedAdmissions = g.clientShedAdmissions;
+    s.channelBusyTicks = nvm_->channelBusyTicks();
+    s.channelWaitTicks = nvm_->channelWaitTicks();
     if (epochRing_.size() < cfg_.epochRingCapacity) {
         epochRing_.push_back(s);
     } else {
@@ -344,6 +423,8 @@ System::epochSamples() const
 void
 System::finalize()
 {
+    for (unsigned c = 0; c < cfg_.numCores; ++c)
+        drainOverlap(c);
     const Tick t = maxClock();
     caches_->writebackAll(t);
     ctrl_->drain(t);
@@ -407,6 +488,30 @@ System::metrics() const
     m.retiredUnits = g.retiredUnits;
     m.txRejected = g.txRejected;
     m.degradedFraction = g.degradedFraction;
+    m.channelBusyTicks = nvm_->channelBusyTicks();
+    m.channelWaitTicks = nvm_->channelWaitTicks();
+    m.drainFences = nvm_->drainFences();
+    if (m.simTicks > 0) {
+        m.channelUtilization =
+            static_cast<double>(m.channelBusyTicks) /
+            static_cast<double>(m.simTicks);
+    }
+    for (const char *role : kRoleNames) {
+        const Histogram *h = stats_.findHistogram(
+            std::string("role_") + role + "_ticks");
+        if (!h || h->count() == 0)
+            continue;
+        RoleMetrics rm;
+        rm.name = role;
+        rm.transactions = h->count();
+        if (m.simTicks > 0) {
+            rm.txPerSecond =
+                static_cast<double>(rm.transactions) /
+                (static_cast<double>(m.simTicks) * 1e-12);
+        }
+        rm.latency = summarizeTicks(h);
+        m.roles.push_back(std::move(rm));
+    }
     m.epochs = epochSamples();
     return m;
 }

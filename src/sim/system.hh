@@ -43,6 +43,17 @@ struct LatencySummary
 
     double maxNs = 0.0;
     double meanNs = 0.0;
+
+    // Saturation markers (Histogram::quantileSaturated): true when the
+    // matching quantile fell under the exact-max rule because the
+    // population is too small to resolve it (count < ~1/(1-q)). The
+    // value is then the exact max, not an interpolated quantile —
+    // dumps mark these so under-populated tails are not mistaken for
+    // resolved ones.
+    bool p50Saturated = false;
+    bool p95Saturated = false;
+    bool p99Saturated = false;
+    bool p999Saturated = false;
 };
 
 /** One snapshot of the system's occupancy gauges (epoch sampler). */
@@ -91,6 +102,35 @@ struct EpochSample
 
     /** Requests refused by admission control (load shedding). */
     std::uint64_t clientShedAdmissions = 0;
+
+    // ---- NVM channel gauges (interference suite) ----
+
+    /** Cumulative ticks the channel was occupied (transfer + busy). */
+    std::uint64_t channelBusyTicks = 0;
+
+    /** Cumulative ticks accesses queued behind a busy channel. */
+    std::uint64_t channelWaitTicks = 0;
+};
+
+/**
+ * Per-role slice of an interference run: one entry per workload role
+ * (log-append, point-read, seq-scan, gc-pressure) with cores assigned
+ * to it. Populated from the `role_*_ticks` histograms the interference
+ * workload records into the system StatSet; empty for every other
+ * workload.
+ */
+struct RoleMetrics
+{
+    std::string name;
+
+    /** Transactions this role's cores committed in the window. */
+    std::uint64_t transactions = 0;
+
+    /** Role-aggregate committed transactions per simulated second. */
+    double txPerSecond = 0.0;
+
+    /** Per-transaction latency distribution for this role. */
+    LatencySummary latency;
 };
 
 /** Measurement snapshot of one run. */
@@ -148,6 +188,23 @@ struct RunMetrics
     /** Fraction of scheme capacity lost to retirement, in [0, 1]. */
     double degradedFraction = 0.0;
 
+    // ---- NVM channel occupancy (interference suite) ----
+
+    /** Ticks the channel spent occupied (transfer + bank busy). */
+    std::uint64_t channelBusyTicks = 0;
+
+    /** Ticks accesses spent queued behind a busy channel. */
+    std::uint64_t channelWaitTicks = 0;
+
+    /** Drain fences issued (GC watermark / log truncation barriers). */
+    std::uint64_t drainFences = 0;
+
+    /** channelBusyTicks / simTicks, in [0, ~1]. */
+    double channelUtilization = 0.0;
+
+    /** Per-role interference metrics (empty outside the suite). */
+    std::vector<RoleMetrics> roles;
+
     /** Epoch gauge samples, oldest first (ring-buffer bounded). */
     std::vector<EpochSample> epochs;
 };
@@ -173,6 +230,14 @@ class System
 
     /** Timed word load. */
     std::uint64_t loadWord(CoreId core, Addr addr);
+
+    /**
+     * Advance @p core's clock by @p d ticks of deliberate idleness
+     * (open-loop pacing: the interference workload's saturation knob
+     * inserts think-time gaps between transactions). Must be called
+     * outside a failure-atomic region.
+     */
+    void idle(CoreId core, Tick d);
 
     /** Timed word store (transactional if inside a region). */
     void storeWord(CoreId core, Addr addr, std::uint64_t value);
@@ -280,12 +345,33 @@ class System
     /** System-level statistics (critical-path histogram et al.). */
     const StatSet &stats() const { return stats_; }
 
+    /**
+     * Mutable statistics access for workloads that register their own
+     * histograms (the interference suite's per-role latency series).
+     * Resolve handles in constructors/setup, never on hot paths (the
+     * lint stats-lookup rule applies to callers too).
+     */
+    StatSet &stats() { return stats_; }
+
     /** Epoch gauge samples collected so far, oldest first. */
     std::vector<EpochSample> epochSamples() const;
 
   private:
     /** Take an epoch gauge sample if the period has elapsed. */
     void sampleEpoch(Tick now);
+
+    /**
+     * Miss-overlap (cfg.missOverlapDepth > 1): enter a line-fill
+     * completion @p done into @p core's outstanding-fill window
+     * instead of stalling, waiting for the oldest fill only when the
+     * window is full. Fast completions (below the NVM read latency —
+     * cache hits and LLC-adjacent fills) stall in place: there is
+     * nothing worth hiding and the window should hold real misses.
+     */
+    void overlappedAdvance(CoreId core, Tick done);
+
+    /** Wait for every outstanding fill on @p core (commit boundary). */
+    void drainOverlap(CoreId core);
 
     SystemConfig cfg_;
     Scheme scheme_;
@@ -319,6 +405,13 @@ class System
 
     /** Next background-scrub tick (cfg.ft.scrubPeriod cadence). */
     Tick nextScrub_ = 0;
+
+    /**
+     * Per-core outstanding line-fill completions, oldest first
+     * (cfg.missOverlapDepth > 1 only; empty otherwise). Plain vectors:
+     * the window is tiny (K <= ~8) and erase-front beats deque churn.
+     */
+    std::vector<std::vector<Tick>> overlapWin_;
 
     /** Present only when tracing is armed (HOOP_TRACE). */
     std::unique_ptr<TraceBuffer> trace_;

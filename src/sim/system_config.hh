@@ -258,6 +258,21 @@ struct SystemConfig
      */
     bool fastPath = true;
 
+    /**
+     * Coroutine-style miss overlap: up to this many outstanding
+     * line-fill misses per core before the front-end stalls. 1 is the
+     * classic blocking core (every miss serializes on its own
+     * completion) and is guaranteed bit-identical to the historical
+     * engine. Depth K > 1 models a prefetching/coroutine front-end
+     * (interference suite, ROADMAP item 3): a scalar load whose fill
+     * takes at least the NVM read latency is entered into a per-core
+     * window instead of stalling, and the core only waits for the
+     * oldest fill once K are outstanding (and for all of them at
+     * transaction end — commits never overtake their own reads).
+     * Stores and multi-word range reads remain blocking.
+     */
+    unsigned missOverlapDepth = 1;
+
     // ---- Runtime fault tolerance ----
 
     /** Media-fault tolerance subsystem (off by default). */

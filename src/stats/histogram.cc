@@ -108,6 +108,13 @@ Histogram::quantile(double q) const
     const std::uint64_t target = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(
                std::ceil(q * static_cast<double>(count_))));
+    // Saturated tail: the target rank is the last sample, whose exact
+    // value the histogram tracks as max_. Return it directly instead
+    // of interpolating inside the top occupied bucket — on small
+    // populations (count < 1/(1-q)) the interpolation silently read a
+    // point inside the max bucket, off by up to the ~6% bucket width.
+    if (target >= count_)
+        return static_cast<double>(max_);
     std::uint64_t cum = 0;
     for (std::size_t i = 0; i < kBuckets; ++i) {
         if (buckets_[i] == 0)
@@ -127,6 +134,18 @@ Histogram::quantile(double q) const
         cum += buckets_[i];
     }
     return static_cast<double>(max_);
+}
+
+bool
+Histogram::quantileSaturated(std::uint64_t count, double q)
+{
+    if (count == 0)
+        return true;
+    q = std::clamp(q, 0.0, 1.0);
+    const std::uint64_t target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(count))));
+    return target >= count;
 }
 
 } // namespace hoopnvm

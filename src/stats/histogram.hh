@@ -67,8 +67,25 @@ class Histogram
      * holding the target rank and clamped to [min(), max()]. With
      * width-1 buckets (values < kSubBuckets, or any set of identical
      * samples) the result is exact.
+     *
+     * Saturation rule: when the target rank is the last sample —
+     * i.e. ceil(q * count) >= count, equivalently count < 1/(1-q) —
+     * the nearest-rank sample *is* the maximum, so the exact max() is
+     * returned instead of interpolating inside the top occupied
+     * bucket. A p999 of a 100-sample histogram is therefore the true
+     * max, not a point ~6% into the max bucket. quantileSaturated()
+     * reports when this rule applied so dumps can mark the value as
+     * an under-populated tail rather than a resolved quantile.
      */
     double quantile(double q) const;
+
+    /**
+     * True when quantile(q) over @p count samples falls under the
+     * saturation rule above (also true for empty histograms). Static:
+     * callers often test a summary's recorded count without the
+     * histogram at hand.
+     */
+    static bool quantileSaturated(std::uint64_t count, double q);
 
     /** Bucket index holding @p value. */
     static std::size_t bucketIndex(std::uint64_t value);

@@ -110,6 +110,16 @@ class TxContext
                a + kCacheLineSize <= sys_->config().homeBytes;
     }
 
+    /**
+     * Open-loop pacing: burn @p d ticks of deliberate idleness between
+     * transactions (the interference suite's saturation knob). Must be
+     * called outside a failure-atomic region.
+     */
+    void idle(Tick d) { sys_->idle(core_, d); }
+
+    /** This core's current simulated clock. */
+    Tick clock() const { return sys_->core(core_).clock(); }
+
     CoreId core() const { return core_; }
     Rng &rng() { return rng_; }
     System &system() { return *sys_; }

@@ -7,6 +7,7 @@
 #include "workloads/hashmap_wl.hh"
 #include "workloads/queue_wl.hh"
 #include "workloads/rbtree_wl.hh"
+#include "workloads/interference_wl.hh"
 #include "workloads/tpcc.hh"
 #include "workloads/vector_wl.hh"
 #include "workloads/ycsb.hh"
@@ -64,6 +65,21 @@ makeWorkload(const std::string &name, const WorkloadParams &p)
             return std::make_unique<YcsbWorkload>(
                 contextFor(sys, core), p.valueBytes, p.scale,
                 p.ycsbUpdateRatio, p.ycsbTheta);
+        };
+    }
+    if (name == "interference") {
+        InterferenceParams ip;
+        ip.valueBytes = p.valueBytes;
+        ip.scale = p.scale;
+        ip.readMix = p.interferenceReadMix;
+        ip.saturation = p.interferenceSaturation;
+        ip.logAppendsPerTx = p.roleLogAppendsPerTx;
+        ip.pointReadsPerTx = p.rolePointReadsPerTx;
+        ip.scanItemsPerTx = p.roleScanItemsPerTx;
+        ip.gcOverwritesPerTx = p.roleGcOverwritesPerTx;
+        return [ip](System &sys, CoreId core) {
+            return std::make_unique<InterferenceWorkload>(
+                contextFor(sys, core), ip);
         };
     }
     if (name == "tpcc") {

@@ -42,10 +42,31 @@ struct WorkloadParams
 
     /** YCSB Zipfian skew. */
     double ycsbTheta = 0.99;
+
+    // ---- Interference suite (workload "interference") ----
+
+    /** Fraction of cores given reader roles (point_read/seq_scan). */
+    double interferenceReadMix = 0.5;
+
+    /** Target duty cycle in (0, 1]: 1 = run flat out, no pacing. */
+    double interferenceSaturation = 1.0;
+
+    /** log_append: records appended per transaction. */
+    unsigned roleLogAppendsPerTx = 4;
+
+    /** point_read: random single-word loads per transaction. */
+    unsigned rolePointReadsPerTx = 8;
+
+    /** seq_scan: whole items streamed per transaction. */
+    unsigned roleScanItemsPerTx = 16;
+
+    /** gc_pressure: whole-item overwrites per transaction. */
+    unsigned roleGcOverwritesPerTx = 2;
 };
 
 /** Build the factory for workload @p name
- *  ("vector", "hashmap", "queue", "rbtree", "btree", "ycsb", "tpcc"). */
+ *  ("vector", "hashmap", "queue", "rbtree", "btree", "ycsb", "tpcc",
+ *  "interference"). */
 WorkloadFactory makeWorkload(const std::string &name,
                              const WorkloadParams &params);
 

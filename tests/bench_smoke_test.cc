@@ -263,8 +263,8 @@ main(int argc, char **argv)
 
     CHECK(root.kind == Json::Obj, "root is not an object");
     const Json *ver = root.find("schema_version");
-    CHECK(ver && ver->kind == Json::Num && ver->num == 4.0,
-          "schema_version != 4");
+    CHECK(ver && ver->kind == Json::Num && ver->num == 5.0,
+          "schema_version != 5");
     const Json *name = root.find("bench");
     CHECK(name && name->kind == Json::Str && !name->str.empty(),
           "missing bench name");
@@ -317,7 +317,9 @@ main(int argc, char **argv)
                 // Schema v3 adds the scrub pause summary and the
                 // media-tolerance tallies below. Schema v4 adds the
                 // p999 tail quantile and the client-activity epoch
-                // gauges (fleet degradation timelines).
+                // gauges (fleet degradation timelines). Schema v5
+                // adds the under-populated-quantile markers, the NVM
+                // channel-occupancy gauges and the per-role block.
                 for (const char *k :
                      {"crit_path", "llc_miss_lat", "gc_pause",
                       "scrub_pause"}) {
@@ -328,15 +330,39 @@ main(int argc, char **argv)
                     if (sum && sum->kind == Json::Obj) {
                         for (const char *q :
                              {"count", "p50_ns", "p95_ns", "p99_ns",
-                              "p999_ns", "max_ns", "mean_ns"})
+                              "p999_ns", "max_ns", "mean_ns",
+                              "p50_saturated", "p95_saturated",
+                              "p99_saturated", "p999_saturated"})
                             requireNum(*sum, q, k);
                     }
                 }
                 for (const char *k :
                      {"ecc_corrected_words", "uncorrectable_reads",
                       "read_retries", "retired_units", "tx_rejected",
-                      "degraded_fraction"})
+                      "degraded_fraction", "channel_busy_ticks",
+                      "channel_wait_ticks", "drain_fences",
+                      "channel_utilization"})
                     requireNum(*metrics, k, "metrics");
+                const Json *roles = metrics->find("roles");
+                CHECK(roles && roles->kind == Json::Arr,
+                      "cell %zu metrics missing roles array", i);
+                if (roles && roles->kind == Json::Arr) {
+                    // Empty for every non-interference bench; when a
+                    // role is present it carries the full record.
+                    for (const Json &r : roles->arr) {
+                        CHECK(r.kind == Json::Obj,
+                              "role entry not an object");
+                        const Json *rn = r.find("role");
+                        CHECK(rn && rn->kind == Json::Str &&
+                                  !rn->str.empty(),
+                              "role entry missing name");
+                        requireNum(r, "transactions", "role");
+                        requireNum(r, "tx_per_second", "role");
+                        const Json *lat = r.find("latency");
+                        CHECK(lat && lat->kind == Json::Obj,
+                              "role entry missing latency summary");
+                    }
+                }
                 const Json *epochs = metrics->find("epochs");
                 CHECK(epochs && epochs->kind == Json::Arr,
                       "cell %zu metrics missing epochs array", i);
@@ -352,7 +378,9 @@ main(int argc, char **argv)
                               "tx_rejected", "client_retry_attempts",
                               "client_backoff_ticks",
                               "client_deadline_misses",
-                              "client_shed_admissions"})
+                              "client_shed_admissions",
+                              "channel_busy_ticks",
+                              "channel_wait_ticks"})
                             requireNum(e, k, "epoch");
                     }
                 }

@@ -252,6 +252,54 @@ TEST(HistogramMerge, P999IsMergeOrderDeterministic)
     EXPECT_GT(whole.quantile(0.999), whole.quantile(0.5));
 }
 
+TEST(HistogramQuantile, SmallPopulationTailIsExactMax)
+{
+    // Regression (PR 10): p999/p99 on counts below ~1/(1-q) used to
+    // interpolate inside the top occupied bucket — a value up to the
+    // ~6% bucket width away from any real sample. The target rank is
+    // the last sample, whose exact value is max(): return it.
+    Histogram h;
+    h.record(1000);     // bucket [960, 1024): width 64
+    h.record(5000);     // bucket [4864, 5120): width 256
+    h.record(100000);   // wide bucket far from its low edge
+    // 3 samples: p99 and p999 target rank 3 == count -> exact max.
+    EXPECT_EQ(h.quantile(0.99), 100000.0);
+    EXPECT_EQ(h.quantile(0.999), 100000.0);
+    // p50 targets rank 2 (resolvable): interpolates in 5000's bucket.
+    EXPECT_LT(h.quantile(0.5), 100000.0);
+}
+
+TEST(HistogramQuantile, SaturationRuleAtBucketEdges)
+{
+    // Exactly 1/(1-q) samples is the threshold: p99 of 100 samples
+    // targets rank ceil(0.99*100) = 99 < 100 and must still resolve,
+    // while 99 samples target ceil(0.99*99) = 99 == count -> max.
+    Histogram resolved;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        resolved.record(i < 99 ? 100 : 100000);
+    EXPECT_FALSE(Histogram::quantileSaturated(100, 0.99));
+    // Rank 99 is one of the 99 samples at 100, not the max spike.
+    EXPECT_LT(resolved.quantile(0.99), 100000.0);
+
+    Histogram saturated;
+    for (std::uint64_t i = 0; i < 99; ++i)
+        saturated.record(i < 98 ? 100 : 100000);
+    EXPECT_TRUE(Histogram::quantileSaturated(99, 0.99));
+    EXPECT_EQ(saturated.quantile(0.99), 100000.0);
+}
+
+TEST(HistogramQuantile, SaturationPredicateMatchesQuantile)
+{
+    EXPECT_TRUE(Histogram::quantileSaturated(0, 0.5));
+    EXPECT_TRUE(Histogram::quantileSaturated(1, 0.0));
+    EXPECT_TRUE(Histogram::quantileSaturated(1, 0.999));
+    EXPECT_TRUE(Histogram::quantileSaturated(999, 0.999));
+    EXPECT_FALSE(Histogram::quantileSaturated(1001, 0.999));
+    EXPECT_FALSE(Histogram::quantileSaturated(2, 0.5));
+    // q = 1 is always the max by definition and always "saturated".
+    EXPECT_TRUE(Histogram::quantileSaturated(1000000, 1.0));
+}
+
 TEST(Histogram, ResetForgetsEverything)
 {
     Histogram h;

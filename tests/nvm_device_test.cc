@@ -153,5 +153,109 @@ TEST(NvmDevice, ClearDropsState)
     EXPECT_EQ(dev.channelFree(), 0u);
 }
 
+// ---------------------------------------------------------------------
+// PR 10 channel-accounting regressions.
+// ---------------------------------------------------------------------
+
+TEST(NvmChannel, EccSurchargeOccupiesTheChannel)
+{
+    // Regression: the per-corrected-word ECC surcharge used to be
+    // charged to the requester's completion time only; the channel was
+    // marked free as if the correction pipeline were off-device, so a
+    // competing read slipped into the correction window. The surcharge
+    // must extend channelFree by exactly the same amount it extends the
+    // read's own completion. Fully-correctable faults (1-bit flips
+    // against 1-bit ECC) keep retries out of the picture.
+    constexpr std::size_t kLen = 256; // 32 words
+    const Tick ecc_cost = nsToTicks(20);
+
+    NvmDevice clean(miB(16), testTiming());
+    NvmDevice faulty(miB(16), testTiming());
+    faulty.faults().setSeed(99);
+    faulty.faults().setEcc(1);
+    faulty.setReadRetryPolicy(4, nsToTicks(100), ecc_cost);
+    faulty.faults().addMediaFault(0x1000, 0x1000 + kLen,
+                                  MediaFaultKind::BitFlip, 1.0, 1);
+
+    std::uint8_t buf[kLen];
+    ReadFaultInfo rf;
+    const Tick done_clean = clean.read(0, 0x1000, buf, kLen);
+    const Tick done_faulty = faulty.read(0, 0x1000, buf, kLen, &rf);
+    ASSERT_GT(rf.correctedWords, 0u);
+    ASSERT_EQ(rf.retries, 0u) << "1-bit flips must not trigger retries";
+
+    const Tick surcharge = ecc_cost * rf.correctedWords;
+    EXPECT_EQ(done_faulty, done_clean + surcharge);
+    EXPECT_EQ(faulty.channelFree(), clean.channelFree() + surcharge)
+        << "ECC surcharge left the channel free during correction";
+    EXPECT_EQ(faulty.channelBusyTicks(),
+              clean.channelBusyTicks() + surcharge);
+
+    // And a follow-up requester really queues behind the correction:
+    // its completion shifts by the full surcharge too.
+    const Tick next_clean = clean.read(0, 0x8000, buf, kLen);
+    const Tick next_faulty = faulty.read(0, 0x8000, buf, kLen);
+    EXPECT_EQ(next_faulty, next_clean + surcharge);
+}
+
+TEST(NvmChannel, DrainFenceBoundsAndHoldsTheChannel)
+{
+    NvmDevice dev(miB(16), testTiming());
+    std::uint8_t buf[64] = {};
+    dev.write(0, 0, buf, sizeof(buf));
+    const Tick free_before = dev.channelFree();
+
+    // The fence bound is channelFree + writeLatency: every issued write
+    // holds its channel slot, then completes one (pipelined) array
+    // write later.
+    const Tick bound = dev.drainFence(0);
+    EXPECT_EQ(bound, free_before + nsToTicks(150));
+    EXPECT_EQ(dev.channelFree(), bound)
+        << "the drain window must occupy the channel, not just "
+           "timestamp it";
+    EXPECT_EQ(dev.drainFences(), 1u);
+
+    // Regression: a read issued *after* the fence but at an earlier
+    // core clock used to start at its own clock, inside the very
+    // window the fence drains. It must queue behind the bound.
+    const Tick done = dev.read(0, 4096, buf, sizeof(buf));
+    EXPECT_GE(done, bound + nsToTicks(50));
+    EXPECT_GT(dev.channelWaitTicks(), 0u);
+
+    // A fence issued when the channel is long idle is a no-op bound:
+    // it returns `now` and holds nothing extra.
+    NvmDevice idle(miB(16), testTiming());
+    EXPECT_EQ(idle.drainFence(nsToTicks(500)), nsToTicks(500));
+}
+
+TEST(NvmChannel, GaugesAccumulateAndReset)
+{
+    NvmDevice dev(miB(16), testTiming());
+    std::uint8_t buf[64] = {};
+
+    // First read at t=0 takes the idle channel: busy accrues, wait
+    // does not.
+    dev.read(0, 0, buf, sizeof(buf));
+    const std::uint64_t hold = dev.channelBusyTicks();
+    EXPECT_GT(hold, 0u);
+    EXPECT_EQ(dev.channelWaitTicks(), 0u);
+
+    // Second read also issued at t=0 queues for the full first hold.
+    dev.read(0, 4096, buf, sizeof(buf));
+    EXPECT_EQ(dev.channelWaitTicks(), hold);
+    EXPECT_EQ(dev.channelBusyTicks(), 2 * hold);
+
+    dev.drainFence(0);
+    EXPECT_EQ(dev.drainFences(), 1u);
+
+    dev.resetCounters();
+    EXPECT_EQ(dev.channelBusyTicks(), 0u);
+    EXPECT_EQ(dev.channelWaitTicks(), 0u);
+    EXPECT_EQ(dev.drainFences(), 0u);
+    // resetCounters is a measurement boundary, not a time machine: the
+    // channel stays reserved.
+    EXPECT_GT(dev.channelFree(), 0u);
+}
+
 } // namespace
 } // namespace hoopnvm
